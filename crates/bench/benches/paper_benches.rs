@@ -1,0 +1,299 @@
+//! Criterion benchmarks of the computational kernels behind each experiment.
+//!
+//! One benchmark group per table/figure of the paper. Each group benchmarks
+//! the computation that regenerates the artefact (the simulation data is
+//! generated once, outside the timing loops); the `repro` binary prints the
+//! actual rows/series.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::collections::BTreeMap;
+
+use defi_analytics::records::collect_records;
+use defi_analytics::{auctions, bad_debt, flashloan, gas, overall, price_movement, profit_volume, sensitivity, stablecoin, unprofitable};
+use defi_bench::case_study::{run_case_study, CaseStudyInput};
+use defi_core::params::RiskParams;
+use defi_core::position::{CollateralHolding, DebtHolding, Position};
+use defi_core::sensitivity::SensitivityCurve;
+use defi_core::strategy::StrategyComparison;
+use defi_lending::{compound, InterestRateModel};
+use defi_oracle::{OracleConfig, PriceOracle};
+use defi_sim::{SimConfig, SimulationEngine, SimulationReport};
+use defi_types::{Address, Platform, Token, Wad};
+
+/// One shared smoke-scale simulation for every analytics benchmark.
+fn shared_report() -> &'static SimulationReport {
+    use std::sync::OnceLock;
+    static REPORT: OnceLock<SimulationReport> = OnceLock::new();
+    REPORT.get_or_init(|| SimulationEngine::new(SimConfig::smoke_test(77)).run())
+}
+
+/// A synthetic position book for the Algorithm 1 benchmarks.
+fn synthetic_book(count: u64) -> Vec<Position> {
+    (0..count)
+        .map(|i| {
+            Position::new(Address::from_seed(i))
+                .with_collateral(CollateralHolding {
+                    token: Token::ETH,
+                    amount: Wad::from_int(10),
+                    value_usd: Wad::from_int(20_000 + (i % 7) * 1_000),
+                    liquidation_threshold: Wad::from_f64(0.8),
+                    liquidation_spread: Wad::from_f64(0.08),
+                })
+                .with_collateral(CollateralHolding {
+                    token: Token::USDC,
+                    amount: Wad::from_int(5_000),
+                    value_usd: Wad::from_int(5_000),
+                    liquidation_threshold: Wad::from_f64(0.85),
+                    liquidation_spread: Wad::from_f64(0.04),
+                })
+                .with_debt(DebtHolding {
+                    token: Token::DAI,
+                    amount: Wad::from_int(12_000 + (i % 11) * 500),
+                    value_usd: Wad::from_int(12_000 + (i % 11) * 500),
+                })
+        })
+        .collect()
+}
+
+/// Figure 4 / Figure 5 / Table 1: ledger extraction and profit aggregation.
+fn bench_overall(c: &mut Criterion) {
+    let report = shared_report();
+    let records = collect_records(&report.chain, &report.market_oracle);
+    let mut group = c.benchmark_group("table1_fig4_fig5_overall");
+    group.bench_function("collect_records", |b| {
+        b.iter(|| collect_records(&report.chain, &report.market_oracle))
+    });
+    group.bench_function("table1", |b| b.iter(|| overall::table1(&records)));
+    group.bench_function("fig4_accumulative", |b| {
+        b.iter(|| overall::accumulative_collateral_sold(&records))
+    });
+    group.bench_function("fig5_monthly_profit", |b| b.iter(|| overall::monthly_profit(&records)));
+    group.finish();
+}
+
+/// Figure 6: gas-price competition.
+fn bench_fig6_gas(c: &mut Criterion) {
+    let report = shared_report();
+    let records = collect_records(&report.chain, &report.market_oracle);
+    c.bench_function("fig6_gas_competition", |b| {
+        b.iter(|| gas::gas_competition(&report.chain, &records, 6_000))
+    });
+}
+
+/// Figure 7 / §4.3.3: auction statistics.
+fn bench_fig7_auctions(c: &mut Criterion) {
+    let report = shared_report();
+    let records = collect_records(&report.chain, &report.market_oracle);
+    let time_map = *report.chain.time_map();
+    c.bench_function("fig7_auction_stats", |b| {
+        b.iter(|| auctions::auction_stats(&report.chain, &records, &time_map))
+    });
+}
+
+/// Table 2 / Table 3: bad debts and unprofitable opportunities.
+fn bench_table2_table3(c: &mut Criterion) {
+    let report = shared_report();
+    let mut group = c.benchmark_group("table2_table3_bad_debt");
+    group.bench_function("table2_bad_debts", |b| {
+        b.iter(|| bad_debt::table2(&report.final_positions))
+    });
+    group.bench_function("table3_unprofitable", |b| {
+        b.iter(|| unprofitable::table3(&report.final_positions))
+    });
+    group.finish();
+}
+
+/// Table 4: flash-loan usage join.
+fn bench_table4_flash_loans(c: &mut Criterion) {
+    let report = shared_report();
+    c.bench_function("table4_flash_loans", |b| b.iter(|| flashloan::table4(&report.chain)));
+}
+
+/// Figure 8: Algorithm 1 sensitivity sweeps at several book sizes.
+fn bench_fig8_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_sensitivity");
+    for size in [100u64, 1_000, 5_000] {
+        let book = synthetic_book(size);
+        group.bench_function(format!("algorithm1_sweep_{size}_positions"), |b| {
+            b.iter(|| SensitivityCurve::compute(&book, Token::ETH, 100))
+        });
+    }
+    let report = shared_report();
+    group.bench_function("fig8_all_platforms", |b| {
+        b.iter(|| sensitivity::figure8(&report.final_positions, 50))
+    });
+    group.finish();
+}
+
+/// §4.5.2: stablecoin stability scan.
+fn bench_stablecoin_stability(c: &mut Criterion) {
+    let report = shared_report();
+    c.bench_function("stablecoin_stability", |b| {
+        b.iter(|| {
+            stablecoin::stablecoin_stability(
+                &report.market_oracle,
+                &[Token::DAI, Token::USDC, Token::USDT],
+                report.config.start_block,
+                report.snapshot_block,
+                report.config.tick_blocks,
+                0.05,
+            )
+        })
+    });
+}
+
+/// Figure 9 / Table 8: profit–volume comparison.
+fn bench_fig9_table8(c: &mut Criterion) {
+    let report = shared_report();
+    let records = collect_records(&report.chain, &report.market_oracle);
+    let time_map = *report.chain.time_map();
+    let mut group = c.benchmark_group("fig9_table8_profit_volume");
+    group.bench_function("fig9_comparison", |b| {
+        b.iter(|| profit_volume::figure9(&records, &report.volume_samples, &time_map))
+    });
+    group.bench_function("table8_monthly_counts", |b| {
+        b.iter(|| profit_volume::table8(&records))
+    });
+    group.finish();
+}
+
+/// Table 7: post-liquidation price-movement classification.
+fn bench_table7_price_movement(c: &mut Criterion) {
+    let report = shared_report();
+    let records = collect_records(&report.chain, &report.market_oracle);
+    c.bench_function("table7_price_movements", |b| {
+        b.iter(|| {
+            price_movement::table7(
+                &records,
+                &report.market_oracle,
+                1_440,
+                report.config.tick_blocks,
+            )
+        })
+    });
+}
+
+/// Tables 5–6 / §5.2: the optimal-strategy case study and the strategy math.
+fn bench_table5_table6_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_table6_strategy");
+    group.bench_function("case_study_closed_form", |b| {
+        b.iter(|| run_case_study(&CaseStudyInput::default()))
+    });
+    let params = RiskParams::paper_example();
+    group.bench_function("algorithm2_strategy_comparison", |b| {
+        b.iter(|| StrategyComparison::evaluate(Wad::from_int(9_900), Wad::from_int(8_400), params))
+    });
+    group.finish();
+}
+
+/// Protocol substrate micro-benchmarks: a liquidation call on a populated pool.
+fn bench_liquidation_call(c: &mut Criterion) {
+    let mut oracle = PriceOracle::new(OracleConfig::every_update());
+    oracle.set_price(0, Token::ETH, Wad::from_int(3_500));
+    oracle.set_price(0, Token::USDC, Wad::ONE);
+
+    c.bench_function("protocol_liquidation_call", |b| {
+        b.iter_batched(
+            || {
+                // A fresh Compound pool with one liquidatable borrower.
+                let mut protocol = compound();
+                protocol.list_market(
+                    Token::ETH,
+                    RiskParams::new(0.8, 0.08, 0.5),
+                    InterestRateModel::default(),
+                    0,
+                );
+                let mut ledger = defi_chain::Ledger::new();
+                let mut events = Vec::new();
+                let lender = Address::from_seed(1);
+                ledger.mint(lender, Token::USDC, Wad::from_int(1_000_000));
+                protocol
+                    .deposit(&mut ledger, &mut events, lender, Token::USDC, Wad::from_int(1_000_000))
+                    .unwrap();
+                let borrower = Address::from_seed(2);
+                ledger.mint(borrower, Token::ETH, Wad::from_int(3));
+                protocol
+                    .deposit(&mut ledger, &mut events, borrower, Token::ETH, Wad::from_int(3))
+                    .unwrap();
+                protocol
+                    .borrow(&mut ledger, &mut events, &oracle, 1, borrower, Token::USDC, Wad::from_int(8_000))
+                    .unwrap();
+                let mut crash_oracle = oracle.clone();
+                crash_oracle.set_price(2, Token::ETH, Wad::from_int(3_000));
+                let liquidator = Address::from_seed(3);
+                ledger.mint(liquidator, Token::USDC, Wad::from_int(10_000));
+                (protocol, ledger, crash_oracle, borrower, liquidator)
+            },
+            |(mut protocol, mut ledger, crash_oracle, borrower, liquidator)| {
+                let mut events = Vec::new();
+                protocol
+                    .liquidation_call(
+                        &mut ledger, &mut events, &crash_oracle, 2, liquidator, borrower,
+                        Token::USDC, Token::ETH, Wad::from_int(4_000), false,
+                    )
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// End-to-end: ticks per second of the simulation engine (drives every other
+/// experiment's data generation).
+fn bench_simulation_ticks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_engine");
+    group.sample_size(10);
+    group.bench_function("smoke_scenario_full_run", |b| {
+        b.iter(|| SimulationEngine::new(SimConfig::smoke_test(5)).run())
+    });
+    group.finish();
+}
+
+/// Baseline comparison for the mechanism-comparison experiment: close-factor
+/// ablation (50 % vs 100 % vs the optimal strategy) on a fixed position.
+fn bench_close_factor_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_close_factor");
+    let collateral = Wad::from_int(9_900);
+    let debt = Wad::from_int(8_400);
+    for close_factor in [0.25, 0.5, 1.0] {
+        let params = RiskParams::new(0.8, 0.1, close_factor);
+        group.bench_function(format!("strategy_cf_{close_factor}"), |b| {
+            b.iter(|| StrategyComparison::evaluate(collateral, debt, params))
+        });
+    }
+    group.finish();
+}
+
+fn bench_platform_books(c: &mut Criterion) {
+    // Building position snapshots is the hot path of the measurement loop.
+    let report = shared_report();
+    c.bench_function("platform_position_books", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for positions in report.final_positions.values() {
+                total += positions.len();
+            }
+            let _ = BTreeMap::from([(Platform::Compound, total)]);
+            total
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_overall,
+    bench_fig6_gas,
+    bench_fig7_auctions,
+    bench_table2_table3,
+    bench_table4_flash_loans,
+    bench_fig8_sensitivity,
+    bench_stablecoin_stability,
+    bench_fig9_table8,
+    bench_table7_price_movement,
+    bench_table5_table6_strategy,
+    bench_liquidation_call,
+    bench_simulation_ticks,
+    bench_close_factor_ablation,
+    bench_platform_books,
+);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! The reproduction harness.
+//!
+//! ```text
+//! cargo run --release -p defi-bench --bin repro -- all
+//! cargo run --release -p defi-bench --bin repro -- table1 fig8
+//! cargo run --release -p defi-bench --bin repro -- --smoke all
+//! cargo run --release -p defi-bench --bin repro -- --seed 7 fig9 table8
+//! ```
+//!
+//! Without `--smoke` the harness runs the full two-year scenario
+//! (`SimConfig::paper_default`), which takes on the order of a minute in
+//! release mode; `--smoke` runs the ~3-month crash window used by the test
+//! suite. Artefact names: `headline`, `table1`…`table8`, `fig4`…`fig9`,
+//! `auction-stats`, `stablecoins`, `mitigation`, `configs`, `case-study`
+//! (alias of `table5`/`table6`), or `all`.
+
+use std::collections::BTreeSet;
+
+use defi_analytics::StudyAnalysis;
+use defi_bench::case_study::{run_case_study, CaseStudyInput};
+use defi_bench::render;
+use defi_core::config::is_sound_fixed_spread_config;
+use defi_core::params::RiskParams;
+use defi_sim::{SimConfig, SimulationEngine};
+use defi_types::Platform;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--smoke] [--seed N] <artefact>...\n       artefacts: all headline table1 table2 table3 table4 table5 table6 table7 table8\n                  fig4 fig5 fig6 fig7 fig8 fig9 auction-stats stablecoins mitigation configs case-study"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut seed: u64 = 20_211_102; // the paper's publication date as a seed
+    let mut artefacts: BTreeSet<String> = BTreeSet::new();
+
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                let Some(value) = args.next() else { usage() };
+                seed = value.parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                artefacts.insert(other.to_ascii_lowercase());
+            }
+        }
+    }
+    if artefacts.is_empty() {
+        artefacts.insert("all".to_string());
+    }
+    let all = artefacts.contains("all");
+    let wanted = |names: &[&str]| all || names.iter().any(|n| artefacts.contains(*n));
+
+    // Pure (no-simulation) artefacts first.
+    if wanted(&["table5", "table6", "case-study", "mitigation"]) {
+        let study = run_case_study(&CaseStudyInput::default());
+        println!("{}", render::render_case_study(&study));
+    }
+    if wanted(&["configs"]) {
+        println!("== Appendix C: fixed-spread configuration soundness ==");
+        for platform in Platform::ALL {
+            let params = RiskParams::platform_default(platform);
+            println!(
+                "  {:<10} LT {:.2} LS {:.2} CF {:.2} -> 1 - LT(1+LS) > 0: {}",
+                platform.name(),
+                params.liquidation_threshold.to_f64(),
+                params.liquidation_spread.to_f64(),
+                params.close_factor.to_f64(),
+                is_sound_fixed_spread_config(params)
+            );
+        }
+        println!();
+    }
+
+    let needs_simulation = wanted(&[
+        "headline", "table1", "table2", "table3", "table4", "table7", "table8", "fig4", "fig5",
+        "fig6", "fig7", "fig8", "fig9", "auction-stats", "stablecoins",
+    ]);
+    if !needs_simulation {
+        return;
+    }
+
+    let config = if smoke {
+        SimConfig::smoke_test(seed)
+    } else {
+        SimConfig::paper_default(seed)
+    };
+    eprintln!(
+        "running the {} scenario (seed {seed}, {} ticks)…",
+        if smoke { "smoke" } else { "two-year study" },
+        config.tick_count()
+    );
+    let started = std::time::Instant::now();
+    let report = SimulationEngine::new(config).run();
+    eprintln!(
+        "simulation finished in {:.1}s ({} events); computing analytics…",
+        started.elapsed().as_secs_f64(),
+        report.chain.events().len()
+    );
+    let analysis = StudyAnalysis::from_report(&report);
+
+    if wanted(&["headline"]) {
+        println!("{}", render::render_headline(&analysis));
+    }
+    if wanted(&["table1"]) {
+        println!("{}", render::render_table1(&analysis));
+    }
+    if wanted(&["fig4"]) {
+        println!("{}", render::render_figure4(&analysis));
+    }
+    if wanted(&["fig5"]) {
+        println!("{}", render::render_figure5(&analysis));
+    }
+    if wanted(&["fig6"]) {
+        println!("{}", render::render_figure6(&analysis));
+    }
+    if wanted(&["fig7", "auction-stats"]) {
+        println!("{}", render::render_auctions(&analysis));
+    }
+    if wanted(&["table2"]) {
+        println!("{}", render::render_table2(&analysis));
+    }
+    if wanted(&["table3"]) {
+        println!("{}", render::render_table3(&analysis));
+    }
+    if wanted(&["table4"]) {
+        println!("{}", render::render_table4(&analysis));
+    }
+    if wanted(&["fig8"]) {
+        println!("{}", render::render_figure8(&analysis));
+    }
+    if wanted(&["stablecoins"]) {
+        println!("{}", render::render_stablecoins(&analysis));
+    }
+    if wanted(&["fig9"]) {
+        println!("{}", render::render_figure9(&analysis));
+    }
+    if wanted(&["table8"]) {
+        println!("{}", render::render_table8(&analysis));
+    }
+    if wanted(&["table7"]) {
+        println!("{}", render::render_table7(&analysis));
+    }
+}

@@ -1,0 +1,440 @@
+//! Plain-text rendering of the analysis artefacts, used by the `repro`
+//! binary to print paper-style tables and series.
+
+use defi_analytics::StudyAnalysis;
+use defi_types::{Platform, SignedWad, Wad};
+
+use crate::case_study::CaseStudy;
+
+fn usd(value: Wad) -> String {
+    let v = value.to_f64();
+    if v >= 1e9 {
+        format!("{:.2}B USD", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M USD", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}K USD", v / 1e3)
+    } else {
+        format!("{v:.2} USD")
+    }
+}
+
+fn signed_usd(value: SignedWad) -> String {
+    if value.is_negative() {
+        format!("-{}", usd(value.magnitude))
+    } else {
+        usd(value.magnitude)
+    }
+}
+
+/// §4.2 headline statistics.
+pub fn render_headline(analysis: &StudyAnalysis) -> String {
+    let h = &analysis.headline;
+    let mut out = String::new();
+    out.push_str("== Overall statistics (paper §4.2 / §4.3.1) ==\n");
+    out.push_str(&format!("  liquidations:              {}\n", h.liquidation_count));
+    out.push_str(&format!("  unique liquidators:        {}\n", h.liquidator_count));
+    out.push_str(&format!("  collateral sold:           {}\n", usd(h.total_collateral_sold)));
+    out.push_str(&format!("  total liquidator profit:   {}\n", signed_usd(h.total_profit)));
+    out.push_str(&format!(
+        "  unprofitable liquidations: {} (loss {})\n",
+        h.unprofitable_liquidations,
+        usd(h.unprofitable_loss)
+    ));
+    if let Some(top) = &analysis.top_liquidators {
+        out.push_str(&format!(
+            "  most active liquidator:    {} liquidations, {}\n",
+            top.most_active_count,
+            signed_usd(top.most_active_profit)
+        ));
+        out.push_str(&format!(
+            "  most profitable liquidator: {} in {} liquidations\n",
+            signed_usd(top.most_profitable_profit),
+            top.most_profitable_count
+        ));
+    }
+    out
+}
+
+/// Table 1.
+pub fn render_table1(analysis: &StudyAnalysis) -> String {
+    let mut out = String::from("== Table 1: liquidations, liquidators and average profit ==\n");
+    out.push_str(&format!(
+        "{:<12} {:>14} {:>12} {:>18}\n",
+        "Platform", "Liquidations", "Liquidators", "Average profit"
+    ));
+    for row in &analysis.table1.rows {
+        out.push_str(&format!(
+            "{:<12} {:>14} {:>12} {:>18}\n",
+            row.platform.name(),
+            row.liquidations,
+            row.liquidators,
+            signed_usd(row.average_profit)
+        ));
+    }
+    out.push_str(&format!(
+        "{:<12} {:>14} {:>12} {:>18}\n",
+        "Total",
+        analysis.table1.total_liquidations,
+        analysis.table1.total_liquidators,
+        signed_usd(analysis.table1.total_profit)
+    ));
+    out
+}
+
+/// Figure 4: cumulative liquidated collateral (final values plus a coarse series).
+pub fn render_figure4(analysis: &StudyAnalysis) -> String {
+    let mut out = String::from("== Figure 4: accumulative collateral sold through liquidation ==\n");
+    for (platform, series) in &analysis.figure4 {
+        let total = series.last().map(|p| p.cumulative_usd).unwrap_or(Wad::ZERO);
+        out.push_str(&format!("  {:<10} final {}\n", platform.name(), usd(total)));
+        // Print up to 8 evenly spaced intermediate points.
+        let step = (series.len() / 8).max(1);
+        for point in series.iter().step_by(step) {
+            out.push_str(&format!(
+                "      block {:>10}  {}\n",
+                point.block,
+                usd(point.cumulative_usd)
+            ));
+        }
+    }
+    out
+}
+
+/// Figure 5: monthly liquidator profit.
+pub fn render_figure5(analysis: &StudyAnalysis) -> String {
+    let mut out = String::from("== Figure 5: monthly liquidation profit per platform ==\n");
+    let mut months: Vec<_> = analysis
+        .figure5
+        .values()
+        .flat_map(|m| m.keys().copied())
+        .collect();
+    months.sort();
+    months.dedup();
+    out.push_str(&format!("{:<9}", "Month"));
+    for platform in Platform::ALL {
+        out.push_str(&format!(" {:>14}", platform.name()));
+    }
+    out.push('\n');
+    for month in months {
+        out.push_str(&format!("{:<9}", month.to_string()));
+        for platform in Platform::ALL {
+            let value = analysis
+                .figure5
+                .get(&platform)
+                .and_then(|m| m.get(&month))
+                .copied()
+                .unwrap_or(SignedWad::ZERO);
+            out.push_str(&format!(" {:>14}", signed_usd(value)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 6 / §4.3.2.
+pub fn render_figure6(analysis: &StudyAnalysis) -> String {
+    let gas = &analysis.gas;
+    let mut out = String::from("== Figure 6: liquidation gas prices vs. network average ==\n");
+    out.push_str(&format!(
+        "  fixed-spread liquidations: {}\n  share paying above-average gas price: {:.2}%\n",
+        gas.points.len(),
+        gas.share_above_average * 100.0
+    ));
+    let step = (gas.points.len() / 10).max(1);
+    for point in gas.points.iter().step_by(step) {
+        out.push_str(&format!(
+            "      block {:>10}  {:>8} gwei (avg {:>8.1})  {}\n",
+            point.block,
+            point.gas_price,
+            point.average_gas_price,
+            if point.above_average { "above" } else { "below" }
+        ));
+    }
+    out
+}
+
+/// Figure 7 / §4.3.3.
+pub fn render_auctions(analysis: &StudyAnalysis) -> String {
+    let a = &analysis.auctions;
+    let mut out = String::from("== Figure 7 / §4.3.3: MakerDAO auction statistics ==\n");
+    out.push_str(&format!(
+        "  auctions: {} (tend-terminated {}, dent-terminated {})\n",
+        a.terminated_in_tend + a.terminated_in_dent,
+        a.terminated_in_tend,
+        a.terminated_in_dent
+    ));
+    out.push_str(&format!("  average bidders per auction: {:.2}\n", a.average_bidders));
+    out.push_str(&format!(
+        "  bids per auction: {:.2} ± {:.2} (tend {:.2} ± {:.2}, dent {:.2} ± {:.2})\n",
+        a.bids_per_auction.mean,
+        a.bids_per_auction.std_dev,
+        a.tend_bids_per_auction.mean,
+        a.tend_bids_per_auction.std_dev,
+        a.dent_bids_per_auction.mean,
+        a.dent_bids_per_auction.std_dev
+    ));
+    out.push_str(&format!(
+        "  duration: {:.2} ± {:.2} hours\n",
+        a.duration_hours.mean, a.duration_hours.std_dev
+    ));
+    out.push_str(&format!(
+        "  first bid after {:.1} ± {:.1} minutes; bid interval {:.1} ± {:.1} minutes\n",
+        a.first_bid_delay_minutes.mean,
+        a.first_bid_delay_minutes.std_dev,
+        a.bid_interval_minutes.mean,
+        a.bid_interval_minutes.std_dev
+    ));
+    out.push_str(&format!(
+        "  auctions with more than one bid: {}\n",
+        a.auctions_with_multiple_bids
+    ));
+    out
+}
+
+/// Table 2.
+pub fn render_table2(analysis: &StudyAnalysis) -> String {
+    let mut out = String::from("== Table 2: Type I / Type II bad debts at the snapshot block ==\n");
+    out.push_str(&format!(
+        "{:<12} {:>22} {:>26} {:>26}\n",
+        "Platform", "Type I", "Type II (fee <= 10 USD)", "Type II (fee <= 100 USD)"
+    ));
+    for row in &analysis.table2.rows {
+        out.push_str(&format!(
+            "{:<12} {:>6} ({:>5.1}%) {:>9} {:>9} ({:>5.1}%) {:>9} {:>9} ({:>5.1}%) {:>9}\n",
+            row.platform.name(),
+            row.type_1.count,
+            row.type_1.share_percent(),
+            usd(row.type_1.collateral_locked),
+            row.type_2_fee_10.count,
+            row.type_2_fee_10.share_percent(),
+            usd(row.type_2_fee_10.collateral_locked),
+            row.type_2_fee_100.count,
+            row.type_2_fee_100.share_percent(),
+            usd(row.type_2_fee_100.collateral_locked),
+        ));
+    }
+    out
+}
+
+/// Table 3.
+pub fn render_table3(analysis: &StudyAnalysis) -> String {
+    let mut out =
+        String::from("== Table 3: unprofitable liquidation opportunities at the snapshot block ==\n");
+    out.push_str(&format!(
+        "{:<12} {:>26} {:>26}\n",
+        "Platform", "fee <= 10 USD", "fee <= 100 USD"
+    ));
+    for row in &analysis.table3.rows {
+        out.push_str(&format!(
+            "{:<12} {:>6} ({:>5.1}%) {:>11} {:>6} ({:>5.1}%) {:>11}\n",
+            row.platform.name(),
+            row.fee_10.count,
+            row.fee_10.share_percent(),
+            usd(row.fee_10.collateral_at_stake),
+            row.fee_100.count,
+            row.fee_100.share_percent(),
+            usd(row.fee_100.collateral_at_stake),
+        ));
+    }
+    out
+}
+
+/// Table 4.
+pub fn render_table4(analysis: &StudyAnalysis) -> String {
+    let mut out = String::from("== Table 4: flash-loan usage for liquidations ==\n");
+    out.push_str(&format!(
+        "{:<14} {:<14} {:>12} {:>20}\n",
+        "Liquidation", "Flash pool", "Flash loans", "Cumulative amount"
+    ));
+    for row in &analysis.table4.rows {
+        out.push_str(&format!(
+            "{:<14} {:<14} {:>12} {:>20}\n",
+            row.liquidation_platform.name(),
+            row.flash_pool.name(),
+            row.count,
+            usd(row.cumulative_amount_usd)
+        ));
+    }
+    out.push_str(&format!(
+        "{:<14} {:<14} {:>12} {:>20}\n",
+        "Total",
+        "",
+        analysis.table4.total_flash_loans,
+        usd(analysis.table4.total_amount_usd)
+    ));
+    out
+}
+
+/// Figure 8.
+pub fn render_figure8(analysis: &StudyAnalysis) -> String {
+    let mut out = String::from("== Figure 8: liquidation sensitivity to price declines ==\n");
+    for platform in &analysis.figure8 {
+        out.push_str(&format!("  {}\n", platform.platform.name()));
+        for curve in &platform.curves {
+            if curve.max().is_zero() {
+                continue;
+            }
+            out.push_str(&format!("    {:<12}", curve.token.symbol()));
+            for decline in [0.2, 0.4, 0.43, 0.6, 0.8, 1.0] {
+                out.push_str(&format!(
+                    " {:>4.0}%:{:>12}",
+                    decline * 100.0,
+                    usd(curve.at(decline))
+                ));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// §4.5.2 stablecoin stability.
+pub fn render_stablecoins(analysis: &StudyAnalysis) -> String {
+    let s = &analysis.stablecoins;
+    format!(
+        "== §4.5.2: stablecoin price stability ==\n  sampled blocks: {}\n  within {:.0}% of each other: {:.2}% of blocks\n  maximum pairwise difference: {:.1}% (block {})\n",
+        s.sampled_blocks,
+        s.threshold * 100.0,
+        s.share_within_threshold * 100.0,
+        s.max_difference * 100.0,
+        s.max_difference_block
+    )
+}
+
+/// Figure 9 + ranking.
+pub fn render_figure9(analysis: &StudyAnalysis) -> String {
+    let mut out = String::from("== Figure 9: monthly profit-volume ratio (DAI/ETH markets) ==\n");
+    for platform in Platform::ALL {
+        let series = analysis.figure9.series(platform);
+        if series.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("  {:<10}", platform.name()));
+        for (month, ratio) in series.iter().rev().take(6).rev() {
+            out.push_str(&format!(" {}:{:.2e}", month, ratio));
+        }
+        out.push('\n');
+    }
+    out.push_str("  mean ratio ranking (lower = better for borrowers):\n");
+    for (platform, ratio) in analysis.figure9.ranking(3) {
+        out.push_str(&format!("    {:<10} {:.3e}\n", platform.name(), ratio));
+    }
+    if let Some(answer) = analysis.figure9.auction_favours_borrowers_vs(Platform::DyDx, 3) {
+        out.push_str(&format!(
+            "  auction (MakerDAO) more borrower-friendly than dYdX: {answer}\n"
+        ));
+    }
+    out
+}
+
+/// Table 8.
+pub fn render_table8(analysis: &StudyAnalysis) -> String {
+    let mut out = String::from("== Table 8: monthly DAI/ETH liquidations per platform ==\n");
+    out.push_str(&format!("{:<9}", "Month"));
+    for platform in Platform::ALL {
+        out.push_str(&format!(" {:>10}", platform.name()));
+    }
+    out.push('\n');
+    for (month, by_platform) in &analysis.table8.counts {
+        out.push_str(&format!("{:<9}", month.to_string()));
+        for platform in Platform::ALL {
+            out.push_str(&format!(" {:>10}", by_platform.get(&platform).copied().unwrap_or(0)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 7.
+pub fn render_table7(analysis: &StudyAnalysis) -> String {
+    let mut out = String::from("== Table 7 (Appendix A): post-liquidation price movements ==\n");
+    out.push_str(&format!(
+        "{:<18} {:>14} {:>14} {:>14}\n",
+        "Movement", "Liquidations", "Max price", "Min price"
+    ));
+    for (pattern, row) in &analysis.table7.rows {
+        out.push_str(&format!(
+            "{:<18} {:>14} {:>13.2}% {:>13.2}%\n",
+            format!("{pattern:?}"),
+            row.liquidations,
+            row.mean_max_excursion * 100.0,
+            row.mean_min_excursion * 100.0
+        ));
+    }
+    out.push_str(&format!(
+        "  share ending below the liquidation price: {:.2}%\n",
+        analysis.table7.share_ending_below * 100.0
+    ));
+    out
+}
+
+/// Tables 5 and 6 plus the mitigation threshold.
+pub fn render_case_study(study: &CaseStudy) -> String {
+    let t5 = &study.table5;
+    let t6 = &study.table6;
+    let mut out = String::from("== Table 5: case-study position (block 11,333,036 → 11,333,037) ==\n");
+    out.push_str(&format!(
+        "  collateral: {} DAI + {} USDC\n  debt:       {} DAI + {} USDC\n",
+        t5.dai_collateral, t5.usdc_collateral, t5.dai_debt, t5.usdc_debt
+    ));
+    out.push_str(&format!(
+        "  DAI price {} -> {}\n", t5.dai_price_before, t5.dai_price_after
+    ));
+    out.push_str(&format!(
+        "  total collateral {} -> {}\n  borrowing capacity (after) {}\n  total debt {} -> {}\n  health factor after update: {}\n",
+        usd(t5.collateral_before),
+        usd(t5.collateral_after),
+        usd(t5.borrowing_capacity_after),
+        usd(t5.debt_before),
+        usd(t5.debt_after),
+        t5.health_factor_after
+    ));
+    out.push_str("== Table 6: liquidation strategies ==\n");
+    for row in [t6.original, t6.up_to_close_factor, t6.optimal_step_1, t6.optimal_step_2, t6.optimal] {
+        out.push_str(&format!(
+            "  {:<24} repay {:>14}  receive {:>14}  profit {:>12}\n",
+            row.label,
+            usd(row.repay_usd),
+            usd(row.receive_usd),
+            usd(row.profit_usd)
+        ));
+    }
+    out.push_str(&format!(
+        "  optimal strategy advantage over the original: {}\n  predicted increase rate over up-to-close-factor (Eq. 9): {:.4}%\n",
+        usd(t6.optimal_advantage_over_original),
+        t6.predicted_increase_rate * 100.0
+    ));
+    if let Some(alpha) = study.mitigation_mining_power_threshold {
+        out.push_str(&format!(
+            "== §5.2.3 mitigation ==\n  one-liquidation-per-block: optimal strategy rational only for mining power > {:.2}%\n",
+            alpha * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study::{run_case_study, CaseStudyInput};
+
+    #[test]
+    fn case_study_renders_all_rows() {
+        let study = run_case_study(&CaseStudyInput::default());
+        let text = render_case_study(&study);
+        assert!(text.contains("Table 5"));
+        assert!(text.contains("Table 6"));
+        assert!(text.contains("optimal (total)"));
+        assert!(text.contains("mining power"));
+    }
+
+    #[test]
+    fn usd_formatting() {
+        assert_eq!(usd(Wad::from_int(1_500)), "1.50K USD");
+        assert_eq!(usd(Wad::from_int(2_500_000)), "2.50M USD");
+        assert_eq!(usd(Wad::from_f64(3.25)), "3.25 USD");
+        assert_eq!(usd(Wad::from_int(7_000_000_000)), "7.00B USD");
+        assert_eq!(signed_usd(SignedWad::negative(Wad::from_int(5_000))), "-5.00K USD");
+    }
+}

@@ -1,0 +1,282 @@
+//! Pending-transaction pool with gas-price priority inclusion.
+//!
+//! "Due to the limited space of an Ethereum block …, a financially rational
+//! miner may include the transactions with the highest gas prices from the
+//! mempool into the next block. The blockchain network congests when the
+//! mempool grows faster than the transaction inclusion speed" (§2.1). This is
+//! the mechanism that caused the March 2020 MakerDAO incident: keeper bots
+//! bidding stale gas prices were simply not included.
+//!
+//! The model: each block has `block_gas_limit` gas of capacity. Background
+//! demand (ordinary transfers, trades, etc.) consumes a block-dependent share
+//! of that capacity, with gas prices log-normally distributed around the
+//! block median. A pending transaction is included once the background gas
+//! bidding *more* than it — plus any higher-bidding pending transactions —
+//! fits within the limit.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+use defi_types::{Address, BlockNumber};
+
+use crate::gas::GweiPrice;
+
+/// A transaction waiting in the mempool.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PendingTx {
+    /// Caller-assigned identifier, echoed back on inclusion.
+    pub id: u64,
+    /// Sender address.
+    pub sender: Address,
+    /// Gas price bid (gwei).
+    pub gas_price: GweiPrice,
+    /// Gas the transaction will consume.
+    pub gas_limit: u64,
+    /// Block at which the transaction was submitted.
+    pub submitted_at: BlockNumber,
+    /// Human-readable label (diagnostics).
+    pub label: String,
+}
+
+/// Background (non-protocol) demand model for one block.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BackgroundDemand {
+    /// Total gas demanded by background transactions, as a multiple of the
+    /// block gas limit. Values above 1.0 mean the block is oversubscribed.
+    pub utilization: f64,
+    /// Median gas price of the background demand (gwei).
+    pub median_gas_price: f64,
+    /// Log-space standard deviation of background gas prices.
+    pub sigma: f64,
+}
+
+impl BackgroundDemand {
+    /// Calm network conditions.
+    pub fn calm(median_gas_price: f64) -> Self {
+        BackgroundDemand {
+            utilization: 0.75,
+            median_gas_price,
+            sigma: 0.5,
+        }
+    }
+
+    /// Congested conditions (demand exceeds capacity).
+    pub fn congested(median_gas_price: f64) -> Self {
+        BackgroundDemand {
+            utilization: 2.5,
+            median_gas_price,
+            sigma: 0.7,
+        }
+    }
+
+    /// Fraction of the background demand bidding at or above `price`,
+    /// under the log-normal price model.
+    fn share_above(&self, price: GweiPrice) -> f64 {
+        if price == 0 {
+            return 1.0;
+        }
+        let z = ((price as f64).ln() - self.median_gas_price.max(1e-9).ln()) / self.sigma;
+        1.0 - normal_cdf(z)
+    }
+
+    /// Gas demanded by background transactions bidding at or above `price`,
+    /// given the block gas limit.
+    pub fn gas_above(&self, price: GweiPrice, block_gas_limit: u64) -> f64 {
+        self.utilization * block_gas_limit as f64 * self.share_above(price)
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (max error ≈ 1.5e-7, far below what the congestion model needs).
+fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// The pending-transaction pool.
+#[derive(Debug, Default, Clone)]
+pub struct Mempool {
+    pending: VecDeque<PendingTx>,
+    next_id: u64,
+}
+
+impl Mempool {
+    /// An empty mempool.
+    pub fn new() -> Self {
+        Mempool::default()
+    }
+
+    /// Submit a transaction; returns the id assigned to it.
+    pub fn submit(
+        &mut self,
+        sender: Address,
+        gas_price: GweiPrice,
+        gas_limit: u64,
+        submitted_at: BlockNumber,
+        label: impl Into<String>,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push_back(PendingTx {
+            id,
+            sender,
+            gas_price,
+            gas_limit,
+            submitted_at,
+            label: label.into(),
+        });
+        id
+    }
+
+    /// Number of transactions waiting.
+    pub fn backlog(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether a transaction is still pending.
+    pub fn is_pending(&self, id: u64) -> bool {
+        self.pending.iter().any(|tx| tx.id == id)
+    }
+
+    /// Drop a pending transaction (e.g. the sender replaces or abandons it).
+    pub fn cancel(&mut self, id: u64) -> Option<PendingTx> {
+        let pos = self.pending.iter().position(|tx| tx.id == id)?;
+        self.pending.remove(pos)
+    }
+
+    /// Allow a sender to re-bid a pending transaction at a higher gas price
+    /// (what a well-run liquidation bot does under congestion).
+    pub fn bump_gas_price(&mut self, id: u64, new_price: GweiPrice) -> bool {
+        if let Some(tx) = self.pending.iter_mut().find(|tx| tx.id == id) {
+            if new_price > tx.gas_price {
+                tx.gas_price = new_price;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Select the transactions included in the next block and remove them
+    /// from the pool. Pending transactions are considered in descending gas
+    /// price order; each must fit in the capacity left after the background
+    /// demand bidding above it.
+    pub fn select_included(
+        &mut self,
+        demand: BackgroundDemand,
+        block_gas_limit: u64,
+    ) -> Vec<PendingTx> {
+        let mut candidates: Vec<PendingTx> = self.pending.iter().cloned().collect();
+        // Highest gas price first; ties broken by submission order (FIFO).
+        candidates.sort_by(|a, b| b.gas_price.cmp(&a.gas_price).then(a.id.cmp(&b.id)));
+
+        let mut included = Vec::new();
+        let mut protocol_gas_used = 0f64;
+        for tx in candidates {
+            let background = demand.gas_above(tx.gas_price, block_gas_limit);
+            if background + protocol_gas_used + tx.gas_limit as f64 <= block_gas_limit as f64 {
+                protocol_gas_used += tx.gas_limit as f64;
+                included.push(tx);
+            }
+        }
+
+        let included_ids: Vec<u64> = included.iter().map(|tx| tx.id).collect();
+        self.pending.retain(|tx| !included_ids.contains(&tx.id));
+        included
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIMIT: u64 = 12_500_000;
+
+    fn addr(n: u64) -> Address {
+        Address::from_seed(n)
+    }
+
+    #[test]
+    fn calm_network_includes_median_bidders() {
+        let mut pool = Mempool::new();
+        pool.submit(addr(1), 20, 500_000, 1, "liq");
+        let included = pool.select_included(BackgroundDemand::calm(20.0), LIMIT);
+        assert_eq!(included.len(), 1);
+        assert_eq!(pool.backlog(), 0);
+    }
+
+    #[test]
+    fn congested_network_excludes_low_bidders() {
+        let mut pool = Mempool::new();
+        pool.submit(addr(1), 20, 500_000, 1, "stale bot");
+        pool.submit(addr(2), 2_000, 500_000, 1, "aggressive bot");
+        let included = pool.select_included(BackgroundDemand::congested(200.0), LIMIT);
+        let ids: Vec<u64> = included.iter().map(|t| t.id).collect();
+        assert!(ids.contains(&1), "high bidder must be included");
+        assert!(!ids.contains(&0), "stale low bidder must wait");
+        assert_eq!(pool.backlog(), 1);
+    }
+
+    #[test]
+    fn bump_gas_price_gets_transaction_included() {
+        let mut pool = Mempool::new();
+        let id = pool.submit(addr(1), 20, 500_000, 1, "bot");
+        let included = pool.select_included(BackgroundDemand::congested(200.0), LIMIT);
+        assert!(included.is_empty());
+        assert!(pool.bump_gas_price(id, 5_000));
+        let included = pool.select_included(BackgroundDemand::congested(200.0), LIMIT);
+        assert_eq!(included.len(), 1);
+    }
+
+    #[test]
+    fn bump_to_lower_price_is_rejected() {
+        let mut pool = Mempool::new();
+        let id = pool.submit(addr(1), 100, 500_000, 1, "bot");
+        assert!(!pool.bump_gas_price(id, 50));
+    }
+
+    #[test]
+    fn priority_is_by_gas_price() {
+        let mut pool = Mempool::new();
+        // Block fits only ~3.1M protocol gas above 75th percentile of calm demand.
+        for i in 0..10 {
+            pool.submit(addr(i), 10 + i * 10, 2_000_000, 1, "tx");
+        }
+        let included = pool.select_included(BackgroundDemand::calm(50.0), LIMIT);
+        assert!(!included.is_empty());
+        // Included prices should all be >= the max excluded price.
+        let min_included = included.iter().map(|t| t.gas_price).min().unwrap();
+        let max_pending = pool
+            .pending
+            .iter()
+            .map(|t| t.gas_price)
+            .max()
+            .unwrap_or(0);
+        assert!(min_included >= max_pending);
+    }
+
+    #[test]
+    fn cancel_removes_pending() {
+        let mut pool = Mempool::new();
+        let id = pool.submit(addr(1), 10, 100, 1, "tx");
+        assert!(pool.is_pending(id));
+        assert!(pool.cancel(id).is_some());
+        assert!(!pool.is_pending(id));
+        assert!(pool.cancel(id).is_none());
+    }
+
+    #[test]
+    fn erf_sane() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!(normal_cdf(3.0) > 0.998);
+        assert!(normal_cdf(-3.0) < 0.002);
+    }
+}

@@ -1,0 +1,136 @@
+//! Reasonable fixed-spread configurations (Appendix C).
+//!
+//! A fixed-spread liquidation should *increase* the health factor of the
+//! position it touches — otherwise liquidations spiral. Appendix C derives
+//! two facts:
+//!
+//! 1. a liquidation improves the health factor of a position only if
+//!    `1 + LS < C/D` (it can therefore never help an under-collateralized
+//!    position), and
+//! 2. for over-collateralized liquidatable positions, the prerequisite on
+//!    the market parameters is `1 − LT·(1 + LS) > 0`.
+
+use defi_types::Wad;
+
+use crate::params::RiskParams;
+
+/// Appendix C prerequisite: `1 − LT·(1 + LS) > 0`.
+///
+/// Only configurations satisfying this can guarantee that a fixed-spread
+/// liquidation increases the health factor of an over-collateralized
+/// liquidatable position.
+pub fn is_sound_fixed_spread_config(params: RiskParams) -> bool {
+    let lt = params.liquidation_threshold;
+    let ls = params.liquidation_spread;
+    match lt.checked_mul(Wad::ONE.saturating_add(ls)) {
+        Ok(product) => product < Wad::ONE,
+        Err(_) => false,
+    }
+}
+
+/// Appendix C, Eq. 16: a liquidation (of any size) increases the health
+/// factor of ⟨C, D⟩ only when `1 + LS < C/D`.
+pub fn liquidation_improves_health(collateral: Wad, debt: Wad, liquidation_spread: Wad) -> bool {
+    if debt.is_zero() {
+        return false;
+    }
+    let cr = match collateral.checked_div(debt) {
+        Ok(cr) => cr,
+        Err(_) => return false,
+    };
+    Wad::ONE.saturating_add(liquidation_spread) < cr
+}
+
+/// Health factor after repaying `repay` of debt value (Eq. 14):
+/// `HF′ = (C − repay·(1+LS))·LT / (D − repay)`. Returns `None` when the debt
+/// is fully repaid.
+pub fn health_factor_after_liquidation(
+    collateral: Wad,
+    debt: Wad,
+    repay: Wad,
+    params: RiskParams,
+) -> Option<Wad> {
+    if repay >= debt {
+        return None;
+    }
+    let claimed = repay
+        .checked_mul(Wad::ONE.saturating_add(params.liquidation_spread))
+        .ok()?;
+    let c_after = collateral.saturating_sub(claimed);
+    let d_after = debt - repay;
+    c_after
+        .checked_mul(params.liquidation_threshold)
+        .ok()?
+        .checked_div(d_after)
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_defaults_are_sound() {
+        use defi_types::Platform;
+        for platform in Platform::ALL {
+            assert!(
+                is_sound_fixed_spread_config(RiskParams::platform_default(platform)),
+                "{platform}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsound_config_detected() {
+        // LT 0.95 with LS 10%: 0.95 * 1.10 = 1.045 ≥ 1.
+        assert!(!is_sound_fixed_spread_config(RiskParams::new(0.95, 0.10, 0.5)));
+        // Boundary: LT(1+LS) exactly 1 is not sound (strict inequality).
+        assert!(!is_sound_fixed_spread_config(RiskParams::new(0.8, 0.25, 0.5)));
+    }
+
+    #[test]
+    fn under_collateralized_never_improves() {
+        // C/D < 1 ⇒ 1 + LS < C/D impossible for LS ≥ 0.
+        assert!(!liquidation_improves_health(
+            Wad::from_int(900),
+            Wad::from_int(1_000),
+            Wad::from_f64(0.05)
+        ));
+    }
+
+    #[test]
+    fn liquidation_improves_health_iff_eq16() {
+        // C/D = 1.18, LS = 10% → improves; LS = 20% → does not.
+        let c = Wad::from_int(11_800);
+        let d = Wad::from_int(10_000);
+        assert!(liquidation_improves_health(c, d, Wad::from_f64(0.10)));
+        assert!(!liquidation_improves_health(c, d, Wad::from_f64(0.20)));
+    }
+
+    #[test]
+    fn hf_after_liquidation_rises_for_sound_config() {
+        let params = RiskParams::paper_example();
+        let c = Wad::from_int(9_900);
+        let d = Wad::from_int(8_400);
+        let hf_before = c
+            .checked_mul(params.liquidation_threshold)
+            .unwrap()
+            .checked_div(d)
+            .unwrap();
+        let hf_after =
+            health_factor_after_liquidation(c, d, Wad::from_int(4_200), params).unwrap();
+        assert!(hf_after > hf_before);
+    }
+
+    #[test]
+    fn full_repayment_has_no_health_factor() {
+        let params = RiskParams::paper_example();
+        assert!(health_factor_after_liquidation(
+            Wad::from_int(9_900),
+            Wad::from_int(8_400),
+            Wad::from_int(8_400),
+            params
+        )
+        .is_none());
+    }
+}

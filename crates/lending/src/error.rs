@@ -1,0 +1,119 @@
+//! Protocol error type shared by all lending implementations.
+
+use core::fmt;
+
+use defi_types::{Address, Token, Wad};
+
+/// Errors returned by protocol operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// The market for this token is not listed on the platform.
+    MarketNotListed(Token),
+    /// The pool does not hold enough liquidity to serve the borrow/withdraw.
+    InsufficientLiquidity {
+        /// Token requested.
+        token: Token,
+        /// Amount requested.
+        requested: Wad,
+        /// Amount available in the pool.
+        available: Wad,
+    },
+    /// The operation would push the account's health factor below 1.
+    WouldBecomeUnhealthy,
+    /// The account's borrowing capacity does not cover the requested borrow.
+    ExceedsBorrowingCapacity {
+        /// Capacity in USD.
+        capacity: Wad,
+        /// Debt (including the new borrow) in USD.
+        required: Wad,
+    },
+    /// The position is not liquidatable (health factor ≥ 1).
+    NotLiquidatable(Address),
+    /// The liquidation repay amount exceeds the close factor limit.
+    ExceedsCloseFactor {
+        /// Maximum repayable under the close factor.
+        max_repay: Wad,
+        /// Requested repayment.
+        requested: Wad,
+    },
+    /// A position may only be liquidated once per block (the §5.2.3
+    /// mitigation) and it has already been liquidated in this block.
+    AlreadyLiquidatedThisBlock,
+    /// The borrower has no debt in the requested token.
+    NoDebtInToken(Token),
+    /// The borrower has no collateral in the requested token.
+    NoCollateralInToken(Token),
+    /// A ledger transfer failed (typically the caller lacks balance).
+    Ledger(String),
+    /// The referenced auction does not exist.
+    UnknownAuction(u64),
+    /// The bid does not beat the current best bid by the minimum increment.
+    BidTooLow,
+    /// The auction has already terminated (length or bid-duration condition).
+    AuctionTerminated,
+    /// The auction cannot be finalised yet.
+    AuctionStillRunning,
+    /// The auction was already finalised.
+    AuctionAlreadyFinalized,
+    /// The oracle has no price for a token the operation needs to value.
+    MissingPrice(Token),
+    /// A CDP for this account does not exist.
+    UnknownCdp(Address),
+    /// The flash loan was not repaid with its fee by the end of the closure.
+    FlashLoanNotRepaid,
+    /// Arithmetic failure (overflow/underflow) inside protocol accounting.
+    Arithmetic,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::MarketNotListed(t) => write!(f, "market not listed: {t}"),
+            ProtocolError::InsufficientLiquidity {
+                token,
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient {token} liquidity: requested {requested}, available {available}"
+            ),
+            ProtocolError::WouldBecomeUnhealthy => {
+                write!(f, "operation would make the position unhealthy")
+            }
+            ProtocolError::ExceedsBorrowingCapacity { capacity, required } => write!(
+                f,
+                "borrow exceeds capacity: capacity {capacity}, required {required}"
+            ),
+            ProtocolError::NotLiquidatable(a) => {
+                write!(f, "position {} is not liquidatable", a.short())
+            }
+            ProtocolError::ExceedsCloseFactor { max_repay, requested } => write!(
+                f,
+                "repay {requested} exceeds close-factor limit {max_repay}"
+            ),
+            ProtocolError::AlreadyLiquidatedThisBlock => {
+                write!(f, "position already liquidated in this block")
+            }
+            ProtocolError::NoDebtInToken(t) => write!(f, "borrower owes no {t}"),
+            ProtocolError::NoCollateralInToken(t) => write!(f, "borrower holds no {t} collateral"),
+            ProtocolError::Ledger(msg) => write!(f, "ledger error: {msg}"),
+            ProtocolError::UnknownAuction(id) => write!(f, "unknown auction {id}"),
+            ProtocolError::BidTooLow => write!(f, "bid does not beat the current best bid"),
+            ProtocolError::AuctionTerminated => write!(f, "auction has terminated"),
+            ProtocolError::AuctionStillRunning => write!(f, "auction cannot be finalised yet"),
+            ProtocolError::AuctionAlreadyFinalized => write!(f, "auction already finalised"),
+            ProtocolError::MissingPrice(t) => write!(f, "no oracle price for {t}"),
+            ProtocolError::UnknownCdp(a) => write!(f, "no CDP for {}", a.short()),
+            ProtocolError::FlashLoanNotRepaid => write!(f, "flash loan not repaid with fee"),
+            ProtocolError::Arithmetic => write!(f, "arithmetic error in protocol accounting"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<defi_chain::LedgerError> for ProtocolError {
+    fn from(err: defi_chain::LedgerError) -> Self {
+        ProtocolError::Ledger(err.to_string())
+    }
+}

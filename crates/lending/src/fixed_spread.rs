@@ -1,0 +1,950 @@
+//! The generic atomic fixed-spread lending pool (§3.2.2).
+//!
+//! Aave V1, Aave V2, Compound and dYdX all follow the same shape: a pool of
+//! markets, over-collateralized borrowing limited by per-market liquidation
+//! thresholds, and a public `liquidationCall` that lets anyone repay part of
+//! an unhealthy position's debt in exchange for collateral at a discount (the
+//! liquidation spread), up to the close factor. [`FixedSpreadProtocol`] is
+//! that engine; the per-platform differences (markets listed, spreads, close
+//! factor, insurance fund) are configuration — see [`crate::platforms`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+use defi_chain::{ChainEvent, Ledger, LiquidationEvent};
+use defi_core::position::{CollateralHolding, DebtHolding, Position};
+use defi_core::params::RiskParams;
+use defi_oracle::PriceOracle;
+use defi_types::{Address, BlockNumber, Platform, Token, Wad};
+
+use crate::error::ProtocolError;
+use crate::interest::{utilization, BorrowIndex, InterestRateModel};
+
+/// Protocol-wide configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FixedSpreadConfig {
+    /// The platform identity used for events and reports.
+    pub platform: Platform,
+    /// Close factor CF: the maximum proportion of a debt repayable in one
+    /// liquidation (0.5 on Aave/Compound, 1.0 on dYdX).
+    pub close_factor: Wad,
+    /// Enable the §5.2.3 mitigation: a position may only be liquidated once
+    /// per block.
+    pub one_liquidation_per_block: bool,
+    /// Whether an insurance fund absorbs under-collateralized (Type I)
+    /// positions, as dYdX does (§4.4.2).
+    pub insurance_fund: bool,
+}
+
+/// One listed market.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Market {
+    /// The market's underlying token.
+    pub token: Token,
+    /// Liquidation threshold LT of collateral in this token.
+    pub liquidation_threshold: Wad,
+    /// Liquidation spread LS when seizing collateral in this token.
+    pub liquidation_spread: Wad,
+    /// Interest-rate model of the borrow side.
+    pub rate_model: InterestRateModel,
+    /// Cash available in the pool (deposits + repayments − borrows − seized collateral).
+    pub available_liquidity: Wad,
+    /// Total scaled (index-adjusted) debt across borrowers.
+    pub total_scaled_debt: Wad,
+    /// Borrow-index accrual state.
+    pub index: BorrowIndex,
+}
+
+impl Market {
+    fn new(token: Token, params: RiskParams, rate_model: InterestRateModel, block: BlockNumber) -> Self {
+        Market {
+            token,
+            liquidation_threshold: params.liquidation_threshold,
+            liquidation_spread: params.liquidation_spread,
+            rate_model,
+            available_liquidity: Wad::ZERO,
+            total_scaled_debt: Wad::ZERO,
+            index: BorrowIndex::new(block),
+        }
+    }
+
+    /// Total outstanding debt (scaled debt × index).
+    pub fn total_debt(&self) -> Wad {
+        self.index.scale_up(self.total_scaled_debt)
+    }
+
+    /// Current utilization of the market.
+    pub fn utilization(&self) -> f64 {
+        utilization(self.available_liquidity, self.total_debt())
+    }
+
+    fn accrue(&mut self, block: BlockNumber) {
+        let u = self.utilization();
+        self.index.accrue(&self.rate_model, u, block);
+    }
+}
+
+/// Per-account state: raw collateral amounts and scaled debt amounts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Account {
+    collateral: BTreeMap<Token, Wad>,
+    scaled_debt: BTreeMap<Token, Wad>,
+}
+
+impl Account {
+    fn is_empty(&self) -> bool {
+        self.collateral.values().all(|v| v.is_zero())
+            && self.scaled_debt.values().all(|v| v.is_zero())
+    }
+}
+
+/// Result of a successful `liquidation_call`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LiquidationReceipt {
+    /// Debt actually repaid (token units; may be lower than requested when
+    /// capped by the close factor or the available collateral).
+    pub debt_repaid: Wad,
+    /// USD value of the repaid debt at the settlement prices.
+    pub debt_repaid_usd: Wad,
+    /// Collateral seized (token units).
+    pub collateral_seized: Wad,
+    /// USD value of the seized collateral.
+    pub collateral_seized_usd: Wad,
+    /// Health factor of the position after the liquidation, if debt remains.
+    pub health_factor_after: Option<Wad>,
+}
+
+impl LiquidationReceipt {
+    /// Liquidator profit before transaction fees (USD).
+    pub fn gross_profit_usd(&self) -> Wad {
+        self.collateral_seized_usd.saturating_sub(self.debt_repaid_usd)
+    }
+}
+
+/// The fixed-spread lending pool.
+#[derive(Debug, Clone)]
+pub struct FixedSpreadProtocol {
+    config: FixedSpreadConfig,
+    /// Ledger account holding the pool's funds.
+    pub pool_address: Address,
+    markets: BTreeMap<Token, Market>,
+    accounts: HashMap<Address, Account>,
+    last_liquidation_block: HashMap<Address, BlockNumber>,
+    /// Cumulative debt written off by the insurance fund (USD, diagnostics).
+    pub insurance_written_off: Wad,
+}
+
+impl FixedSpreadProtocol {
+    /// Create an empty pool for a platform.
+    pub fn new(config: FixedSpreadConfig) -> Self {
+        let pool_address = Address::from_label(&format!("{}-pool", config.platform.name()));
+        FixedSpreadProtocol {
+            config,
+            pool_address,
+            markets: BTreeMap::new(),
+            accounts: HashMap::new(),
+            last_liquidation_block: HashMap::new(),
+            insurance_written_off: Wad::ZERO,
+        }
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> FixedSpreadConfig {
+        self.config
+    }
+
+    /// The platform identity.
+    pub fn platform(&self) -> Platform {
+        self.config.platform
+    }
+
+    /// Enable or disable the one-liquidation-per-block mitigation (used by
+    /// the mitigation ablation bench).
+    pub fn set_one_liquidation_per_block(&mut self, enabled: bool) {
+        self.config.one_liquidation_per_block = enabled;
+    }
+
+    /// List a market.
+    pub fn list_market(
+        &mut self,
+        token: Token,
+        params: RiskParams,
+        rate_model: InterestRateModel,
+        block: BlockNumber,
+    ) {
+        self.markets
+            .insert(token, Market::new(token, params, rate_model, block));
+    }
+
+    /// Listed markets.
+    pub fn markets(&self) -> impl Iterator<Item = &Market> {
+        self.markets.values()
+    }
+
+    /// Look up a market.
+    pub fn market(&self, token: Token) -> Option<&Market> {
+        self.markets.get(&token)
+    }
+
+    /// Risk parameters of a market (protocol close factor + market LT/LS).
+    pub fn market_params(&self, token: Token) -> Option<RiskParams> {
+        self.markets.get(&token).map(|m| RiskParams {
+            liquidation_threshold: m.liquidation_threshold,
+            liquidation_spread: m.liquidation_spread,
+            close_factor: self.config.close_factor,
+        })
+    }
+
+    /// Accrue interest in every market up to `block`.
+    pub fn accrue_all(&mut self, block: BlockNumber) {
+        for market in self.markets.values_mut() {
+            market.accrue(block);
+        }
+    }
+
+    fn market_mut(&mut self, token: Token) -> Result<&mut Market, ProtocolError> {
+        self.markets
+            .get_mut(&token)
+            .ok_or(ProtocolError::MarketNotListed(token))
+    }
+
+    fn price(oracle: &PriceOracle, token: Token) -> Result<Wad, ProtocolError> {
+        oracle.price(token).ok_or(ProtocolError::MissingPrice(token))
+    }
+
+    // ----------------------------------------------------------------- user ops
+
+    /// Deposit collateral: transfers `amount` of `token` from `account` into
+    /// the pool and credits it as collateral (which also becomes lendable
+    /// liquidity, as on Aave/Compound).
+    pub fn deposit(
+        &mut self,
+        ledger: &mut Ledger,
+        events: &mut Vec<ChainEvent>,
+        account: Address,
+        token: Token,
+        amount: Wad,
+    ) -> Result<(), ProtocolError> {
+        if !self.markets.contains_key(&token) {
+            return Err(ProtocolError::MarketNotListed(token));
+        }
+        ledger.transfer(account, self.pool_address, token, amount)?;
+        let market = self.market_mut(token)?;
+        market.available_liquidity = market.available_liquidity.saturating_add(amount);
+        let entry = self
+            .accounts
+            .entry(account)
+            .or_default()
+            .collateral
+            .entry(token)
+            .or_insert(Wad::ZERO);
+        *entry = entry.saturating_add(amount);
+        events.push(ChainEvent::Deposit {
+            platform: self.config.platform,
+            account,
+            token,
+            amount,
+        });
+        Ok(())
+    }
+
+    /// Withdraw collateral, as long as the position stays healthy.
+    pub fn withdraw(
+        &mut self,
+        ledger: &mut Ledger,
+        oracle: &PriceOracle,
+        account: Address,
+        token: Token,
+        amount: Wad,
+    ) -> Result<(), ProtocolError> {
+        let held = self.collateral_of(account, token);
+        if held < amount {
+            return Err(ProtocolError::NoCollateralInToken(token));
+        }
+        {
+            let market = self.market_mut(token)?;
+            if market.available_liquidity < amount {
+                return Err(ProtocolError::InsufficientLiquidity {
+                    token,
+                    requested: amount,
+                    available: market.available_liquidity,
+                });
+            }
+        }
+        // Tentatively remove and check health.
+        self.adjust_collateral(account, token, amount, false);
+        let still_healthy = self
+            .position(oracle, account)
+            .map(|p| !p.is_liquidatable())
+            .unwrap_or(true);
+        if !still_healthy {
+            // Roll back the tentative removal.
+            self.adjust_collateral(account, token, amount, true);
+            return Err(ProtocolError::WouldBecomeUnhealthy);
+        }
+        let market = self.market_mut(token)?;
+        market.available_liquidity = market.available_liquidity.saturating_sub(amount);
+        ledger.transfer(self.pool_address, account, token, amount)?;
+        Ok(())
+    }
+
+    /// Borrow `amount` of `token` against the account's collateral.
+    pub fn borrow(
+        &mut self,
+        ledger: &mut Ledger,
+        events: &mut Vec<ChainEvent>,
+        oracle: &PriceOracle,
+        block: BlockNumber,
+        account: Address,
+        token: Token,
+        amount: Wad,
+    ) -> Result<(), ProtocolError> {
+        {
+            let market = self.market_mut(token)?;
+            market.accrue(block);
+            if market.available_liquidity < amount {
+                return Err(ProtocolError::InsufficientLiquidity {
+                    token,
+                    requested: amount,
+                    available: market.available_liquidity,
+                });
+            }
+        }
+        // Capacity check: existing debt + new borrow must stay within BC.
+        let position = self
+            .position(oracle, account)
+            .unwrap_or_else(|| Position::new(account));
+        let capacity = position.borrowing_capacity();
+        let price = Self::price(oracle, token)?;
+        let new_debt_value = amount.checked_mul(price).map_err(|_| ProtocolError::Arithmetic)?;
+        let required = position.total_debt_value().saturating_add(new_debt_value);
+        if required > capacity {
+            return Err(ProtocolError::ExceedsBorrowingCapacity { capacity, required });
+        }
+
+        let market = self.market_mut(token)?;
+        let scaled = market.index.scale_down(amount);
+        market.total_scaled_debt = market.total_scaled_debt.saturating_add(scaled);
+        market.available_liquidity = market.available_liquidity.saturating_sub(amount);
+        let entry = self
+            .accounts
+            .entry(account)
+            .or_default()
+            .scaled_debt
+            .entry(token)
+            .or_insert(Wad::ZERO);
+        *entry = entry.saturating_add(scaled);
+
+        ledger.transfer(self.pool_address, account, token, amount)?;
+        events.push(ChainEvent::Borrow {
+            platform: self.config.platform,
+            borrower: account,
+            token,
+            amount,
+        });
+        Ok(())
+    }
+
+    /// Repay up to `amount` of the account's `token` debt; returns the amount
+    /// actually repaid.
+    pub fn repay(
+        &mut self,
+        ledger: &mut Ledger,
+        events: &mut Vec<ChainEvent>,
+        block: BlockNumber,
+        account: Address,
+        token: Token,
+        amount: Wad,
+    ) -> Result<Wad, ProtocolError> {
+        {
+            let market = self.market_mut(token)?;
+            market.accrue(block);
+        }
+        let outstanding = self.debt_of(account, token);
+        if outstanding.is_zero() {
+            return Err(ProtocolError::NoDebtInToken(token));
+        }
+        let repaid = amount.min(outstanding);
+        ledger.transfer(account, self.pool_address, token, repaid)?;
+        self.reduce_debt(account, token, repaid);
+        let market = self.market_mut(token)?;
+        market.available_liquidity = market.available_liquidity.saturating_add(repaid);
+        events.push(ChainEvent::Repay {
+            platform: self.config.platform,
+            borrower: account,
+            token,
+            amount: repaid,
+        });
+        Ok(repaid)
+    }
+
+    // -------------------------------------------------------------- accounting
+
+    fn adjust_collateral(&mut self, account: Address, token: Token, amount: Wad, add: bool) {
+        let entry = self
+            .accounts
+            .entry(account)
+            .or_default()
+            .collateral
+            .entry(token)
+            .or_insert(Wad::ZERO);
+        *entry = if add {
+            entry.saturating_add(amount)
+        } else {
+            entry.saturating_sub(amount)
+        };
+    }
+
+    fn reduce_debt(&mut self, account: Address, token: Token, amount: Wad) {
+        let index = match self.markets.get(&token) {
+            Some(m) => m.index,
+            None => return,
+        };
+        let scaled = index.scale_down(amount);
+        if let Some(acct) = self.accounts.get_mut(&account) {
+            if let Some(entry) = acct.scaled_debt.get_mut(&token) {
+                *entry = entry.saturating_sub(scaled);
+            }
+        }
+        if let Some(market) = self.markets.get_mut(&token) {
+            market.total_scaled_debt = market.total_scaled_debt.saturating_sub(scaled);
+        }
+    }
+
+    /// Collateral held by an account in a token (token units).
+    pub fn collateral_of(&self, account: Address, token: Token) -> Wad {
+        self.accounts
+            .get(&account)
+            .and_then(|a| a.collateral.get(&token))
+            .copied()
+            .unwrap_or(Wad::ZERO)
+    }
+
+    /// Outstanding debt (with accrued interest) of an account in a token.
+    pub fn debt_of(&self, account: Address, token: Token) -> Wad {
+        let scaled = self
+            .accounts
+            .get(&account)
+            .and_then(|a| a.scaled_debt.get(&token))
+            .copied()
+            .unwrap_or(Wad::ZERO);
+        match self.markets.get(&token) {
+            Some(market) => market.index.scale_up(scaled),
+            None => Wad::ZERO,
+        }
+    }
+
+    /// The valuation snapshot of one account, or `None` if the account has
+    /// never interacted with the pool.
+    pub fn position(&self, oracle: &PriceOracle, account: Address) -> Option<Position> {
+        let state = self.accounts.get(&account)?;
+        let mut position = Position::new(account).on_platform(self.config.platform);
+        for (&token, &amount) in &state.collateral {
+            if amount.is_zero() {
+                continue;
+            }
+            let market = self.markets.get(&token)?;
+            let price = oracle.price_or_zero(token);
+            position = position.with_collateral(CollateralHolding {
+                token,
+                amount,
+                value_usd: amount.checked_mul(price).unwrap_or(Wad::ZERO),
+                liquidation_threshold: market.liquidation_threshold,
+                liquidation_spread: market.liquidation_spread,
+            });
+        }
+        for (&token, &scaled) in &state.scaled_debt {
+            if scaled.is_zero() {
+                continue;
+            }
+            let market = self.markets.get(&token)?;
+            let amount = market.index.scale_up(scaled);
+            let price = oracle.price_or_zero(token);
+            position = position.with_debt(DebtHolding {
+                token,
+                amount,
+                value_usd: amount.checked_mul(price).unwrap_or(Wad::ZERO),
+            });
+        }
+        Some(position)
+    }
+
+    /// Valuation snapshots of every account with a non-empty position.
+    pub fn positions(&self, oracle: &PriceOracle) -> Vec<Position> {
+        let mut addresses: Vec<Address> = self
+            .accounts
+            .iter()
+            .filter(|(_, a)| !a.is_empty())
+            .map(|(addr, _)| *addr)
+            .collect();
+        addresses.sort();
+        addresses
+            .into_iter()
+            .filter_map(|addr| self.position(oracle, addr))
+            .collect()
+    }
+
+    /// Accounts whose health factor is below 1 at current oracle prices.
+    pub fn liquidatable_accounts(&self, oracle: &PriceOracle) -> Vec<Address> {
+        self.positions(oracle)
+            .into_iter()
+            .filter(|p| p.is_liquidatable())
+            .map(|p| p.owner)
+            .collect()
+    }
+
+    /// Whether an account is currently liquidatable.
+    pub fn is_liquidatable(&self, oracle: &PriceOracle, account: Address) -> bool {
+        self.position(oracle, account)
+            .map(|p| p.is_liquidatable())
+            .unwrap_or(false)
+    }
+
+    /// Total USD value of collateral deposited in the pool.
+    pub fn total_collateral_value(&self, oracle: &PriceOracle) -> Wad {
+        self.positions(oracle)
+            .iter()
+            .map(|p| p.total_collateral_value())
+            .fold(Wad::ZERO, |acc, v| acc.saturating_add(v))
+    }
+
+    /// Total USD value of outstanding debt.
+    pub fn total_debt_value(&self, oracle: &PriceOracle) -> Wad {
+        self.positions(oracle)
+            .iter()
+            .map(|p| p.total_debt_value())
+            .fold(Wad::ZERO, |acc, v| acc.saturating_add(v))
+    }
+
+    // ------------------------------------------------------------- liquidation
+
+    /// The public `liquidationCall`: repay part of `borrower`'s `debt_token`
+    /// debt and seize `collateral_token` collateral at the market's spread.
+    ///
+    /// The requested repayment is capped by the close factor and by the
+    /// available collateral; the capped amount actually repaid is returned in
+    /// the receipt. Emits a [`ChainEvent::Liquidation`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn liquidation_call(
+        &mut self,
+        ledger: &mut Ledger,
+        events: &mut Vec<ChainEvent>,
+        oracle: &PriceOracle,
+        block: BlockNumber,
+        liquidator: Address,
+        borrower: Address,
+        debt_token: Token,
+        collateral_token: Token,
+        repay_amount: Wad,
+        used_flash_loan: bool,
+    ) -> Result<LiquidationReceipt, ProtocolError> {
+        if self.config.one_liquidation_per_block
+            && self.last_liquidation_block.get(&borrower) == Some(&block)
+        {
+            return Err(ProtocolError::AlreadyLiquidatedThisBlock);
+        }
+        // Accrue interest on the debt market before measuring anything.
+        {
+            let market = self.market_mut(debt_token)?;
+            market.accrue(block);
+        }
+        if !self.markets.contains_key(&collateral_token) {
+            return Err(ProtocolError::MarketNotListed(collateral_token));
+        }
+        if !self.is_liquidatable(oracle, borrower) {
+            return Err(ProtocolError::NotLiquidatable(borrower));
+        }
+        let outstanding = self.debt_of(borrower, debt_token);
+        if outstanding.is_zero() {
+            return Err(ProtocolError::NoDebtInToken(debt_token));
+        }
+        let held_collateral = self.collateral_of(borrower, collateral_token);
+        if held_collateral.is_zero() {
+            return Err(ProtocolError::NoCollateralInToken(collateral_token));
+        }
+
+        let max_repay = outstanding
+            .checked_mul(self.config.close_factor)
+            .map_err(|_| ProtocolError::Arithmetic)?;
+        let mut repay = repay_amount.min(max_repay);
+        if repay.is_zero() {
+            return Err(ProtocolError::ExceedsCloseFactor {
+                max_repay,
+                requested: repay_amount,
+            });
+        }
+
+        let debt_price = Self::price(oracle, debt_token)?;
+        let collateral_price = Self::price(oracle, collateral_token)?;
+        let spread = self
+            .markets
+            .get(&collateral_token)
+            .map(|m| m.liquidation_spread)
+            .unwrap_or(Wad::ZERO);
+
+        // Collateral to claim (Eq. 1), in token units.
+        let claim_value = |repay: Wad| -> Result<Wad, ProtocolError> {
+            repay
+                .checked_mul(debt_price)
+                .and_then(|v| v.checked_mul(Wad::ONE.saturating_add(spread)))
+                .map_err(|_| ProtocolError::Arithmetic)
+        };
+        let mut claim_usd = claim_value(repay)?;
+        let mut collateral_tokens = claim_usd
+            .checked_div(collateral_price)
+            .map_err(|_| ProtocolError::Arithmetic)?;
+        if collateral_tokens > held_collateral {
+            // Not enough collateral in this market: shrink the repayment so
+            // the claim exactly exhausts the collateral.
+            collateral_tokens = held_collateral;
+            claim_usd = held_collateral
+                .checked_mul(collateral_price)
+                .map_err(|_| ProtocolError::Arithmetic)?;
+            let repay_usd = claim_usd
+                .checked_div(Wad::ONE.saturating_add(spread))
+                .map_err(|_| ProtocolError::Arithmetic)?;
+            repay = repay_usd
+                .checked_div(debt_price)
+                .map_err(|_| ProtocolError::Arithmetic)?;
+        }
+
+        // Settle: liquidator pays the debt into the pool…
+        ledger.transfer(liquidator, self.pool_address, debt_token, repay)?;
+        self.reduce_debt(borrower, debt_token, repay);
+        {
+            let market = self.market_mut(debt_token)?;
+            market.available_liquidity = market.available_liquidity.saturating_add(repay);
+        }
+        // …and receives the discounted collateral out of the pool.
+        ledger.transfer(self.pool_address, liquidator, collateral_token, collateral_tokens)?;
+        self.adjust_collateral(borrower, collateral_token, collateral_tokens, false);
+        {
+            let market = self.market_mut(collateral_token)?;
+            market.available_liquidity = market.available_liquidity.saturating_sub(collateral_tokens);
+        }
+        self.last_liquidation_block.insert(borrower, block);
+
+        let debt_repaid_usd = repay
+            .checked_mul(debt_price)
+            .map_err(|_| ProtocolError::Arithmetic)?;
+        let receipt = LiquidationReceipt {
+            debt_repaid: repay,
+            debt_repaid_usd,
+            collateral_seized: collateral_tokens,
+            collateral_seized_usd: claim_usd,
+            health_factor_after: self
+                .position(oracle, borrower)
+                .and_then(|p| p.health_factor()),
+        };
+        events.push(ChainEvent::Liquidation(LiquidationEvent {
+            platform: self.config.platform,
+            liquidator,
+            borrower,
+            debt_token,
+            debt_repaid: receipt.debt_repaid,
+            debt_repaid_usd: receipt.debt_repaid_usd,
+            collateral_token,
+            collateral_seized: receipt.collateral_seized,
+            collateral_seized_usd: receipt.collateral_seized_usd,
+            used_flash_loan,
+        }));
+        Ok(receipt)
+    }
+
+    /// dYdX-style insurance fund: write off the debt of under-collateralized
+    /// positions so that no Type I bad debt remains on the books (§4.4.2
+    /// observes dYdX has none). Returns the USD value written off.
+    pub fn write_off_insolvent_positions(&mut self, oracle: &PriceOracle) -> Wad {
+        if !self.config.insurance_fund {
+            return Wad::ZERO;
+        }
+        let insolvent: Vec<Address> = self
+            .positions(oracle)
+            .into_iter()
+            .filter(|p| p.is_under_collateralized())
+            .map(|p| p.owner)
+            .collect();
+        let mut written_off = Wad::ZERO;
+        for address in insolvent {
+            if let Some(position) = self.position(oracle, address) {
+                written_off = written_off.saturating_add(position.total_debt_value());
+            }
+            if let Some(account) = self.accounts.get_mut(&address) {
+                let debts: Vec<(Token, Wad)> =
+                    account.scaled_debt.iter().map(|(t, v)| (*t, *v)).collect();
+                for (token, scaled) in debts {
+                    account.scaled_debt.insert(token, Wad::ZERO);
+                    if let Some(market) = self.markets.get_mut(&token) {
+                        market.total_scaled_debt = market.total_scaled_debt.saturating_sub(scaled);
+                    }
+                }
+            }
+        }
+        self.insurance_written_off = self.insurance_written_off.saturating_add(written_off);
+        written_off
+    }
+
+    /// Number of accounts with a non-empty position (diagnostics).
+    pub fn account_count(&self) -> usize {
+        self.accounts.values().filter(|a| !a.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defi_oracle::OracleConfig;
+
+    fn setup() -> (FixedSpreadProtocol, Ledger, PriceOracle, Vec<ChainEvent>) {
+        let mut protocol = FixedSpreadProtocol::new(FixedSpreadConfig {
+            platform: Platform::Compound,
+            close_factor: Wad::from_f64(0.5),
+            one_liquidation_per_block: false,
+            insurance_fund: false,
+        });
+        protocol.list_market(
+            Token::ETH,
+            RiskParams::new(0.8, 0.10, 0.5),
+            InterestRateModel::default(),
+            0,
+        );
+        protocol.list_market(
+            Token::USDC,
+            RiskParams::new(0.85, 0.05, 0.5),
+            InterestRateModel::stablecoin(),
+            0,
+        );
+        let mut oracle = PriceOracle::new(OracleConfig::every_update());
+        oracle.set_price(0, Token::ETH, Wad::from_int(3_500));
+        oracle.set_price(0, Token::USDC, Wad::ONE);
+        let mut ledger = Ledger::new();
+        // Seed the pool with USDC lender liquidity.
+        let lender = Address::from_seed(1_000);
+        ledger.mint(lender, Token::USDC, Wad::from_int(1_000_000));
+        let mut events = Vec::new();
+        protocol
+            .deposit(&mut ledger, &mut events, lender, Token::USDC, Wad::from_int(1_000_000))
+            .unwrap();
+        (protocol, ledger, oracle, events)
+    }
+
+    fn paper_borrower(
+        protocol: &mut FixedSpreadProtocol,
+        ledger: &mut Ledger,
+        oracle: &PriceOracle,
+        events: &mut Vec<ChainEvent>,
+    ) -> Address {
+        // §3.2.2 walk-through: deposit 3 ETH at 3,500, borrow 8,400 USDC.
+        let borrower = Address::from_seed(7);
+        ledger.mint(borrower, Token::ETH, Wad::from_int(3));
+        protocol
+            .deposit(ledger, events, borrower, Token::ETH, Wad::from_int(3))
+            .unwrap();
+        protocol
+            .borrow(ledger, events, oracle, 1, borrower, Token::USDC, Wad::from_int(8_400))
+            .unwrap();
+        borrower
+    }
+
+    #[test]
+    fn deposit_and_borrow_follow_the_paper_walkthrough() {
+        let (mut protocol, mut ledger, oracle, mut events) = setup();
+        let borrower = paper_borrower(&mut protocol, &mut ledger, &oracle, &mut events);
+        let position = protocol.position(&oracle, borrower).unwrap();
+        assert_eq!(position.total_collateral_value(), Wad::from_int(10_500));
+        assert_eq!(position.borrowing_capacity(), Wad::from_int(8_400));
+        assert!(!position.is_liquidatable());
+        assert_eq!(ledger.balance(borrower, Token::USDC), Wad::from_int(8_400));
+    }
+
+    #[test]
+    fn borrow_beyond_capacity_is_rejected() {
+        let (mut protocol, mut ledger, oracle, mut events) = setup();
+        let borrower = Address::from_seed(8);
+        ledger.mint(borrower, Token::ETH, Wad::from_int(1));
+        protocol
+            .deposit(&mut ledger, &mut events, borrower, Token::ETH, Wad::from_int(1))
+            .unwrap();
+        // Capacity = 3,500 * 0.8 = 2,800 USDC.
+        let err = protocol
+            .borrow(&mut ledger, &mut events, &oracle, 1, borrower, Token::USDC, Wad::from_int(3_000))
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::ExceedsBorrowingCapacity { .. }));
+        assert!(protocol
+            .borrow(&mut ledger, &mut events, &oracle, 1, borrower, Token::USDC, Wad::from_int(2_500))
+            .is_ok());
+    }
+
+    #[test]
+    fn healthy_position_cannot_be_liquidated() {
+        let (mut protocol, mut ledger, oracle, mut events) = setup();
+        // A comfortably healthy borrower (capacity 8,400, debt 7,000).
+        let borrower = Address::from_seed(7);
+        ledger.mint(borrower, Token::ETH, Wad::from_int(3));
+        protocol
+            .deposit(&mut ledger, &mut events, borrower, Token::ETH, Wad::from_int(3))
+            .unwrap();
+        protocol
+            .borrow(&mut ledger, &mut events, &oracle, 1, borrower, Token::USDC, Wad::from_int(7_000))
+            .unwrap();
+        let liquidator = Address::from_seed(99);
+        ledger.mint(liquidator, Token::USDC, Wad::from_int(10_000));
+        let err = protocol
+            .liquidation_call(
+                &mut ledger, &mut events, &oracle, 2, liquidator, borrower,
+                Token::USDC, Token::ETH, Wad::from_int(4_200), false,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::NotLiquidatable(_)));
+    }
+
+    #[test]
+    fn liquidation_matches_paper_walkthrough_numbers() {
+        let (mut protocol, mut ledger, mut oracle, mut events) = setup();
+        let borrower = paper_borrower(&mut protocol, &mut ledger, &oracle, &mut events);
+        // ETH declines to 3,300 USD → HF ≈ 0.94.
+        oracle.set_price(2, Token::ETH, Wad::from_int(3_300));
+        assert!(protocol.is_liquidatable(&oracle, borrower));
+
+        let liquidator = Address::from_seed(99);
+        ledger.mint(liquidator, Token::USDC, Wad::from_int(10_000));
+        let receipt = protocol
+            .liquidation_call(
+                &mut ledger, &mut events, &oracle, 2, liquidator, borrower,
+                Token::USDC, Token::ETH, Wad::from_int(4_200), false,
+            )
+            .unwrap();
+        // Paper: repay 4,200 USDC, receive 4,620 USD of ETH, profit 420 USD.
+        assert_eq!(receipt.debt_repaid, Wad::from_int(4_200));
+        assert_eq!(receipt.debt_repaid_usd, Wad::from_int(4_200));
+        assert_eq!(receipt.collateral_seized_usd, Wad::from_int(4_620));
+        assert_eq!(receipt.gross_profit_usd(), Wad::from_int(420));
+        // Collateral seized in ETH terms: 4,620 / 3,300 = 1.4 ETH (up to
+        // fixed-point rounding in the price division).
+        assert!(receipt.collateral_seized.abs_diff(Wad::from_f64(1.4)).to_f64() < 1e-9);
+        // The liquidation event was emitted.
+        assert!(events.iter().any(|e| matches!(e, ChainEvent::Liquidation(_))));
+        // The health factor improved.
+        assert!(receipt.health_factor_after.unwrap() > Wad::from_f64(0.94));
+    }
+
+    #[test]
+    fn repay_above_close_factor_is_capped() {
+        let (mut protocol, mut ledger, mut oracle, mut events) = setup();
+        let borrower = paper_borrower(&mut protocol, &mut ledger, &oracle, &mut events);
+        oracle.set_price(2, Token::ETH, Wad::from_int(3_300));
+        let liquidator = Address::from_seed(99);
+        ledger.mint(liquidator, Token::USDC, Wad::from_int(20_000));
+        let receipt = protocol
+            .liquidation_call(
+                &mut ledger, &mut events, &oracle, 2, liquidator, borrower,
+                Token::USDC, Token::ETH, Wad::from_int(8_400), false,
+            )
+            .unwrap();
+        // Close factor 50%: ~4,200 repaid even though 8,400 was requested
+        // (interest accrued between borrow and liquidation adds a few wei).
+        assert!(receipt.debt_repaid >= Wad::from_int(4_200));
+        assert!(receipt.debt_repaid < Wad::from_int(4_201));
+    }
+
+    #[test]
+    fn one_liquidation_per_block_mitigation() {
+        let (mut protocol, mut ledger, mut oracle, mut events) = setup();
+        protocol.set_one_liquidation_per_block(true);
+        let borrower = paper_borrower(&mut protocol, &mut ledger, &oracle, &mut events);
+        oracle.set_price(2, Token::ETH, Wad::from_int(3_300));
+        let liquidator = Address::from_seed(99);
+        ledger.mint(liquidator, Token::USDC, Wad::from_int(20_000));
+        protocol
+            .liquidation_call(
+                &mut ledger, &mut events, &oracle, 2, liquidator, borrower,
+                Token::USDC, Token::ETH, Wad::from_int(1_000), false,
+            )
+            .unwrap();
+        // Second liquidation in the same block is rejected…
+        let err = protocol
+            .liquidation_call(
+                &mut ledger, &mut events, &oracle, 2, liquidator, borrower,
+                Token::USDC, Token::ETH, Wad::from_int(1_000), false,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::AlreadyLiquidatedThisBlock));
+        // …but a later block works (if still unhealthy).
+        if protocol.is_liquidatable(&oracle, borrower) {
+            assert!(protocol
+                .liquidation_call(
+                    &mut ledger, &mut events, &oracle, 3, liquidator, borrower,
+                    Token::USDC, Token::ETH, Wad::from_int(1_000), false,
+                )
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn withdraw_that_would_unhealth_position_is_rejected() {
+        let (mut protocol, mut ledger, oracle, mut events) = setup();
+        let borrower = paper_borrower(&mut protocol, &mut ledger, &oracle, &mut events);
+        let err = protocol
+            .withdraw(&mut ledger, &oracle, borrower, Token::ETH, Wad::from_int(2))
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::WouldBecomeUnhealthy));
+        // The collateral is untouched after the failed attempt.
+        assert_eq!(protocol.collateral_of(borrower, Token::ETH), Wad::from_int(3));
+    }
+
+    #[test]
+    fn interest_accrues_on_debt() {
+        let (mut protocol, mut ledger, oracle, mut events) = setup();
+        let borrower = paper_borrower(&mut protocol, &mut ledger, &oracle, &mut events);
+        let debt_before = protocol.debt_of(borrower, Token::USDC);
+        protocol.accrue_all(2_336_000); // one year later
+        let debt_after = protocol.debt_of(borrower, Token::USDC);
+        assert!(debt_after > debt_before);
+        // The USDC pool is almost idle (0.84% utilization), so the rate is low.
+        assert!(debt_after < debt_before.checked_mul(Wad::from_f64(1.10)).unwrap());
+    }
+
+    #[test]
+    fn insurance_fund_writes_off_insolvent_positions() {
+        let (mut protocol, mut ledger, mut oracle, mut events) = setup();
+        let mut config = protocol.config();
+        config.insurance_fund = true;
+        protocol = {
+            let mut p = FixedSpreadProtocol::new(config);
+            p.list_market(Token::ETH, RiskParams::new(0.8, 0.10, 0.5), InterestRateModel::default(), 0);
+            p.list_market(Token::USDC, RiskParams::new(0.85, 0.05, 0.5), InterestRateModel::stablecoin(), 0);
+            p
+        };
+        let lender = Address::from_seed(1_000);
+        ledger.mint(lender, Token::USDC, Wad::from_int(1_000_000));
+        protocol
+            .deposit(&mut ledger, &mut events, lender, Token::USDC, Wad::from_int(1_000_000))
+            .unwrap();
+        let borrower = paper_borrower(&mut protocol, &mut ledger, &oracle, &mut events);
+        // Crash ETH so hard the position is under-collateralized.
+        oracle.set_price(2, Token::ETH, Wad::from_int(2_000));
+        let position = protocol.position(&oracle, borrower).unwrap();
+        assert!(position.is_under_collateralized());
+        let written_off = protocol.write_off_insolvent_positions(&oracle);
+        assert!(!written_off.is_zero());
+        assert_eq!(protocol.debt_of(borrower, Token::USDC), Wad::ZERO);
+        // Without the insurance fund flag nothing happens.
+        let (mut protocol2, mut ledger2, mut oracle2, mut events2) = setup();
+        let borrower2 = paper_borrower(&mut protocol2, &mut ledger2, &oracle2, &mut events2);
+        oracle2.set_price(2, Token::ETH, Wad::from_int(2_000));
+        assert_eq!(protocol2.write_off_insolvent_positions(&oracle2), Wad::ZERO);
+        assert!(!protocol2.debt_of(borrower2, Token::USDC).is_zero());
+    }
+
+    #[test]
+    fn positions_snapshot_covers_all_accounts() {
+        let (mut protocol, mut ledger, oracle, mut events) = setup();
+        let _ = paper_borrower(&mut protocol, &mut ledger, &oracle, &mut events);
+        let positions = protocol.positions(&oracle);
+        // The lender (collateral only) and the borrower.
+        assert_eq!(positions.len(), 2);
+        assert_eq!(protocol.account_count(), 2);
+        assert!(protocol.total_collateral_value(&oracle) > Wad::from_int(1_000_000));
+        assert_eq!(protocol.liquidatable_accounts(&oracle).len(), 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Pre-configured instances of the studied platforms (§3.3).
+//!
+//! Each constructor lists the markets the platform supported during the study
+//! window (the asset sets plotted per platform in Figure 8) with the
+//! per-market risk parameters from [`RiskParams::platform_market`], and sets
+//! the platform-wide close factor and behavioural flags:
+//!
+//! | Platform | Mechanism | Close factor | Spread | Notes |
+//! |---|---|---|---|---|
+//! | Aave V1 | fixed spread | 50 % | 5–15 % | superseded by V2 in Dec 2020 |
+//! | Aave V2 | fixed spread | 50 % | 5–15 % | multi-asset collateral common |
+//! | Compound | fixed spread | 50 % | 8 % | oracle incident Nov 2020 |
+//! | dYdX | fixed spread | 100 % | 5 % | insurance fund absorbs Type I bad debt |
+//! | MakerDAO | tend–dent auction | — | 13 % penalty | parameters changed after Mar 2020 |
+
+use defi_core::mechanism::AuctionParams;
+use defi_core::params::RiskParams;
+use defi_types::{BlockNumber, Platform, Token, Wad};
+
+use crate::fixed_spread::{FixedSpreadConfig, FixedSpreadProtocol};
+use crate::interest::InterestRateModel;
+use crate::maker::{IlkParams, MakerProtocol};
+
+fn rate_model_for(token: Token) -> InterestRateModel {
+    if token.is_stablecoin() {
+        InterestRateModel::stablecoin()
+    } else {
+        InterestRateModel::default()
+    }
+}
+
+fn build_fixed_spread(
+    platform: Platform,
+    close_factor: f64,
+    insurance_fund: bool,
+    markets: &[Token],
+    inception_block: BlockNumber,
+) -> FixedSpreadProtocol {
+    let mut protocol = FixedSpreadProtocol::new(FixedSpreadConfig {
+        platform,
+        close_factor: Wad::from_f64(close_factor),
+        one_liquidation_per_block: false,
+        insurance_fund,
+    });
+    for &token in markets {
+        protocol.list_market(
+            token,
+            RiskParams::platform_market(platform, token),
+            rate_model_for(token),
+            inception_block,
+        );
+    }
+    protocol
+}
+
+/// Aave V1 with its main study-window markets.
+pub fn aave_v1() -> FixedSpreadProtocol {
+    build_fixed_spread(
+        Platform::AaveV1,
+        0.5,
+        false,
+        &[
+            Token::ETH,
+            Token::WBTC,
+            Token::DAI,
+            Token::USDC,
+            Token::USDT,
+            Token::TUSD,
+            Token::BAT,
+            Token::ZRX,
+            Token::LINK,
+            Token::MKR,
+            Token::KNC,
+            Token::MANA,
+            Token::SNX,
+            Token::REP,
+        ],
+        Platform::AaveV1.inception_block(),
+    )
+}
+
+/// Aave V2 (December 2020 upgrade) with the collateral set of Figure 8a.
+pub fn aave_v2() -> FixedSpreadProtocol {
+    build_fixed_spread(
+        Platform::AaveV2,
+        0.5,
+        false,
+        &[
+            Token::ETH,
+            Token::WBTC,
+            Token::DAI,
+            Token::USDC,
+            Token::USDT,
+            Token::TUSD,
+            Token::BAT,
+            Token::ZRX,
+            Token::UNI,
+            Token::LINK,
+            Token::MKR,
+            Token::AAVE,
+            Token::YFI,
+            Token::SNX,
+            Token::REN,
+            Token::KNC,
+            Token::MANA,
+            Token::ENJ,
+            Token::CRV,
+            Token::BAL,
+            Token::xSUSHI,
+        ],
+        Platform::AaveV2.inception_block(),
+    )
+}
+
+/// Compound with the collateral set of Figure 8b.
+pub fn compound() -> FixedSpreadProtocol {
+    build_fixed_spread(
+        Platform::Compound,
+        0.5,
+        false,
+        &[
+            Token::ETH,
+            Token::WBTC,
+            Token::DAI,
+            Token::USDC,
+            Token::USDT,
+            Token::BAT,
+            Token::ZRX,
+            Token::UNI,
+            Token::COMP,
+            Token::REP,
+        ],
+        Platform::Compound.inception_block(),
+    )
+}
+
+/// dYdX: only ETH, USDC and DAI markets, 100 % close factor, 5 % spread,
+/// insurance fund enabled.
+pub fn dydx() -> FixedSpreadProtocol {
+    build_fixed_spread(
+        Platform::DyDx,
+        1.0,
+        true,
+        &[Token::ETH, Token::USDC, Token::DAI],
+        Platform::DyDx.inception_block(),
+    )
+}
+
+/// MakerDAO with the main collateral types of Figure 8d and the pre-March-2020
+/// auction parameters (the simulation switches them after the incident).
+pub fn maker_protocol() -> MakerProtocol {
+    let mut maker = MakerProtocol::new(AuctionParams::maker_pre_march_2020());
+    for token in [
+        Token::ETH,
+        Token::WBTC,
+        Token::USDC,
+        Token::USDT,
+        Token::LINK,
+        Token::BAT,
+        Token::ZRX,
+        Token::KNC,
+        Token::MANA,
+        Token::TUSD,
+        Token::UNI,
+        Token::COMP,
+        Token::BAL,
+        Token::UNIV2DAIETH,
+        Token::UNIV2WBTCETH,
+        Token::UNIV2USDCETH,
+    ] {
+        let liquidation_ratio = if token.is_stablecoin() { 1.20 } else { 1.50 };
+        maker.list_ilk(
+            token,
+            IlkParams {
+                liquidation_ratio: Wad::from_f64(liquidation_ratio),
+                stability_fee: 0.02,
+                liquidation_penalty: Wad::from_f64(0.13),
+            },
+        );
+    }
+    maker
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_factors_match_the_paper() {
+        assert_eq!(aave_v1().config().close_factor, Wad::from_f64(0.5));
+        assert_eq!(aave_v2().config().close_factor, Wad::from_f64(0.5));
+        assert_eq!(compound().config().close_factor, Wad::from_f64(0.5));
+        assert_eq!(dydx().config().close_factor, Wad::ONE);
+    }
+
+    #[test]
+    fn dydx_lists_only_three_markets_and_has_insurance() {
+        let protocol = dydx();
+        assert_eq!(protocol.markets().count(), 3);
+        assert!(protocol.config().insurance_fund);
+        assert!(!compound().config().insurance_fund);
+    }
+
+    #[test]
+    fn aave_v2_lists_more_collateral_than_compound() {
+        assert!(aave_v2().markets().count() > compound().markets().count());
+    }
+
+    #[test]
+    fn compound_spread_is_8_percent_on_eth() {
+        let protocol = compound();
+        let params = protocol.market_params(Token::ETH).unwrap();
+        assert_eq!(params.liquidation_spread, Wad::from_f64(0.08));
+    }
+
+    #[test]
+    fn maker_lists_ilks_with_150_percent_ratio() {
+        let maker = maker_protocol();
+        let ilk = maker.ilk(Token::ETH).unwrap();
+        assert_eq!(ilk.liquidation_ratio, Wad::from_f64(1.5));
+        assert_eq!(ilk.liquidation_penalty, Wad::from_f64(0.13));
+        // Pre-March-2020 parameters initially.
+        assert!(maker.auction_params().bid_duration_blocks < 1_000);
+    }
+
+    #[test]
+    fn all_platform_market_params_are_sound() {
+        use defi_core::config::is_sound_fixed_spread_config;
+        for protocol in [aave_v1(), aave_v2(), compound(), dydx()] {
+            for market in protocol.markets() {
+                let params = protocol.market_params(market.token).unwrap();
+                assert!(
+                    is_sound_fixed_spread_config(params),
+                    "{:?} {} unsound",
+                    protocol.platform(),
+                    market.token
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Agent types: borrowers, fixed-spread liquidators and Maker keepers.
+//!
+//! Agents are parameter bundles; the behavioural logic lives in
+//! [`crate::engine`]. Populations are sampled deterministically from the
+//! scenario seed so a simulation run is fully reproducible.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+use defi_types::{Address, Platform, Token};
+
+use crate::config::PlatformPopulation;
+
+/// A borrower with a (possibly multi-asset) collateral basket and one debt token.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BorrowerAgent {
+    /// On-chain identity.
+    pub address: Address,
+    /// Platform the borrower uses.
+    pub platform: Platform,
+    /// Collateral tokens (one or two entries).
+    pub collateral_tokens: Vec<Token>,
+    /// Token borrowed.
+    pub debt_token: Token,
+    /// Initial collateral value in USD.
+    pub collateral_value_usd: f64,
+    /// Target collateralization ratio at opening (collateral / debt).
+    pub target_collateralization: f64,
+    /// Whether the borrower actively tops up / repays when the position nears
+    /// liquidation.
+    pub active_manager: bool,
+    /// Whether the position has been closed/abandoned (no further management).
+    pub retired: bool,
+}
+
+/// A liquidation bot watching one or more fixed-spread platforms.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LiquidatorAgent {
+    /// On-chain identity (the paper counts liquidators by unique address).
+    pub address: Address,
+    /// Platforms this bot watches ("some liquidators operate on multiple
+    /// lending markets", Table 1).
+    pub platforms: Vec<Platform>,
+    /// Gas-price aggressiveness: fraction above the block median the bot bids.
+    pub gas_aggressiveness: f64,
+    /// Whether the bot keeps a stale gas price under congestion (the March
+    /// 2020 failure mode) instead of re-bidding.
+    pub stale_under_congestion: bool,
+    /// Whether the bot funds liquidations with flash loans (§4.4.4).
+    pub uses_flash_loans: bool,
+    /// Which flash-loan pool the bot prefers (dYdX is cheaper, Table 4).
+    pub flash_loan_pool: Platform,
+}
+
+/// A MakerDAO keeper participating in tend–dent auctions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KeeperAgent {
+    /// On-chain identity.
+    pub address: Address,
+    /// Profit margin the keeper insists on (fraction of collateral value).
+    pub target_margin: f64,
+    /// Whether the keeper's bot fails to rebid under congestion.
+    pub stale_under_congestion: bool,
+    /// Whether the keeper opportunistically places near-zero bids on
+    /// abandoned auctions during congestion (the March 2020 "zero-bid" wins).
+    pub opportunistic_sniper: bool,
+}
+
+/// Sample a borrower for a platform population.
+pub fn sample_borrower(
+    rng: &mut StdRng,
+    population: &PlatformPopulation,
+    index: u64,
+    eth_heavy: bool,
+) -> BorrowerAgent {
+    let address =
+        Address::from_seed(0x1000_0000_0000 + ((population.platform as u64) << 32) + index);
+    let lognormal = LogNormal::new(
+        population.median_collateral_usd.max(1.0).ln(),
+        population.collateral_sigma,
+    )
+    .expect("valid lognormal");
+    let collateral_value_usd = lognormal.sample(rng).clamp(1_000.0, 500_000_000.0);
+
+    let stable_borrower = rng.gen_bool(population.stablecoin_borrower_share.clamp(0.0, 1.0));
+    let multi = rng.gen_bool(population.multi_collateral_share.clamp(0.0, 1.0));
+
+    let (collateral_tokens, debt_token) = match population.platform {
+        Platform::MakerDao => {
+            // CDPs: mostly ETH, some WBTC/alts; always DAI debt.
+            let token = if rng.gen_bool(0.75) || eth_heavy {
+                Token::ETH
+            } else if rng.gen_bool(0.5) {
+                Token::WBTC
+            } else {
+                *[Token::LINK, Token::BAT, Token::UNI]
+                    .get(rng.gen_range(0..3))
+                    .unwrap_or(&Token::ETH)
+            };
+            (vec![token], Token::DAI)
+        }
+        Platform::DyDx => {
+            // dYdX only lists ETH, USDC, DAI.
+            if stable_borrower {
+                (vec![Token::USDC], Token::DAI)
+            } else {
+                let debt = if rng.gen_bool(0.6) { Token::DAI } else { Token::USDC };
+                (vec![Token::ETH], debt)
+            }
+        }
+        _ => {
+            if stable_borrower {
+                (vec![Token::USDC], Token::DAI)
+            } else {
+                let primary = if rng.gen_bool(0.70) || eth_heavy {
+                    Token::ETH
+                } else if rng.gen_bool(0.5) {
+                    Token::WBTC
+                } else {
+                    *[Token::LINK, Token::UNI, Token::BAT, Token::ZRX, Token::MKR]
+                        .get(rng.gen_range(0..5))
+                        .unwrap_or(&Token::ETH)
+                };
+                let mut collateral = vec![primary];
+                if multi {
+                    let secondary = if primary == Token::ETH { Token::USDC } else { Token::ETH };
+                    collateral.push(secondary);
+                }
+                let debt = match rng.gen_range(0..10) {
+                    0..=5 => Token::DAI,
+                    6..=8 => Token::USDC,
+                    _ => Token::USDT,
+                };
+                (collateral, debt)
+            }
+        }
+    };
+
+    // Riskier borrowers sit closer to the liquidation boundary; the low end
+    // of the multiplier produces positions that open just under their
+    // borrowing capacity, the cohort that liquidations feed on.
+    let target_collateralization = population.target_collateralization
+        * rng.gen_range(0.80..1.40);
+    BorrowerAgent {
+        address,
+        platform: population.platform,
+        collateral_tokens,
+        debt_token,
+        collateral_value_usd,
+        target_collateralization,
+        active_manager: rng.gen_bool(population.active_manager_share.clamp(0.0, 1.0)),
+        retired: false,
+    }
+}
+
+/// Sample the liquidator population for a platform.
+pub fn sample_liquidators(
+    rng: &mut StdRng,
+    population: &PlatformPopulation,
+    stale_share: f64,
+    flash_loan_probability: f64,
+) -> Vec<LiquidatorAgent> {
+    (0..population.liquidator_count)
+        .map(|i| {
+            let address =
+                Address::from_seed(0x2000_0000_0000 + ((population.platform as u64) << 24) + i as u64);
+            // A minority of bots watch several platforms (Table 1 note).
+            let platforms = if i % 4 == 0 && population.platform != Platform::MakerDao {
+                vec![population.platform, Platform::Compound, Platform::AaveV1]
+            } else {
+                vec![population.platform]
+            };
+            LiquidatorAgent {
+                address,
+                platforms,
+                gas_aggressiveness: rng.gen_range(0.05..1.2),
+                stale_under_congestion: rng.gen_bool(stale_share.clamp(0.0, 1.0)),
+                uses_flash_loans: rng.gen_bool((flash_loan_probability * 8.0).clamp(0.0, 1.0)),
+                flash_loan_pool: if rng.gen_bool(0.7) {
+                    Platform::DyDx
+                } else {
+                    Platform::AaveV2
+                },
+            }
+        })
+        .collect()
+}
+
+/// Sample the keeper population for MakerDAO.
+pub fn sample_keepers(rng: &mut StdRng, count: usize, stale_share: f64) -> Vec<KeeperAgent> {
+    (0..count.max(2))
+        .map(|i| KeeperAgent {
+            address: Address::from_seed(0x3000_0000_0000 + i as u64),
+            target_margin: rng.gen_range(0.01..0.06),
+            stale_under_congestion: i != 0 && rng.gen_bool(stale_share.clamp(0.0, 1.0) * 1.5),
+            // Exactly one opportunistic sniper exists in the population,
+            // mirroring the handful of actors who captured the March 2020
+            // zero-bid auctions.
+            opportunistic_sniper: i == 0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn borrower_sampling_respects_platform_listings() {
+        let config = SimConfig::paper_default(1);
+        let mut rng = StdRng::seed_from_u64(7);
+        for population in &config.populations {
+            for i in 0..200 {
+                let borrower = sample_borrower(&mut rng, population, i, false);
+                assert!(!borrower.collateral_tokens.is_empty());
+                assert!(borrower.collateral_value_usd >= 1_000.0);
+                match population.platform {
+                    Platform::MakerDao => {
+                        assert_eq!(borrower.debt_token, Token::DAI);
+                        assert_eq!(borrower.collateral_tokens.len(), 1);
+                    }
+                    Platform::DyDx => {
+                        for t in &borrower.collateral_tokens {
+                            assert!(matches!(t, Token::ETH | Token::USDC | Token::DAI));
+                        }
+                        assert!(matches!(borrower.debt_token, Token::DAI | Token::USDC));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn liquidator_sampling_produces_requested_count() {
+        let config = SimConfig::paper_default(1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let population = config.population(Platform::Compound).unwrap();
+        let liquidators = sample_liquidators(&mut rng, population, 0.3, 0.05);
+        assert_eq!(liquidators.len(), population.liquidator_count);
+        assert!(liquidators.iter().any(|l| l.platforms.len() > 1));
+    }
+
+    #[test]
+    fn keepers_include_exactly_one_sniper() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let keepers = sample_keepers(&mut rng, 6, 0.3);
+        assert_eq!(keepers.iter().filter(|k| k.opportunistic_sniper).count(), 1);
+        assert!(keepers.len() >= 2);
+    }
+
+    #[test]
+    fn borrower_addresses_are_unique_within_platform() {
+        let config = SimConfig::paper_default(1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let population = config.population(Platform::Compound).unwrap();
+        let mut addresses = std::collections::HashSet::new();
+        for i in 0..500 {
+            let b = sample_borrower(&mut rng, population, i, false);
+            assert!(addresses.insert(b.address), "duplicate address at {i}");
+        }
+    }
+}

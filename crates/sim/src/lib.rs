@@ -1,0 +1,23 @@
+//! # defi-sim
+//!
+//! The agent-based simulation engine that stands in for two years of mainnet
+//! activity. The paper measures real borrowers, liquidation bots and auction
+//! keepers; this crate simulates populations of them against the protocol
+//! implementations in `defi-lending`, the price scenario in `defi-oracle`,
+//! and the chain/gas/mempool substrate in `defi-chain`, producing the same
+//! observable surface the paper crawls: liquidation events, auction events,
+//! flash-loan events, gas prices, position books and collateral volumes.
+//!
+//! * [`config`] — scenario configuration, with a [`SimConfig::paper_default`]
+//!   matching the study window and a [`SimConfig::smoke_test`] for fast tests.
+//! * [`agents`] — borrower, fixed-spread liquidator and Maker keeper agents.
+//! * [`engine`] — the [`SimulationEngine`] driving the tick loop and the
+//!   [`SimulationReport`] handed to the analytics crate.
+
+pub mod agents;
+pub mod config;
+pub mod engine;
+
+pub use agents::{BorrowerAgent, KeeperAgent, LiquidatorAgent};
+pub use config::{PlatformPopulation, SimConfig};
+pub use engine::{SimulationEngine, SimulationReport, VolumeSample};

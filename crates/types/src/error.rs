@@ -1,0 +1,33 @@
+//! Shared error type for arithmetic and domain violations in the value layer.
+
+use core::fmt;
+
+/// Errors produced by the fixed-point arithmetic and type conversions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeError {
+    /// An addition, subtraction or multiplication overflowed the 128-bit
+    /// (or intermediate 256-bit) representation.
+    Overflow,
+    /// A subtraction would have produced a negative unsigned value.
+    Underflow,
+    /// Division by zero.
+    DivisionByZero,
+    /// A string could not be parsed into the requested type.
+    Parse(&'static str),
+    /// A token symbol was not found in the registry.
+    UnknownToken,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Overflow => write!(f, "fixed-point arithmetic overflow"),
+            TypeError::Underflow => write!(f, "fixed-point arithmetic underflow"),
+            TypeError::DivisionByZero => write!(f, "division by zero"),
+            TypeError::Parse(what) => write!(f, "failed to parse {what}"),
+            TypeError::UnknownToken => write!(f, "unknown token symbol"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}

@@ -1,0 +1,719 @@
+//! Fixed-point arithmetic in the style of the Ethereum DeFi contracts the
+//! paper studies.
+//!
+//! * [`Wad`] — unsigned, 18 decimal places. Used for token amounts, USD
+//!   values, prices, ratios (health factor, collateralization ratio), and
+//!   protocol parameters (liquidation threshold, spread, close factor).
+//! * [`Ray`] — unsigned, 27 decimal places. Used for interest-rate indexes,
+//!   where the extra precision matters when compounding per block.
+//! * [`SignedWad`] — signed companion of [`Wad`], used for profit-and-loss
+//!   accounting (the paper reports losses for 641 MakerDAO auctions, so PnL
+//!   must be signed).
+//!
+//! Multiplication and division route through a minimal internal 256-bit
+//! intermediate so that `a * b / WAD` never overflows for any representable
+//! operands, exactly like `mulDiv` in Solidity math libraries.
+
+use crate::error::TypeError;
+use core::cmp::Ordering;
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use core::str::FromStr;
+use serde::{Deserialize, Serialize};
+
+/// Scaling factor of a [`Wad`]: 10^18.
+pub const WAD: u128 = 1_000_000_000_000_000_000;
+/// Scaling factor of a [`Ray`]: 10^27.
+pub const RAY: u128 = 1_000_000_000_000_000_000_000_000_000;
+
+// ---------------------------------------------------------------------------
+// 256-bit intermediate
+// ---------------------------------------------------------------------------
+
+/// A minimal unsigned 256-bit integer used only as an intermediate for
+/// full-width `u128 × u128` products and their division by a `u128`.
+///
+/// This is intentionally not a general-purpose big integer: it supports
+/// exactly the operations required by `mul_div`, which keeps it easy to audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct U256 {
+    /// Low 128 bits.
+    pub lo: u128,
+    /// High 128 bits.
+    pub hi: u128,
+}
+
+impl U256 {
+    /// Full-width product of two `u128` values.
+    pub(crate) fn full_mul(a: u128, b: u128) -> U256 {
+        const MASK: u128 = u64::MAX as u128;
+        let (a_lo, a_hi) = (a & MASK, a >> 64);
+        let (b_lo, b_hi) = (b & MASK, b >> 64);
+
+        let ll = a_lo * b_lo;
+        let lh = a_lo * b_hi;
+        let hl = a_hi * b_lo;
+        let hh = a_hi * b_hi;
+
+        // Sum the cross terms into the middle 128 bits, tracking carries.
+        let mid = (ll >> 64) + (lh & MASK) + (hl & MASK);
+        let lo = (ll & MASK) | (mid << 64);
+        let hi = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+        U256 { lo, hi }
+    }
+
+    /// Divide by a `u128` divisor, returning the quotient if it fits in 128
+    /// bits. Implemented as binary long division over 256 bits; the operand
+    /// sizes in this crate (≤ 10^38) keep this plenty fast for simulation use.
+    pub(crate) fn div_u128(self, divisor: u128) -> Result<u128, TypeError> {
+        if divisor == 0 {
+            return Err(TypeError::DivisionByZero);
+        }
+        if self.hi == 0 {
+            return Ok(self.lo / divisor);
+        }
+        // If hi >= divisor the quotient needs more than 128 bits.
+        if self.hi >= divisor {
+            return Err(TypeError::Overflow);
+        }
+        // Knuth-style bitwise long division: process 128 high bits already in
+        // `rem`, then shift in the low bits one at a time.
+        let mut rem = self.hi;
+        let mut quotient: u128 = 0;
+        for i in (0..128).rev() {
+            // rem = rem << 1 | bit_i(lo); rem < divisor <= u128::MAX so the
+            // shift can overflow only transiently — detect via the top bit.
+            let top_bit_set = rem >> 127 == 1;
+            rem = (rem << 1) | ((self.lo >> i) & 1);
+            quotient <<= 1;
+            if top_bit_set || rem >= divisor {
+                // When the top bit was set the true remainder is rem + 2^128,
+                // which is certainly >= divisor.
+                rem = rem.wrapping_sub(divisor);
+                quotient |= 1;
+            }
+        }
+        Ok(quotient)
+    }
+
+    pub(crate) fn is_zero(self) -> bool {
+        self.lo == 0 && self.hi == 0
+    }
+}
+
+/// `a * b / denominator` with a full 256-bit intermediate, truncating.
+pub(crate) fn mul_div(a: u128, b: u128, denominator: u128) -> Result<u128, TypeError> {
+    let prod = U256::full_mul(a, b);
+    if prod.is_zero() {
+        return Ok(0);
+    }
+    prod.div_u128(denominator)
+}
+
+// ---------------------------------------------------------------------------
+// Wad
+// ---------------------------------------------------------------------------
+
+/// Unsigned fixed-point number with 18 decimal places.
+///
+/// `Wad::from_int(3)` is `3.0`; `Wad::from_raw(WAD / 2)` is `0.5`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Wad(pub u128);
+
+impl Wad {
+    /// Zero.
+    pub const ZERO: Wad = Wad(0);
+    /// One (10^18 raw).
+    pub const ONE: Wad = Wad(WAD);
+    /// Maximum representable value.
+    pub const MAX: Wad = Wad(u128::MAX);
+
+    /// Construct from a raw 18-decimal integer representation.
+    pub const fn from_raw(raw: u128) -> Self {
+        Wad(raw)
+    }
+
+    /// Construct from an integer number of whole units.
+    pub const fn from_int(value: u64) -> Self {
+        Wad(value as u128 * WAD)
+    }
+
+    /// Construct from a ratio of two integers, e.g. `Wad::from_ratio(1, 2)` is 0.5.
+    pub fn from_ratio(numerator: u128, denominator: u128) -> Self {
+        Wad(mul_div(numerator, WAD, denominator).expect("ratio overflow"))
+    }
+
+    /// Construct from an `f64`. Only intended for configuration and test
+    /// convenience — negative and non-finite inputs saturate to zero.
+    pub fn from_f64(value: f64) -> Self {
+        if !value.is_finite() || value <= 0.0 {
+            return Wad::ZERO;
+        }
+        // Split to keep precision for large magnitudes.
+        let int_part = value.trunc();
+        let frac_part = value - int_part;
+        let int_raw = (int_part as u128).saturating_mul(WAD);
+        let frac_raw = (frac_part * WAD as f64) as u128;
+        Wad(int_raw.saturating_add(frac_raw))
+    }
+
+    /// Convert to `f64` (used by the analytics layer for reporting only).
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / WAD as f64
+    }
+
+    /// Raw 18-decimal representation.
+    pub const fn raw(self) -> u128 {
+        self.0
+    }
+
+    /// Whether the value is exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Wad) -> Result<Wad, TypeError> {
+        self.0.checked_add(rhs.0).map(Wad).ok_or(TypeError::Overflow)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Wad) -> Result<Wad, TypeError> {
+        self.0.checked_sub(rhs.0).map(Wad).ok_or(TypeError::Underflow)
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    pub fn saturating_sub(self, rhs: Wad) -> Wad {
+        Wad(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition (clamps at `u128::MAX`).
+    pub fn saturating_add(self, rhs: Wad) -> Wad {
+        Wad(self.0.saturating_add(rhs.0))
+    }
+
+    /// Fixed-point multiplication: `self * rhs / 1e18`, truncating.
+    pub fn checked_mul(self, rhs: Wad) -> Result<Wad, TypeError> {
+        mul_div(self.0, rhs.0, WAD).map(Wad)
+    }
+
+    /// Fixed-point division: `self * 1e18 / rhs`, truncating.
+    pub fn checked_div(self, rhs: Wad) -> Result<Wad, TypeError> {
+        if rhs.0 == 0 {
+            return Err(TypeError::DivisionByZero);
+        }
+        mul_div(self.0, WAD, rhs.0).map(Wad)
+    }
+
+    /// Multiply by an integer.
+    pub fn checked_mul_int(self, rhs: u128) -> Result<Wad, TypeError> {
+        self.0.checked_mul(rhs).map(Wad).ok_or(TypeError::Overflow)
+    }
+
+    /// Divide by an integer.
+    pub fn checked_div_int(self, rhs: u128) -> Result<Wad, TypeError> {
+        if rhs == 0 {
+            return Err(TypeError::DivisionByZero);
+        }
+        Ok(Wad(self.0 / rhs))
+    }
+
+    /// `min(self, other)`.
+    pub fn min(self, other: Wad) -> Wad {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `max(self, other)`.
+    pub fn max(self, other: Wad) -> Wad {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Apply a percentage expressed in basis points (1 bp = 0.01 %).
+    pub fn bps(self, basis_points: u32) -> Wad {
+        Wad(mul_div(self.0, basis_points as u128, 10_000).unwrap_or(u128::MAX))
+    }
+
+    /// Convert to a [`SignedWad`].
+    pub fn to_signed(self) -> SignedWad {
+        SignedWad {
+            negative: false,
+            magnitude: self,
+        }
+    }
+
+    /// Absolute difference between two values.
+    pub fn abs_diff(self, other: Wad) -> Wad {
+        if self >= other {
+            Wad(self.0 - other.0)
+        } else {
+            Wad(other.0 - self.0)
+        }
+    }
+
+    /// Convert to a [`Ray`] (multiply by 10^9).
+    pub fn to_ray(self) -> Result<Ray, TypeError> {
+        self.0
+            .checked_mul(1_000_000_000)
+            .map(Ray)
+            .ok_or(TypeError::Overflow)
+    }
+}
+
+// Operator impls panic on overflow (debug-friendly); protocol code that must
+// be robust uses the checked variants explicitly.
+impl Add for Wad {
+    type Output = Wad;
+    fn add(self, rhs: Wad) -> Wad {
+        self.checked_add(rhs).expect("Wad add overflow")
+    }
+}
+impl AddAssign for Wad {
+    fn add_assign(&mut self, rhs: Wad) {
+        *self = *self + rhs;
+    }
+}
+impl Sub for Wad {
+    type Output = Wad;
+    fn sub(self, rhs: Wad) -> Wad {
+        self.checked_sub(rhs).expect("Wad sub underflow")
+    }
+}
+impl SubAssign for Wad {
+    fn sub_assign(&mut self, rhs: Wad) {
+        *self = *self - rhs;
+    }
+}
+impl Mul for Wad {
+    type Output = Wad;
+    fn mul(self, rhs: Wad) -> Wad {
+        self.checked_mul(rhs).expect("Wad mul overflow")
+    }
+}
+impl Div for Wad {
+    type Output = Wad;
+    fn div(self, rhs: Wad) -> Wad {
+        self.checked_div(rhs).expect("Wad div error")
+    }
+}
+impl Sum for Wad {
+    fn sum<I: Iterator<Item = Wad>>(iter: I) -> Wad {
+        iter.fold(Wad::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for Wad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let int = self.0 / WAD;
+        let frac = self.0 % WAD;
+        if frac == 0 {
+            write!(f, "{int}")
+        } else {
+            let mut frac_str = format!("{frac:018}");
+            while frac_str.ends_with('0') {
+                frac_str.pop();
+            }
+            write!(f, "{int}.{frac_str}")
+        }
+    }
+}
+
+impl FromStr for Wad {
+    type Err = TypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (int_str, frac_str) = match s.split_once('.') {
+            Some((i, fr)) => (i, fr),
+            None => (s, ""),
+        };
+        if frac_str.len() > 18 {
+            return Err(TypeError::Parse("Wad: more than 18 decimal places"));
+        }
+        let int: u128 = if int_str.is_empty() {
+            0
+        } else {
+            int_str.parse().map_err(|_| TypeError::Parse("Wad integer part"))?
+        };
+        let mut frac: u128 = if frac_str.is_empty() {
+            0
+        } else {
+            frac_str.parse().map_err(|_| TypeError::Parse("Wad fractional part"))?
+        };
+        for _ in 0..(18 - frac_str.len()) {
+            frac *= 10;
+        }
+        int.checked_mul(WAD)
+            .and_then(|x| x.checked_add(frac))
+            .map(Wad)
+            .ok_or(TypeError::Overflow)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ray
+// ---------------------------------------------------------------------------
+
+/// Unsigned fixed-point number with 27 decimal places, used for interest-rate
+/// indexes (the precision Aave and MakerDAO use for per-second/per-block
+/// compounding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Ray(pub u128);
+
+impl Ray {
+    /// Zero.
+    pub const ZERO: Ray = Ray(0);
+    /// One (10^27 raw).
+    pub const ONE: Ray = Ray(RAY);
+
+    /// Construct from the raw 27-decimal representation.
+    pub const fn from_raw(raw: u128) -> Self {
+        Ray(raw)
+    }
+
+    /// Construct from an integer number of whole units.
+    pub const fn from_int(value: u64) -> Self {
+        Ray(value as u128 * RAY)
+    }
+
+    /// Raw representation.
+    pub const fn raw(self) -> u128 {
+        self.0
+    }
+
+    /// Fixed-point multiplication `self * rhs / 1e27`.
+    pub fn checked_mul(self, rhs: Ray) -> Result<Ray, TypeError> {
+        mul_div(self.0, rhs.0, RAY).map(Ray)
+    }
+
+    /// Fixed-point division `self * 1e27 / rhs`.
+    pub fn checked_div(self, rhs: Ray) -> Result<Ray, TypeError> {
+        if rhs.0 == 0 {
+            return Err(TypeError::DivisionByZero);
+        }
+        mul_div(self.0, RAY, rhs.0).map(Ray)
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Ray) -> Result<Ray, TypeError> {
+        self.0.checked_add(rhs.0).map(Ray).ok_or(TypeError::Overflow)
+    }
+
+    /// Truncate to a [`Wad`] (divide by 10^9).
+    pub fn to_wad(self) -> Wad {
+        Wad(self.0 / 1_000_000_000)
+    }
+
+    /// Convert to `f64` for reporting.
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / RAY as f64
+    }
+
+    /// Compound interest approximation: `(1 + rate_per_period)^periods`
+    /// computed by square-and-multiply on the Ray representation. `self` is
+    /// the *per-period* rate (e.g. per block), not 1+rate.
+    pub fn compound(self, periods: u64) -> Result<Ray, TypeError> {
+        let mut base = Ray::ONE.checked_add(self)?;
+        let mut exp = periods;
+        let mut acc = Ray::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.checked_mul(base)?;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.checked_mul(base)?;
+            }
+        }
+        Ok(acc)
+    }
+}
+
+impl fmt::Display for Ray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_wad())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SignedWad
+// ---------------------------------------------------------------------------
+
+/// Signed 18-decimal fixed point, used for profit-and-loss accounting.
+///
+/// Stored as sign + magnitude so the full unsigned range stays representable;
+/// negative zero is normalised to positive zero.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SignedWad {
+    /// True when the value is strictly negative.
+    pub negative: bool,
+    /// Absolute value.
+    pub magnitude: Wad,
+}
+
+impl SignedWad {
+    /// Zero.
+    pub const ZERO: SignedWad = SignedWad {
+        negative: false,
+        magnitude: Wad::ZERO,
+    };
+
+    /// A positive value.
+    pub fn positive(magnitude: Wad) -> Self {
+        SignedWad {
+            negative: false,
+            magnitude,
+        }
+    }
+
+    /// A negative value (normalised: `-0` becomes `+0`).
+    pub fn negative(magnitude: Wad) -> Self {
+        SignedWad {
+            negative: !magnitude.is_zero(),
+            magnitude,
+        }
+    }
+
+    /// `a - b` over unsigned operands, never panicking.
+    pub fn sub_wads(a: Wad, b: Wad) -> Self {
+        if a >= b {
+            SignedWad::positive(a - b)
+        } else {
+            SignedWad::negative(b - a)
+        }
+    }
+
+    /// Whether the value is strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.negative && !self.magnitude.is_zero()
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.magnitude.is_zero()
+    }
+
+    /// Signed addition.
+    pub fn add(self, rhs: SignedWad) -> SignedWad {
+        match (self.negative, rhs.negative) {
+            (false, false) => SignedWad::positive(self.magnitude + rhs.magnitude),
+            (true, true) => SignedWad::negative(self.magnitude + rhs.magnitude),
+            (false, true) => SignedWad::sub_wads(self.magnitude, rhs.magnitude),
+            (true, false) => SignedWad::sub_wads(rhs.magnitude, self.magnitude),
+        }
+    }
+
+    /// Signed subtraction.
+    pub fn sub(self, rhs: SignedWad) -> SignedWad {
+        self.add(rhs.neg())
+    }
+
+    /// Convert to `f64` (negative values map to negative floats).
+    pub fn to_f64(self) -> f64 {
+        let v = self.magnitude.to_f64();
+        if self.is_negative() {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+impl Neg for SignedWad {
+    type Output = SignedWad;
+    fn neg(self) -> SignedWad {
+        if self.magnitude.is_zero() {
+            SignedWad::ZERO
+        } else {
+            SignedWad {
+                negative: !self.negative,
+                magnitude: self.magnitude,
+            }
+        }
+    }
+}
+
+impl PartialEq for SignedWad {
+    fn eq(&self, other: &Self) -> bool {
+        if self.magnitude.is_zero() && other.magnitude.is_zero() {
+            return true;
+        }
+        self.negative == other.negative && self.magnitude == other.magnitude
+    }
+}
+impl Eq for SignedWad {}
+
+impl PartialOrd for SignedWad {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SignedWad {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.is_negative(), other.is_negative()) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (false, false) => self.magnitude.cmp(&other.magnitude),
+            (true, true) => other.magnitude.cmp(&self.magnitude),
+        }
+    }
+}
+
+impl Default for SignedWad {
+    fn default() -> Self {
+        SignedWad::ZERO
+    }
+}
+
+impl Sum for SignedWad {
+    fn sum<I: Iterator<Item = SignedWad>>(iter: I) -> SignedWad {
+        iter.fold(SignedWad::ZERO, |acc, x| acc.add(x))
+    }
+}
+
+impl fmt::Display for SignedWad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "-{}", self.magnitude)
+        } else {
+            write!(f, "{}", self.magnitude)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mul_small() {
+        let p = U256::full_mul(6, 7);
+        assert_eq!(p.lo, 42);
+        assert_eq!(p.hi, 0);
+    }
+
+    #[test]
+    fn full_mul_large() {
+        // (2^127) * 4 = 2^129 → hi = 2, lo = 0
+        let p = U256::full_mul(1u128 << 127, 4);
+        assert_eq!(p.hi, 2);
+        assert_eq!(p.lo, 0);
+    }
+
+    #[test]
+    fn div_roundtrip() {
+        let a = 123_456_789_u128 * WAD;
+        let b = 987_654_321_u128 * WAD;
+        let prod = U256::full_mul(a, b);
+        let q = prod.div_u128(b).unwrap();
+        assert_eq!(q, a);
+    }
+
+    #[test]
+    fn div_by_zero_rejected() {
+        assert_eq!(U256::full_mul(1, 1).div_u128(0), Err(TypeError::DivisionByZero));
+    }
+
+    #[test]
+    fn div_overflowing_quotient_rejected() {
+        let p = U256::full_mul(u128::MAX, u128::MAX);
+        assert_eq!(p.div_u128(1), Err(TypeError::Overflow));
+    }
+
+    #[test]
+    fn wad_mul_basic() {
+        let a = Wad::from_int(3);
+        let b = Wad::from_str("1.5").unwrap();
+        assert_eq!(a.checked_mul(b).unwrap(), Wad::from_str("4.5").unwrap());
+    }
+
+    #[test]
+    fn wad_div_basic() {
+        let a = Wad::from_int(1);
+        let b = Wad::from_int(3);
+        let third = a.checked_div(b).unwrap();
+        // 0.333... truncated
+        assert_eq!(third.raw(), WAD / 3);
+    }
+
+    #[test]
+    fn wad_display_and_parse() {
+        let w = Wad::from_str("3500.25").unwrap();
+        assert_eq!(w.to_string(), "3500.25");
+        assert_eq!(Wad::from_str(&w.to_string()).unwrap(), w);
+        assert_eq!(Wad::from_int(7).to_string(), "7");
+    }
+
+    #[test]
+    fn wad_parse_rejects_excess_precision() {
+        assert!(Wad::from_str("1.0000000000000000001").is_err());
+    }
+
+    #[test]
+    fn wad_from_f64_roundtrip_close() {
+        let w = Wad::from_f64(3321.75);
+        assert!((w.to_f64() - 3321.75).abs() < 1e-9);
+        assert_eq!(Wad::from_f64(-1.0), Wad::ZERO);
+        assert_eq!(Wad::from_f64(f64::NAN), Wad::ZERO);
+    }
+
+    #[test]
+    fn wad_bps() {
+        let v = Wad::from_int(10_000);
+        assert_eq!(v.bps(50), Wad::from_int(50)); // 0.5%
+        assert_eq!(v.bps(10_000), v); // 100%
+    }
+
+    #[test]
+    fn ray_compound_zero_rate() {
+        assert_eq!(Ray::ZERO.compound(1000).unwrap(), Ray::ONE);
+    }
+
+    #[test]
+    fn ray_compound_matches_naive() {
+        // 0.1% per period over 10 periods.
+        let rate = Ray::from_raw(RAY / 1000);
+        let fast = rate.compound(10).unwrap();
+        let mut naive = Ray::ONE;
+        for _ in 0..10 {
+            naive = naive.checked_mul(Ray::ONE.checked_add(rate).unwrap()).unwrap();
+        }
+        assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn signed_wad_arithmetic() {
+        let five = SignedWad::positive(Wad::from_int(5));
+        let eight = SignedWad::positive(Wad::from_int(8));
+        let diff = five.sub(eight);
+        assert!(diff.is_negative());
+        assert_eq!(diff.magnitude, Wad::from_int(3));
+        assert_eq!(diff.add(eight), five);
+        assert_eq!(SignedWad::sub_wads(Wad::from_int(2), Wad::from_int(2)), SignedWad::ZERO);
+    }
+
+    #[test]
+    fn signed_wad_ordering() {
+        let neg = SignedWad::negative(Wad::from_int(1));
+        let pos = SignedWad::positive(Wad::from_int(1));
+        assert!(neg < SignedWad::ZERO);
+        assert!(SignedWad::ZERO < pos);
+        assert!(SignedWad::negative(Wad::from_int(5)) < SignedWad::negative(Wad::from_int(1)));
+    }
+
+    #[test]
+    fn wad_saturating() {
+        assert_eq!(Wad::from_int(1).saturating_sub(Wad::from_int(2)), Wad::ZERO);
+        assert_eq!(Wad::MAX.saturating_add(Wad::ONE), Wad::MAX);
+    }
+}

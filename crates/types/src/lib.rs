@@ -1,0 +1,40 @@
+//! # defi-types
+//!
+//! Foundation value types shared by every crate in the `defi-liquidations`
+//! reproduction suite:
+//!
+//! * [`fixed`] — 18-decimal ([`Wad`]) and 27-decimal ([`Ray`]) fixed-point
+//!   arithmetic backed by a minimal internal 256-bit intermediate, mirroring
+//!   the numeric conventions of MakerDAO / Aave / Compound contracts.
+//! * [`address`] — 20-byte account/contract addresses and 32-byte hashes.
+//! * [`token`] — the token universe used in the paper's evaluation (ETH,
+//!   WBTC, DAI, USDC, …) and an asset registry.
+//! * [`time`] — block-number ⇄ timestamp ⇄ calendar-month mapping used by the
+//!   measurement pipeline (the paper reports everything by block and month).
+//! * [`error`] — the shared arithmetic/domain error type.
+//!
+//! The types are deliberately `Copy` where cheap, `serde`-serialisable, and
+//! panic-free: all arithmetic that can overflow or divide by zero has
+//! checked variants returning [`TypeError`].
+
+pub mod address;
+pub mod error;
+pub mod fixed;
+pub mod platform;
+pub mod time;
+pub mod token;
+
+pub use address::{Address, TxHash};
+pub use error::TypeError;
+pub use fixed::{Ray, SignedWad, Wad, RAY, WAD};
+pub use platform::Platform;
+pub use time::{BlockNumber, MonthTag, TimeMap, Timestamp};
+pub use token::{Token, TokenAmount, TokenInfo, TokenRegistry};
+
+/// USD value expressed as a [`Wad`] (18 decimals). The paper normalises all
+/// measurements to USD using the protocols' own oracle prices at the
+/// settlement block; we keep that convention throughout the suite.
+pub type UsdValue = Wad;
+
+/// A USD-per-token price, 18-decimal fixed point.
+pub type Price = Wad;

@@ -1,0 +1,54 @@
+//! Liquidation sensitivity to price declines — Algorithm 1 / Figure 8.
+//!
+//! Runs a short simulation to build per-platform position books, then sweeps
+//! the price decline of each platform's dominant collateral asset and prints
+//! the Figure 8 series, including the paper's reference point: the
+//! liquidatable volume under an immediate 43 % ETH decline (the magnitude of
+//! the 13 March 2020 crash).
+//!
+//! ```sh
+//! cargo run --release --example sensitivity_analysis
+//! ```
+
+use defi_liquidations_suite::analytics::sensitivity::figure8;
+use defi_liquidations_suite::core::sensitivity::liquidatable_collateral;
+use defi_liquidations_suite::sim::{SimConfig, SimulationEngine};
+use defi_liquidations_suite::types::Token;
+
+fn main() {
+    let report = SimulationEngine::new(SimConfig::smoke_test(8)).run();
+    println!(
+        "snapshot at block {}: {} platforms with open positions\n",
+        report.snapshot_block,
+        report.final_positions.len()
+    );
+
+    let sensitivity = figure8(&report.final_positions, 50);
+    for platform in &sensitivity {
+        let positions = &report.final_positions[&platform.platform];
+        if positions.is_empty() {
+            continue;
+        }
+        println!("{} — {} open borrowing positions", platform.platform.name(), positions.len());
+        for curve in &platform.curves {
+            if curve.max().is_zero() {
+                continue;
+            }
+            print!("  {:<8}", curve.token.symbol());
+            for decline in [0.1, 0.2, 0.3, 0.43, 0.6, 0.8, 1.0] {
+                print!(" {:>3.0}%:{:>10.0}", decline * 100.0, curve.at(decline).to_f64());
+            }
+            println!();
+        }
+        // The paper's headline: the 43% ETH decline of March 2020.
+        let eth_hit = liquidatable_collateral(positions, Token::ETH, 0.43);
+        println!(
+            "  -> an immediate 43% ETH decline makes {:.0} USD of collateral liquidatable\n",
+            eth_hit.to_f64()
+        );
+    }
+
+    println!(
+        "note: every platform is most sensitive to ETH, and books with multi-asset\ncollateral (Aave V2-style) lose less borrowing capacity for the same decline."
+    );
+}

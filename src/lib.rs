@@ -1,0 +1,36 @@
+//! # defi-liquidations-suite
+//!
+//! Umbrella facade over the `defi-liquidations` reproduction workspace, the
+//! Rust implementation of
+//! *An Empirical Study of DeFi Liquidations: Incentives, Risks, and
+//! Instabilities* (Qin, Zhou, Gamito, Jovanovic, Gervais — ACM IMC 2021).
+//!
+//! This crate exists so the workspace-level examples and integration tests can
+//! address every subsystem behind a single dependency. The individual crates
+//! are:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`types`] | Fixed-point arithmetic, addresses, tokens, block/time mapping |
+//! | [`chain`] | Ethereum-like blockchain simulator (blocks, gas, mempool, events, archive queries) |
+//! | [`oracle`] | Price oracles and synthetic/scripted price processes |
+//! | [`amm`] | Constant-product AMM used by flash-loan liquidators |
+//! | [`lending`] | Aave V1/V2, Compound, dYdX, MakerDAO protocol implementations and flash loans |
+//! | [`sim`] | Agent-based simulation engine and the two-year study scenario |
+//! | [`analytics`] | Measurement pipeline reproducing every table and figure |
+//! | [`core`] | The paper's contribution: liquidation models, optimal strategy, comparison methodology |
+
+pub use defi_amm as amm;
+pub use defi_analytics as analytics;
+pub use defi_chain as chain;
+pub use defi_core as core;
+pub use defi_lending as lending;
+pub use defi_oracle as oracle;
+pub use defi_sim as sim;
+pub use defi_types as types;
+
+/// Convenience prelude re-exporting the items used by almost every example.
+pub mod prelude {
+    pub use defi_core::prelude::*;
+    pub use defi_types::{Address, BlockNumber, Token, Wad};
+}

@@ -1,0 +1,259 @@
+//! Property-based tests of the core invariants, using proptest.
+//!
+//! These cover the numeric substrate (Wad arithmetic), the position model
+//! (Eqs. 1–4), the strategy layer (Algorithm 2 and Appendix C), the
+//! sensitivity algorithm (Algorithm 1), the ledger's conservation/atomicity
+//! guarantees and the AMM's constant-product invariant.
+
+use proptest::prelude::*;
+
+use defi_liquidations_suite::amm::{ConstantProductPool, PoolConfig};
+use defi_liquidations_suite::chain::Ledger;
+use defi_liquidations_suite::core::bad_debt::{classify_bad_debt, BadDebtType};
+use defi_liquidations_suite::core::config::{
+    health_factor_after_liquidation, is_sound_fixed_spread_config,
+};
+use defi_liquidations_suite::core::params::RiskParams;
+use defi_liquidations_suite::core::position::{CollateralHolding, DebtHolding, Position};
+use defi_liquidations_suite::core::sensitivity::liquidatable_collateral;
+use defi_liquidations_suite::core::strategy::{
+    optimal_liquidation, optimal_profit_closed_form, up_to_close_factor_liquidation,
+};
+use defi_liquidations_suite::prelude::*;
+
+fn wad(value: f64) -> Wad {
+    Wad::from_f64(value)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Wad multiplication/division round-trips within one unit of precision.
+    #[test]
+    fn wad_mul_div_roundtrip(a in 1u64..1_000_000_000, b in 1u64..1_000_000) {
+        let a = Wad::from_int(a);
+        let b = Wad::from_int(b);
+        let product = a.checked_mul(b).unwrap();
+        let back = product.checked_div(b).unwrap();
+        prop_assert!(back.abs_diff(a).to_f64() < 1e-9);
+    }
+
+    /// Wad addition/subtraction are exact inverses when no underflow occurs.
+    #[test]
+    fn wad_add_sub_inverse(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let a = Wad::from_int(a);
+        let b = Wad::from_int(b);
+        prop_assert_eq!((a + b) - b, a);
+    }
+
+    /// Eq. 4: scaling collateral and debt by the same factor leaves the
+    /// health factor unchanged (it is a ratio).
+    #[test]
+    fn health_factor_is_scale_invariant(
+        collateral in 1_000.0f64..10_000_000.0,
+        ratio in 0.3f64..3.0,
+        scale in 0.5f64..50.0,
+        lt in 0.4f64..0.9,
+    ) {
+        let make = |c: f64, d: f64| {
+            Position::new(Address::ZERO)
+                .with_collateral(CollateralHolding {
+                    token: Token::ETH,
+                    amount: wad(c),
+                    value_usd: wad(c),
+                    liquidation_threshold: wad(lt),
+                    liquidation_spread: wad(0.05),
+                })
+                .with_debt(DebtHolding { token: Token::DAI, amount: wad(d), value_usd: wad(d) })
+        };
+        let debt = collateral * ratio;
+        let base = make(collateral, debt).health_factor().unwrap().to_f64();
+        let scaled = make(collateral * scale, debt * scale).health_factor().unwrap().to_f64();
+        prop_assert!((base - scaled).abs() < 1e-6 * base.max(1.0));
+    }
+
+    /// Algorithm 2: whenever both strategies apply, the optimal strategy's
+    /// profit is at least the up-to-close-factor profit, matches its closed
+    /// form, and the first repayment leaves the position unhealthy.
+    #[test]
+    fn optimal_strategy_invariants(
+        collateral in 2_000.0f64..50_000_000.0,
+        hf in 0.55f64..0.999,
+        lt in 0.5f64..0.86,
+        ls in 0.02f64..0.15,
+        cf in 0.2f64..0.8,
+    ) {
+        let params = RiskParams::new(lt, ls, cf);
+        prop_assume!(is_sound_fixed_spread_config(params));
+        // Construct a debt so that HF = collateral*LT/debt equals `hf` < 1.
+        let debt = collateral * lt / hf;
+        let c = wad(collateral);
+        let d = wad(debt);
+        let base = up_to_close_factor_liquidation(c, d, params).unwrap();
+        let optimal = optimal_liquidation(c, d, params).unwrap();
+        prop_assert!(optimal.profit >= base.profit);
+        // Closed form agreement (Eq. 8) within 0.1% relative error, whenever
+        // neither the close-factor cap nor the collateral cap binds (Eq. 8
+        // assumes the unconstrained repayments of Eqs. 6–7).
+        let closed = optimal_profit_closed_form(c, d, params).to_f64();
+        let cf_cap = d.to_f64() * cf;
+        let uncapped = optimal.repay_1.to_f64() < cf_cap * 0.999
+            && optimal.collateral_claimed.to_f64() < collateral * 0.999;
+        if closed > 1.0 && uncapped {
+            prop_assert!((optimal.profit.to_f64() - closed).abs() / closed < 1e-3);
+        }
+        // The first liquidation must keep HF ≤ 1 (up to rounding dust).
+        if optimal.repay_1 < d {
+            let hf_mid = health_factor_after_liquidation(c, d, optimal.repay_1, params).unwrap();
+            prop_assert!(hf_mid.to_f64() <= 1.0 + 1e-9);
+        }
+    }
+
+    /// Appendix C: for sound configurations, a close-factor liquidation of an
+    /// over-collateralized liquidatable position increases the health factor.
+    #[test]
+    fn sound_configs_improve_health(
+        collateral in 10_000.0f64..1_000_000.0,
+        hf in 0.80f64..0.999,
+        lt in 0.5f64..0.85,
+        ls in 0.02f64..0.12,
+    ) {
+        let params = RiskParams::new(lt, ls, 0.5);
+        prop_assume!(is_sound_fixed_spread_config(params));
+        let debt = collateral * lt / hf;
+        // Only over-collateralized positions (CR > 1 + LS) are guaranteed to improve.
+        prop_assume!(collateral / debt > 1.0 + ls + 0.01);
+        let repay = wad(debt * 0.5);
+        let before = hf;
+        let after = health_factor_after_liquidation(wad(collateral), wad(debt), repay, params)
+            .unwrap()
+            .to_f64();
+        prop_assert!(after > before - 1e-9, "HF {before} -> {after} should not decrease");
+    }
+
+    /// Algorithm 1: the liquidatable collateral is monotone in the number of
+    /// positions (adding a position never reduces it) and zero for tokens not
+    /// present in any position.
+    #[test]
+    fn sensitivity_is_monotone_in_positions(
+        sizes in prop::collection::vec((5_000.0f64..500_000.0, 0.5f64..0.95), 1..20),
+        decline in 0.05f64..0.95,
+    ) {
+        let positions: Vec<Position> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, (collateral, usage))| {
+                Position::new(Address::from_seed(i as u64))
+                    .with_collateral(CollateralHolding {
+                        token: Token::ETH,
+                        amount: wad(*collateral / 3_000.0),
+                        value_usd: wad(*collateral),
+                        liquidation_threshold: wad(0.8),
+                        liquidation_spread: wad(0.05),
+                    })
+                    .with_debt(DebtHolding {
+                        token: Token::DAI,
+                        amount: wad(collateral * 0.8 * usage),
+                        value_usd: wad(collateral * 0.8 * usage),
+                    })
+            })
+            .collect();
+        let mut previous = Wad::ZERO;
+        for n in 1..=positions.len() {
+            let current = liquidatable_collateral(&positions[..n], Token::ETH, decline);
+            prop_assert!(current >= previous);
+            previous = current;
+        }
+        prop_assert_eq!(liquidatable_collateral(&positions, Token::WBTC, decline), Wad::ZERO);
+    }
+
+    /// Bad-debt classification is consistent: Type I implies CR < 1, and the
+    /// same position never classifies as both types.
+    #[test]
+    fn bad_debt_classification_is_consistent(
+        collateral in 100.0f64..100_000.0,
+        debt in 100.0f64..100_000.0,
+        fee in 1.0f64..500.0,
+    ) {
+        let position = Position::simple(
+            Address::ZERO,
+            Token::ETH,
+            wad(collateral),
+            Token::DAI,
+            wad(debt),
+            wad(0.75),
+            wad(0.08),
+        );
+        match classify_bad_debt(&position, wad(fee)) {
+            BadDebtType::TypeI => prop_assert!(collateral < debt),
+            BadDebtType::TypeII => {
+                prop_assert!(collateral >= debt);
+                prop_assert!(collateral - debt <= fee + 1e-6);
+            }
+            BadDebtType::None => prop_assert!(collateral - debt > fee - 1e-6 || debt == 0.0),
+        }
+    }
+
+    /// Ledger conservation: a sequence of transfers never changes the total
+    /// supply, and a reverted checkpoint restores every balance.
+    #[test]
+    fn ledger_conserves_supply_and_reverts(
+        transfers in prop::collection::vec((0u64..5, 0u64..5, 1u64..1_000), 1..40),
+    ) {
+        let mut ledger = Ledger::new();
+        for account in 0..5u64 {
+            ledger.mint(Address::from_seed(account), Token::DAI, Wad::from_int(10_000));
+        }
+        let supply_before = ledger.total_supply(Token::DAI);
+        let balances_before: Vec<Wad> = (0..5u64)
+            .map(|a| ledger.balance(Address::from_seed(a), Token::DAI))
+            .collect();
+
+        ledger.begin_checkpoint();
+        for (from, to, amount) in &transfers {
+            let _ = ledger.transfer(
+                Address::from_seed(*from),
+                Address::from_seed(*to),
+                Token::DAI,
+                Wad::from_int(*amount),
+            );
+        }
+        prop_assert_eq!(ledger.total_supply(Token::DAI), supply_before);
+        ledger.revert_checkpoint();
+        for (i, expected) in balances_before.iter().enumerate() {
+            prop_assert_eq!(ledger.balance(Address::from_seed(i as u64), Token::DAI), *expected);
+        }
+    }
+
+    /// AMM invariant: swaps never decrease x·y (fees make it grow), and the
+    /// output is always less than the spot value of the input.
+    #[test]
+    fn amm_constant_product_invariant(
+        eth_reserve in 100u64..100_000,
+        price in 100u64..10_000,
+        trade in 1u64..5_000,
+    ) {
+        prop_assume!(trade < eth_reserve * 10);
+        let mut ledger = Ledger::new();
+        let mut pool = ConstantProductPool::new(
+            Address::from_label("prop-pool"),
+            PoolConfig::standard(Token::ETH, Token::DAI),
+        );
+        pool.seed_liquidity(
+            &mut ledger,
+            Wad::from_int(eth_reserve),
+            Wad::from_int(eth_reserve * price),
+        );
+        let trader = Address::from_seed(1);
+        ledger.mint(trader, Token::ETH, Wad::from_int(trade));
+        let (a0, b0) = pool.reserves();
+        let k0 = a0.to_f64() * b0.to_f64();
+        let out = pool
+            .swap(&mut ledger, trader, Token::ETH, Wad::from_int(trade))
+            .unwrap();
+        let (a1, b1) = pool.reserves();
+        let k1 = a1.to_f64() * b1.to_f64();
+        prop_assert!(k1 >= k0 * 0.999_999);
+        prop_assert!(out.to_f64() <= trade as f64 * price as f64);
+    }
+}
