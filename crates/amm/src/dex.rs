@@ -85,7 +85,12 @@ impl Dex {
     }
 
     /// Quote a swap, routing through ETH when no direct pair exists.
-    pub fn quote(&self, token_in: Token, token_out: Token, amount_in: Wad) -> Result<SwapQuote, AmmError> {
+    pub fn quote(
+        &self,
+        token_in: Token,
+        token_out: Token,
+        amount_in: Wad,
+    ) -> Result<SwapQuote, AmmError> {
         if token_in == token_out {
             return Ok(SwapQuote {
                 token_in,
@@ -117,8 +122,8 @@ impl Dex {
             .ok_or(AmmError::UnsupportedToken(token_out))?;
         let eth_out = first.quote_out(token_in, amount_in)?;
         let amount_out = second.quote_out(Token::ETH, eth_out)?;
-        let impact = first.price_impact(token_in, amount_in)?
-            + second.price_impact(Token::ETH, eth_out)?;
+        let impact =
+            first.price_impact(token_in, amount_in)? + second.price_impact(Token::ETH, eth_out)?;
         Ok(SwapQuote {
             token_in,
             token_out,
@@ -143,7 +148,9 @@ impl Dex {
             return Ok(amount_in);
         }
         if self.pool_for(token_in, token_out).is_some() {
-            let pool = self.pool_for_mut(token_in, token_out).expect("checked above");
+            let pool = self
+                .pool_for_mut(token_in, token_out)
+                .expect("checked above");
             return pool.swap(ledger, trader, token_in, amount_in);
         }
         // Two hops: in -> ETH -> out.
@@ -172,15 +179,31 @@ mod tests {
     fn setup() -> (Dex, Ledger) {
         let mut dex = Dex::new();
         let mut ledger = Ledger::new();
-        dex.seed_standard_pool(&mut ledger, Token::ETH, 3_000.0, Token::DAI, 1.0, 30_000_000.0);
-        dex.seed_standard_pool(&mut ledger, Token::WBTC, 45_000.0, Token::ETH, 3_000.0, 20_000_000.0);
+        dex.seed_standard_pool(
+            &mut ledger,
+            Token::ETH,
+            3_000.0,
+            Token::DAI,
+            1.0,
+            30_000_000.0,
+        );
+        dex.seed_standard_pool(
+            &mut ledger,
+            Token::WBTC,
+            45_000.0,
+            Token::ETH,
+            3_000.0,
+            20_000_000.0,
+        );
         (dex, ledger)
     }
 
     #[test]
     fn direct_quote_uses_single_pool() {
         let (dex, _) = setup();
-        let quote = dex.quote(Token::ETH, Token::DAI, Wad::from_int(10)).unwrap();
+        let quote = dex
+            .quote(Token::ETH, Token::DAI, Wad::from_int(10))
+            .unwrap();
         assert!(!quote.via_eth);
         // ~3,000 DAI per ETH minus fee/impact.
         assert!(quote.amount_out > Wad::from_int(29_000));
@@ -190,7 +213,9 @@ mod tests {
     #[test]
     fn two_hop_quote_routes_via_eth() {
         let (dex, _) = setup();
-        let quote = dex.quote(Token::WBTC, Token::DAI, Wad::from_int(1)).unwrap();
+        let quote = dex
+            .quote(Token::WBTC, Token::DAI, Wad::from_int(1))
+            .unwrap();
         assert!(quote.via_eth);
         // 1 WBTC ≈ 45,000 DAI minus two fees and impact.
         assert!(quote.amount_out > Wad::from_int(43_000));
@@ -211,11 +236,21 @@ mod tests {
         let trader = Address::from_seed(42);
         ledger.mint(trader, Token::WBTC, Wad::from_int(2));
         let out = dex
-            .swap(&mut ledger, trader, Token::WBTC, Token::DAI, Wad::from_int(2))
+            .swap(
+                &mut ledger,
+                trader,
+                Token::WBTC,
+                Token::DAI,
+                Wad::from_int(2),
+            )
             .unwrap();
         assert_eq!(ledger.balance(trader, Token::DAI), out);
         assert_eq!(ledger.balance(trader, Token::WBTC), Wad::ZERO);
-        assert_eq!(ledger.balance(trader, Token::ETH), Wad::ZERO, "intermediate ETH fully consumed");
+        assert_eq!(
+            ledger.balance(trader, Token::ETH),
+            Wad::ZERO,
+            "intermediate ETH fully consumed"
+        );
         assert!(out > Wad::from_int(85_000));
     }
 
@@ -232,7 +267,13 @@ mod tests {
         ledger.mint(trader, Token::ETH, Wad::from_int(3));
         let quote = dex.quote(Token::ETH, Token::DAI, Wad::from_int(3)).unwrap();
         let out = dex
-            .swap(&mut ledger, trader, Token::ETH, Token::DAI, Wad::from_int(3))
+            .swap(
+                &mut ledger,
+                trader,
+                Token::ETH,
+                Token::DAI,
+                Wad::from_int(3),
+            )
             .unwrap();
         assert_eq!(quote.amount_out, out);
     }

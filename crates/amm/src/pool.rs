@@ -231,7 +231,10 @@ mod tests {
         let out = pool.quote_out(Token::ETH, Wad::from_int(10)).unwrap();
         // Spot value would be 30,000 DAI; the quote must be lower.
         assert!(out < Wad::from_int(30_000));
-        assert!(out > Wad::from_int(29_000), "impact should be ~1% for a 1% trade, got {out}");
+        assert!(
+            out > Wad::from_int(29_000),
+            "impact should be ~1% for a 1% trade, got {out}"
+        );
     }
 
     #[test]
@@ -242,7 +245,9 @@ mod tests {
         ledger.mint(trader, Token::ETH, Wad::from_int(50));
         let (ra0, rb0) = pool.reserves();
         let k0 = ra0.to_f64() * rb0.to_f64();
-        let out = pool.swap(&mut ledger, trader, Token::ETH, Wad::from_int(50)).unwrap();
+        let out = pool
+            .swap(&mut ledger, trader, Token::ETH, Wad::from_int(50))
+            .unwrap();
         assert!(!out.is_zero());
         let (ra1, rb1) = pool.reserves();
         let k1 = ra1.to_f64() * rb1.to_f64();
@@ -262,7 +267,10 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, AmmError::Ledger(_)));
         // Reserves untouched.
-        assert_eq!(pool.reserves(), (Wad::from_int(100), Wad::from_int(300_000)));
+        assert_eq!(
+            pool.reserves(),
+            (Wad::from_int(100), Wad::from_int(300_000))
+        );
     }
 
     #[test]
@@ -292,6 +300,9 @@ mod tests {
         let small = pool.price_impact(Token::ETH, Wad::from_int(1)).unwrap();
         let large = pool.price_impact(Token::ETH, Wad::from_int(200)).unwrap();
         assert!(large > small);
-        assert!(large > 0.15, "a 20% of-reserve trade should have >15% impact, got {large}");
+        assert!(
+            large > 0.15,
+            "a 20% of-reserve trade should have >15% impact, got {large}"
+        );
     }
 }

@@ -32,11 +32,8 @@ impl MeanStd {
             return MeanStd::default();
         }
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let variance = samples
-            .iter()
-            .map(|x| (x - mean) * (x - mean))
-            .sum::<f64>()
-            / samples.len() as f64;
+        let variance =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         MeanStd {
             mean,
             std_dev: variance.sqrt(),
@@ -129,9 +126,13 @@ pub fn auction_stats(
             start_block.insert(*auction_id, logged.block);
         }
     }
-    let mut bids_by_auction: BTreeMap<u64, Vec<(BlockNumber, defi_types::Address)>> = BTreeMap::new();
+    let mut bids_by_auction: BTreeMap<u64, Vec<(BlockNumber, defi_types::Address)>> =
+        BTreeMap::new();
     for logged in &bid_events {
-        if let ChainEvent::AuctionBid { auction_id, bidder, .. } = &logged.event {
+        if let ChainEvent::AuctionBid {
+            auction_id, bidder, ..
+        } = &logged.event
+        {
             bids_by_auction
                 .entry(*auction_id)
                 .or_default()

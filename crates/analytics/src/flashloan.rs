@@ -40,7 +40,11 @@ pub struct Table4 {
 
 impl Table4 {
     /// The row for a given platform/pool combination.
-    pub fn row(&self, liquidation_platform: Platform, flash_pool: Platform) -> Option<&FlashLoanUsageRow> {
+    pub fn row(
+        &self,
+        liquidation_platform: Platform,
+        flash_pool: Platform,
+    ) -> Option<&FlashLoanUsageRow> {
         self.rows
             .iter()
             .find(|r| r.liquidation_platform == liquidation_platform && r.flash_pool == flash_pool)
@@ -54,7 +58,9 @@ pub fn table4(chain: &Blockchain) -> Table4 {
     let mut liquidation_platform_by_tx: BTreeMap<_, Platform> = BTreeMap::new();
     for logged in chain.events().iter() {
         match &logged.event {
-            ChainEvent::FlashLoan { pool, amount_usd, .. } => {
+            ChainEvent::FlashLoan {
+                pool, amount_usd, ..
+            } => {
                 flash_by_tx
                     .entry(logged.tx_hash)
                     .or_default()

@@ -118,7 +118,9 @@ pub fn accumulative_collateral_sold(
 }
 
 /// Figure 5: monthly accumulated gross liquidator profit per platform.
-pub fn monthly_profit(records: &[LiquidationRecord]) -> BTreeMap<Platform, BTreeMap<MonthTag, SignedWad>> {
+pub fn monthly_profit(
+    records: &[LiquidationRecord],
+) -> BTreeMap<Platform, BTreeMap<MonthTag, SignedWad>> {
     let mut out: BTreeMap<Platform, BTreeMap<MonthTag, SignedWad>> = BTreeMap::new();
     for record in records {
         let entry = out
@@ -320,7 +322,10 @@ mod tests {
         ];
         let top = top_liquidators(&records).unwrap();
         assert_eq!(top.most_active_count, 3);
-        assert_eq!(top.most_profitable_profit, SignedWad::positive(Wad::from_int(1_000)));
+        assert_eq!(
+            top.most_profitable_profit,
+            SignedWad::positive(Wad::from_int(1_000))
+        );
         assert_eq!(top.most_profitable_count, 1);
     }
 

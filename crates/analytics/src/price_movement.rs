@@ -149,8 +149,16 @@ pub fn table7(
             pattern,
             MovementRow {
                 liquidations: count,
-                mean_max_excursion: if count > 0 { max_sum / count as f64 } else { 0.0 },
-                mean_min_excursion: if count > 0 { min_sum / count as f64 } else { 0.0 },
+                mean_max_excursion: if count > 0 {
+                    max_sum / count as f64
+                } else {
+                    0.0
+                },
+                mean_min_excursion: if count > 0 {
+                    min_sum / count as f64
+                } else {
+                    0.0
+                },
             },
         );
     }
@@ -181,7 +189,10 @@ mod tests {
     #[test]
     fn classification_patterns() {
         assert_eq!(classify_deviations(&[0.0, 0.0]), PriceMovement::Horizontal);
-        assert_eq!(classify_deviations(&[0.01, 0.02, 0.03]), PriceMovement::Rise);
+        assert_eq!(
+            classify_deviations(&[0.01, 0.02, 0.03]),
+            PriceMovement::Rise
+        );
         assert_eq!(classify_deviations(&[-0.01, -0.05]), PriceMovement::Fall);
         assert_eq!(classify_deviations(&[0.02, -0.02]), PriceMovement::RiseFall);
         assert_eq!(classify_deviations(&[-0.02, 0.02]), PriceMovement::FallRise);

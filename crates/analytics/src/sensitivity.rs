@@ -30,15 +30,14 @@ impl PlatformSensitivity {
     /// The token whose decline liquidates the most collateral (at any decline
     /// level) — ETH for every platform in the paper.
     pub fn most_sensitive_token(&self) -> Option<Token> {
-        self.curves
-            .iter()
-            .max_by_key(|c| c.max())
-            .map(|c| c.token)
+        self.curves.iter().max_by_key(|c| c.max()).map(|c| c.token)
     }
 
     /// Liquidatable collateral for a given token at a given decline.
     pub fn liquidatable_at(&self, token: Token, decline: f64) -> Wad {
-        self.curve(token).map(|c| c.at(decline)).unwrap_or(Wad::ZERO)
+        self.curve(token)
+            .map(|c| c.at(decline))
+            .unwrap_or(Wad::ZERO)
     }
 }
 
@@ -106,7 +105,10 @@ mod tests {
         assert_eq!(compound.most_sensitive_token(), Some(Token::ETH));
         // A 43% ETH decline liquidates a large share of the ETH-collateral book.
         let hit = compound.liquidatable_at(Token::ETH, 0.43);
-        assert!(hit > Wad::from_int(50_000), "expected a large liquidatable volume, got {hit}");
+        assert!(
+            hit > Wad::from_int(50_000),
+            "expected a large liquidatable volume, got {hit}"
+        );
         // An asset not in the book has no curve.
         assert!(compound.curve(Token::WBTC).is_none());
     }
@@ -156,7 +158,8 @@ mod tests {
             .unwrap();
         let decline = 0.40;
         assert!(
-            aave.liquidatable_at(Token::ETH, decline) < compound.liquidatable_at(Token::ETH, decline),
+            aave.liquidatable_at(Token::ETH, decline)
+                < compound.liquidatable_at(Token::ETH, decline),
             "diversified book should be less sensitive"
         );
     }

@@ -95,7 +95,11 @@ mod tests {
     fn stable_prices_stay_within_threshold() {
         let mut oracle = PriceOracle::new(OracleConfig::every_update());
         for block in (0..10_000u64).step_by(100) {
-            oracle.set_price(block, Token::DAI, Wad::from_f64(1.0 + (block as f64 * 1e-7)));
+            oracle.set_price(
+                block,
+                Token::DAI,
+                Wad::from_f64(1.0 + (block as f64 * 1e-7)),
+            );
             oracle.set_price(block, Token::USDC, Wad::from_f64(1.0));
             oracle.set_price(block, Token::USDT, Wad::from_f64(0.999));
         }
@@ -120,8 +124,7 @@ mod tests {
             oracle.set_price(block, Token::DAI, Wad::from_f64(dai));
             oracle.set_price(block, Token::USDC, Wad::from_f64(1.0));
         }
-        let stats =
-            stablecoin_stability(&oracle, &[Token::DAI, Token::USDC], 0, 990, 10, 0.05);
+        let stats = stablecoin_stability(&oracle, &[Token::DAI, Token::USDC], 0, 990, 10, 0.05);
         assert!(stats.max_difference > 0.10);
         assert_eq!(stats.max_difference_block, 500);
         assert!(stats.share_within_threshold < 1.0 && stats.share_within_threshold > 0.95);

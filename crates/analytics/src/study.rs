@@ -147,7 +147,10 @@ mod tests {
         // The smoke window includes the March 2020 crash, so MakerDAO
         // auctions settle and show up.
         assert!(
-            analysis.records.iter().any(|r| r.platform == Platform::MakerDao),
+            analysis
+                .records
+                .iter()
+                .any(|r| r.platform == Platform::MakerDao),
             "expected MakerDAO auction liquidations in the crash window"
         );
     }

@@ -125,7 +125,7 @@ mod tests {
         books.insert(
             Platform::Compound,
             vec![
-                liq_position(120, 100),      // liquidatable, bonus = 4 USD → unprofitable at both fees? (4<10, 4<100)
+                liq_position(120, 100), // liquidatable, bonus = 4 USD → unprofitable at both fees? (4<10, 4<100)
                 liq_position(12_000, 10_000), // liquidatable, bonus = 400 USD → profitable
                 liq_position(100_000, 10_000), // healthy
             ],

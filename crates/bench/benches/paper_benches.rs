@@ -9,7 +9,10 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::collections::BTreeMap;
 
 use defi_analytics::records::collect_records;
-use defi_analytics::{auctions, bad_debt, flashloan, gas, overall, price_movement, profit_volume, sensitivity, stablecoin, unprofitable};
+use defi_analytics::{
+    auctions, bad_debt, flashloan, gas, overall, price_movement, profit_volume, sensitivity,
+    stablecoin, unprofitable,
+};
 use defi_bench::case_study::{run_case_study, CaseStudyInput};
 use defi_core::params::RiskParams;
 use defi_core::position::{CollateralHolding, DebtHolding, Position};
@@ -67,7 +70,9 @@ fn bench_overall(c: &mut Criterion) {
     group.bench_function("fig4_accumulative", |b| {
         b.iter(|| overall::accumulative_collateral_sold(&records))
     });
-    group.bench_function("fig5_monthly_profit", |b| b.iter(|| overall::monthly_profit(&records)));
+    group.bench_function("fig5_monthly_profit", |b| {
+        b.iter(|| overall::monthly_profit(&records))
+    });
     group.finish();
 }
 
@@ -106,7 +111,9 @@ fn bench_table2_table3(c: &mut Criterion) {
 /// Table 4: flash-loan usage join.
 fn bench_table4_flash_loans(c: &mut Criterion) {
     let report = shared_report();
-    c.bench_function("table4_flash_loans", |b| b.iter(|| flashloan::table4(&report.chain)));
+    c.bench_function("table4_flash_loans", |b| {
+        b.iter(|| flashloan::table4(&report.chain))
+    });
 }
 
 /// Figure 8: Algorithm 1 sensitivity sweeps at several book sizes.
@@ -208,15 +215,35 @@ fn bench_liquidation_call(c: &mut Criterion) {
                 let lender = Address::from_seed(1);
                 ledger.mint(lender, Token::USDC, Wad::from_int(1_000_000));
                 protocol
-                    .deposit(&mut ledger, &mut events, lender, Token::USDC, Wad::from_int(1_000_000))
+                    .deposit(
+                        &mut ledger,
+                        &mut events,
+                        lender,
+                        Token::USDC,
+                        Wad::from_int(1_000_000),
+                    )
                     .unwrap();
                 let borrower = Address::from_seed(2);
                 ledger.mint(borrower, Token::ETH, Wad::from_int(3));
                 protocol
-                    .deposit(&mut ledger, &mut events, borrower, Token::ETH, Wad::from_int(3))
+                    .deposit(
+                        &mut ledger,
+                        &mut events,
+                        borrower,
+                        Token::ETH,
+                        Wad::from_int(3),
+                    )
                     .unwrap();
                 protocol
-                    .borrow(&mut ledger, &mut events, &oracle, 1, borrower, Token::USDC, Wad::from_int(8_000))
+                    .borrow(
+                        &mut ledger,
+                        &mut events,
+                        &oracle,
+                        1,
+                        borrower,
+                        Token::USDC,
+                        Wad::from_int(8_000),
+                    )
                     .unwrap();
                 let mut crash_oracle = oracle.clone();
                 crash_oracle.set_price(2, Token::ETH, Wad::from_int(3_000));
@@ -228,8 +255,16 @@ fn bench_liquidation_call(c: &mut Criterion) {
                 let mut events = Vec::new();
                 protocol
                     .liquidation_call(
-                        &mut ledger, &mut events, &crash_oracle, 2, liquidator, borrower,
-                        Token::USDC, Token::ETH, Wad::from_int(4_000), false,
+                        &mut ledger,
+                        &mut events,
+                        &crash_oracle,
+                        2,
+                        liquidator,
+                        borrower,
+                        Token::USDC,
+                        Token::ETH,
+                        Wad::from_int(4_000),
+                        false,
                     )
                     .unwrap()
             },

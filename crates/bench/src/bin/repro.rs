@@ -78,8 +78,21 @@ fn main() {
     }
 
     let needs_simulation = wanted(&[
-        "headline", "table1", "table2", "table3", "table4", "table7", "table8", "fig4", "fig5",
-        "fig6", "fig7", "fig8", "fig9", "auction-stats", "stablecoins",
+        "headline",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table7",
+        "table8",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "auction-stats",
+        "stablecoins",
     ]);
     if !needs_simulation {
         return;

@@ -198,7 +198,10 @@ pub fn run_case_study(input: &CaseStudyInput) -> CaseStudy {
         }
     };
 
-    let original = row("original liquidation", Wad::from_f64(input.original_repay_usd));
+    let original = row(
+        "original liquidation",
+        Wad::from_f64(input.original_repay_usd),
+    );
     let up_to_close = row("up-to-close-factor", comparison.up_to_close_factor.repay_1);
     let optimal_1 = row("optimal: liquidation 1", optimal.repay_1);
     let optimal_2 = row("optimal: liquidation 2", optimal.repay_2);
@@ -215,7 +218,9 @@ pub fn run_case_study(input: &CaseStudyInput) -> CaseStudy {
         optimal: optimal_total,
         optimal_step_1: optimal_1,
         optimal_step_2: optimal_2,
-        optimal_advantage_over_original: optimal_total.profit_usd.saturating_sub(original.profit_usd),
+        optimal_advantage_over_original: optimal_total
+            .profit_usd
+            .saturating_sub(original.profit_usd),
         predicted_increase_rate: comparison.predicted_increase_rate.unwrap_or(0.0),
     };
 
@@ -267,23 +272,57 @@ pub fn execute_on_compound(input: &CaseStudyInput) -> (Wad, Wad) {
         for token in [Token::DAI, Token::USDC] {
             ledger.mint(lender, token, Wad::from_f64(500_000_000.0));
             protocol
-                .deposit(&mut ledger, &mut events, lender, token, Wad::from_f64(400_000_000.0))
+                .deposit(
+                    &mut ledger,
+                    &mut events,
+                    lender,
+                    token,
+                    Wad::from_f64(400_000_000.0),
+                )
                 .expect("lender deposit");
         }
         // The borrower's collateral and debt.
         ledger.mint(borrower, Token::DAI, Wad::from_f64(input.dai_collateral));
         ledger.mint(borrower, Token::USDC, Wad::from_f64(input.usdc_collateral));
         protocol
-            .deposit(&mut ledger, &mut events, borrower, Token::DAI, Wad::from_f64(input.dai_collateral))
+            .deposit(
+                &mut ledger,
+                &mut events,
+                borrower,
+                Token::DAI,
+                Wad::from_f64(input.dai_collateral),
+            )
             .expect("DAI collateral");
         protocol
-            .deposit(&mut ledger, &mut events, borrower, Token::USDC, Wad::from_f64(input.usdc_collateral))
+            .deposit(
+                &mut ledger,
+                &mut events,
+                borrower,
+                Token::USDC,
+                Wad::from_f64(input.usdc_collateral),
+            )
             .expect("USDC collateral");
         protocol
-            .borrow(&mut ledger, &mut events, &oracle, 1, borrower, Token::DAI, Wad::from_f64(input.dai_debt))
+            .borrow(
+                &mut ledger,
+                &mut events,
+                &oracle,
+                1,
+                borrower,
+                Token::DAI,
+                Wad::from_f64(input.dai_debt),
+            )
             .expect("DAI debt");
         protocol
-            .borrow(&mut ledger, &mut events, &oracle, 1, borrower, Token::USDC, Wad::from_f64(input.usdc_debt))
+            .borrow(
+                &mut ledger,
+                &mut events,
+                &oracle,
+                1,
+                borrower,
+                Token::USDC,
+                Wad::from_f64(input.usdc_debt),
+            )
             .expect("USDC debt");
         // The oracle update that tips the position over.
         oracle.set_price(2, Token::DAI, Wad::from_f64(input.dai_price_after));
@@ -298,8 +337,16 @@ pub fn execute_on_compound(input: &CaseStudyInput) -> (Wad, Wad) {
         ledger.mint(liquidator, Token::DAI, Wad::from_f64(input.dai_debt));
         let receipt = protocol
             .liquidation_call(
-                &mut ledger, &mut events, &oracle, 3, liquidator, borrower,
-                Token::DAI, Token::DAI, Wad::from_f64(input.dai_debt * input.close_factor), false,
+                &mut ledger,
+                &mut events,
+                &oracle,
+                3,
+                liquidator,
+                borrower,
+                Token::DAI,
+                Token::DAI,
+                Wad::from_f64(input.dai_debt * input.close_factor),
+                false,
             )
             .expect("close-factor liquidation");
         receipt.gross_profit_usd()
@@ -326,14 +373,30 @@ pub fn execute_on_compound(input: &CaseStudyInput) -> (Wad, Wad) {
         let repay_2_tokens = plan.repay_2.checked_div(dai_price).unwrap();
         let r1 = protocol
             .liquidation_call(
-                &mut ledger, &mut events, &oracle, 3, liquidator, borrower,
-                Token::DAI, Token::DAI, repay_1_tokens, false,
+                &mut ledger,
+                &mut events,
+                &oracle,
+                3,
+                liquidator,
+                borrower,
+                Token::DAI,
+                Token::DAI,
+                repay_1_tokens,
+                false,
             )
             .expect("optimal step 1");
         let r2 = protocol
             .liquidation_call(
-                &mut ledger, &mut events, &oracle, 4, liquidator, borrower,
-                Token::DAI, Token::DAI, repay_2_tokens, false,
+                &mut ledger,
+                &mut events,
+                &oracle,
+                4,
+                liquidator,
+                borrower,
+                Token::DAI,
+                Token::DAI,
+                repay_2_tokens,
+                false,
             )
             .expect("optimal step 2");
         r1.gross_profit_usd().saturating_add(r2.gross_profit_usd())
@@ -385,7 +448,10 @@ mod tests {
         let study = run_case_study(&CaseStudyInput::default());
         let threshold = study.mitigation_mining_power_threshold.unwrap();
         // The paper reports 99.68% for this position.
-        assert!(threshold > 0.95, "threshold {threshold} should be close to 1");
+        assert!(
+            threshold > 0.95,
+            "threshold {threshold} should be close to 1"
+        );
         assert!(threshold <= 1.01);
     }
 
@@ -398,7 +464,12 @@ mod tests {
         // relative error (interest accrual between the two blocks of the
         // optimal strategy adds a negligible amount).
         let rel = |a: Wad, b: Wad| (a.to_f64() - b.to_f64()).abs() / b.to_f64();
-        assert!(rel(close_factor_profit, study.table6.up_to_close_factor.profit_usd) < 0.01);
+        assert!(
+            rel(
+                close_factor_profit,
+                study.table6.up_to_close_factor.profit_usd
+            ) < 0.01
+        );
         assert!(rel(optimal_profit, study.table6.optimal.profit_usd) < 0.01);
         assert!(optimal_profit > close_factor_profit);
     }

@@ -32,10 +32,22 @@ pub fn render_headline(analysis: &StudyAnalysis) -> String {
     let h = &analysis.headline;
     let mut out = String::new();
     out.push_str("== Overall statistics (paper §4.2 / §4.3.1) ==\n");
-    out.push_str(&format!("  liquidations:              {}\n", h.liquidation_count));
-    out.push_str(&format!("  unique liquidators:        {}\n", h.liquidator_count));
-    out.push_str(&format!("  collateral sold:           {}\n", usd(h.total_collateral_sold)));
-    out.push_str(&format!("  total liquidator profit:   {}\n", signed_usd(h.total_profit)));
+    out.push_str(&format!(
+        "  liquidations:              {}\n",
+        h.liquidation_count
+    ));
+    out.push_str(&format!(
+        "  unique liquidators:        {}\n",
+        h.liquidator_count
+    ));
+    out.push_str(&format!(
+        "  collateral sold:           {}\n",
+        usd(h.total_collateral_sold)
+    ));
+    out.push_str(&format!(
+        "  total liquidator profit:   {}\n",
+        signed_usd(h.total_profit)
+    ));
     out.push_str(&format!(
         "  unprofitable liquidations: {} (loss {})\n",
         h.unprofitable_liquidations,
@@ -84,7 +96,8 @@ pub fn render_table1(analysis: &StudyAnalysis) -> String {
 
 /// Figure 4: cumulative liquidated collateral (final values plus a coarse series).
 pub fn render_figure4(analysis: &StudyAnalysis) -> String {
-    let mut out = String::from("== Figure 4: accumulative collateral sold through liquidation ==\n");
+    let mut out =
+        String::from("== Figure 4: accumulative collateral sold through liquidation ==\n");
     for (platform, series) in &analysis.figure4 {
         let total = series.last().map(|p| p.cumulative_usd).unwrap_or(Wad::ZERO);
         out.push_str(&format!("  {:<10} final {}\n", platform.name(), usd(total)));
@@ -148,7 +161,11 @@ pub fn render_figure6(analysis: &StudyAnalysis) -> String {
             point.block,
             point.gas_price,
             point.average_gas_price,
-            if point.above_average { "above" } else { "below" }
+            if point.above_average {
+                "above"
+            } else {
+                "below"
+            }
         ));
     }
     out
@@ -164,7 +181,10 @@ pub fn render_auctions(analysis: &StudyAnalysis) -> String {
         a.terminated_in_tend,
         a.terminated_in_dent
     ));
-    out.push_str(&format!("  average bidders per auction: {:.2}\n", a.average_bidders));
+    out.push_str(&format!(
+        "  average bidders per auction: {:.2}\n",
+        a.average_bidders
+    ));
     out.push_str(&format!(
         "  bids per auction: {:.2} ± {:.2} (tend {:.2} ± {:.2}, dent {:.2} ± {:.2})\n",
         a.bids_per_auction.mean,
@@ -219,8 +239,9 @@ pub fn render_table2(analysis: &StudyAnalysis) -> String {
 
 /// Table 3.
 pub fn render_table3(analysis: &StudyAnalysis) -> String {
-    let mut out =
-        String::from("== Table 3: unprofitable liquidation opportunities at the snapshot block ==\n");
+    let mut out = String::from(
+        "== Table 3: unprofitable liquidation opportunities at the snapshot block ==\n",
+    );
     out.push_str(&format!(
         "{:<12} {:>26} {:>26}\n",
         "Platform", "fee <= 10 USD", "fee <= 100 USD"
@@ -320,7 +341,10 @@ pub fn render_figure9(analysis: &StudyAnalysis) -> String {
     for (platform, ratio) in analysis.figure9.ranking(3) {
         out.push_str(&format!("    {:<10} {:.3e}\n", platform.name(), ratio));
     }
-    if let Some(answer) = analysis.figure9.auction_favours_borrowers_vs(Platform::DyDx, 3) {
+    if let Some(answer) = analysis
+        .figure9
+        .auction_favours_borrowers_vs(Platform::DyDx, 3)
+    {
         out.push_str(&format!(
             "  auction (MakerDAO) more borrower-friendly than dYdX: {answer}\n"
         ));
@@ -339,7 +363,10 @@ pub fn render_table8(analysis: &StudyAnalysis) -> String {
     for (month, by_platform) in &analysis.table8.counts {
         out.push_str(&format!("{:<9}", month.to_string()));
         for platform in Platform::ALL {
-            out.push_str(&format!(" {:>10}", by_platform.get(&platform).copied().unwrap_or(0)));
+            out.push_str(&format!(
+                " {:>10}",
+                by_platform.get(&platform).copied().unwrap_or(0)
+            ));
         }
         out.push('\n');
     }
@@ -373,13 +400,15 @@ pub fn render_table7(analysis: &StudyAnalysis) -> String {
 pub fn render_case_study(study: &CaseStudy) -> String {
     let t5 = &study.table5;
     let t6 = &study.table6;
-    let mut out = String::from("== Table 5: case-study position (block 11,333,036 → 11,333,037) ==\n");
+    let mut out =
+        String::from("== Table 5: case-study position (block 11,333,036 → 11,333,037) ==\n");
     out.push_str(&format!(
         "  collateral: {} DAI + {} USDC\n  debt:       {} DAI + {} USDC\n",
         t5.dai_collateral, t5.usdc_collateral, t5.dai_debt, t5.usdc_debt
     ));
     out.push_str(&format!(
-        "  DAI price {} -> {}\n", t5.dai_price_before, t5.dai_price_after
+        "  DAI price {} -> {}\n",
+        t5.dai_price_before, t5.dai_price_after
     ));
     out.push_str(&format!(
         "  total collateral {} -> {}\n  borrowing capacity (after) {}\n  total debt {} -> {}\n  health factor after update: {}\n",
@@ -391,7 +420,13 @@ pub fn render_case_study(study: &CaseStudy) -> String {
         t5.health_factor_after
     ));
     out.push_str("== Table 6: liquidation strategies ==\n");
-    for row in [t6.original, t6.up_to_close_factor, t6.optimal_step_1, t6.optimal_step_2, t6.optimal] {
+    for row in [
+        t6.original,
+        t6.up_to_close_factor,
+        t6.optimal_step_1,
+        t6.optimal_step_2,
+        t6.optimal,
+    ] {
         out.push_str(&format!(
             "  {:<24} repay {:>14}  receive {:>14}  profit {:>12}\n",
             row.label,
@@ -435,6 +470,9 @@ mod tests {
         assert_eq!(usd(Wad::from_int(2_500_000)), "2.50M USD");
         assert_eq!(usd(Wad::from_f64(3.25)), "3.25 USD");
         assert_eq!(usd(Wad::from_int(7_000_000_000)), "7.00B USD");
-        assert_eq!(signed_usd(SignedWad::negative(Wad::from_int(5_000))), "-5.00K USD");
+        assert_eq!(
+            signed_usd(SignedWad::negative(Wad::from_int(5_000))),
+            "-5.00K USD"
+        );
     }
 }

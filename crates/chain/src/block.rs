@@ -69,8 +69,8 @@ mod tests {
             sender: Address::from_seed(1),
             block: 1,
             index: 0,
-            gas_price: 100,          // gwei
-            gas_used: 1_000_000,     // gas
+            gas_price: 100,      // gwei
+            gas_used: 1_000_000, // gas
             success: true,
             label: "test".to_string(),
             events: Vec::new(),

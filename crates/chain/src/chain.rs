@@ -334,7 +334,10 @@ mod tests {
         });
 
         assert!(outcome.is_success());
-        assert_eq!(chain.ledger().balance(addr(2), Token::DAI), Wad::from_int(40));
+        assert_eq!(
+            chain.ledger().balance(addr(2), Token::DAI),
+            Wad::from_int(40)
+        );
         assert_eq!(chain.events().len(), 1);
         assert_eq!(chain.recent_receipts().len(), 1);
     }
@@ -356,7 +359,10 @@ mod tests {
         });
 
         assert!(!outcome.is_success());
-        assert_eq!(chain.ledger().balance(addr(1), Token::DAI), Wad::from_int(100));
+        assert_eq!(
+            chain.ledger().balance(addr(1), Token::DAI),
+            Wad::from_int(100)
+        );
         assert_eq!(chain.ledger().balance(addr(2), Token::DAI), Wad::ZERO);
         assert!(chain.events().is_empty());
         // The failed transaction still produced a receipt (it paid gas).
@@ -380,8 +386,14 @@ mod tests {
     #[test]
     fn tx_hashes_are_unique() {
         let mut chain = Blockchain::default();
-        let a = chain.execute(addr(1), 10, 21_000, "a", |_| Ok(())).receipt.hash;
-        let b = chain.execute(addr(1), 10, 21_000, "b", |_| Ok(())).receipt.hash;
+        let a = chain
+            .execute(addr(1), 10, 21_000, "a", |_| Ok(()))
+            .receipt
+            .hash;
+        let b = chain
+            .execute(addr(1), 10, 21_000, "b", |_| Ok(()))
+            .receipt
+            .hash;
         assert_ne!(a, b);
     }
 

@@ -57,7 +57,8 @@ impl LiquidationEvent {
     /// (the paper assumes "the purchased collateral is immediately sold …
     /// at the price given by the price oracle", §4.3.1).
     pub fn gross_profit_usd(&self) -> Wad {
-        self.collateral_seized_usd.saturating_sub(self.debt_repaid_usd)
+        self.collateral_seized_usd
+            .saturating_sub(self.debt_repaid_usd)
     }
 }
 
@@ -356,10 +357,12 @@ impl EventLog {
 
     /// Convenience: all fixed-spread liquidation events.
     pub fn liquidations(&self) -> impl Iterator<Item = (&LoggedEvent, &LiquidationEvent)> {
-        self.entries.iter().filter_map(|logged| match &logged.event {
-            ChainEvent::Liquidation(ev) => Some((logged, ev)),
-            _ => None,
-        })
+        self.entries
+            .iter()
+            .filter_map(|logged| match &logged.event {
+                ChainEvent::Liquidation(ev) => Some((logged, ev)),
+                _ => None,
+            })
     }
 }
 
@@ -415,17 +418,16 @@ mod tests {
 
         assert_eq!(log.query(&EventFilter::any()).len(), 3);
         assert_eq!(
-            log.query(&EventFilter::any().kind(EventKind::Liquidation)).len(),
+            log.query(&EventFilter::any().kind(EventKind::Liquidation))
+                .len(),
             2
         );
         assert_eq!(
-            log.query(&EventFilter::any().platform(Platform::DyDx)).len(),
+            log.query(&EventFilter::any().platform(Platform::DyDx))
+                .len(),
             1
         );
-        assert_eq!(
-            log.query(&EventFilter::any().block_range(15, 35)).len(),
-            2
-        );
+        assert_eq!(log.query(&EventFilter::any().block_range(15, 35)).len(), 2);
         assert_eq!(log.liquidations().count(), 2);
     }
 

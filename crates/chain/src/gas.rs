@@ -239,7 +239,10 @@ mod tests {
         let market = GasMarket::new(GasMarketConfig::paper_study());
         let early = market.baseline(8_000_000);
         let late = market.baseline(12_000_000);
-        assert!(late > early * 2.0, "late baseline {late} should exceed early {early}");
+        assert!(
+            late > early * 2.0,
+            "late baseline {late} should exceed early {early}"
+        );
     }
 
     #[test]
@@ -295,7 +298,10 @@ mod tests {
         let mut market = GasMarket::new(GasMarketConfig::paper_study());
         for block in (7_500_000..12_344_944).step_by(10_000) {
             let p = market.advance(block);
-            assert!(p >= 1 && p <= 100_000, "price {p} out of range at block {block}");
+            assert!(
+                (1..=100_000).contains(&p),
+                "price {p} out of range at block {block}"
+            );
         }
     }
 }

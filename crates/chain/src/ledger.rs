@@ -230,7 +230,11 @@ mod tests {
             .transfer(addr(1), addr(2), Token::ETH, Wad::from_int(2))
             .unwrap_err();
         match err {
-            LedgerError::InsufficientBalance { requested, available, .. } => {
+            LedgerError::InsufficientBalance {
+                requested,
+                available,
+                ..
+            } => {
                 assert_eq!(requested, Wad::from_int(2));
                 assert_eq!(available, Wad::from_int(1));
             }
@@ -245,7 +249,9 @@ mod tests {
         ledger.mint(addr(1), Token::DAI, Wad::from_int(10));
         ledger.begin_checkpoint();
         ledger.mint(addr(1), Token::DAI, Wad::from_int(90));
-        ledger.transfer(addr(1), addr(2), Token::DAI, Wad::from_int(50)).unwrap();
+        ledger
+            .transfer(addr(1), addr(2), Token::DAI, Wad::from_int(50))
+            .unwrap();
         ledger.revert_checkpoint();
         assert_eq!(ledger.balance(addr(1), Token::DAI), Wad::from_int(10));
         assert_eq!(ledger.balance(addr(2), Token::DAI), Wad::ZERO);

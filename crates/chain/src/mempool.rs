@@ -98,7 +98,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -254,12 +255,7 @@ mod tests {
         assert!(!included.is_empty());
         // Included prices should all be >= the max excluded price.
         let min_included = included.iter().map(|t| t.gas_price).min().unwrap();
-        let max_pending = pool
-            .pending
-            .iter()
-            .map(|t| t.gas_price)
-            .max()
-            .unwrap_or(0);
+        let max_pending = pool.pending.iter().map(|t| t.gas_price).max().unwrap_or(0);
         assert!(min_included >= max_pending);
     }
 

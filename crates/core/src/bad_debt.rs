@@ -73,8 +73,8 @@ pub fn is_unprofitable_liquidation(
         .max_by_key(|c| c.value_usd)
         .map(|c| c.liquidation_spread)
         .unwrap_or(Wad::ZERO);
-    let claim = Position::collateral_to_claim(repayable, spread)
-        .min(position.total_collateral_value());
+    let claim =
+        Position::collateral_to_claim(repayable, spread).min(position.total_collateral_value());
     let bonus = claim.saturating_sub(repayable);
     bonus <= transaction_fee_usd
 }
@@ -104,7 +104,10 @@ impl BadDebtSummary {
 
 /// Measure Type I and Type II bad debts over a position book at a given
 /// closing cost, as in Table 2.
-pub fn measure_bad_debts(positions: &[Position], close_cost_usd: Wad) -> (BadDebtSummary, BadDebtSummary) {
+pub fn measure_bad_debts(
+    positions: &[Position],
+    close_cost_usd: Wad,
+) -> (BadDebtSummary, BadDebtSummary) {
     let mut type_1 = BadDebtSummary::default();
     let mut type_2 = BadDebtSummary::default();
     let with_debt: Vec<&Position> = positions
@@ -179,7 +182,10 @@ mod tests {
             BadDebtType::None
         );
         let no_debt = Position::new(Address::ZERO);
-        assert_eq!(classify_bad_debt(&no_debt, Wad::from_int(100)), BadDebtType::None);
+        assert_eq!(
+            classify_bad_debt(&no_debt, Wad::from_int(100)),
+            BadDebtType::None
+        );
     }
 
     #[test]
@@ -199,14 +205,30 @@ mod tests {
         // = 4 USD < 100 USD fee → unprofitable.
         let small = pos(110, 100);
         assert!(small.is_liquidatable());
-        assert!(is_unprofitable_liquidation(&small, Wad::from_f64(0.5), Wad::from_int(100)));
-        assert!(!is_unprofitable_liquidation(&small, Wad::from_f64(0.5), Wad::from_f64(1.0)));
+        assert!(is_unprofitable_liquidation(
+            &small,
+            Wad::from_f64(0.5),
+            Wad::from_int(100)
+        ));
+        assert!(!is_unprofitable_liquidation(
+            &small,
+            Wad::from_f64(0.5),
+            Wad::from_f64(1.0)
+        ));
         // Large liquidatable position: bonus is thousands of USD → profitable.
         let large = pos(110_000, 100_000);
-        assert!(!is_unprofitable_liquidation(&large, Wad::from_f64(0.5), Wad::from_int(100)));
+        assert!(!is_unprofitable_liquidation(
+            &large,
+            Wad::from_f64(0.5),
+            Wad::from_int(100)
+        ));
         // A healthy position is never an "unprofitable liquidation".
         let healthy = pos(200, 100);
-        assert!(!is_unprofitable_liquidation(&healthy, Wad::from_f64(0.5), Wad::from_int(100)));
+        assert!(!is_unprofitable_liquidation(
+            &healthy,
+            Wad::from_f64(0.5),
+            Wad::from_int(100)
+        ));
     }
 
     #[test]

@@ -145,7 +145,11 @@ impl MechanismComparison {
     /// auction-based platform (MakerDAO) show a lower median ratio than the
     /// fixed-spread platform given, i.e. is the auction more favourable to
     /// borrowers?
-    pub fn auction_favours_borrowers_vs(&self, fixed_spread: Platform, min_liquidations: u32) -> Option<bool> {
+    pub fn auction_favours_borrowers_vs(
+        &self,
+        fixed_spread: Platform,
+        min_liquidations: u32,
+    ) -> Option<bool> {
         let medians = self.median_ratio_by_platform(min_liquidations);
         let maker = medians.get(&Platform::MakerDao)?;
         let other = medians.get(&fixed_spread)?;
@@ -157,7 +161,13 @@ impl MechanismComparison {
 mod tests {
     use super::*;
 
-    fn obs(platform: Platform, month: (u32, u8), profit: u64, volume: u64, count: u32) -> ProfitVolumeRatio {
+    fn obs(
+        platform: Platform,
+        month: (u32, u8),
+        profit: u64,
+        volume: u64,
+        count: u32,
+    ) -> ProfitVolumeRatio {
         ProfitVolumeRatio {
             month: MonthTag::new(month.0, month.1),
             platform,
@@ -186,8 +196,14 @@ mod tests {
         let ranking = cmp.ranking(1);
         assert_eq!(ranking[0].0, Platform::MakerDao);
         assert_eq!(ranking.last().unwrap().0, Platform::DyDx);
-        assert_eq!(cmp.auction_favours_borrowers_vs(Platform::Compound, 1), Some(true));
-        assert_eq!(cmp.auction_favours_borrowers_vs(Platform::DyDx, 1), Some(true));
+        assert_eq!(
+            cmp.auction_favours_borrowers_vs(Platform::Compound, 1),
+            Some(true)
+        );
+        assert_eq!(
+            cmp.auction_favours_borrowers_vs(Platform::DyDx, 1),
+            Some(true)
+        );
     }
 
     #[test]

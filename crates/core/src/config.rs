@@ -83,9 +83,13 @@ mod tests {
     #[test]
     fn unsound_config_detected() {
         // LT 0.95 with LS 10%: 0.95 * 1.10 = 1.045 ≥ 1.
-        assert!(!is_sound_fixed_spread_config(RiskParams::new(0.95, 0.10, 0.5)));
+        assert!(!is_sound_fixed_spread_config(RiskParams::new(
+            0.95, 0.10, 0.5
+        )));
         // Boundary: LT(1+LS) exactly 1 is not sound (strict inequality).
-        assert!(!is_sound_fixed_spread_config(RiskParams::new(0.8, 0.25, 0.5)));
+        assert!(!is_sound_fixed_spread_config(RiskParams::new(
+            0.8, 0.25, 0.5
+        )));
     }
 
     #[test]
@@ -117,8 +121,7 @@ mod tests {
             .unwrap()
             .checked_div(d)
             .unwrap();
-        let hf_after =
-            health_factor_after_liquidation(c, d, Wad::from_int(4_200), params).unwrap();
+        let hf_after = health_factor_after_liquidation(c, d, Wad::from_int(4_200), params).unwrap();
         assert!(hf_after > hf_before);
     }
 

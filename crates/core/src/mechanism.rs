@@ -46,8 +46,8 @@ impl AuctionParams {
     /// that proved fragile under congestion.
     pub fn maker_pre_march_2020() -> Self {
         AuctionParams {
-            auction_length_blocks: 4 * 240,  // ~4 hours
-            bid_duration_blocks: 40,         // ~10 minutes
+            auction_length_blocks: 4 * 240, // ~4 hours
+            bid_duration_blocks: 40,        // ~10 minutes
             min_bid_increment: 0.03,
             liquidation_penalty: Wad::from_f64(0.13),
         }
@@ -58,8 +58,8 @@ impl AuctionParams {
     /// Figure 7.
     pub fn maker_post_march_2020() -> Self {
         AuctionParams {
-            auction_length_blocks: 6 * 240,  // ~6 hours
-            bid_duration_blocks: 6 * 240,    // ~6 hours
+            auction_length_blocks: 6 * 240, // ~6 hours
+            bid_duration_blocks: 6 * 240,   // ~6 hours
             min_bid_increment: 0.03,
             liquidation_penalty: Wad::from_f64(0.13),
         }
@@ -79,7 +79,9 @@ impl LiquidationMechanism {
     /// The mechanism a platform used during the study window.
     pub fn of_platform(platform: Platform) -> Self {
         match platform {
-            Platform::MakerDao => LiquidationMechanism::Auction(AuctionParams::maker_post_march_2020()),
+            Platform::MakerDao => {
+                LiquidationMechanism::Auction(AuctionParams::maker_post_march_2020())
+            }
             other => LiquidationMechanism::FixedSpread(FixedSpreadParams {
                 risk: RiskParams::platform_default(other),
             }),

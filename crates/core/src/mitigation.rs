@@ -92,7 +92,9 @@ impl MitigationAnalysis {
             profit_close_factor: close_factor.profit.to_f64(),
             profit_optimal_1: p1,
             profit_optimal_2: p2,
-            mining_power_threshold: optimal_strategy_mining_power_threshold(collateral, debt, params),
+            mining_power_threshold: optimal_strategy_mining_power_threshold(
+                collateral, debt, params,
+            ),
         })
     }
 
@@ -132,7 +134,10 @@ mod tests {
         let debt = Wad::from_int(8_400); // HF = 0.998
         let threshold =
             optimal_strategy_mining_power_threshold(collateral, debt, params()).unwrap();
-        assert!(threshold > 0.95, "threshold should be near 1, got {threshold}");
+        assert!(
+            threshold > 0.95,
+            "threshold should be near 1, got {threshold}"
+        );
     }
 
     #[test]
@@ -151,8 +156,12 @@ mod tests {
 
     #[test]
     fn healthy_position_has_no_analysis() {
-        assert!(MitigationAnalysis::evaluate(Wad::from_int(20_000), Wad::from_int(8_000), params())
-            .is_none());
+        assert!(MitigationAnalysis::evaluate(
+            Wad::from_int(20_000),
+            Wad::from_int(8_000),
+            params()
+        )
+        .is_none());
     }
 
     #[test]

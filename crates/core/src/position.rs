@@ -174,12 +174,16 @@ impl Position {
 
     /// Whether the position holds collateral in `token`.
     pub fn has_collateral_in(&self, token: Token) -> bool {
-        self.collateral.iter().any(|c| c.token == token && !c.value_usd.is_zero())
+        self.collateral
+            .iter()
+            .any(|c| c.token == token && !c.value_usd.is_zero())
     }
 
     /// Whether the position owes debt in `token`.
     pub fn has_debt_in(&self, token: Token) -> bool {
-        self.debt.iter().any(|d| d.token == token && !d.value_usd.is_zero())
+        self.debt
+            .iter()
+            .any(|d| d.token == token && !d.value_usd.is_zero())
     }
 
     /// USD value of the collateral held in `token` (0 if none).
@@ -212,7 +216,11 @@ impl Position {
 /// and documentation: 3 ETH of collateral at 3,500 USD, LT = 0.8, a debt of
 /// 8,400 USDC, followed by an ETH price decline to 3,300 USD.
 pub fn paper_walkthrough_position(after_price_decline: bool) -> Position {
-    let eth_price = if after_price_decline { 3_300.0 } else { 3_500.0 };
+    let eth_price = if after_price_decline {
+        3_300.0
+    } else {
+        3_500.0
+    };
     let collateral_value = Wad::from_f64(3.0 * eth_price);
     Position::new(Address::from_label("paper-example-borrower"))
         .with_collateral(CollateralHolding {
@@ -253,7 +261,10 @@ mod tests {
         assert!(hf < Wad::ONE);
         assert!(hf > Wad::from_f64(0.93) && hf < Wad::from_f64(0.95));
         assert!(pos.is_liquidatable());
-        assert!(!pos.is_under_collateralized(), "still over-collateralized (CR > 1)");
+        assert!(
+            !pos.is_under_collateralized(),
+            "still over-collateralized (CR > 1)"
+        );
     }
 
     #[test]

@@ -43,11 +43,7 @@ pub fn liquidatable_collateral(positions: &[Position], target: Token, decline: f
 
         // Borrowing capacity after the decline: Σ C_c·LT_c − C_ℭ·LT_ℭ·d.
         let mut capacity_after = position.borrowing_capacity();
-        for holding in position
-            .collateral
-            .iter()
-            .filter(|c| c.token == target)
-        {
+        for holding in position.collateral.iter().filter(|c| c.token == target) {
             let haircut = holding
                 .value_usd
                 .checked_mul(holding.liquidation_threshold)
@@ -158,7 +154,10 @@ mod tests {
     fn healthy_position_needs_a_decline_to_become_liquidatable() {
         // BC = 10,000 * 0.8 = 8,000 > 6,000 debt → healthy at 0 % decline.
         let positions = vec![eth_position(10_000, 6_000, 0.8)];
-        assert_eq!(liquidatable_collateral(&positions, Token::ETH, 0.0), Wad::ZERO);
+        assert_eq!(
+            liquidatable_collateral(&positions, Token::ETH, 0.0),
+            Wad::ZERO
+        );
         // At 30%: collateral 7,000, BC 5,600 < 6,000 → liquidatable, counted
         // at the declined collateral value 7,000.
         assert_eq!(
@@ -206,7 +205,7 @@ mod tests {
             });
         for decline in [0.1, 0.5, 0.9] {
             assert_eq!(
-                liquidatable_collateral(&[position.clone()], Token::ETH, decline),
+                liquidatable_collateral(std::slice::from_ref(&position), Token::ETH, decline),
                 Wad::ZERO,
                 "decline {decline}"
             );
@@ -258,10 +257,8 @@ mod tests {
                 value_usd: Wad::from_int(6_000),
             });
         let decline = 0.40;
-        let concentrated_hit =
-            liquidatable_collateral(&[concentrated], Token::ETH, decline);
-        let diversified_hit =
-            liquidatable_collateral(&[diversified], Token::ETH, decline);
+        let concentrated_hit = liquidatable_collateral(&[concentrated], Token::ETH, decline);
+        let diversified_hit = liquidatable_collateral(&[diversified], Token::ETH, decline);
         assert!(!concentrated_hit.is_zero());
         assert!(diversified_hit.is_zero());
     }

@@ -260,7 +260,9 @@ mod tests {
             params()
         )
         .is_none());
-        assert!(optimal_liquidation(Wad::from_int(20_000), Wad::from_int(8_400), params()).is_none());
+        assert!(
+            optimal_liquidation(Wad::from_int(20_000), Wad::from_int(8_400), params()).is_none()
+        );
     }
 
     #[test]
@@ -270,14 +272,21 @@ mod tests {
         let outcome = optimal_liquidation(c, d, params()).unwrap();
         // After repay_1 the position must still be liquidatable (HF < 1, up to rounding).
         let (c1, d1) = apply_liquidation(c, d, outcome.repay_1, params().liquidation_spread);
-        let hf = c1.checked_mul(params().liquidation_threshold).unwrap()
+        let hf = c1
+            .checked_mul(params().liquidation_threshold)
+            .unwrap()
             .checked_div(d1)
             .unwrap();
-        assert!(hf <= Wad::ONE.saturating_add(Wad::from_raw(10)), "HF after repay_1 is {hf}");
+        assert!(
+            hf <= Wad::ONE.saturating_add(Wad::from_raw(10)),
+            "HF after repay_1 is {hf}"
+        );
         // And repay_1 should be maximal: repaying 1% more must tip it over 1.
         let bigger = outcome.repay_1.checked_mul(Wad::from_f64(1.01)).unwrap();
         let (c2, d2) = apply_liquidation(c, d, bigger, params().liquidation_spread);
-        let hf2 = c2.checked_mul(params().liquidation_threshold).unwrap()
+        let hf2 = c2
+            .checked_mul(params().liquidation_threshold)
+            .unwrap()
             .checked_div(d2)
             .unwrap();
         assert!(hf2 > Wad::ONE);
@@ -313,12 +322,17 @@ mod tests {
     fn increase_rate_matches_eq9_shape() {
         let p = params();
         // Lower CR (closer to liquidation boundary from below) → larger increase rate.
-        let low_cr = optimal_profit_increase_rate(Wad::from_int(9_000), Wad::from_int(8_400), p).unwrap();
-        let high_cr = optimal_profit_increase_rate(Wad::from_int(10_400), Wad::from_int(8_400), p).unwrap();
+        let low_cr =
+            optimal_profit_increase_rate(Wad::from_int(9_000), Wad::from_int(8_400), p).unwrap();
+        let high_cr =
+            optimal_profit_increase_rate(Wad::from_int(10_400), Wad::from_int(8_400), p).unwrap();
         assert!(low_cr > high_cr);
         // With CF = 1 (dYdX) the rate is undefined.
         let dydx = RiskParams::new(0.8, 0.05, 1.0);
-        assert!(optimal_profit_increase_rate(Wad::from_int(9_000), Wad::from_int(8_400), dydx).is_none());
+        assert!(
+            optimal_profit_increase_rate(Wad::from_int(9_000), Wad::from_int(8_400), dydx)
+                .is_none()
+        );
     }
 
     #[test]

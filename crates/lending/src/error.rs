@@ -63,6 +63,13 @@ pub enum ProtocolError {
     FlashLoanNotRepaid,
     /// Arithmetic failure (overflow/underflow) inside protocol accounting.
     Arithmetic,
+    /// A [`crate::protocol::LiquidationRequest`] variant was routed to a
+    /// protocol whose mechanism cannot execute it (e.g. an auction bid sent
+    /// to a fixed-spread pool).
+    UnsupportedLiquidationRequest {
+        /// The platform that rejected the request.
+        platform: defi_types::Platform,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -87,7 +94,10 @@ impl fmt::Display for ProtocolError {
             ProtocolError::NotLiquidatable(a) => {
                 write!(f, "position {} is not liquidatable", a.short())
             }
-            ProtocolError::ExceedsCloseFactor { max_repay, requested } => write!(
+            ProtocolError::ExceedsCloseFactor {
+                max_repay,
+                requested,
+            } => write!(
                 f,
                 "repay {requested} exceeds close-factor limit {max_repay}"
             ),
@@ -106,6 +116,11 @@ impl fmt::Display for ProtocolError {
             ProtocolError::UnknownCdp(a) => write!(f, "no CDP for {}", a.short()),
             ProtocolError::FlashLoanNotRepaid => write!(f, "flash loan not repaid with fee"),
             ProtocolError::Arithmetic => write!(f, "arithmetic error in protocol accounting"),
+            ProtocolError::UnsupportedLiquidationRequest { platform } => write!(
+                f,
+                "liquidation request not supported by {}'s mechanism",
+                platform.name()
+            ),
         }
     }
 }

@@ -12,8 +12,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
 use defi_chain::{ChainEvent, Ledger, LiquidationEvent};
-use defi_core::position::{CollateralHolding, DebtHolding, Position};
 use defi_core::params::RiskParams;
+use defi_core::position::{CollateralHolding, DebtHolding, Position};
 use defi_oracle::PriceOracle;
 use defi_types::{Address, BlockNumber, Platform, Token, Wad};
 
@@ -56,7 +56,12 @@ pub struct Market {
 }
 
 impl Market {
-    fn new(token: Token, params: RiskParams, rate_model: InterestRateModel, block: BlockNumber) -> Self {
+    fn new(
+        token: Token,
+        params: RiskParams,
+        rate_model: InterestRateModel,
+        block: BlockNumber,
+    ) -> Self {
         Market {
             token,
             liquidation_threshold: params.liquidation_threshold,
@@ -117,7 +122,8 @@ pub struct LiquidationReceipt {
 impl LiquidationReceipt {
     /// Liquidator profit before transaction fees (USD).
     pub fn gross_profit_usd(&self) -> Wad {
-        self.collateral_seized_usd.saturating_sub(self.debt_repaid_usd)
+        self.collateral_seized_usd
+            .saturating_sub(self.debt_repaid_usd)
     }
 }
 
@@ -209,7 +215,9 @@ impl FixedSpreadProtocol {
     }
 
     fn price(oracle: &PriceOracle, token: Token) -> Result<Wad, ProtocolError> {
-        oracle.price(token).ok_or(ProtocolError::MissingPrice(token))
+        oracle
+            .price(token)
+            .ok_or(ProtocolError::MissingPrice(token))
     }
 
     // ----------------------------------------------------------------- user ops
@@ -289,6 +297,7 @@ impl FixedSpreadProtocol {
     }
 
     /// Borrow `amount` of `token` against the account's collateral.
+    #[allow(clippy::too_many_arguments)]
     pub fn borrow(
         &mut self,
         ledger: &mut Ledger,
@@ -316,7 +325,9 @@ impl FixedSpreadProtocol {
             .unwrap_or_else(|| Position::new(account));
         let capacity = position.borrowing_capacity();
         let price = Self::price(oracle, token)?;
-        let new_debt_value = amount.checked_mul(price).map_err(|_| ProtocolError::Arithmetic)?;
+        let new_debt_value = amount
+            .checked_mul(price)
+            .map_err(|_| ProtocolError::Arithmetic)?;
         let required = position.total_debt_value().saturating_add(new_debt_value);
         if required > capacity {
             return Err(ProtocolError::ExceedsBorrowingCapacity { capacity, required });
@@ -616,11 +627,17 @@ impl FixedSpreadProtocol {
             market.available_liquidity = market.available_liquidity.saturating_add(repay);
         }
         // …and receives the discounted collateral out of the pool.
-        ledger.transfer(self.pool_address, liquidator, collateral_token, collateral_tokens)?;
+        ledger.transfer(
+            self.pool_address,
+            liquidator,
+            collateral_token,
+            collateral_tokens,
+        )?;
         self.adjust_collateral(borrower, collateral_token, collateral_tokens, false);
         {
             let market = self.market_mut(collateral_token)?;
-            market.available_liquidity = market.available_liquidity.saturating_sub(collateral_tokens);
+            market.available_liquidity =
+                market.available_liquidity.saturating_sub(collateral_tokens);
         }
         self.last_liquidation_block.insert(borrower, block);
 
@@ -723,7 +740,13 @@ mod tests {
         ledger.mint(lender, Token::USDC, Wad::from_int(1_000_000));
         let mut events = Vec::new();
         protocol
-            .deposit(&mut ledger, &mut events, lender, Token::USDC, Wad::from_int(1_000_000))
+            .deposit(
+                &mut ledger,
+                &mut events,
+                lender,
+                Token::USDC,
+                Wad::from_int(1_000_000),
+            )
             .unwrap();
         (protocol, ledger, oracle, events)
     }
@@ -741,7 +764,15 @@ mod tests {
             .deposit(ledger, events, borrower, Token::ETH, Wad::from_int(3))
             .unwrap();
         protocol
-            .borrow(ledger, events, oracle, 1, borrower, Token::USDC, Wad::from_int(8_400))
+            .borrow(
+                ledger,
+                events,
+                oracle,
+                1,
+                borrower,
+                Token::USDC,
+                Wad::from_int(8_400),
+            )
             .unwrap();
         borrower
     }
@@ -763,15 +794,40 @@ mod tests {
         let borrower = Address::from_seed(8);
         ledger.mint(borrower, Token::ETH, Wad::from_int(1));
         protocol
-            .deposit(&mut ledger, &mut events, borrower, Token::ETH, Wad::from_int(1))
+            .deposit(
+                &mut ledger,
+                &mut events,
+                borrower,
+                Token::ETH,
+                Wad::from_int(1),
+            )
             .unwrap();
         // Capacity = 3,500 * 0.8 = 2,800 USDC.
         let err = protocol
-            .borrow(&mut ledger, &mut events, &oracle, 1, borrower, Token::USDC, Wad::from_int(3_000))
+            .borrow(
+                &mut ledger,
+                &mut events,
+                &oracle,
+                1,
+                borrower,
+                Token::USDC,
+                Wad::from_int(3_000),
+            )
             .unwrap_err();
-        assert!(matches!(err, ProtocolError::ExceedsBorrowingCapacity { .. }));
+        assert!(matches!(
+            err,
+            ProtocolError::ExceedsBorrowingCapacity { .. }
+        ));
         assert!(protocol
-            .borrow(&mut ledger, &mut events, &oracle, 1, borrower, Token::USDC, Wad::from_int(2_500))
+            .borrow(
+                &mut ledger,
+                &mut events,
+                &oracle,
+                1,
+                borrower,
+                Token::USDC,
+                Wad::from_int(2_500)
+            )
             .is_ok());
     }
 
@@ -782,17 +838,39 @@ mod tests {
         let borrower = Address::from_seed(7);
         ledger.mint(borrower, Token::ETH, Wad::from_int(3));
         protocol
-            .deposit(&mut ledger, &mut events, borrower, Token::ETH, Wad::from_int(3))
+            .deposit(
+                &mut ledger,
+                &mut events,
+                borrower,
+                Token::ETH,
+                Wad::from_int(3),
+            )
             .unwrap();
         protocol
-            .borrow(&mut ledger, &mut events, &oracle, 1, borrower, Token::USDC, Wad::from_int(7_000))
+            .borrow(
+                &mut ledger,
+                &mut events,
+                &oracle,
+                1,
+                borrower,
+                Token::USDC,
+                Wad::from_int(7_000),
+            )
             .unwrap();
         let liquidator = Address::from_seed(99);
         ledger.mint(liquidator, Token::USDC, Wad::from_int(10_000));
         let err = protocol
             .liquidation_call(
-                &mut ledger, &mut events, &oracle, 2, liquidator, borrower,
-                Token::USDC, Token::ETH, Wad::from_int(4_200), false,
+                &mut ledger,
+                &mut events,
+                &oracle,
+                2,
+                liquidator,
+                borrower,
+                Token::USDC,
+                Token::ETH,
+                Wad::from_int(4_200),
+                false,
             )
             .unwrap_err();
         assert!(matches!(err, ProtocolError::NotLiquidatable(_)));
@@ -810,8 +888,16 @@ mod tests {
         ledger.mint(liquidator, Token::USDC, Wad::from_int(10_000));
         let receipt = protocol
             .liquidation_call(
-                &mut ledger, &mut events, &oracle, 2, liquidator, borrower,
-                Token::USDC, Token::ETH, Wad::from_int(4_200), false,
+                &mut ledger,
+                &mut events,
+                &oracle,
+                2,
+                liquidator,
+                borrower,
+                Token::USDC,
+                Token::ETH,
+                Wad::from_int(4_200),
+                false,
             )
             .unwrap();
         // Paper: repay 4,200 USDC, receive 4,620 USD of ETH, profit 420 USD.
@@ -821,9 +907,17 @@ mod tests {
         assert_eq!(receipt.gross_profit_usd(), Wad::from_int(420));
         // Collateral seized in ETH terms: 4,620 / 3,300 = 1.4 ETH (up to
         // fixed-point rounding in the price division).
-        assert!(receipt.collateral_seized.abs_diff(Wad::from_f64(1.4)).to_f64() < 1e-9);
+        assert!(
+            receipt
+                .collateral_seized
+                .abs_diff(Wad::from_f64(1.4))
+                .to_f64()
+                < 1e-9
+        );
         // The liquidation event was emitted.
-        assert!(events.iter().any(|e| matches!(e, ChainEvent::Liquidation(_))));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ChainEvent::Liquidation(_))));
         // The health factor improved.
         assert!(receipt.health_factor_after.unwrap() > Wad::from_f64(0.94));
     }
@@ -837,8 +931,16 @@ mod tests {
         ledger.mint(liquidator, Token::USDC, Wad::from_int(20_000));
         let receipt = protocol
             .liquidation_call(
-                &mut ledger, &mut events, &oracle, 2, liquidator, borrower,
-                Token::USDC, Token::ETH, Wad::from_int(8_400), false,
+                &mut ledger,
+                &mut events,
+                &oracle,
+                2,
+                liquidator,
+                borrower,
+                Token::USDC,
+                Token::ETH,
+                Wad::from_int(8_400),
+                false,
             )
             .unwrap();
         // Close factor 50%: ~4,200 repaid even though 8,400 was requested
@@ -857,15 +959,31 @@ mod tests {
         ledger.mint(liquidator, Token::USDC, Wad::from_int(20_000));
         protocol
             .liquidation_call(
-                &mut ledger, &mut events, &oracle, 2, liquidator, borrower,
-                Token::USDC, Token::ETH, Wad::from_int(1_000), false,
+                &mut ledger,
+                &mut events,
+                &oracle,
+                2,
+                liquidator,
+                borrower,
+                Token::USDC,
+                Token::ETH,
+                Wad::from_int(1_000),
+                false,
             )
             .unwrap();
         // Second liquidation in the same block is rejected…
         let err = protocol
             .liquidation_call(
-                &mut ledger, &mut events, &oracle, 2, liquidator, borrower,
-                Token::USDC, Token::ETH, Wad::from_int(1_000), false,
+                &mut ledger,
+                &mut events,
+                &oracle,
+                2,
+                liquidator,
+                borrower,
+                Token::USDC,
+                Token::ETH,
+                Wad::from_int(1_000),
+                false,
             )
             .unwrap_err();
         assert!(matches!(err, ProtocolError::AlreadyLiquidatedThisBlock));
@@ -873,8 +991,16 @@ mod tests {
         if protocol.is_liquidatable(&oracle, borrower) {
             assert!(protocol
                 .liquidation_call(
-                    &mut ledger, &mut events, &oracle, 3, liquidator, borrower,
-                    Token::USDC, Token::ETH, Wad::from_int(1_000), false,
+                    &mut ledger,
+                    &mut events,
+                    &oracle,
+                    3,
+                    liquidator,
+                    borrower,
+                    Token::USDC,
+                    Token::ETH,
+                    Wad::from_int(1_000),
+                    false,
                 )
                 .is_ok());
         }
@@ -889,7 +1015,10 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ProtocolError::WouldBecomeUnhealthy));
         // The collateral is untouched after the failed attempt.
-        assert_eq!(protocol.collateral_of(borrower, Token::ETH), Wad::from_int(3));
+        assert_eq!(
+            protocol.collateral_of(borrower, Token::ETH),
+            Wad::from_int(3)
+        );
     }
 
     #[test]
@@ -911,14 +1040,30 @@ mod tests {
         config.insurance_fund = true;
         protocol = {
             let mut p = FixedSpreadProtocol::new(config);
-            p.list_market(Token::ETH, RiskParams::new(0.8, 0.10, 0.5), InterestRateModel::default(), 0);
-            p.list_market(Token::USDC, RiskParams::new(0.85, 0.05, 0.5), InterestRateModel::stablecoin(), 0);
+            p.list_market(
+                Token::ETH,
+                RiskParams::new(0.8, 0.10, 0.5),
+                InterestRateModel::default(),
+                0,
+            );
+            p.list_market(
+                Token::USDC,
+                RiskParams::new(0.85, 0.05, 0.5),
+                InterestRateModel::stablecoin(),
+                0,
+            );
             p
         };
         let lender = Address::from_seed(1_000);
         ledger.mint(lender, Token::USDC, Wad::from_int(1_000_000));
         protocol
-            .deposit(&mut ledger, &mut events, lender, Token::USDC, Wad::from_int(1_000_000))
+            .deposit(
+                &mut ledger,
+                &mut events,
+                lender,
+                Token::USDC,
+                Wad::from_int(1_000_000),
+            )
             .unwrap();
         let borrower = paper_borrower(&mut protocol, &mut ledger, &oracle, &mut events);
         // Crash ETH so hard the position is under-collateralized.

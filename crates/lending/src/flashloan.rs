@@ -69,6 +69,7 @@ impl FlashLoanPool {
     /// The closure receives the ledger so it can move the borrowed funds
     /// around (repay debt, swap collateral, …). Any error from the closure,
     /// or a shortfall at repayment time, aborts the flash loan.
+    #[allow(clippy::too_many_arguments)]
     pub fn flash_loan<F>(
         &self,
         ledger: &mut Ledger,
@@ -162,7 +163,9 @@ mod tests {
         let after = pool.available(&ledger, Token::USDC);
         // Aave's 9 bps fee on 100,000 = 90 USDC.
         assert_eq!(after, before.saturating_add(Wad::from_int(90)));
-        assert!(events.iter().any(|e| matches!(e, ChainEvent::FlashLoan { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ChainEvent::FlashLoan { .. })));
         assert_eq!(ledger.balance(borrower, Token::USDC), Wad::from_int(10));
     }
 
@@ -180,7 +183,10 @@ mod tests {
             |_, _| Ok(()),
         )
         .unwrap();
-        assert_eq!(pool.available(&ledger, Token::USDC), Wad::from_int(1_000_000));
+        assert_eq!(
+            pool.available(&ledger, Token::USDC),
+            Wad::from_int(1_000_000)
+        );
         assert_eq!(ledger.balance(borrower, Token::USDC), Wad::ZERO);
     }
 
@@ -222,7 +228,10 @@ mod tests {
             Wad::from_int(2_000_000),
             |_, _| Ok(()),
         );
-        assert!(matches!(result, Err(ProtocolError::InsufficientLiquidity { .. })));
+        assert!(matches!(
+            result,
+            Err(ProtocolError::InsufficientLiquidity { .. })
+        ));
     }
 
     #[test]

@@ -64,7 +64,8 @@ impl InterestRateModel {
             };
             self.base_rate + self.slope_1 * share
         } else {
-            let excess = (u - self.optimal_utilization) / (1.0 - self.optimal_utilization).max(1e-9);
+            let excess =
+                (u - self.optimal_utilization) / (1.0 - self.optimal_utilization).max(1e-9);
             self.base_rate + self.slope_1 + self.slope_2 * excess
         }
     }
@@ -196,7 +197,10 @@ mod tests {
         let debt = index.scale_up(Wad::from_int(1_000));
         // e^0.10 ≈ 1.105 through per-block compounding; simple 10% would be 1.10.
         let value = debt.to_f64();
-        assert!(value > 1_099.0 && value < 1_112.0, "one year at 10%: {value}");
+        assert!(
+            value > 1_099.0 && value < 1_112.0,
+            "one year at 10%: {value}"
+        );
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   algorithmically", §3.3).
 //! * [`flashloan`] — Aave/dYdX-style flash-loan pools used by liquidators to
 //!   avoid holding inventory (§4.4.4).
+//! * [`protocol`] — the unified, object-safe [`LendingProtocol`] trait both
+//!   mechanisms implement: one vocabulary for markets, positions,
+//!   liquidation-opportunity discovery and mechanism-specific execution, so
+//!   the engine can hold all five platforms behind `Box<dyn LendingProtocol>`.
 //!
 //! All balance movements settle through the shared
 //! [`Ledger`](defi_chain::Ledger); protocols emit
@@ -29,10 +33,15 @@ pub mod flashloan;
 pub mod interest;
 pub mod maker;
 pub mod platforms;
+pub mod protocol;
 
 pub use error::ProtocolError;
 pub use fixed_spread::{FixedSpreadConfig, FixedSpreadProtocol, LiquidationReceipt, Market};
 pub use flashloan::FlashLoanPool;
 pub use interest::InterestRateModel;
 pub use maker::{Auction, AuctionOutcome, Cdp, IlkParams, MakerProtocol};
-pub use platforms::{aave_v1, aave_v2, compound, dydx, maker_protocol};
+pub use platforms::{aave_v1, aave_v2, compound, dydx, maker_protocol, paper_protocols};
+pub use protocol::{
+    AuctionSnapshot, BidSnapshot, LendingProtocol, LiquidationExecution, LiquidationRequest,
+    MechanismKind, Opportunity,
+};

@@ -185,6 +185,11 @@ impl MakerProtocol {
         self.ilks.get(&token).copied()
     }
 
+    /// The registered collateral types, in deterministic order.
+    pub fn ilk_tokens(&self) -> Vec<Token> {
+        self.ilks.keys().copied().collect()
+    }
+
     /// The CDP of an owner, if any.
     pub fn cdp(&self, owner: Address) -> Option<&Cdp> {
         self.cdps.get(&owner)
@@ -259,7 +264,10 @@ impl MakerProtocol {
         owner: Address,
         amount: Wad,
     ) -> Result<(), ProtocolError> {
-        let cdp = self.cdps.get(&owner).ok_or(ProtocolError::UnknownCdp(owner))?;
+        let cdp = self
+            .cdps
+            .get(&owner)
+            .ok_or(ProtocolError::UnknownCdp(owner))?;
         let ilk = self
             .ilks
             .get(&cdp.collateral_token)
@@ -302,7 +310,10 @@ impl MakerProtocol {
         owner: Address,
         amount: Wad,
     ) -> Result<Wad, ProtocolError> {
-        let cdp = self.cdps.get_mut(&owner).ok_or(ProtocolError::UnknownCdp(owner))?;
+        let cdp = self
+            .cdps
+            .get_mut(&owner)
+            .ok_or(ProtocolError::UnknownCdp(owner))?;
         let repaid = amount.min(cdp.debt);
         ledger.burn(owner, Token::DAI, repaid)?;
         cdp.debt = cdp.debt.saturating_sub(repaid);
@@ -323,11 +334,18 @@ impl MakerProtocol {
         owner: Address,
         amount: Wad,
     ) -> Result<(), ProtocolError> {
-        let cdp = self.cdps.get(&owner).ok_or(ProtocolError::UnknownCdp(owner))?;
+        let cdp = self
+            .cdps
+            .get(&owner)
+            .ok_or(ProtocolError::UnknownCdp(owner))?;
         if cdp.collateral < amount {
             return Err(ProtocolError::NoCollateralInToken(cdp.collateral_token));
         }
-        let ilk = self.ilks.get(&cdp.collateral_token).copied().unwrap_or_default();
+        let ilk = self
+            .ilks
+            .get(&cdp.collateral_token)
+            .copied()
+            .unwrap_or_default();
         let price = oracle
             .price(cdp.collateral_token)
             .ok_or(ProtocolError::MissingPrice(cdp.collateral_token))?;
@@ -658,7 +676,12 @@ impl MakerProtocol {
                     AuctionPhase::Dent => best.collateral_bid.min(auction.collateral),
                 };
                 let leftover = auction.collateral.saturating_sub(collateral_to_winner);
-                ledger.transfer(pool, best.bidder, auction.collateral_token, collateral_to_winner)?;
+                ledger.transfer(
+                    pool,
+                    best.bidder,
+                    auction.collateral_token,
+                    collateral_to_winner,
+                )?;
                 if !leftover.is_zero() {
                     ledger.transfer(pool, auction.borrower, auction.collateral_token, leftover)?;
                 }
@@ -669,7 +692,10 @@ impl MakerProtocol {
                     auction_id,
                     winner: best.bidder,
                     debt_repaid: best.debt_bid,
-                    debt_repaid_usd: best.debt_bid.checked_mul(dai_price).unwrap_or(best.debt_bid),
+                    debt_repaid_usd: best
+                        .debt_bid
+                        .checked_mul(dai_price)
+                        .unwrap_or(best.debt_bid),
                     collateral_token: auction.collateral_token,
                     collateral_received: collateral_to_winner,
                     collateral_received_usd: collateral_to_winner
@@ -734,14 +760,32 @@ mod tests {
         let owner = Address::from_seed(1);
         ledger.mint(owner, Token::ETH, Wad::from_int(10));
         maker
-            .lock_collateral(&mut ledger, &mut events, owner, Token::ETH, Wad::from_int(10))
+            .lock_collateral(
+                &mut ledger,
+                &mut events,
+                owner,
+                Token::ETH,
+                Wad::from_int(10),
+            )
             .unwrap();
         // 10 ETH * 200 = 2,000 USD; at 150% ratio max debt ≈ 1,333 DAI.
         assert!(maker
-            .draw_dai(&mut ledger, &mut events, &oracle, owner, Wad::from_int(1_400))
+            .draw_dai(
+                &mut ledger,
+                &mut events,
+                &oracle,
+                owner,
+                Wad::from_int(1_400)
+            )
             .is_err());
         assert!(maker
-            .draw_dai(&mut ledger, &mut events, &oracle, owner, Wad::from_int(1_300))
+            .draw_dai(
+                &mut ledger,
+                &mut events,
+                &oracle,
+                owner,
+                Wad::from_int(1_300)
+            )
             .is_ok());
         assert_eq!(ledger.balance(owner, Token::DAI), Wad::from_int(1_300));
         assert!(!maker.is_liquidatable(&oracle, owner));
@@ -751,7 +795,15 @@ mod tests {
     fn price_drop_makes_cdp_liquidatable_and_bite_starts_auction() {
         let (mut maker, mut ledger, mut oracle, mut events) = setup();
         let owner = Address::from_seed(1);
-        open_cdp(&mut maker, &mut ledger, &oracle, &mut events, owner, 10, 1_300);
+        open_cdp(
+            &mut maker,
+            &mut ledger,
+            &oracle,
+            &mut events,
+            owner,
+            10,
+            1_300,
+        );
         oracle.set_price(10, Token::ETH, Wad::from_int(150));
         assert!(maker.is_liquidatable(&oracle, owner));
         assert_eq!(maker.liquidatable_cdps(&oracle), vec![owner]);
@@ -759,8 +811,16 @@ mod tests {
         let auction = maker.auction(id).unwrap();
         assert_eq!(auction.collateral, Wad::from_int(10));
         // Debt to recover includes the 13% penalty (up to f64→Wad rounding).
-        assert!(auction.debt.abs_diff(Wad::from_f64(1_300.0 * 1.13)).to_f64() < 1e-6);
-        assert!(events.iter().any(|e| matches!(e, ChainEvent::AuctionStarted { .. })));
+        assert!(
+            auction
+                .debt
+                .abs_diff(Wad::from_f64(1_300.0 * 1.13))
+                .to_f64()
+                < 1e-6
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ChainEvent::AuctionStarted { .. })));
         // The CDP was emptied.
         assert_eq!(maker.cdp(owner).unwrap().collateral, Wad::ZERO);
     }
@@ -769,7 +829,15 @@ mod tests {
     fn healthy_cdp_cannot_be_bitten() {
         let (mut maker, mut ledger, oracle, mut events) = setup();
         let owner = Address::from_seed(1);
-        open_cdp(&mut maker, &mut ledger, &oracle, &mut events, owner, 10, 1_000);
+        open_cdp(
+            &mut maker,
+            &mut ledger,
+            &oracle,
+            &mut events,
+            owner,
+            10,
+            1_000,
+        );
         assert!(matches!(
             maker.bite(&mut events, &oracle, 100, owner),
             Err(ProtocolError::NotLiquidatable(_))
@@ -780,7 +848,15 @@ mod tests {
     fn tend_then_dent_auction_flow() {
         let (mut maker, mut ledger, mut oracle, mut events) = setup();
         let owner = Address::from_seed(1);
-        open_cdp(&mut maker, &mut ledger, &oracle, &mut events, owner, 10, 1_300);
+        open_cdp(
+            &mut maker,
+            &mut ledger,
+            &oracle,
+            &mut events,
+            owner,
+            10,
+            1_300,
+        );
         oracle.set_price(10, Token::ETH, Wad::from_int(150));
         let id = maker.bite(&mut events, &oracle, 100, owner).unwrap();
         let debt = maker.auction(id).unwrap().debt;
@@ -792,12 +868,28 @@ mod tests {
 
         // Alice opens the tend phase with a partial bid.
         let phase = maker
-            .bid(&mut ledger, &mut events, 110, id, alice, Wad::from_int(800), Wad::ZERO)
+            .bid(
+                &mut ledger,
+                &mut events,
+                110,
+                id,
+                alice,
+                Wad::from_int(800),
+                Wad::ZERO,
+            )
             .unwrap();
         assert_eq!(phase, AuctionPhase::Tend);
         // Bob must out-bid by the minimum increment.
         assert!(matches!(
-            maker.bid(&mut ledger, &mut events, 111, id, bob, Wad::from_int(801), Wad::ZERO),
+            maker.bid(
+                &mut ledger,
+                &mut events,
+                111,
+                id,
+                bob,
+                Wad::from_int(801),
+                Wad::ZERO
+            ),
             Err(ProtocolError::BidTooLow)
         ));
         // Bob bids the full debt → auction flips to dent.
@@ -810,7 +902,15 @@ mod tests {
 
         // Alice accepts less collateral for the full debt.
         let phase = maker
-            .bid(&mut ledger, &mut events, 113, id, alice, debt, Wad::from_int(9))
+            .bid(
+                &mut ledger,
+                &mut events,
+                113,
+                id,
+                alice,
+                debt,
+                Wad::from_int(9),
+            )
             .unwrap();
         assert_eq!(phase, AuctionPhase::Dent);
 
@@ -830,9 +930,11 @@ mod tests {
         let finalized = events
             .iter()
             .find_map(|e| match e {
-                ChainEvent::AuctionFinalized { tend_bids, dent_bids, .. } => {
-                    Some((*tend_bids, *dent_bids))
-                }
+                ChainEvent::AuctionFinalized {
+                    tend_bids,
+                    dent_bids,
+                    ..
+                } => Some((*tend_bids, *dent_bids)),
                 _ => None,
             })
             .unwrap();
@@ -845,16 +947,34 @@ mod tests {
         // shows up, and the full collateral is sold for almost nothing.
         let (mut maker, mut ledger, mut oracle, mut events) = setup();
         let owner = Address::from_seed(1);
-        open_cdp(&mut maker, &mut ledger, &oracle, &mut events, owner, 10, 1_300);
+        open_cdp(
+            &mut maker,
+            &mut ledger,
+            &oracle,
+            &mut events,
+            owner,
+            10,
+            1_300,
+        );
         oracle.set_price(10, Token::ETH, Wad::from_int(150));
         let id = maker.bite(&mut events, &oracle, 100, owner).unwrap();
         let sniper = Address::from_seed(66);
         ledger.mint(sniper, Token::DAI, Wad::from_int(10));
         maker
-            .bid(&mut ledger, &mut events, 101, id, sniper, Wad::from_int(1), Wad::ZERO)
+            .bid(
+                &mut ledger,
+                &mut events,
+                101,
+                id,
+                sniper,
+                Wad::from_int(1),
+                Wad::ZERO,
+            )
             .unwrap();
         let end = 101 + maker.auction_params().bid_duration_blocks;
-        let outcome = maker.deal(&mut ledger, &mut events, &oracle, end, id).unwrap();
+        let outcome = maker
+            .deal(&mut ledger, &mut events, &oracle, end, id)
+            .unwrap();
         assert_eq!(outcome.winner, Some(sniper));
         assert_eq!(outcome.final_phase, AuctionPhase::Tend);
         // The sniper got all 10 ETH (1,500 USD) for 1 DAI.
@@ -865,12 +985,22 @@ mod tests {
     fn auction_without_bids_returns_collateral() {
         let (mut maker, mut ledger, mut oracle, mut events) = setup();
         let owner = Address::from_seed(1);
-        open_cdp(&mut maker, &mut ledger, &oracle, &mut events, owner, 10, 1_300);
+        open_cdp(
+            &mut maker,
+            &mut ledger,
+            &oracle,
+            &mut events,
+            owner,
+            10,
+            1_300,
+        );
         oracle.set_price(10, Token::ETH, Wad::from_int(150));
         let id = maker.bite(&mut events, &oracle, 100, owner).unwrap();
         let end = 100 + maker.auction_params().auction_length_blocks;
         assert!(maker.can_finalize(id, end));
-        let outcome = maker.deal(&mut ledger, &mut events, &oracle, end, id).unwrap();
+        let outcome = maker
+            .deal(&mut ledger, &mut events, &oracle, end, id)
+            .unwrap();
         assert_eq!(outcome.winner, None);
         assert_eq!(ledger.balance(owner, Token::ETH), Wad::from_int(10));
     }
@@ -879,7 +1009,15 @@ mod tests {
     fn deal_before_termination_is_rejected() {
         let (mut maker, mut ledger, mut oracle, mut events) = setup();
         let owner = Address::from_seed(1);
-        open_cdp(&mut maker, &mut ledger, &oracle, &mut events, owner, 10, 1_300);
+        open_cdp(
+            &mut maker,
+            &mut ledger,
+            &oracle,
+            &mut events,
+            owner,
+            10,
+            1_300,
+        );
         oracle.set_price(10, Token::ETH, Wad::from_int(150));
         let id = maker.bite(&mut events, &oracle, 100, owner).unwrap();
         assert!(matches!(
@@ -892,7 +1030,15 @@ mod tests {
     fn free_collateral_respects_ratio() {
         let (mut maker, mut ledger, oracle, mut events) = setup();
         let owner = Address::from_seed(1);
-        open_cdp(&mut maker, &mut ledger, &oracle, &mut events, owner, 10, 1_000);
+        open_cdp(
+            &mut maker,
+            &mut ledger,
+            &oracle,
+            &mut events,
+            owner,
+            10,
+            1_000,
+        );
         // Need 1,000 * 1.5 = 1,500 USD = 7.5 ETH locked; can free at most 2.5.
         assert!(maker
             .free_collateral(&mut ledger, &oracle, owner, Wad::from_int(3))
@@ -907,7 +1053,15 @@ mod tests {
     fn position_snapshot_reflects_cdp() {
         let (mut maker, mut ledger, oracle, mut events) = setup();
         let owner = Address::from_seed(1);
-        open_cdp(&mut maker, &mut ledger, &oracle, &mut events, owner, 10, 1_200);
+        open_cdp(
+            &mut maker,
+            &mut ledger,
+            &oracle,
+            &mut events,
+            owner,
+            10,
+            1_200,
+        );
         let position = maker.position(&oracle, owner).unwrap();
         assert_eq!(position.total_collateral_value(), Wad::from_int(2_000));
         assert_eq!(position.total_debt_value(), Wad::from_int(1_200));
@@ -921,7 +1075,15 @@ mod tests {
     fn repay_dai_reduces_debt() {
         let (mut maker, mut ledger, oracle, mut events) = setup();
         let owner = Address::from_seed(1);
-        open_cdp(&mut maker, &mut ledger, &oracle, &mut events, owner, 10, 1_000);
+        open_cdp(
+            &mut maker,
+            &mut ledger,
+            &oracle,
+            &mut events,
+            owner,
+            10,
+            1_000,
+        );
         let repaid = maker
             .repay_dai(&mut ledger, &mut events, owner, Wad::from_int(400))
             .unwrap();

@@ -13,6 +13,8 @@
 //! | dYdX | fixed spread | 100 % | 5 % | insurance fund absorbs Type I bad debt |
 //! | MakerDAO | tend–dent auction | — | 13 % penalty | parameters changed after Mar 2020 |
 
+use std::collections::BTreeMap;
+
 use defi_core::mechanism::AuctionParams;
 use defi_core::params::RiskParams;
 use defi_types::{BlockNumber, Platform, Token, Wad};
@@ -20,6 +22,7 @@ use defi_types::{BlockNumber, Platform, Token, Wad};
 use crate::fixed_spread::{FixedSpreadConfig, FixedSpreadProtocol};
 use crate::interest::InterestRateModel;
 use crate::maker::{IlkParams, MakerProtocol};
+use crate::protocol::LendingProtocol;
 
 fn rate_model_for(token: Token) -> InterestRateModel {
     if token.is_stablecoin() {
@@ -179,6 +182,19 @@ pub fn maker_protocol() -> MakerProtocol {
         );
     }
     maker
+}
+
+/// All five studied platforms behind the unified [`LendingProtocol`] trait,
+/// keyed by platform — the registry the simulation engine (and any
+/// multi-protocol experiment) starts from.
+pub fn paper_protocols() -> BTreeMap<Platform, Box<dyn LendingProtocol>> {
+    let mut registry: BTreeMap<Platform, Box<dyn LendingProtocol>> = BTreeMap::new();
+    registry.insert(Platform::AaveV1, Box::new(aave_v1()));
+    registry.insert(Platform::AaveV2, Box::new(aave_v2()));
+    registry.insert(Platform::Compound, Box::new(compound()));
+    registry.insert(Platform::DyDx, Box::new(dydx()));
+    registry.insert(Platform::MakerDao, Box::new(maker_protocol()));
+    registry
 }
 
 #[cfg(test)]

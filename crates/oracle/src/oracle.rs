@@ -150,7 +150,10 @@ impl PriceOracle {
 
     /// Full write history of a token.
     pub fn history(&self, token: Token) -> &[PricePoint] {
-        self.history.get(&token).map(|v| v.as_slice()).unwrap_or(&[])
+        self.history
+            .get(&token)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Tokens the oracle currently has a price for.
@@ -204,9 +207,18 @@ mod tests {
             deviation_threshold: 0.01,
             heartbeat_blocks: 10_000,
         });
-        assert!(oracle.observe(1, Token::ETH, usd(100.0)), "first observation always writes");
-        assert!(!oracle.observe(2, Token::ETH, usd(100.5)), "0.5% move below threshold");
-        assert!(oracle.observe(3, Token::ETH, usd(102.0)), "2% move above threshold");
+        assert!(
+            oracle.observe(1, Token::ETH, usd(100.0)),
+            "first observation always writes"
+        );
+        assert!(
+            !oracle.observe(2, Token::ETH, usd(100.5)),
+            "0.5% move below threshold"
+        );
+        assert!(
+            oracle.observe(3, Token::ETH, usd(102.0)),
+            "2% move above threshold"
+        );
         assert_eq!(oracle.history(Token::ETH).len(), 2);
     }
 
@@ -218,7 +230,10 @@ mod tests {
         });
         assert!(oracle.observe(1, Token::ETH, usd(100.0)));
         assert!(!oracle.observe(50, Token::ETH, usd(100.1)));
-        assert!(oracle.observe(101, Token::ETH, usd(100.1)), "heartbeat forces a write");
+        assert!(
+            oracle.observe(101, Token::ETH, usd(100.1)),
+            "heartbeat forces a write"
+        );
     }
 
     #[test]

@@ -208,7 +208,11 @@ fn gbm_step(price: f64, params: &GbmParams, dt: f64, rng: &mut StdRng) -> f64 {
 /// Deterministic multiplicative factor contributed by a set of shocks at a
 /// given block (1.0 = no effect). Transient shocks decay exponentially back
 /// to 1 over their recovery window.
-pub fn shock_factor(shocks: &[ScheduledShock], previous_block: BlockNumber, block: BlockNumber) -> f64 {
+pub fn shock_factor(
+    shocks: &[ScheduledShock],
+    previous_block: BlockNumber,
+    block: BlockNumber,
+) -> f64 {
     let mut factor = 1.0;
     for shock in shocks {
         if shock.block > previous_block && shock.block <= block {
@@ -281,7 +285,10 @@ mod tests {
             total += price;
         }
         let mean = total / 50.0;
-        assert!(mean > 300.0, "drift of +200%/y should lift the mean price, got {mean}");
+        assert!(
+            mean > 300.0,
+            "drift of +200%/y should lift the mean price, got {mean}"
+        );
     }
 
     #[test]
@@ -334,7 +341,10 @@ mod tests {
             level *= shock_factor(&shocks, prev, block);
             prev = block;
         }
-        assert!((level - 1.0).abs() < 0.05, "should recover close to 1.0, got {level}");
+        assert!(
+            (level - 1.0).abs() < 0.05,
+            "should recover close to 1.0, got {level}"
+        );
     }
 
     #[test]

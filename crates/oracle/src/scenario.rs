@@ -164,7 +164,11 @@ impl MarketScenario {
     }
 
     /// Scripted events starting in `(prev_block, block]`.
-    pub fn events_between(&self, prev_block: BlockNumber, block: BlockNumber) -> Vec<ScenarioEvent> {
+    pub fn events_between(
+        &self,
+        prev_block: BlockNumber,
+        block: BlockNumber,
+    ) -> Vec<ScenarioEvent> {
         self.events
             .iter()
             .copied()
@@ -209,19 +213,24 @@ impl MarketScenario {
         .with_shock(ScheduledShock::transient(feb_volatility, -0.20, 200_000));
 
         let alt = |token: Token, initial: f64| {
-            TokenPathSpec::new(token, initial, PriceProcess::Gbm(GbmParams::crypto_default()))
-                .with_shock(ScheduledShock::transient(march_crash, -0.50, 400_000))
-                .with_shock(ScheduledShock::transient(feb_volatility, -0.30, 200_000))
+            TokenPathSpec::new(
+                token,
+                initial,
+                PriceProcess::Gbm(GbmParams::crypto_default()),
+            )
+            .with_shock(ScheduledShock::transient(march_crash, -0.50, 400_000))
+            .with_shock(ScheduledShock::transient(feb_volatility, -0.30, 200_000))
         };
 
-        let stable_tight = |token: Token| {
-            TokenPathSpec::new(token, 1.0, PriceProcess::Peg(PegParams::tight()))
-        };
+        let stable_tight =
+            |token: Token| TokenPathSpec::new(token, 1.0, PriceProcess::Peg(PegParams::tight()));
 
         // DAI trades above peg during the March 2020 deleveraging (borrowers
         // scrambling for DAI to repay CDPs) — a documented episode.
-        let dai = TokenPathSpec::new(Token::DAI, 1.0, PriceProcess::Peg(PegParams::loose()))
-            .with_shock(ScheduledShock::transient(march_crash + 10_000, 0.04, 300_000));
+        let dai =
+            TokenPathSpec::new(Token::DAI, 1.0, PriceProcess::Peg(PegParams::loose())).with_shock(
+                ScheduledShock::transient(march_crash + 10_000, 0.04, 300_000),
+            );
 
         MarketScenario::new(seed, start)
             .with_token(eth)
@@ -342,7 +351,14 @@ mod tests {
                 higher += 1;
             }
         }
-        assert!(higher >= 6, "ETH ended above 400 USD in only {higher}/10 seeds");
-        assert!(total / 10.0 > 500.0, "mean final ETH price too low: {}", total / 10.0);
+        assert!(
+            higher >= 6,
+            "ETH ended above 400 USD in only {higher}/10 seeds"
+        );
+        assert!(
+            total / 10.0 > 500.0,
+            "mean final ETH price too low: {}",
+            total / 10.0
+        );
     }
 }

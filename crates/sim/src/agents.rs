@@ -96,7 +96,7 @@ pub fn sample_borrower(
                 Token::WBTC
             } else {
                 *[Token::LINK, Token::BAT, Token::UNI]
-                    .get(rng.gen_range(0..3))
+                    .get(rng.gen_range(0..3usize))
                     .unwrap_or(&Token::ETH)
             };
             (vec![token], Token::DAI)
@@ -106,7 +106,11 @@ pub fn sample_borrower(
             if stable_borrower {
                 (vec![Token::USDC], Token::DAI)
             } else {
-                let debt = if rng.gen_bool(0.6) { Token::DAI } else { Token::USDC };
+                let debt = if rng.gen_bool(0.6) {
+                    Token::DAI
+                } else {
+                    Token::USDC
+                };
                 (vec![Token::ETH], debt)
             }
         }
@@ -120,12 +124,16 @@ pub fn sample_borrower(
                     Token::WBTC
                 } else {
                     *[Token::LINK, Token::UNI, Token::BAT, Token::ZRX, Token::MKR]
-                        .get(rng.gen_range(0..5))
+                        .get(rng.gen_range(0..5usize))
                         .unwrap_or(&Token::ETH)
                 };
                 let mut collateral = vec![primary];
                 if multi {
-                    let secondary = if primary == Token::ETH { Token::USDC } else { Token::ETH };
+                    let secondary = if primary == Token::ETH {
+                        Token::USDC
+                    } else {
+                        Token::ETH
+                    };
                     collateral.push(secondary);
                 }
                 let debt = match rng.gen_range(0..10) {
@@ -141,8 +149,7 @@ pub fn sample_borrower(
     // Riskier borrowers sit closer to the liquidation boundary; the low end
     // of the multiplier produces positions that open just under their
     // borrowing capacity, the cohort that liquidations feed on.
-    let target_collateralization = population.target_collateralization
-        * rng.gen_range(0.80..1.40);
+    let target_collateralization = population.target_collateralization * rng.gen_range(0.80..1.40);
     BorrowerAgent {
         address,
         platform: population.platform,
@@ -164,8 +171,9 @@ pub fn sample_liquidators(
 ) -> Vec<LiquidatorAgent> {
     (0..population.liquidator_count)
         .map(|i| {
-            let address =
-                Address::from_seed(0x2000_0000_0000 + ((population.platform as u64) << 24) + i as u64);
+            let address = Address::from_seed(
+                0x2000_0000_0000 + ((population.platform as u64) << 24) + i as u64,
+            );
             // A minority of bots watch several platforms (Table 1 note).
             let platforms = if i % 4 == 0 && population.platform != Platform::MakerDao {
                 vec![population.platform, Platform::Compound, Platform::AaveV1]

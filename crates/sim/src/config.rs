@@ -39,7 +39,8 @@ pub struct PlatformPopulation {
 impl PlatformPopulation {
     fn scaled(mut self, borrower_factor: f64, arrival_factor: f64) -> Self {
         self.borrower_arrival_rate *= arrival_factor;
-        self.max_borrowers = ((self.max_borrowers as f64 * borrower_factor).ceil() as usize).max(10);
+        self.max_borrowers =
+            ((self.max_borrowers as f64 * borrower_factor).ceil() as usize).max(10);
         self.liquidator_count =
             ((self.liquidator_count as f64 * borrower_factor).ceil() as usize).max(2);
         self
@@ -73,7 +74,21 @@ pub struct SimConfig {
     pub insurance_writeoff_interval: u64,
     /// Interval (in ticks) at which collateral-volume samples are recorded.
     pub volume_sample_interval: u64,
+    /// Gas consumed by a fixed-spread liquidation call (roughly what mainnet
+    /// liquidation transactions use). Gas-sensitivity scenarios can vary it.
+    pub liquidation_gas: u64,
+    /// Gas consumed by an auction bite / bid / deal.
+    pub auction_gas: u64,
+    /// Gas consumed by ordinary user operations (deposit/borrow/repay).
+    pub user_op_gas: u64,
 }
+
+/// Default gas cost of a fixed-spread liquidation call.
+pub const DEFAULT_LIQUIDATION_GAS: u64 = 500_000;
+/// Default gas cost of an auction bite / bid / deal.
+pub const DEFAULT_AUCTION_GAS: u64 = 180_000;
+/// Default gas cost of an ordinary user operation.
+pub const DEFAULT_USER_OP_GAS: u64 = 250_000;
 
 impl SimConfig {
     /// The two-year study scenario (April 2019 – April 2021, mainnet block
@@ -116,6 +131,9 @@ impl SimConfig {
             maker_param_change_block: 9_800_000,
             insurance_writeoff_interval: 20,
             volume_sample_interval: 10,
+            liquidation_gas: DEFAULT_LIQUIDATION_GAS,
+            auction_gas: DEFAULT_AUCTION_GAS,
+            user_op_gas: DEFAULT_USER_OP_GAS,
         }
     }
 
@@ -170,6 +188,17 @@ mod tests {
         let paper_max: usize = paper.populations.iter().map(|p| p.max_borrowers).sum();
         let smoke_max: usize = smoke.populations.iter().map(|p| p.max_borrowers).sum();
         assert!(smoke_max < paper_max);
+    }
+
+    #[test]
+    fn gas_costs_default_to_mainnet_magnitudes_and_are_tunable() {
+        let mut config = SimConfig::paper_default(1);
+        assert_eq!(config.liquidation_gas, DEFAULT_LIQUIDATION_GAS);
+        assert_eq!(config.auction_gas, DEFAULT_AUCTION_GAS);
+        assert_eq!(config.user_op_gas, DEFAULT_USER_OP_GAS);
+        // A gas-sensitivity scenario can dial them without touching the engine.
+        config.liquidation_gas *= 2;
+        assert_eq!(config.liquidation_gas, 1_000_000);
     }
 
     #[test]

@@ -1,7 +1,17 @@
 //! The simulation engine: drives the price scenario, the chain, the protocol
-//! implementations and the agent populations through the study window, and
-//! hands the resulting observable surface (events, gas, positions, volumes)
-//! to the analytics crate.
+//! registry and the agent populations through the study window, and hands the
+//! resulting observable surface (events, gas, positions, volumes) to the
+//! analytics crate.
+//!
+//! Protocols are held behind the unified
+//! [`LendingProtocol`](defi_lending::LendingProtocol) trait in a
+//! [`ProtocolRegistry`], so every loop here — liquidity seeding, borrower
+//! arrivals, accrual, liquidation driving, volume sampling, the end-of-run
+//! snapshot — is registry-driven. The only mechanism-specific dispatch is on
+//! [`MechanismKind`]: atomic fixed-spread platforms are worked by liquidator
+//! bots, auction platforms by keeper bots, both through the one
+//! `execute_liquidation` entry point. Engines are assembled through
+//! [`EngineBuilder`](crate::EngineBuilder).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -9,14 +19,12 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
 use defi_amm::Dex;
-use defi_chain::{
-    mempool::BackgroundDemand, AuctionId, Blockchain, ChainConfig, GweiPrice,
-};
+use defi_chain::{mempool::BackgroundDemand, AuctionPhase, Blockchain, ChainConfig, GweiPrice};
 use defi_core::mechanism::AuctionParams;
 use defi_core::position::Position;
 use defi_lending::{
-    aave_v1, aave_v2, compound, dydx, maker_protocol, FixedSpreadProtocol, FlashLoanPool,
-    MakerProtocol,
+    AuctionSnapshot, FlashLoanPool, LiquidationExecution, LiquidationRequest, MechanismKind,
+    Opportunity,
 };
 use defi_oracle::{MarketScenario, OracleConfig, PriceOracle, ScenarioEvent};
 use defi_types::{Address, BlockNumber, Platform, Token, Wad};
@@ -25,15 +33,8 @@ use crate::agents::{
     sample_borrower, sample_keepers, sample_liquidators, BorrowerAgent, KeeperAgent,
     LiquidatorAgent,
 };
+use crate::builder::{DexSetup, ProtocolRegistry};
 use crate::config::SimConfig;
-
-/// Gas consumed by a fixed-spread liquidation call (roughly what mainnet
-/// liquidation transactions use).
-const LIQUIDATION_GAS: u64 = 500_000;
-/// Gas consumed by an auction bid / bite / deal.
-const AUCTION_GAS: u64 = 180_000;
-/// Gas consumed by ordinary user operations (deposit/borrow/repay).
-const USER_OP_GAS: u64 = 250_000;
 
 /// A periodic sample of collateral volume, used for Figures 4/9 denominators.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -81,8 +82,8 @@ pub struct SimulationEngine {
     oracles: BTreeMap<Platform, PriceOracle>,
     dex: Dex,
     flash_pools: BTreeMap<Platform, FlashLoanPool>,
-    fixed: BTreeMap<Platform, FixedSpreadProtocol>,
-    maker: MakerProtocol,
+    /// Every protocol behind the unified trait, keyed by platform.
+    protocols: ProtocolRegistry,
     borrowers: Vec<BorrowerAgent>,
     liquidators: Vec<LiquidatorAgent>,
     keepers: Vec<KeeperAgent>,
@@ -90,37 +91,44 @@ pub struct SimulationEngine {
     /// Active platform-specific oracle irregularities:
     /// (platform, token, multiplier, last block).
     irregularities: Vec<(Platform, Token, f64, BlockNumber)>,
+    /// Per-tick index of the active irregularities, rebuilt once per tick so
+    /// price application is a hash lookup instead of a linear scan.
+    irregularity_index: HashMap<(Platform, Token), f64>,
     volume_samples: Vec<VolumeSample>,
-    maker_params_switched: bool,
-    /// Auctions the engine has already seen (to pace bidding).
-    auction_seen: HashMap<AuctionId, BlockNumber>,
+    auction_params_switched: bool,
     tick_index: u64,
 }
 
 impl SimulationEngine {
-    /// Build an engine from a configuration, seeding pools and populations.
+    /// Build an engine from a configuration with the paper's default protocol
+    /// set, scenario and DEX — shorthand for
+    /// [`EngineBuilder::new(config).build()`](crate::EngineBuilder).
     pub fn new(config: SimConfig) -> Self {
+        crate::EngineBuilder::new(config).build()
+    }
+
+    /// Assemble an engine from its pluggable parts (called by
+    /// [`EngineBuilder::build`](crate::EngineBuilder::build)).
+    pub(crate) fn from_parts(
+        config: SimConfig,
+        protocols: ProtocolRegistry,
+        scenario: MarketScenario,
+        dex_setup: DexSetup,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut chain_config = ChainConfig::default();
-        chain_config.start_block = config.start_block;
+        let chain_config = ChainConfig {
+            start_block: config.start_block,
+            ..ChainConfig::default()
+        };
         let mut chain = Blockchain::new(chain_config);
 
-        let scenario = MarketScenario::paper_two_year(config.seed ^ 0xfeed);
         let market_oracle = PriceOracle::new(OracleConfig::every_update());
 
         // Per-platform oracles: Chainlink-style deviation/heartbeat policies.
         let mut oracles = BTreeMap::new();
-        for platform in Platform::ALL {
+        for &platform in protocols.keys() {
             oracles.insert(platform, PriceOracle::new(OracleConfig::default()));
         }
-
-        // Protocols.
-        let mut fixed = BTreeMap::new();
-        fixed.insert(Platform::AaveV1, aave_v1());
-        fixed.insert(Platform::AaveV2, aave_v2());
-        fixed.insert(Platform::Compound, compound());
-        fixed.insert(Platform::DyDx, dydx());
-        let maker = maker_protocol();
 
         // Flash-loan pools (Aave V1/V2 and dYdX act as flash pools, Table 4).
         let mut flash_pools = BTreeMap::new();
@@ -133,32 +141,29 @@ impl SimulationEngine {
         }
 
         // A deep DEX so flash-loan liquidators can unwind collateral.
-        let mut dex = Dex::new();
-        {
-            let ledger = chain.ledger_mut();
-            dex.seed_standard_pool(ledger, Token::ETH, 170.0, Token::DAI, 1.0, 400_000_000.0);
-            dex.seed_standard_pool(ledger, Token::ETH, 170.0, Token::USDC, 1.0, 400_000_000.0);
-            dex.seed_standard_pool(ledger, Token::ETH, 170.0, Token::USDT, 1.0, 200_000_000.0);
-            dex.seed_standard_pool(ledger, Token::WBTC, 5_300.0, Token::ETH, 170.0, 200_000_000.0);
-        }
+        let dex = dex_setup(&mut chain);
 
-        // Agent populations.
+        // Agent populations: liquidator bots for fixed-spread platforms,
+        // keeper bots for auction platforms.
         let mut liquidators = Vec::new();
+        let mut keeper_count = 4;
         for population in &config.populations {
-            if population.platform == Platform::MakerDao {
-                continue;
+            let mechanism = protocols.get(&population.platform).map(|p| p.mechanism());
+            match mechanism {
+                Some(MechanismKind::FixedSpread) => {
+                    liquidators.extend(sample_liquidators(
+                        &mut rng,
+                        population,
+                        config.stale_bot_share,
+                        config.flash_loan_probability,
+                    ));
+                }
+                Some(MechanismKind::Auction) => {
+                    keeper_count = population.liquidator_count;
+                }
+                None => {}
             }
-            liquidators.extend(sample_liquidators(
-                &mut rng,
-                population,
-                config.stale_bot_share,
-                config.flash_loan_probability,
-            ));
         }
-        let keeper_count = config
-            .population(Platform::MakerDao)
-            .map(|p| p.liquidator_count)
-            .unwrap_or(4);
         let keepers = sample_keepers(&mut rng, keeper_count, config.stale_bot_share);
 
         SimulationEngine {
@@ -169,16 +174,15 @@ impl SimulationEngine {
             oracles,
             dex,
             flash_pools,
-            fixed,
-            maker,
+            protocols,
             borrowers: Vec::new(),
             liquidators,
             keepers,
             borrower_counter: HashMap::new(),
             irregularities: Vec::new(),
+            irregularity_index: HashMap::new(),
             volume_samples: Vec::new(),
-            maker_params_switched: false,
-            auction_seen: HashMap::new(),
+            auction_params_switched: false,
             tick_index: 0,
             config,
         }
@@ -198,14 +202,9 @@ impl SimulationEngine {
 
         let snapshot_block = self.chain.current_block();
         let mut final_positions = BTreeMap::new();
-        for (platform, protocol) in &self.fixed {
-            let oracle = &self.oracles[platform];
-            final_positions.insert(*platform, borrower_positions(protocol.positions(oracle)));
+        for (platform, protocol) in &self.protocols {
+            final_positions.insert(*platform, protocol.book_positions(&self.oracles[platform]));
         }
-        final_positions.insert(
-            Platform::MakerDao,
-            self.maker.positions(&self.oracles[&Platform::MakerDao]),
-        );
 
         SimulationReport {
             config: self.config,
@@ -231,28 +230,27 @@ impl SimulationEngine {
         }
     }
 
-    /// Genesis lenders deposit deep liquidity in every fixed-spread market so
-    /// borrowers can actually borrow.
+    /// Genesis lenders deposit deep liquidity in every pool-funded market so
+    /// borrowers can actually borrow. Mint-on-demand protocols (MakerDAO)
+    /// report no lendable tokens and are skipped.
     fn seed_pool_liquidity(&mut self) {
-        let block = self.config.start_block;
+        let user_op_gas = self.config.user_op_gas;
         let chain = &mut self.chain;
-        for (platform, protocol) in self.fixed.iter_mut() {
+        for (platform, protocol) in self.protocols.iter_mut() {
             let oracle = &self.oracles[platform];
             let lender = Address::from_label(&format!("genesis-lender-{}", platform.name()));
-            let tokens: Vec<Token> = protocol.markets().map(|m| m.token).collect();
-            for token in tokens {
+            for token in protocol.lendable_tokens() {
                 let price = oracle.price_or_zero(token).to_f64().max(1e-9);
                 // 400M USD of depth per market.
                 let amount = Wad::from_f64(400_000_000.0 / price);
                 chain.fund(lender, token, amount);
-                let outcome = chain.execute(lender, 20, USER_OP_GAS, "genesis-deposit", |ctx| {
+                let outcome = chain.execute(lender, 20, user_op_gas, "genesis-deposit", |ctx| {
                     protocol
                         .deposit(ctx.ledger, ctx.events, lender, token, amount)
                         .map_err(|e| e.to_string())
                 });
                 debug_assert!(outcome.is_success(), "genesis deposit failed");
             }
-            let _ = block;
         }
     }
 
@@ -261,21 +259,27 @@ impl SimulationEngine {
     fn tick(&mut self, block: BlockNumber) {
         self.update_prices(block);
         let congested = self.chain.gas_market().is_congested(block);
-        self.chain.advance_to(block, if congested { 5_000 } else { 50 });
+        self.chain
+            .advance_to(block, if congested { 5_000 } else { 50 });
 
-        self.maybe_switch_maker_params(block);
+        self.maybe_switch_auction_regime(block);
         self.spawn_borrowers(block);
         self.accrue_protocols(block);
-        self.manage_and_liquidate_fixed_spread(block, congested);
-        self.run_maker_keepers(block, congested);
+        self.drive_liquidations(block, congested);
 
-        if self.tick_index % self.config.insurance_writeoff_interval.max(1) == 0 {
-            let oracle = &self.oracles[&Platform::DyDx];
-            if let Some(protocol) = self.fixed.get_mut(&Platform::DyDx) {
-                protocol.write_off_insolvent_positions(oracle);
+        if self
+            .tick_index
+            .is_multiple_of(self.config.insurance_writeoff_interval.max(1))
+        {
+            // Protocols without an insurance fund report zero and skip.
+            for (platform, protocol) in self.protocols.iter_mut() {
+                protocol.write_off_insolvent_positions(&self.oracles[platform]);
             }
         }
-        if self.tick_index % self.config.volume_sample_interval.max(1) == 0 {
+        if self
+            .tick_index
+            .is_multiple_of(self.config.volume_sample_interval.max(1))
+        {
             self.sample_volumes(block);
         }
     }
@@ -294,49 +298,62 @@ impl SimulationEngine {
                     price_multiplier,
                     duration_blocks,
                 } => {
-                    self.irregularities
-                        .push((platform, token, price_multiplier, start + duration_blocks));
+                    self.irregularities.push((
+                        platform,
+                        token,
+                        price_multiplier,
+                        start + duration_blocks,
+                    ));
                 }
             }
         }
         self.irregularities.retain(|(_, _, _, end)| *end >= block);
 
+        // Index the active irregularities once per tick; the per-token loop
+        // below then pays one hash lookup per oracle instead of a scan over
+        // every irregularity.
+        self.irregularity_index.clear();
+        for &(platform, token, multiplier, _) in &self.irregularities {
+            self.irregularity_index
+                .insert((platform, token), multiplier);
+        }
+
         for (token, price) in &updates {
             self.market_oracle.set_price(block, *token, *price);
             for (platform, oracle) in self.oracles.iter_mut() {
                 let multiplier = self
-                    .irregularities
-                    .iter()
-                    .find(|(p, t, _, _)| p == platform && t == token)
-                    .map(|(_, _, m, _)| *m)
+                    .irregularity_index
+                    .get(&(*platform, *token))
+                    .copied()
                     .unwrap_or(1.0);
-                let effective = if (multiplier - 1.0).abs() > 1e-9 {
-                    Wad::from_f64(price.to_f64() * multiplier)
-                } else {
-                    *price
-                };
                 if (multiplier - 1.0).abs() > 1e-9 {
                     // Irregular prices are pushed unconditionally (they came
                     // from a signed off-chain message, as on Compound).
+                    let effective = Wad::from_f64(price.to_f64() * multiplier);
                     oracle.set_price(block, *token, effective);
                 } else {
-                    oracle.observe(block, *token, effective);
+                    oracle.observe(block, *token, *price);
                 }
             }
         }
     }
 
-    fn maybe_switch_maker_params(&mut self, block: BlockNumber) {
-        if !self.maker_params_switched && block >= self.config.maker_param_change_block {
-            self.maker
-                .set_auction_params(AuctionParams::maker_post_march_2020());
-            self.maker_params_switched = true;
+    /// Apply MakerDAO's post-March-2020 auction-parameter governance change
+    /// (Figure 7). The switch is scoped to the platform whose history it
+    /// models — other auction protocols in the registry keep the parameters
+    /// they were built with.
+    fn maybe_switch_auction_regime(&mut self, block: BlockNumber) {
+        if !self.auction_params_switched && block >= self.config.maker_param_change_block {
+            if let Some(protocol) = self.protocols.get_mut(&Platform::MakerDao) {
+                protocol.set_auction_params(AuctionParams::maker_post_march_2020());
+            }
+            self.auction_params_switched = true;
         }
     }
 
     fn accrue_protocols(&mut self, block: BlockNumber) {
-        for protocol in self.fixed.values_mut() {
-            protocol.accrue_all(block);
+        for protocol in self.protocols.values_mut() {
+            protocol.accrue(block);
         }
     }
 
@@ -347,16 +364,12 @@ impl SimulationEngine {
 
     // -------------------------------------------------------------- borrowers
 
-    fn platform_inception(&self, platform: Platform) -> BlockNumber {
-        platform.inception_block()
-    }
-
     fn spawn_borrowers(&mut self, block: BlockNumber) {
         let progress = self.progress(block);
         let populations = self.config.populations.clone();
         for population in &populations {
             let platform = population.platform;
-            if block < self.platform_inception(platform) {
+            if !self.protocols.contains_key(&platform) || block < platform.inception_block() {
                 continue;
             }
             // Aave V1 stops growing once V2 launches (liquidity migrated).
@@ -390,113 +403,136 @@ impl SimulationEngine {
         }
     }
 
-    /// Open the borrower's position on-chain; returns false if it failed
-    /// (e.g. the platform lacks liquidity for the debt token).
+    /// Open the borrower's position on-chain through the unified protocol
+    /// API: deposit the collateral basket, then borrow towards the agent's
+    /// target collateralization, never exceeding ~98.5 % of the
+    /// protocol-reported borrowing capacity. Returns false if it failed.
+    ///
+    /// The target is interpreted per mechanism, preserving each population's
+    /// calibration: fixed-spread borrowers target `collateral / debt`
+    /// (their buffer sits inside the liquidation threshold), while CDP
+    /// owners size their buffer *on top of* the protocol's required
+    /// collateralization ratio — i.e. relative to the borrowing capacity.
     fn open_position_for(&mut self, borrower: &BorrowerAgent, _block: BlockNumber) -> bool {
         let platform = borrower.platform;
         let gas = self.chain.gas_market_mut().competitive_bid(0.0);
-        match platform {
-            Platform::MakerDao => {
-                let oracle = &self.oracles[&platform];
-                let token = borrower.collateral_tokens[0];
-                let price = oracle.price_or_zero(token).to_f64().max(1e-9);
-                let collateral_amount = Wad::from_f64(borrower.collateral_value_usd / price);
-                // Respect the 150% liquidation ratio with the agent's chosen buffer.
-                let ratio = self
-                    .maker
-                    .ilk(token)
-                    .map(|i| i.liquidation_ratio.to_f64())
-                    .unwrap_or(1.5);
-                let target = (ratio * borrower.target_collateralization).max(ratio * 1.02);
-                let debt = Wad::from_f64(borrower.collateral_value_usd / target);
-                self.chain.fund(borrower.address, token, collateral_amount);
-                let maker = &mut self.maker;
-                let oracle = &self.oracles[&platform];
-                let address = borrower.address;
-                let outcome = self.chain.execute(address, gas, USER_OP_GAS, "open-cdp", |ctx| {
-                    maker
-                        .lock_collateral(ctx.ledger, ctx.events, address, token, collateral_amount)
-                        .map_err(|e| e.to_string())?;
-                    maker
-                        .draw_dai(ctx.ledger, ctx.events, oracle, address, debt)
-                        .map_err(|e| e.to_string())
-                });
-                outcome.is_success()
-            }
-            _ => {
-                let Some(protocol) = self.fixed.get_mut(&platform) else {
-                    return false;
-                };
-                let oracle = &self.oracles[&platform];
-                let address = borrower.address;
-                // Fund and deposit each collateral token (split the value evenly).
-                let share = borrower.collateral_value_usd / borrower.collateral_tokens.len() as f64;
-                let mut deposits = Vec::new();
-                for &token in &borrower.collateral_tokens {
-                    let price = oracle.price_or_zero(token).to_f64().max(1e-9);
-                    let amount = Wad::from_f64(share / price);
-                    self.chain.fund(address, token, amount);
-                    deposits.push((token, amount));
-                }
-                let debt_price = oracle.price_or_zero(borrower.debt_token).to_f64().max(1e-9);
-                let desired_debt_usd =
-                    borrower.collateral_value_usd / borrower.target_collateralization.max(1.05);
-                let chain = &mut self.chain;
-                let outcome = chain.execute(address, gas, USER_OP_GAS, "open-position", |ctx| {
-                    for (token, amount) in &deposits {
-                        protocol
-                            .deposit(ctx.ledger, ctx.events, address, *token, *amount)
-                            .map_err(|e| e.to_string())?;
-                    }
-                    // Cap the borrow just under the borrowing capacity.
-                    let capacity = protocol
-                        .position(oracle, address)
-                        .map(|p| p.borrowing_capacity())
-                        .unwrap_or(Wad::ZERO);
-                    let borrow_usd = Wad::from_f64(desired_debt_usd)
-                        .min(capacity.checked_mul(Wad::from_f64(0.985)).unwrap_or(capacity));
-                    let amount = Wad::from_f64(borrow_usd.to_f64() / debt_price);
-                    if amount.is_zero() {
-                        return Err("zero borrow".to_string());
-                    }
+        let Some(protocol) = self.protocols.get_mut(&platform) else {
+            return false;
+        };
+        let mechanism = protocol.mechanism();
+        let oracle = &self.oracles[&platform];
+        let address = borrower.address;
+        // Fund and deposit each collateral token (split the value evenly).
+        let share = borrower.collateral_value_usd / borrower.collateral_tokens.len() as f64;
+        let mut deposits = Vec::new();
+        for &token in &borrower.collateral_tokens {
+            let price = oracle.price_or_zero(token).to_f64().max(1e-9);
+            let amount = Wad::from_f64(share / price);
+            self.chain.fund(address, token, amount);
+            deposits.push((token, amount));
+        }
+        let debt_price = oracle.price_or_zero(borrower.debt_token).to_f64().max(1e-9);
+        let collateral_value_usd = borrower.collateral_value_usd;
+        let target_collateralization = borrower.target_collateralization;
+        let debt_token = borrower.debt_token;
+        let chain = &mut self.chain;
+        let outcome = chain.execute(
+            address,
+            gas,
+            self.config.user_op_gas,
+            "open-position",
+            |ctx| {
+                for (token, amount) in &deposits {
                     protocol
-                        .borrow(ctx.ledger, ctx.events, oracle, ctx.block, address, borrower.debt_token, amount)
-                        .map_err(|e| e.to_string())
-                });
-                outcome.is_success()
+                        .deposit(ctx.ledger, ctx.events, address, *token, *amount)
+                        .map_err(|e| e.to_string())?;
+                }
+                let capacity = protocol
+                    .position(oracle, address)
+                    .map(|p| p.borrowing_capacity())
+                    .unwrap_or(Wad::ZERO);
+                let desired_debt_usd = match mechanism {
+                    MechanismKind::FixedSpread => {
+                        collateral_value_usd / target_collateralization.max(1.05)
+                    }
+                    MechanismKind::Auction => {
+                        capacity.to_f64() / target_collateralization.max(1.02)
+                    }
+                };
+                // Cap the borrow just under the borrowing capacity.
+                let borrow_usd = Wad::from_f64(desired_debt_usd).min(
+                    capacity
+                        .checked_mul(Wad::from_f64(0.985))
+                        .unwrap_or(capacity),
+                );
+                let amount = Wad::from_f64(borrow_usd.to_f64() / debt_price);
+                if amount.is_zero() {
+                    return Err("zero borrow".to_string());
+                }
+                protocol
+                    .borrow(
+                        ctx.ledger, ctx.events, oracle, ctx.block, address, debt_token, amount,
+                    )
+                    .map_err(|e| e.to_string())
+            },
+        );
+        outcome.is_success()
+    }
+
+    // ------------------------------------------------------------ liquidation
+
+    /// Work every platform's liquidatable positions with the agent population
+    /// matching its mechanism: liquidator bots race fixed-spread calls,
+    /// keeper bots run auctions. Both act through `execute_liquidation`.
+    fn drive_liquidations(&mut self, block: BlockNumber, congested: bool) {
+        let platforms: Vec<(Platform, MechanismKind)> = self
+            .protocols
+            .iter()
+            .map(|(platform, protocol)| (*platform, protocol.mechanism()))
+            .collect();
+        let eth_price = self.market_oracle.price_or_zero(Token::ETH).to_f64();
+        for (platform, mechanism) in platforms {
+            match mechanism {
+                MechanismKind::FixedSpread => {
+                    self.manage_borrower_positions(platform, block, congested);
+                    let opportunities =
+                        self.protocols[&platform].liquidatable(&self.oracles[&platform]);
+                    for opportunity in opportunities {
+                        self.attempt_liquidation(&opportunity, block, congested, eth_price);
+                    }
+                }
+                MechanismKind::Auction => {
+                    self.run_auction_keepers(platform, block, congested);
+                }
             }
         }
     }
 
-    // --------------------------------------------- fixed-spread liquidations
-
-    fn manage_and_liquidate_fixed_spread(&mut self, block: BlockNumber, congested: bool) {
-        let platforms: Vec<Platform> = self.fixed.keys().copied().collect();
-        let eth_price = self.market_oracle.price_or_zero(Token::ETH).to_f64();
-        for platform in platforms {
-            let positions = {
-                let protocol = &self.fixed[&platform];
-                let oracle = &self.oracles[&platform];
-                borrower_positions(protocol.positions(oracle))
+    /// Borrower-side management on a fixed-spread platform: rescue positions
+    /// close to liquidation, re-leverage positions whose collateral has
+    /// appreciated far beyond the target.
+    fn manage_borrower_positions(
+        &mut self,
+        platform: Platform,
+        block: BlockNumber,
+        congested: bool,
+    ) {
+        let positions = self.protocols[&platform].book_positions(&self.oracles[&platform]);
+        for position in positions {
+            let Some(hf) = position.health_factor() else {
+                continue;
             };
-            for position in positions {
-                let Some(hf) = position.health_factor() else {
-                    continue;
-                };
-                if hf >= Wad::ONE {
-                    // Near-liquidation active management.
-                    if hf < Wad::from_f64(1.05) {
-                        self.maybe_manage_position(platform, &position, block, congested);
-                    } else if hf > Wad::from_f64(2.2) {
-                        // Collateral appreciated well beyond the borrower's
-                        // target: many borrowers re-leverage, which is what
-                        // keeps the aggregate book sensitive to price declines
-                        // (Figure 8) throughout the bull market.
-                        self.maybe_releverage_position(platform, &position, block);
-                    }
-                    continue;
-                }
-                self.attempt_liquidation(platform, &position, block, congested, eth_price);
+            if hf < Wad::ONE {
+                continue; // handled by the liquidation pass
+            }
+            if hf < Wad::from_f64(1.05) {
+                self.maybe_manage_position(platform, &position, block, congested);
+            } else if hf > Wad::from_f64(2.2) {
+                // Collateral appreciated well beyond the borrower's target:
+                // many borrowers re-leverage, which is what keeps the
+                // aggregate book sensitive to price declines (Figure 8)
+                // throughout the bull market.
+                self.maybe_releverage_position(platform, &position, block);
             }
         }
     }
@@ -536,16 +572,24 @@ impl SimulationEngine {
         }
         let amount = Wad::from_f64((target_debt - current_debt) / debt_price);
         let gas = self.chain.gas_market_mut().competitive_bid(0.1);
-        let Some(protocol) = self.fixed.get_mut(&platform) else {
+        let Some(protocol) = self.protocols.get_mut(&platform) else {
             return;
         };
         let chain = &mut self.chain;
-        chain.execute(address, gas, USER_OP_GAS, "re-leverage", |ctx| {
-            protocol
-                .borrow(ctx.ledger, ctx.events, oracle, ctx.block, address, debt_token, amount)
-                .map(|_| ())
-                .map_err(|e| e.to_string())
-        });
+        chain.execute(
+            address,
+            gas,
+            self.config.user_op_gas,
+            "re-leverage",
+            |ctx| {
+                protocol
+                    .borrow(
+                        ctx.ledger, ctx.events, oracle, ctx.block, address, debt_token, amount,
+                    )
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            },
+        );
     }
 
     /// An active borrower tops up collateral (or repays) when the position is
@@ -581,26 +625,38 @@ impl SimulationEngine {
         let debt_price = oracle.price_or_zero(debt_token).to_f64().max(1e-9);
         let amount = Wad::from_f64(repay_usd / debt_price);
         self.chain.fund(address, debt_token, amount);
-        let Some(protocol) = self.fixed.get_mut(&platform) else {
+        let Some(protocol) = self.protocols.get_mut(&platform) else {
             return;
         };
         let chain = &mut self.chain;
-        chain.execute(address, gas, USER_OP_GAS, "rescue-repay", |ctx| {
-            protocol
-                .repay(ctx.ledger, ctx.events, ctx.block, address, debt_token, amount)
-                .map(|_| ())
-                .map_err(|e| e.to_string())
-        });
+        chain.execute(
+            address,
+            gas,
+            self.config.user_op_gas,
+            "rescue-repay",
+            |ctx| {
+                protocol
+                    .repay(
+                        ctx.ledger, ctx.events, ctx.block, address, debt_token, amount,
+                    )
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            },
+        );
     }
 
+    /// One liquidator bot races a fixed-spread liquidation of `opportunity`:
+    /// gas bidding, mempool inclusion, the §4.4.3 profitability check, then
+    /// an inventory- or flash-loan-funded `execute_liquidation`.
     fn attempt_liquidation(
         &mut self,
-        platform: Platform,
-        position: &Position,
+        opportunity: &Opportunity,
         block: BlockNumber,
         congested: bool,
         eth_price: f64,
     ) {
+        let platform = opportunity.platform;
+        let position = &opportunity.position;
         // Choose a liquidator covering this platform.
         let candidates: Vec<usize> = self
             .liquidators
@@ -612,7 +668,8 @@ impl SimulationEngine {
         if candidates.is_empty() {
             return;
         }
-        let liquidator = self.liquidators[candidates[self.rng.gen_range(0..candidates.len())]].clone();
+        let liquidator =
+            self.liquidators[candidates[self.rng.gen_range(0..candidates.len())]].clone();
 
         // Seize the most valuable collateral, repay the largest debt.
         let Some(collateral) = position
@@ -627,9 +684,12 @@ impl SimulationEngine {
             return;
         };
 
-        let close_factor = self.fixed[&platform].config().close_factor;
+        let close_factor = self.protocols[&platform].close_factor();
         let repay_amount = debt.amount.checked_mul(close_factor).unwrap_or(Wad::ZERO);
-        let repay_usd = debt.value_usd.checked_mul(close_factor).unwrap_or(Wad::ZERO);
+        let repay_usd = debt
+            .value_usd
+            .checked_mul(close_factor)
+            .unwrap_or(Wad::ZERO);
         let expected_bonus = repay_usd
             .checked_mul(collateral.liquidation_spread)
             .unwrap_or(Wad::ZERO);
@@ -650,6 +710,7 @@ impl SimulationEngine {
                 .competitive_bid(liquidator.gas_aggressiveness)
         };
         // Inclusion against background demand.
+        let liquidation_gas = self.config.liquidation_gas;
         let median = self.chain.median_gas_price() as f64;
         let demand = if congested {
             BackgroundDemand::congested(median)
@@ -657,24 +718,26 @@ impl SimulationEngine {
             BackgroundDemand::calm(median)
         };
         let limit = self.chain.gas_market().block_gas_limit();
-        let included =
-            demand.gas_above(gas_price, limit) + LIQUIDATION_GAS as f64 <= limit as f64;
+        let included = demand.gas_above(gas_price, limit) + liquidation_gas as f64 <= limit as f64;
         if !included {
             return;
         }
         // Profitability check (§4.4.3): the bonus must cover the transaction fee.
-        let fee_usd = gas_price as f64 * LIQUIDATION_GAS as f64 * 1e-9 * eth_price;
+        let fee_usd = gas_price as f64 * liquidation_gas as f64 * 1e-9 * eth_price;
         if expected_bonus.to_f64() <= fee_usd {
             return;
         }
 
         let use_flash = liquidator.uses_flash_loans
             && self.rng.gen_bool(0.75)
-            && matches!(debt.token, Token::DAI | Token::USDC | Token::USDT | Token::ETH);
+            && matches!(
+                debt.token,
+                Token::DAI | Token::USDC | Token::USDT | Token::ETH
+            );
 
         let borrower = position.owner;
         let oracle = &self.oracles[&platform];
-        let protocol = self.fixed.get_mut(&platform).expect("platform exists");
+        let protocol = self.protocols.get_mut(&platform).expect("platform exists");
         let dex = &mut self.dex;
         let flash_pool = self.flash_pools.get(&liquidator.flash_loan_pool).copied();
         let chain = &mut self.chain;
@@ -684,125 +747,134 @@ impl SimulationEngine {
             chain.fund(liquidator.address, debt.token, repay_amount);
         }
 
-        chain.execute(liquidator.address, gas_price, LIQUIDATION_GAS, "liquidation", |ctx| {
-            if let (true, Some(pool)) = (use_flash, flash_pool) {
-                let mut seized: Option<(Token, Wad)> = None;
-                pool.flash_loan(
-                    ctx.ledger,
-                    ctx.events,
-                    oracle,
-                    liquidator.address,
-                    debt.token,
-                    repay_amount,
-                    |ledger, events| {
-                        let receipt = protocol.liquidation_call(
-                            ledger,
-                            events,
-                            oracle,
-                            block,
-                            liquidator.address,
-                            borrower,
-                            debt.token,
-                            collateral.token,
-                            repay_amount,
-                            true,
-                        )?;
-                        seized = Some((collateral.token, receipt.collateral_seized));
-                        // Unwind the seized collateral into the debt asset to
-                        // repay the flash loan.
-                        if collateral.token != debt.token {
-                            if let Some((token, amount)) = seized {
-                                dex.swap(ledger, liquidator.address, token, debt.token, amount)
-                                    .map_err(|e| {
-                                        defi_lending::ProtocolError::Ledger(e.to_string())
-                                    })?;
-                            }
-                        }
-                        Ok(())
-                    },
-                )
-                .map_err(|e| e.to_string())
-            } else {
-                protocol
-                    .liquidation_call(
+        let request = LiquidationRequest::FixedSpread {
+            liquidator: liquidator.address,
+            borrower,
+            debt_token: debt.token,
+            collateral_token: collateral.token,
+            repay_amount,
+            used_flash_loan: use_flash,
+        };
+        chain.execute(
+            liquidator.address,
+            gas_price,
+            liquidation_gas,
+            "liquidation",
+            |ctx| {
+                if let (true, Some(pool)) = (use_flash, flash_pool) {
+                    pool.flash_loan(
                         ctx.ledger,
                         ctx.events,
                         oracle,
-                        block,
                         liquidator.address,
-                        borrower,
                         debt.token,
-                        collateral.token,
                         repay_amount,
-                        false,
+                        |ledger, events| {
+                            let execution = protocol
+                                .execute_liquidation(ledger, events, oracle, block, &request)?;
+                            let LiquidationExecution::FixedSpread(receipt) = execution else {
+                                return Err(
+                                    defi_lending::ProtocolError::UnsupportedLiquidationRequest {
+                                        platform,
+                                    },
+                                );
+                            };
+                            // Unwind the seized collateral into the debt asset to
+                            // repay the flash loan.
+                            if collateral.token != debt.token {
+                                dex.swap(
+                                    ledger,
+                                    liquidator.address,
+                                    collateral.token,
+                                    debt.token,
+                                    receipt.collateral_seized,
+                                )
+                                .map_err(|e| defi_lending::ProtocolError::Ledger(e.to_string()))?;
+                            }
+                            Ok(())
+                        },
                     )
-                    .map(|_| ())
                     .map_err(|e| e.to_string())
-            }
-        });
+                } else {
+                    protocol
+                        .execute_liquidation(ctx.ledger, ctx.events, oracle, block, &request)
+                        .map(|_| ())
+                        .map_err(|e| e.to_string())
+                }
+            },
+        );
     }
 
-    // ------------------------------------------------------------ MakerDAO
+    // --------------------------------------------------------------- auctions
 
-    fn run_maker_keepers(&mut self, block: BlockNumber, congested: bool) {
-        let oracle_price = |oracles: &BTreeMap<Platform, PriceOracle>, token: Token| {
-            oracles[&Platform::MakerDao].price_or_zero(token)
-        };
+    /// Keeper bots work an auction-mechanism platform: bite liquidatable
+    /// positions, bid on open auctions, settle terminated ones — all through
+    /// the unified `execute_liquidation` entry point.
+    fn run_auction_keepers(&mut self, platform: Platform, block: BlockNumber, congested: bool) {
+        if self.keepers.is_empty() {
+            return;
+        }
 
-        // 1. Bite liquidatable CDPs.
-        let liquidatable = self
-            .maker
-            .liquidatable_cdps(&self.oracles[&Platform::MakerDao]);
-        for borrower in liquidatable {
+        // 1. Start auctions on liquidatable positions.
+        let opportunities = self.protocols[&platform].liquidatable(&self.oracles[&platform]);
+        for opportunity in opportunities {
             let keeper = self.keepers[self.rng.gen_range(0..self.keepers.len())].clone();
             if congested && keeper.stale_under_congestion && self.rng.gen_bool(0.8) {
                 continue; // overdue liquidation
             }
             let gas = self.chain.gas_market_mut().competitive_bid(0.3);
-            let maker = &mut self.maker;
-            let oracle = &self.oracles[&Platform::MakerDao];
+            let protocol = self.protocols.get_mut(&platform).expect("platform exists");
+            let oracle = &self.oracles[&platform];
             let chain = &mut self.chain;
-            chain.execute(keeper.address, gas, AUCTION_GAS, "bite", |ctx| {
-                maker
-                    .bite(ctx.events, oracle, ctx.block, borrower)
-                    .map(|_| ())
-                    .map_err(|e| e.to_string())
-            });
+            let request = LiquidationRequest::StartAuction {
+                keeper: keeper.address,
+                borrower: opportunity.borrower,
+            };
+            chain.execute(
+                keeper.address,
+                gas,
+                self.config.auction_gas,
+                "bite",
+                |ctx| {
+                    protocol
+                        .execute_liquidation(ctx.ledger, ctx.events, oracle, ctx.block, &request)
+                        .map(|_| ())
+                        .map_err(|e| e.to_string())
+                },
+            );
         }
 
         // 2. Bid on / finalise open auctions.
-        let open = self.maker.open_auctions();
+        let Some(params) = self.protocols[&platform].auction_params() else {
+            return;
+        };
+        let open = self.protocols[&platform].open_auctions();
         for auction_id in open {
-            self.auction_seen.entry(auction_id).or_insert(block);
-            let (can_finalize, snapshot) = {
-                let auction = self.maker.auction(auction_id).expect("open auction exists");
-                (
-                    self.maker.can_finalize(auction_id, block),
-                    (
-                        auction.phase,
-                        auction.debt,
-                        auction.collateral,
-                        auction.collateral_token,
-                        auction.best_bid,
-                    ),
-                )
+            let Some(snapshot) = self.protocols[&platform].auction_snapshot(auction_id) else {
+                continue;
             };
-            if can_finalize {
+            if self.protocols[&platform].can_finalize_auction(auction_id, block) {
                 // The winner (or any keeper) settles; occasionally nobody
                 // bothers for a while, producing the duration outliers of
                 // Figure 7.
                 if self.rng.gen_bool(0.85) {
                     let finalizer = snapshot
-                        .4
+                        .best_bid
                         .map(|b| b.bidder)
                         .unwrap_or_else(|| self.keepers[0].address);
                     let gas = self.chain.gas_market_mut().competitive_bid(0.1);
-                    let maker = &mut self.maker;
-                    let oracle = &self.oracles[&Platform::MakerDao];
+                    let protocol = self.protocols.get_mut(&platform).expect("platform exists");
+                    let oracle = &self.oracles[&platform];
                     let chain = &mut self.chain;
-                    chain.execute(finalizer, gas, AUCTION_GAS, "deal", |ctx| {
-                        maker
-                            .deal(ctx.ledger, ctx.events, oracle, ctx.block, auction_id)
+                    let request = LiquidationRequest::SettleAuction {
+                        caller: finalizer,
+                        auction_id,
+                    };
+                    chain.execute(finalizer, gas, self.config.auction_gas, "deal", |ctx| {
+                        protocol
+                            .execute_liquidation(
+                                ctx.ledger, ctx.events, oracle, ctx.block, &request,
+                            )
                             .map(|_| ())
                             .map_err(|e| e.to_string())
                     });
@@ -814,158 +886,158 @@ impl SimulationEngine {
             // hours while real keepers react within minutes), so run a few
             // bidding rounds against the refreshed auction state.
             for _round in 0..3 {
-                let Some(auction) = self.maker.auction(auction_id) else {
+                let Some(auction) = self.protocols[&platform].auction_snapshot(auction_id) else {
                     break;
                 };
-                if auction.finalized || auction.has_terminated(block, self.maker.auction_params()) {
+                if auction.finalized
+                    || self.protocols[&platform].can_finalize_auction(auction_id, block)
+                {
                     break;
                 }
-                let (phase, debt, collateral_amount, collateral_token, best_bid) = (
-                    auction.phase,
-                    auction.debt,
-                    auction.collateral,
-                    auction.collateral_token,
-                    auction.best_bid,
-                );
-                let started_at = auction.started_at;
-                let auction_length = self.maker.auction_params().auction_length_blocks;
-                let collateral_price = oracle_price(&self.oracles, collateral_token);
-                let collateral_value = collateral_amount
-                    .checked_mul(collateral_price)
-                    .unwrap_or(Wad::ZERO);
+                self.run_bidding_round(platform, block, congested, &params, &auction);
+            }
+        }
+    }
 
-                // Pick a keeper willing to act in this round.
-                let keeper = self.keepers[self.rng.gen_range(0..self.keepers.len())].clone();
-                let keeper_active = if congested {
-                    if keeper.stale_under_congestion {
-                        false
-                    } else {
-                        self.rng.gen_bool(0.35)
-                    }
+    /// One keeper considers one bid on one open auction.
+    fn run_bidding_round(
+        &mut self,
+        platform: Platform,
+        block: BlockNumber,
+        congested: bool,
+        params: &AuctionParams,
+        auction: &AuctionSnapshot,
+    ) {
+        let collateral_price = self.oracles[&platform].price_or_zero(auction.collateral_token);
+        let collateral_value = auction
+            .collateral
+            .checked_mul(collateral_price)
+            .unwrap_or(Wad::ZERO);
+
+        // Pick a keeper willing to act in this round.
+        let keeper = self.keepers[self.rng.gen_range(0..self.keepers.len())].clone();
+        let keeper_active = if congested {
+            if keeper.stale_under_congestion {
+                false
+            } else {
+                self.rng.gen_bool(0.35)
+            }
+        } else {
+            self.rng.gen_bool(0.8)
+        };
+
+        if !keeper_active {
+            // Congestion sniping: an opportunistic keeper places a near-zero
+            // tend bid on an auction that is approaching its termination with
+            // no bids at all (the March 2020 "zero-bid" wins).
+            let abandoned = auction.best_bid.is_none()
+                && block.saturating_sub(auction.started_at) * 2 >= params.auction_length_blocks;
+            if congested && abandoned {
+                if let Some(sniper) = self
+                    .keepers
+                    .iter()
+                    .find(|k| k.opportunistic_sniper)
+                    .cloned()
+                {
+                    let bid = auction
+                        .debt
+                        .checked_mul(Wad::from_f64(0.02))
+                        .unwrap_or(Wad::ONE)
+                        .max(Wad::ONE);
+                    self.place_auction_bid(platform, auction, &sniper, bid, Wad::ZERO);
+                }
+            }
+            return;
+        }
+
+        let margin = keeper.target_margin;
+        match auction.phase {
+            AuctionPhase::Tend => {
+                let max_pay = Wad::from_f64(collateral_value.to_f64() * (1.0 - margin));
+                let current = auction.best_bid.map(|b| b.debt_bid).unwrap_or(Wad::ZERO);
+                let next = if max_pay >= auction.debt {
+                    // A well-collateralized auction: rational keepers bid the
+                    // full debt straight away to flip into the dent phase (the
+                    // tend phase is a race, not a price walk).
+                    auction.debt
                 } else {
-                    self.rng.gen_bool(0.8)
+                    // Under-collateralized (crash) auction: walk towards the
+                    // keeper's maximum willingness to pay.
+                    let step = self.rng.gen_range(0.4..0.9);
+                    Wad::from_f64(
+                        current.to_f64() + (max_pay.to_f64() - current.to_f64()).max(0.0) * step,
+                    )
+                    .max(Wad::from_f64(max_pay.to_f64() * 0.3))
                 };
-
-                if !keeper_active {
-                    // Congestion sniping: an opportunistic keeper places a
-                    // near-zero tend bid on an auction that is approaching its
-                    // termination with no bids at all (the March 2020
-                    // "zero-bid" wins).
-                    let abandoned = best_bid.is_none()
-                        && block.saturating_sub(started_at) * 2 >= auction_length;
-                    if congested && abandoned {
-                        if let Some(sniper) =
-                            self.keepers.iter().find(|k| k.opportunistic_sniper).cloned()
-                        {
-                            let bid = debt
-                                .checked_mul(Wad::from_f64(0.02))
-                                .unwrap_or(Wad::ONE)
-                                .max(Wad::ONE);
-                            self.place_maker_bid(block, auction_id, &sniper, bid, Wad::ZERO);
-                        }
-                    }
-                    continue;
+                let floor = current
+                    .checked_mul(Wad::from_f64(1.0 + params.min_bid_increment))
+                    .unwrap_or(current);
+                let next = next.max(floor).min(auction.debt);
+                if next > current && !next.is_zero() {
+                    self.place_auction_bid(platform, auction, &keeper, next, Wad::ZERO);
                 }
-
-                let margin = keeper.target_margin;
-                match phase {
-                    defi_chain::AuctionPhase::Tend => {
-                        let max_pay = Wad::from_f64(collateral_value.to_f64() * (1.0 - margin));
-                        let current = best_bid.map(|b| b.debt_bid).unwrap_or(Wad::ZERO);
-                        let next = if max_pay >= debt {
-                            // A well-collateralized auction: rational keepers bid
-                            // the full debt straight away to flip into the dent
-                            // phase (the tend phase is a race, not a price walk).
-                            debt
-                        } else {
-                            // Under-collateralized (crash) auction: walk towards
-                            // the keeper's maximum willingness to pay.
-                            let step = self.rng.gen_range(0.4..0.9);
-                            Wad::from_f64(
-                                current.to_f64()
-                                    + (max_pay.to_f64() - current.to_f64()).max(0.0) * step,
-                            )
-                            .max(Wad::from_f64(max_pay.to_f64() * 0.3))
-                        };
-                        let floor = current
-                            .checked_mul(Wad::from_f64(
-                                1.0 + self.maker.auction_params().min_bid_increment,
-                            ))
-                            .unwrap_or(current);
-                        let next = next.max(floor).min(debt);
-                        if next > current && !next.is_zero() {
-                            self.place_maker_bid(block, auction_id, &keeper, next, Wad::ZERO);
-                        }
-                    }
-                    defi_chain::AuctionPhase::Dent => {
-                        let desired = Wad::from_f64(
-                            debt.to_f64() * (1.0 + margin) / collateral_price.to_f64().max(1e-9),
-                        );
-                        let previous =
-                            best_bid.map(|b| b.collateral_bid).unwrap_or(collateral_amount);
-                        let ceiling = Wad::from_f64(
-                            previous.to_f64()
-                                / (1.0 + self.maker.auction_params().min_bid_increment),
-                        );
-                        if desired <= ceiling && !desired.is_zero() {
-                            self.place_maker_bid(block, auction_id, &keeper, debt, desired);
-                        }
-                    }
+            }
+            AuctionPhase::Dent => {
+                let desired = Wad::from_f64(
+                    auction.debt.to_f64() * (1.0 + margin) / collateral_price.to_f64().max(1e-9),
+                );
+                let previous = auction
+                    .best_bid
+                    .map(|b| b.collateral_bid)
+                    .unwrap_or(auction.collateral);
+                let ceiling = Wad::from_f64(previous.to_f64() / (1.0 + params.min_bid_increment));
+                if desired <= ceiling && !desired.is_zero() {
+                    self.place_auction_bid(platform, auction, &keeper, auction.debt, desired);
                 }
             }
         }
     }
 
-    fn place_maker_bid(
+    fn place_auction_bid(
         &mut self,
-        _block: BlockNumber,
-        auction_id: AuctionId,
+        platform: Platform,
+        auction: &AuctionSnapshot,
         keeper: &KeeperAgent,
         debt_bid: Wad,
         collateral_bid: Wad,
     ) {
         // Keepers fund their bids from inventory (minted on demand here).
-        let auction_debt = self
-            .maker
-            .auction(auction_id)
-            .map(|a| a.debt)
-            .unwrap_or(debt_bid);
-        let escrow = debt_bid.max(auction_debt);
+        let escrow = debt_bid.max(auction.debt);
         self.chain.fund(keeper.address, Token::DAI, escrow);
         let gas = self.chain.gas_market_mut().competitive_bid(0.2);
-        let maker = &mut self.maker;
+        let protocol = self.protocols.get_mut(&platform).expect("platform exists");
+        let oracle = &self.oracles[&platform];
         let chain = &mut self.chain;
         let address = keeper.address;
-        chain.execute(address, gas, AUCTION_GAS, "auction-bid", |ctx| {
-            maker
-                .bid(ctx.ledger, ctx.events, ctx.block, auction_id, address, debt_bid, collateral_bid)
-                .map(|_| ())
-                .map_err(|e| e.to_string())
-        });
+        let request = LiquidationRequest::AuctionBid {
+            bidder: address,
+            auction_id: auction.id,
+            debt_bid,
+            collateral_bid,
+        };
+        chain.execute(
+            address,
+            gas,
+            self.config.auction_gas,
+            "auction-bid",
+            |ctx| {
+                protocol
+                    .execute_liquidation(ctx.ledger, ctx.events, oracle, ctx.block, &request)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            },
+        );
     }
 
     // ------------------------------------------------------------- sampling
 
     fn sample_volumes(&mut self, block: BlockNumber) {
-        for (platform, protocol) in &self.fixed {
-            let oracle = &self.oracles[platform];
-            let positions = borrower_positions(protocol.positions(oracle));
+        for (platform, protocol) in &self.protocols {
+            let positions = protocol.book_positions(&self.oracles[platform]);
             self.volume_samples
                 .push(make_sample(block, *platform, &positions));
         }
-        let maker_positions = self.maker.positions(&self.oracles[&Platform::MakerDao]);
-        self.volume_samples
-            .push(make_sample(block, Platform::MakerDao, &maker_positions));
     }
-}
-
-/// Keep only positions that actually borrow (lender-only deposits are not
-/// "borrowing positions" for the paper's metrics).
-fn borrower_positions(positions: Vec<Position>) -> Vec<Position> {
-    positions
-        .into_iter()
-        .filter(|p| !p.total_debt_value().is_zero())
-        .collect()
 }
 
 fn make_sample(block: BlockNumber, platform: Platform, positions: &[Position]) -> VolumeSample {
@@ -993,6 +1065,7 @@ fn make_sample(block: BlockNumber, platform: Platform, positions: &[Position]) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::EngineBuilder;
     use defi_chain::{EventFilter, EventKind};
 
     fn smoke_report(seed: u64) -> SimulationReport {
@@ -1014,7 +1087,10 @@ mod tests {
             liquidations > 10,
             "expected fixed-spread liquidations across the March 2020 crash, got {liquidations}"
         );
-        assert!(auctions > 0, "expected at least one finalised Maker auction");
+        assert!(
+            auctions > 0,
+            "expected at least one finalised Maker auction"
+        );
     }
 
     #[test]
@@ -1025,7 +1101,10 @@ mod tests {
         assert!(report.final_positions.contains_key(&Platform::Compound));
         assert!(report.final_positions.contains_key(&Platform::MakerDao));
         let open: usize = report.final_positions.values().map(|v| v.len()).sum();
-        assert!(open > 10, "expected open positions at the snapshot, got {open}");
+        assert!(
+            open > 10,
+            "expected open positions at the snapshot, got {open}"
+        );
         assert!(report.snapshot_block >= report.config.end_block);
     }
 
@@ -1057,7 +1136,34 @@ mod tests {
         let report = smoke_report(45);
         for (logged, _) in report.chain.events().liquidations() {
             assert!(logged.gas_price > 0);
-            assert_eq!(logged.gas_used, LIQUIDATION_GAS);
+            assert_eq!(logged.gas_used, report.config.liquidation_gas);
         }
+    }
+
+    #[test]
+    fn builder_engine_matches_default_construction() {
+        let direct = smoke_report(11);
+        let built = EngineBuilder::new(SimConfig::smoke_test(11)).build().run();
+        assert_eq!(direct.chain.events().len(), built.chain.events().len());
+        assert_eq!(direct.volume_samples.len(), built.volume_samples.len());
+    }
+
+    #[test]
+    fn engine_without_maker_runs_fixed_spread_only() {
+        let report = EngineBuilder::new(SimConfig::smoke_test(13))
+            .without_protocol(Platform::MakerDao)
+            .build()
+            .run();
+        assert!(!report.final_positions.contains_key(&Platform::MakerDao));
+        let auctions = report
+            .chain
+            .query_events(&EventFilter::any().kind(EventKind::AuctionStarted))
+            .len();
+        assert_eq!(auctions, 0, "no auction platform, no auctions");
+        let liquidations = report
+            .chain
+            .query_events(&EventFilter::any().kind(EventKind::Liquidation))
+            .len();
+        assert!(liquidations > 0);
     }
 }

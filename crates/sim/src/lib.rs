@@ -10,14 +10,21 @@
 //!
 //! * [`config`] — scenario configuration, with a [`SimConfig::paper_default`]
 //!   matching the study window and a [`SimConfig::smoke_test`] for fast tests.
-//! * [`agents`] — borrower, fixed-spread liquidator and Maker keeper agents.
-//! * [`engine`] — the [`SimulationEngine`] driving the tick loop and the
-//!   [`SimulationReport`] handed to the analytics crate.
+//! * [`agents`] — borrower, fixed-spread liquidator and auction keeper agents.
+//! * [`builder`] — the [`EngineBuilder`] fluent API: the documented way to
+//!   assemble engines, with pluggable protocols (any
+//!   [`LendingProtocol`](defi_lending::LendingProtocol) implementation),
+//!   price scenario and DEX.
+//! * [`engine`] — the [`SimulationEngine`] driving the tick loop over the
+//!   [`ProtocolRegistry`] and the [`SimulationReport`] handed to the
+//!   analytics crate.
 
 pub mod agents;
+pub mod builder;
 pub mod config;
 pub mod engine;
 
 pub use agents::{BorrowerAgent, KeeperAgent, LiquidatorAgent};
+pub use builder::{EngineBuilder, ProtocolRegistry};
 pub use config::{PlatformPopulation, SimConfig};
 pub use engine::{SimulationEngine, SimulationReport, VolumeSample};

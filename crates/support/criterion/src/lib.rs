@@ -1,0 +1,158 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this implements the
+//! small API surface the workspace's benches use — `criterion_group!`,
+//! `criterion_main!`, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`] and
+//! [`Bencher::iter_batched`] — as a micro-harness: each benchmark is warmed
+//! up once, timed over a handful of iterations, and the mean wall-clock time
+//! is printed. No statistics, plots or baselines.
+
+use std::time::{Duration, Instant};
+
+/// How measured closures receive their per-iteration inputs.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small setup output; batches may share a setup call in real criterion.
+    SmallInput,
+    /// Large setup output.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// Prevent the optimizer from discarding a value (best-effort).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    iterations: u32,
+    total: Duration,
+}
+
+impl Bencher {
+    fn new(iterations: u32) -> Self {
+        Bencher {
+            iterations,
+            total: Duration::ZERO,
+        }
+    }
+
+    /// Time `routine` over the configured iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, untimed
+        let started = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.total += started.elapsed();
+    }
+
+    /// Time `routine` over fresh `setup` outputs, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        for _ in 0..self.iterations {
+            let input = setup();
+            let started = Instant::now();
+            black_box(routine(input));
+            self.total += started.elapsed();
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        self.total / self.iterations.max(1)
+    }
+}
+
+fn run_one(label: &str, iterations: u32, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::new(iterations);
+    f(&mut bencher);
+    println!(
+        "bench {label:<50} {:>12.3?} /iter ({iterations} iters)",
+        bencher.mean()
+    );
+}
+
+/// Entry point handed to every benchmark function.
+pub struct Criterion {
+    iterations: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iterations: 5 }
+    }
+}
+
+impl Criterion {
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name.as_ref(), self.iterations, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.as_ref().to_string(),
+            iterations: self.iterations,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup {
+    name: String,
+    iterations: u32,
+}
+
+impl BenchmarkGroup {
+    /// Override the number of timed iterations for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.iterations = (samples as u32).clamp(1, 1_000);
+        self
+    }
+
+    /// Register and immediately run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name.as_ref());
+        run_one(&label, self.iterations, &mut f);
+        self
+    }
+
+    /// Finish the group (no-op; groups run eagerly).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

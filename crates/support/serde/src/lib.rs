@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its domain types for
+//! API compatibility, but never serializes anything at runtime, and the build
+//! environment cannot reach crates.io. This stub provides the two marker
+//! traits and re-exports the no-op derives from [`serde_derive`], so
+//! `use serde::{Deserialize, Serialize};` resolves in both the type and macro
+//! namespaces exactly as with the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize` (no methods; the no-op
+/// derive does not implement it).
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize` (no methods; the no-op
+/// derive does not implement it).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` implementations.
+//!
+//! Nothing in this workspace serializes at runtime — the derives exist so the
+//! domain types can keep their upstream-compatible annotations (including
+//! `#[serde(...)]` attributes, registered here as inert helpers) without a
+//! crates.io dependency. Swapping the real serde back in is a manifest edit.
+
+use proc_macro::TokenStream;
+
+/// Accepts the annotated item (and its `#[serde(...)]` attributes) and emits
+/// no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the annotated item (and its `#[serde(...)]` attributes) and emits
+/// no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

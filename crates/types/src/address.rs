@@ -11,7 +11,9 @@ use serde::{Deserialize, Serialize};
 use crate::error::TypeError;
 
 /// A 20-byte account or contract address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Address(pub [u8; 20]);
 
 impl Address {
@@ -95,7 +97,9 @@ impl FromStr for Address {
 }
 
 /// A 32-byte transaction hash.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct TxHash(pub [u8; 32]);
 
 impl TxHash {
@@ -141,8 +145,14 @@ mod tests {
 
     #[test]
     fn label_addresses_are_stable() {
-        assert_eq!(Address::from_label("aave-v2"), Address::from_label("aave-v2"));
-        assert_ne!(Address::from_label("aave-v2"), Address::from_label("compound"));
+        assert_eq!(
+            Address::from_label("aave-v2"),
+            Address::from_label("aave-v2")
+        );
+        assert_ne!(
+            Address::from_label("aave-v2"),
+            Address::from_label("compound")
+        );
     }
 
     #[test]

@@ -118,7 +118,9 @@ pub(crate) fn mul_div(a: u128, b: u128, denominator: u128) -> Result<u128, TypeE
 /// Unsigned fixed-point number with 18 decimal places.
 ///
 /// `Wad::from_int(3)` is `3.0`; `Wad::from_raw(WAD / 2)` is `0.5`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Wad(pub u128);
 
@@ -176,12 +178,18 @@ impl Wad {
 
     /// Checked addition.
     pub fn checked_add(self, rhs: Wad) -> Result<Wad, TypeError> {
-        self.0.checked_add(rhs.0).map(Wad).ok_or(TypeError::Overflow)
+        self.0
+            .checked_add(rhs.0)
+            .map(Wad)
+            .ok_or(TypeError::Overflow)
     }
 
     /// Checked subtraction.
     pub fn checked_sub(self, rhs: Wad) -> Result<Wad, TypeError> {
-        self.0.checked_sub(rhs.0).map(Wad).ok_or(TypeError::Underflow)
+        self.0
+            .checked_sub(rhs.0)
+            .map(Wad)
+            .ok_or(TypeError::Underflow)
     }
 
     /// Saturating subtraction (clamps at zero).
@@ -342,12 +350,16 @@ impl FromStr for Wad {
         let int: u128 = if int_str.is_empty() {
             0
         } else {
-            int_str.parse().map_err(|_| TypeError::Parse("Wad integer part"))?
+            int_str
+                .parse()
+                .map_err(|_| TypeError::Parse("Wad integer part"))?
         };
         let mut frac: u128 = if frac_str.is_empty() {
             0
         } else {
-            frac_str.parse().map_err(|_| TypeError::Parse("Wad fractional part"))?
+            frac_str
+                .parse()
+                .map_err(|_| TypeError::Parse("Wad fractional part"))?
         };
         for _ in 0..(18 - frac_str.len()) {
             frac *= 10;
@@ -366,7 +378,9 @@ impl FromStr for Wad {
 /// Unsigned fixed-point number with 27 decimal places, used for interest-rate
 /// indexes (the precision Aave and MakerDAO use for per-second/per-block
 /// compounding).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Ray(pub u128);
 
@@ -406,7 +420,10 @@ impl Ray {
 
     /// Checked addition.
     pub fn checked_add(self, rhs: Ray) -> Result<Ray, TypeError> {
-        self.0.checked_add(rhs.0).map(Ray).ok_or(TypeError::Overflow)
+        self.0
+            .checked_add(rhs.0)
+            .map(Ray)
+            .ok_or(TypeError::Overflow)
     }
 
     /// Truncate to a [`Wad`] (divide by 10^9).
@@ -504,6 +521,7 @@ impl SignedWad {
     }
 
     /// Signed addition.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: SignedWad) -> SignedWad {
         match (self.negative, rhs.negative) {
             (false, false) => SignedWad::positive(self.magnitude + rhs.magnitude),
@@ -514,6 +532,7 @@ impl SignedWad {
     }
 
     /// Signed subtraction.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: SignedWad) -> SignedWad {
         self.add(rhs.neg())
     }
@@ -621,7 +640,10 @@ mod tests {
 
     #[test]
     fn div_by_zero_rejected() {
-        assert_eq!(U256::full_mul(1, 1).div_u128(0), Err(TypeError::DivisionByZero));
+        assert_eq!(
+            U256::full_mul(1, 1).div_u128(0),
+            Err(TypeError::DivisionByZero)
+        );
     }
 
     #[test]
@@ -686,7 +708,9 @@ mod tests {
         let fast = rate.compound(10).unwrap();
         let mut naive = Ray::ONE;
         for _ in 0..10 {
-            naive = naive.checked_mul(Ray::ONE.checked_add(rate).unwrap()).unwrap();
+            naive = naive
+                .checked_mul(Ray::ONE.checked_add(rate).unwrap())
+                .unwrap();
         }
         assert_eq!(fast, naive);
     }
@@ -699,7 +723,10 @@ mod tests {
         assert!(diff.is_negative());
         assert_eq!(diff.magnitude, Wad::from_int(3));
         assert_eq!(diff.add(eight), five);
-        assert_eq!(SignedWad::sub_wads(Wad::from_int(2), Wad::from_int(2)), SignedWad::ZERO);
+        assert_eq!(
+            SignedWad::sub_wads(Wad::from_int(2), Wad::from_int(2)),
+            SignedWad::ZERO
+        );
     }
 
     #[test]

@@ -205,7 +205,10 @@ mod tests {
         assert_eq!((y0, m0), (2019, 4));
         let (y1, m1, d1) = map.date(12_344_944);
         assert_eq!((y1, m1), (2021, 4));
-        assert!(d1 >= 29, "end block should land at the end of April 2021, got day {d1}");
+        assert!(
+            d1 >= 29,
+            "end block should land at the end of April 2021, got day {d1}"
+        );
     }
 
     #[test]
@@ -217,10 +220,16 @@ mod tests {
         let map = TimeMap::paper_study_window();
         let (y, m, _) = map.date(10_000_000);
         assert_eq!(y, 2020);
-        assert!(m == 4 || m == 5, "block 10M should map near May 2020, got month {m}");
+        assert!(
+            m == 4 || m == 5,
+            "block 10M should map near May 2020, got month {m}"
+        );
         let (y, m, _) = map.date(11_000_000);
         assert_eq!(y, 2020);
-        assert!((9..=10).contains(&m), "block 11M should map near Oct 2020, got month {m}");
+        assert!(
+            (9..=10).contains(&m),
+            "block 11M should map near Oct 2020, got month {m}"
+        );
     }
 
     #[test]

@@ -34,29 +34,66 @@ fn main() {
         one_liquidation_per_block: false,
         insurance_fund: false,
     });
-    pool.list_market(Token::ETH, RiskParams::new(0.8, 0.05, 0.5), InterestRateModel::default(), 0);
-    pool.list_market(Token::USDC, RiskParams::new(0.85, 0.05, 0.5), InterestRateModel::stablecoin(), 0);
+    pool.list_market(
+        Token::ETH,
+        RiskParams::new(0.8, 0.05, 0.5),
+        InterestRateModel::default(),
+        0,
+    );
+    pool.list_market(
+        Token::USDC,
+        RiskParams::new(0.85, 0.05, 0.5),
+        InterestRateModel::stablecoin(),
+        0,
+    );
 
     let lender = Address::from_seed(1);
     let borrower = Address::from_seed(2);
     chain.fund(lender, Token::USDC, Wad::from_int(2_000_000));
     chain.fund(borrower, Token::ETH, Wad::from_int(300));
     chain.execute(lender, 20, 250_000, "seed pool", |ctx| {
-        pool.deposit(ctx.ledger, ctx.events, lender, Token::USDC, Wad::from_int(2_000_000))
-            .map_err(|e| e.to_string())
+        pool.deposit(
+            ctx.ledger,
+            ctx.events,
+            lender,
+            Token::USDC,
+            Wad::from_int(2_000_000),
+        )
+        .map_err(|e| e.to_string())
     });
     chain.execute(borrower, 25, 250_000, "open position", |ctx| {
-        pool.deposit(ctx.ledger, ctx.events, borrower, Token::ETH, Wad::from_int(300))
-            .map_err(|e| e.to_string())?;
-        pool.borrow(ctx.ledger, ctx.events, &oracle, ctx.block, borrower, Token::USDC, Wad::from_int(800_000))
-            .map_err(|e| e.to_string())
+        pool.deposit(
+            ctx.ledger,
+            ctx.events,
+            borrower,
+            Token::ETH,
+            Wad::from_int(300),
+        )
+        .map_err(|e| e.to_string())?;
+        pool.borrow(
+            ctx.ledger,
+            ctx.events,
+            &oracle,
+            ctx.block,
+            borrower,
+            Token::USDC,
+            Wad::from_int(800_000),
+        )
+        .map_err(|e| e.to_string())
     });
 
     // The flash-loan pool and a deep ETH/USDC DEX pool.
     let flash_pool = FlashLoanPool::for_platform(Platform::DyDx);
     flash_pool.seed(chain.ledger_mut(), Token::USDC, Wad::from_int(100_000_000));
     let mut dex = Dex::new();
-    dex.seed_standard_pool(chain.ledger_mut(), Token::ETH, 3_000.0, Token::USDC, 1.0, 200_000_000.0);
+    dex.seed_standard_pool(
+        chain.ledger_mut(),
+        Token::ETH,
+        3_000.0,
+        Token::USDC,
+        1.0,
+        200_000_000.0,
+    );
 
     // ETH drops: the position becomes liquidatable.
     chain.advance_to(chain.current_block() + 100, 0);
@@ -64,7 +101,10 @@ fn main() {
     assert!(pool.is_liquidatable(&oracle, borrower));
     println!(
         "borrower health factor after the price drop: {}",
-        pool.position(&oracle, borrower).unwrap().health_factor().unwrap()
+        pool.position(&oracle, borrower)
+            .unwrap()
+            .health_factor()
+            .unwrap()
     );
 
     // The liquidator executes the whole flow atomically, starting with zero inventory.
@@ -82,17 +122,35 @@ fn main() {
                 repay,
                 |ledger, events| {
                     let receipt = pool.liquidation_call(
-                        ledger, events, &oracle, block, liquidator, borrower,
-                        Token::USDC, Token::ETH, repay, true,
+                        ledger,
+                        events,
+                        &oracle,
+                        block,
+                        liquidator,
+                        borrower,
+                        Token::USDC,
+                        Token::ETH,
+                        repay,
+                        true,
                     )?;
                     println!(
                         "  repaid {} USDC, seized {} ETH ({} USD)",
-                        receipt.debt_repaid, receipt.collateral_seized, receipt.collateral_seized_usd
+                        receipt.debt_repaid,
+                        receipt.collateral_seized,
+                        receipt.collateral_seized_usd
                     );
                     // Swap the seized ETH back into USDC to repay the flash loan.
                     let proceeds = dex
-                        .swap(ledger, liquidator, Token::ETH, Token::USDC, receipt.collateral_seized)
-                        .map_err(|e| defi_liquidations_suite::lending::ProtocolError::Ledger(e.to_string()))?;
+                        .swap(
+                            ledger,
+                            liquidator,
+                            Token::ETH,
+                            Token::USDC,
+                            receipt.collateral_seized,
+                        )
+                        .map_err(|e| {
+                            defi_liquidations_suite::lending::ProtocolError::Ledger(e.to_string())
+                        })?;
                     println!("  swapped the collateral for {} USDC on the DEX", proceeds);
                     Ok(())
                 },
@@ -100,9 +158,15 @@ fn main() {
             .map_err(|e| e.to_string())
     });
 
-    assert!(outcome.is_success(), "the flash-loan liquidation should settle");
+    assert!(
+        outcome.is_success(),
+        "the flash-loan liquidation should settle"
+    );
     let profit = chain.ledger().balance(liquidator, Token::USDC);
-    println!("\nflash loan repaid in full; liquidator profit: {} USDC", profit);
+    println!(
+        "\nflash loan repaid in full; liquidator profit: {} USDC",
+        profit
+    );
     println!(
         "events emitted in the transaction: {:?}",
         outcome

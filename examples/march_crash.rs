@@ -12,20 +12,23 @@
 //! ```
 
 use defi_liquidations_suite::analytics::StudyAnalysis;
-use defi_liquidations_suite::sim::{SimConfig, SimulationEngine};
+use defi_liquidations_suite::sim::{EngineBuilder, SimConfig};
 use defi_liquidations_suite::types::{MonthTag, Platform, Token};
 
 fn main() {
     // The smoke scenario covers blocks 9.5M–9.9M (February–April 2020),
     // which contains the scripted crash and congestion episode.
-    let config = SimConfig::smoke_test(2020_03_13);
+    let config = SimConfig::smoke_test(20_200_313);
     println!(
         "simulating blocks {}..{} ({} ticks) around the March 2020 crash…",
         config.start_block,
         config.end_block,
         config.tick_count()
     );
-    let report = SimulationEngine::new(config).run();
+    // EngineBuilder is the assembly surface: the defaults reproduce the
+    // paper's five-protocol setup, and any protocol, scenario or DEX can be
+    // swapped with one `.with_*` call.
+    let report = EngineBuilder::new(config).build().run();
 
     // The crash is visible in the market price path.
     let eth_before = report
@@ -45,9 +48,18 @@ fn main() {
 
     let analysis = StudyAnalysis::from_report(&report);
 
-    println!("\nliquidations in the window: {}", analysis.headline.liquidation_count);
-    println!("collateral sold:            {} USD", analysis.headline.total_collateral_sold);
-    println!("liquidator profit:          {} USD", analysis.headline.total_profit);
+    println!(
+        "\nliquidations in the window: {}",
+        analysis.headline.liquidation_count
+    );
+    println!(
+        "collateral sold:            {} USD",
+        analysis.headline.total_collateral_sold
+    );
+    println!(
+        "liquidator profit:          {} USD",
+        analysis.headline.total_profit
+    );
 
     // Monthly profit per platform: March 2020 dominates, and MakerDAO's
     // auction wins during congestion are the largest single contribution —
@@ -66,7 +78,10 @@ fn main() {
 
     // Auction statistics: short auctions, very few bids — keepers were absent.
     let auctions = &analysis.auctions;
-    println!("\nMakerDAO auctions finalised: {}", auctions.durations.len());
+    println!(
+        "\nMakerDAO auctions finalised: {}",
+        auctions.durations.len()
+    );
     println!(
         "  bids per auction: {:.2} ± {:.2}; bidders per auction: {:.2}",
         auctions.bids_per_auction.mean, auctions.bids_per_auction.std_dev, auctions.average_bidders
@@ -81,12 +96,7 @@ fn main() {
         "\nfixed-spread liquidations paying above-average gas: {:.1}%",
         analysis.gas.share_above_average * 100.0
     );
-    if let Some(max_point) = analysis
-        .gas
-        .points
-        .iter()
-        .max_by_key(|p| p.gas_price)
-    {
+    if let Some(max_point) = analysis.gas.points.iter().max_by_key(|p| p.gas_price) {
         println!(
             "  highest liquidation gas bid: {} gwei at block {} (network average {:.0} gwei)",
             max_point.gas_price, max_point.block, max_point.average_gas_price

@@ -12,9 +12,7 @@
 
 use defi_liquidations_suite::core::mitigation::MitigationAnalysis;
 use defi_liquidations_suite::core::params::RiskParams;
-use defi_liquidations_suite::core::strategy::{
-    optimal_profit_increase_rate, StrategyComparison,
-};
+use defi_liquidations_suite::core::strategy::{optimal_profit_increase_rate, StrategyComparison};
 use defi_liquidations_suite::prelude::*;
 
 fn main() {
@@ -39,12 +37,21 @@ fn main() {
 
     println!("\n-- up-to-close-factor strategy --");
     println!("repay:   {} USD", comparison.up_to_close_factor.repay_1);
-    println!("receive: {} USD", comparison.up_to_close_factor.collateral_claimed);
+    println!(
+        "receive: {} USD",
+        comparison.up_to_close_factor.collateral_claimed
+    );
     println!("profit:  {} USD", comparison.up_to_close_factor.profit);
 
     println!("\n-- optimal strategy (Algorithm 2) --");
-    println!("liquidation 1 repay: {} USD (keeps the position unhealthy)", comparison.optimal.repay_1);
-    println!("liquidation 2 repay: {} USD (up to the close factor of the remainder)", comparison.optimal.repay_2);
+    println!(
+        "liquidation 1 repay: {} USD (keeps the position unhealthy)",
+        comparison.optimal.repay_1
+    );
+    println!(
+        "liquidation 2 repay: {} USD (up to the close factor of the remainder)",
+        comparison.optimal.repay_2
+    );
     println!("total profit:        {} USD", comparison.optimal.profit);
     println!(
         "advantage over up-to-close-factor: {} USD",

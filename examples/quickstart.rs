@@ -29,29 +29,62 @@ fn main() {
         insurance_fund: false,
     });
     // The paper's example parameters: LT = 0.8, LS = 10 %.
-    pool.list_market(Token::ETH, RiskParams::new(0.8, 0.10, 0.5), InterestRateModel::default(), 0);
-    pool.list_market(Token::USDC, RiskParams::new(0.85, 0.05, 0.5), InterestRateModel::stablecoin(), 0);
+    pool.list_market(
+        Token::ETH,
+        RiskParams::new(0.8, 0.10, 0.5),
+        InterestRateModel::default(),
+        0,
+    );
+    pool.list_market(
+        Token::USDC,
+        RiskParams::new(0.85, 0.05, 0.5),
+        InterestRateModel::stablecoin(),
+        0,
+    );
 
     // A lender seeds USDC liquidity.
     let lender = Address::from_seed(1);
     chain.fund(lender, Token::USDC, Wad::from_int(1_000_000));
     chain.execute(lender, 20, 250_000, "lender deposit", |ctx| {
-        pool.deposit(ctx.ledger, ctx.events, lender, Token::USDC, Wad::from_int(1_000_000))
-            .map_err(|e| e.to_string())
+        pool.deposit(
+            ctx.ledger,
+            ctx.events,
+            lender,
+            Token::USDC,
+            Wad::from_int(1_000_000),
+        )
+        .map_err(|e| e.to_string())
     });
 
     // --- The borrower opens the paper's position ----------------------------
     let borrower = Address::from_seed(2);
     chain.fund(borrower, Token::ETH, Wad::from_int(3));
     chain.execute(borrower, 25, 250_000, "open position", |ctx| {
-        pool.deposit(ctx.ledger, ctx.events, borrower, Token::ETH, Wad::from_int(3))
-            .map_err(|e| e.to_string())?;
-        pool.borrow(ctx.ledger, ctx.events, &oracle, ctx.block, borrower, Token::USDC, Wad::from_int(8_400))
-            .map_err(|e| e.to_string())
+        pool.deposit(
+            ctx.ledger,
+            ctx.events,
+            borrower,
+            Token::ETH,
+            Wad::from_int(3),
+        )
+        .map_err(|e| e.to_string())?;
+        pool.borrow(
+            ctx.ledger,
+            ctx.events,
+            &oracle,
+            ctx.block,
+            borrower,
+            Token::USDC,
+            Wad::from_int(8_400),
+        )
+        .map_err(|e| e.to_string())
     });
 
     let position = pool.position(&oracle, borrower).expect("position exists");
-    println!("collateral value:    {} USD", position.total_collateral_value());
+    println!(
+        "collateral value:    {} USD",
+        position.total_collateral_value()
+    );
     println!("borrowing capacity:  {} USD", position.borrowing_capacity());
     println!("debt value:          {} USD", position.total_debt_value());
     println!("health factor:       {}", position.health_factor().unwrap());
@@ -72,8 +105,16 @@ fn main() {
     let outcome = chain.execute(liquidator, 120, 500_000, "liquidation call", |ctx| {
         let r = pool
             .liquidation_call(
-                ctx.ledger, ctx.events, &oracle, ctx.block, liquidator, borrower,
-                Token::USDC, Token::ETH, Wad::from_int(4_200), false,
+                ctx.ledger,
+                ctx.events,
+                &oracle,
+                ctx.block,
+                liquidator,
+                borrower,
+                Token::USDC,
+                Token::ETH,
+                Wad::from_int(4_200),
+                false,
             )
             .map_err(|e| e.to_string())?;
         receipt = Some(r);
@@ -85,7 +126,10 @@ fn main() {
     println!("\nliquidation settled in tx {}", outcome.receipt.hash);
     println!("debt repaid:         {} USD", receipt.debt_repaid_usd);
     println!("collateral received: {} USD", receipt.collateral_seized_usd);
-    println!("liquidator profit:   {} USD (the paper's example: 420 USD)", receipt.gross_profit_usd());
+    println!(
+        "liquidator profit:   {} USD (the paper's example: 420 USD)",
+        receipt.gross_profit_usd()
+    );
     println!(
         "health factor after: {}",
         receipt.health_factor_after.expect("debt remains")

@@ -29,14 +29,22 @@ fn main() {
         if positions.is_empty() {
             continue;
         }
-        println!("{} — {} open borrowing positions", platform.platform.name(), positions.len());
+        println!(
+            "{} — {} open borrowing positions",
+            platform.platform.name(),
+            positions.len()
+        );
         for curve in &platform.curves {
             if curve.max().is_zero() {
                 continue;
             }
             print!("  {:<8}", curve.token.symbol());
             for decline in [0.1, 0.2, 0.3, 0.43, 0.6, 0.8, 1.0] {
-                print!(" {:>3.0}%:{:>10.0}", decline * 100.0, curve.at(decline).to_f64());
+                print!(
+                    " {:>3.0}%:{:>10.0}",
+                    decline * 100.0,
+                    curve.at(decline).to_f64()
+                );
             }
             println!();
         }

@@ -9,7 +9,7 @@
 //! Pass `--smoke` to run the fast 3-month window instead of the full study.
 
 use defi_liquidations_suite::analytics::StudyAnalysis;
-use defi_liquidations_suite::sim::{SimConfig, SimulationEngine};
+use defi_liquidations_suite::sim::{EngineBuilder, SimConfig};
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -26,7 +26,7 @@ fn main() {
         config.tick_count()
     );
     let started = std::time::Instant::now();
-    let report = SimulationEngine::new(config).run();
+    let report = EngineBuilder::new(config).build().run();
     println!(
         "simulation finished in {:.1}s with {} chain events",
         started.elapsed().as_secs_f64(),
@@ -38,7 +38,10 @@ fn main() {
     println!("\n== headline statistics (cf. §4.2) ==");
     println!("  settled liquidations:   {}", headline.liquidation_count);
     println!("  unique liquidators:     {}", headline.liquidator_count);
-    println!("  collateral sold:        {} USD", headline.total_collateral_sold);
+    println!(
+        "  collateral sold:        {} USD",
+        headline.total_collateral_sold
+    );
     println!("  liquidator profit:      {} USD", headline.total_profit);
     println!(
         "  unprofitable liquidations: {} (total loss {} USD)",

@@ -15,10 +15,23 @@
 //! | [`chain`] | Ethereum-like blockchain simulator (blocks, gas, mempool, events, archive queries) |
 //! | [`oracle`] | Price oracles and synthetic/scripted price processes |
 //! | [`amm`] | Constant-product AMM used by flash-loan liquidators |
-//! | [`lending`] | Aave V1/V2, Compound, dYdX, MakerDAO protocol implementations and flash loans |
-//! | [`sim`] | Agent-based simulation engine and the two-year study scenario |
+//! | [`lending`] | Aave V1/V2, Compound, dYdX, MakerDAO implementations behind the unified, object-safe [`lending::LendingProtocol`] trait, plus flash loans |
+//! | [`sim`] | Agent-based simulation engine driving a `ProtocolRegistry` of `Box<dyn LendingProtocol>`; engines are assembled with [`sim::EngineBuilder`] |
 //! | [`analytics`] | Measurement pipeline reproducing every table and figure |
 //! | [`core`] | The paper's contribution: liquidation models, optimal strategy, comparison methodology |
+//!
+//! Engines are built through the fluent [`sim::EngineBuilder`] API:
+//!
+//! ```no_run
+//! use defi_liquidations_suite::sim::{EngineBuilder, SimConfig};
+//!
+//! let report = EngineBuilder::new(SimConfig::smoke_test(42)).build().run();
+//! assert!(!report.final_positions.is_empty());
+//! ```
+//!
+//! and any [`lending::LendingProtocol`] implementation — a stock platform
+//! with altered parameters, or an entirely new mechanism — can be plugged in
+//! with `EngineBuilder::with_protocol` without touching the engine.
 
 pub use defi_amm as amm;
 pub use defi_analytics as analytics;

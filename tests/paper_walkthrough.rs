@@ -3,10 +3,12 @@
 //! substrate (defi-lending) and the chain (defi-chain) agree with each other.
 
 use defi_liquidations_suite::chain::{Blockchain, ChainConfig};
+use defi_liquidations_suite::core::mitigation::MitigationAnalysis;
 use defi_liquidations_suite::core::params::RiskParams;
 use defi_liquidations_suite::core::position::paper_walkthrough_position;
-use defi_liquidations_suite::core::strategy::{optimal_liquidation, up_to_close_factor_liquidation};
-use defi_liquidations_suite::core::mitigation::MitigationAnalysis;
+use defi_liquidations_suite::core::strategy::{
+    optimal_liquidation, up_to_close_factor_liquidation,
+};
 use defi_liquidations_suite::lending::{FixedSpreadConfig, FixedSpreadProtocol, InterestRateModel};
 use defi_liquidations_suite::oracle::{OracleConfig, PriceOracle};
 use defi_liquidations_suite::prelude::*;
@@ -44,8 +46,18 @@ fn protocol_execution_matches_core_math() {
         one_liquidation_per_block: false,
         insurance_fund: false,
     });
-    pool.list_market(Token::ETH, RiskParams::new(0.8, 0.10, 0.5), InterestRateModel::default(), 0);
-    pool.list_market(Token::USDC, RiskParams::new(0.85, 0.05, 0.5), InterestRateModel::stablecoin(), 0);
+    pool.list_market(
+        Token::ETH,
+        RiskParams::new(0.8, 0.10, 0.5),
+        InterestRateModel::default(),
+        0,
+    );
+    pool.list_market(
+        Token::USDC,
+        RiskParams::new(0.85, 0.05, 0.5),
+        InterestRateModel::stablecoin(),
+        0,
+    );
 
     let lender = Address::from_seed(1);
     let borrower = Address::from_seed(2);
@@ -56,16 +68,36 @@ fn protocol_execution_matches_core_math() {
 
     assert!(chain
         .execute(lender, 20, 250_000, "seed", |ctx| {
-            pool.deposit(ctx.ledger, ctx.events, lender, Token::USDC, Wad::from_int(100_000))
-                .map_err(|e| e.to_string())
+            pool.deposit(
+                ctx.ledger,
+                ctx.events,
+                lender,
+                Token::USDC,
+                Wad::from_int(100_000),
+            )
+            .map_err(|e| e.to_string())
         })
         .is_success());
     assert!(chain
         .execute(borrower, 20, 250_000, "open", |ctx| {
-            pool.deposit(ctx.ledger, ctx.events, borrower, Token::ETH, Wad::from_int(3))
-                .map_err(|e| e.to_string())?;
-            pool.borrow(ctx.ledger, ctx.events, &oracle, ctx.block, borrower, Token::USDC, Wad::from_int(8_400))
-                .map_err(|e| e.to_string())
+            pool.deposit(
+                ctx.ledger,
+                ctx.events,
+                borrower,
+                Token::ETH,
+                Wad::from_int(3),
+            )
+            .map_err(|e| e.to_string())?;
+            pool.borrow(
+                ctx.ledger,
+                ctx.events,
+                &oracle,
+                ctx.block,
+                borrower,
+                Token::USDC,
+                Wad::from_int(8_400),
+            )
+            .map_err(|e| e.to_string())
         })
         .is_success());
 
@@ -85,8 +117,16 @@ fn protocol_execution_matches_core_math() {
     let outcome = chain.execute(liquidator, 100, 500_000, "liquidation", |ctx| {
         receipt = Some(
             pool.liquidation_call(
-                ctx.ledger, ctx.events, &oracle, ctx.block, liquidator, borrower,
-                Token::USDC, Token::ETH, Wad::from_int(4_200), false,
+                ctx.ledger,
+                ctx.events,
+                &oracle,
+                ctx.block,
+                liquidator,
+                borrower,
+                Token::USDC,
+                Token::ETH,
+                Wad::from_int(4_200),
+                false,
             )
             .map_err(|e| e.to_string())?,
         );
@@ -104,7 +144,10 @@ fn protocol_execution_matches_core_math() {
     // The ledger actually moved the funds (up to a wei of index-rounding dust).
     let liquidator_usdc = chain.ledger().balance(liquidator, Token::USDC);
     assert!(
-        liquidator_usdc.abs_diff(Wad::from_int(10_000 - 4_200)).to_f64() < 1e-9,
+        liquidator_usdc
+            .abs_diff(Wad::from_int(10_000 - 4_200))
+            .to_f64()
+            < 1e-9,
         "unexpected liquidator balance {liquidator_usdc}"
     );
     assert!(chain.ledger().balance(liquidator, Token::ETH) > Wad::ONE);
@@ -128,8 +171,18 @@ fn failed_liquidation_reverts_atomically() {
         one_liquidation_per_block: false,
         insurance_fund: false,
     });
-    pool.list_market(Token::ETH, RiskParams::new(0.8, 0.05, 0.5), InterestRateModel::default(), 0);
-    pool.list_market(Token::USDC, RiskParams::new(0.85, 0.05, 0.5), InterestRateModel::stablecoin(), 0);
+    pool.list_market(
+        Token::ETH,
+        RiskParams::new(0.8, 0.05, 0.5),
+        InterestRateModel::default(),
+        0,
+    );
+    pool.list_market(
+        Token::USDC,
+        RiskParams::new(0.85, 0.05, 0.5),
+        InterestRateModel::stablecoin(),
+        0,
+    );
     let lender = Address::from_seed(1);
     let borrower = Address::from_seed(2);
     let liquidator = Address::from_seed(3);
@@ -137,22 +190,50 @@ fn failed_liquidation_reverts_atomically() {
     chain.fund(borrower, Token::ETH, Wad::from_int(3));
     chain.fund(liquidator, Token::USDC, Wad::from_int(5_000));
     chain.execute(lender, 20, 250_000, "seed", |ctx| {
-        pool.deposit(ctx.ledger, ctx.events, lender, Token::USDC, Wad::from_int(50_000))
-            .map_err(|e| e.to_string())
+        pool.deposit(
+            ctx.ledger,
+            ctx.events,
+            lender,
+            Token::USDC,
+            Wad::from_int(50_000),
+        )
+        .map_err(|e| e.to_string())
     });
     chain.execute(borrower, 20, 250_000, "open", |ctx| {
-        pool.deposit(ctx.ledger, ctx.events, borrower, Token::ETH, Wad::from_int(3))
-            .map_err(|e| e.to_string())?;
-        pool.borrow(ctx.ledger, ctx.events, &oracle, ctx.block, borrower, Token::USDC, Wad::from_int(5_000))
-            .map_err(|e| e.to_string())
+        pool.deposit(
+            ctx.ledger,
+            ctx.events,
+            borrower,
+            Token::ETH,
+            Wad::from_int(3),
+        )
+        .map_err(|e| e.to_string())?;
+        pool.borrow(
+            ctx.ledger,
+            ctx.events,
+            &oracle,
+            ctx.block,
+            borrower,
+            Token::USDC,
+            Wad::from_int(5_000),
+        )
+        .map_err(|e| e.to_string())
     });
     let events_before = chain.events().len();
     let liquidator_balance_before = chain.ledger().balance(liquidator, Token::USDC);
 
     let outcome = chain.execute(liquidator, 100, 500_000, "bad liquidation", |ctx| {
         pool.liquidation_call(
-            ctx.ledger, ctx.events, &oracle, ctx.block, liquidator, borrower,
-            Token::USDC, Token::ETH, Wad::from_int(2_500), false,
+            ctx.ledger,
+            ctx.events,
+            &oracle,
+            ctx.block,
+            liquidator,
+            borrower,
+            Token::USDC,
+            Token::ETH,
+            Wad::from_int(2_500),
+            false,
         )
         .map(|_| ())
         .map_err(|e| e.to_string())
@@ -165,7 +246,10 @@ fn failed_liquidation_reverts_atomically() {
         liquidator_balance_before
     );
     assert!(!outcome.receipt.success);
-    assert!(outcome.receipt.fee_eth() > 0.0, "reverted transactions still pay gas");
+    assert!(
+        outcome.receipt.fee_eth() > 0.0,
+        "reverted transactions still pay gas"
+    );
 }
 
 /// §5.2: on any liquidatable position with a sound configuration, the optimal
