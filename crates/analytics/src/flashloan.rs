@@ -53,54 +53,86 @@ impl Table4 {
 
 /// Compute Table 4 from the chain event log.
 pub fn table4(chain: &Blockchain) -> Table4 {
-    // Group events by transaction hash.
-    let mut flash_by_tx: BTreeMap<_, Vec<(Platform, Wad)>> = BTreeMap::new();
-    let mut liquidation_platform_by_tx: BTreeMap<_, Platform> = BTreeMap::new();
+    let mut collector = FlashLoanCollector::default();
     for logged in chain.events().iter() {
+        collector.observe_event(logged);
+    }
+    collector.finish()
+}
+
+/// Incremental Table 4 collector: indexes flash loans and liquidations by
+/// transaction hash as events stream past, joining them at
+/// [`finish`](FlashLoanCollector::finish).
+#[derive(Debug, Default)]
+pub struct FlashLoanCollector {
+    flash_by_tx: BTreeMap<defi_types::TxHash, Vec<(Platform, Wad)>>,
+    liquidation_platform_by_tx: BTreeMap<defi_types::TxHash, Platform>,
+}
+
+impl FlashLoanCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        FlashLoanCollector::default()
+    }
+
+    /// Fold one raw chain event (only flash loans and liquidations matter).
+    pub fn observe_event(&mut self, logged: &defi_chain::LoggedEvent) {
         match &logged.event {
             ChainEvent::FlashLoan {
                 pool, amount_usd, ..
             } => {
-                flash_by_tx
+                self.flash_by_tx
                     .entry(logged.tx_hash)
                     .or_default()
                     .push((*pool, *amount_usd));
             }
             ChainEvent::Liquidation(event) => {
-                liquidation_platform_by_tx.insert(logged.tx_hash, event.platform);
+                self.liquidation_platform_by_tx
+                    .insert(logged.tx_hash, event.platform);
             }
             _ => {}
         }
     }
 
-    let mut aggregate: BTreeMap<(Platform, Platform), (u32, Wad)> = BTreeMap::new();
-    let mut total = 0u32;
-    let mut total_amount = Wad::ZERO;
-    for (tx, loans) in flash_by_tx {
-        let Some(platform) = liquidation_platform_by_tx.get(&tx) else {
-            continue; // a flash loan not used for a liquidation
-        };
-        for (pool, amount) in loans {
-            let entry = aggregate.entry((*platform, pool)).or_insert((0, Wad::ZERO));
-            entry.0 += 1;
-            entry.1 = entry.1.saturating_add(amount);
-            total += 1;
-            total_amount = total_amount.saturating_add(amount);
+    /// Join flash loans with the liquidations sharing their transaction.
+    pub fn finish(&self) -> Table4 {
+        let mut aggregate: BTreeMap<(Platform, Platform), (u32, Wad)> = BTreeMap::new();
+        let mut total = 0u32;
+        let mut total_amount = Wad::ZERO;
+        for (tx, loans) in &self.flash_by_tx {
+            let Some(platform) = self.liquidation_platform_by_tx.get(tx) else {
+                continue; // a flash loan not used for a liquidation
+            };
+            for (pool, amount) in loans {
+                let entry = aggregate
+                    .entry((*platform, *pool))
+                    .or_insert((0, Wad::ZERO));
+                entry.0 += 1;
+                entry.1 = entry.1.saturating_add(*amount);
+                total += 1;
+                total_amount = total_amount.saturating_add(*amount);
+            }
+        }
+
+        Table4 {
+            rows: aggregate
+                .into_iter()
+                .map(|((liq, pool), (count, amount))| FlashLoanUsageRow {
+                    liquidation_platform: liq,
+                    flash_pool: pool,
+                    count,
+                    cumulative_amount_usd: amount,
+                })
+                .collect(),
+            total_flash_loans: total,
+            total_amount_usd: total_amount,
         }
     }
+}
 
-    Table4 {
-        rows: aggregate
-            .into_iter()
-            .map(|((liq, pool), (count, amount))| FlashLoanUsageRow {
-                liquidation_platform: liq,
-                flash_pool: pool,
-                count,
-                cumulative_amount_usd: amount,
-            })
-            .collect(),
-        total_flash_loans: total,
-        total_amount_usd: total_amount,
+impl defi_sim::SimObserver for FlashLoanCollector {
+    fn on_event(&mut self, logged: &defi_chain::LoggedEvent) {
+        self.observe_event(logged);
     }
 }
 

@@ -19,6 +19,13 @@
 //! | [`profit_volume`] | §5.1 profit–volume comparison, Figure 9, Table 8 |
 //! | [`price_movement`] | Appendix A post-liquidation price movements, Table 7 |
 //! | [`study`] | one-call [`StudyAnalysis`] bundling all of the above |
+//!
+//! Each module ships two equivalent faces: pure batch functions over the
+//! ledger/report, and an incremental *collector* implementing
+//! [`SimObserver`](defi_sim::SimObserver) so the same artefact computes in a
+//! single pass while the simulation streams. [`StudyCollector`] composes the
+//! streaming collectors (building each record once and fanning it out) and
+//! measures the snapshot-bound artefacts at run end.
 
 pub mod auctions;
 pub mod bad_debt;
@@ -33,5 +40,14 @@ pub mod stablecoin;
 pub mod study;
 pub mod unprofitable;
 
-pub use records::{LiquidationKind, LiquidationRecord};
-pub use study::StudyAnalysis;
+pub use auctions::AuctionCollector;
+pub use bad_debt::BadDebtCollector;
+pub use flashloan::FlashLoanCollector;
+pub use gas::GasCollector;
+pub use overall::{OverallArtifacts, OverallCollector};
+pub use price_movement::PriceMovementCollector;
+pub use profit_volume::ProfitVolumeCollector;
+pub use records::{LiquidationKind, LiquidationRecord, RecordsCollector};
+pub use stablecoin::StablecoinCollector;
+pub use study::{StudyAnalysis, StudyCollector};
+pub use unprofitable::UnprofitableCollector;

@@ -90,85 +90,151 @@ impl LiquidationRecord {
     }
 }
 
+/// Build a [`LiquidationRecord`] from one logged settlement event, valuing
+/// the transaction fee at the given ETH price. Returns `None` for events
+/// that are not settlements. Both the batch [`collect_records`] scan and the
+/// streaming [`RecordsCollector`] go through this one constructor, so the two
+/// paths produce identical ledgers.
+pub fn record_from_logged(
+    logged: &defi_chain::LoggedEvent,
+    eth_price: Wad,
+    time_map: &TimeMap,
+) -> Option<LiquidationRecord> {
+    let fee_usd =
+        Wad::from_f64(logged.gas_price as f64 * logged.gas_used as f64 * 1e-9 * eth_price.to_f64());
+    match &logged.event {
+        ChainEvent::Liquidation(event) => Some(LiquidationRecord {
+            platform: event.platform,
+            kind: LiquidationKind::FixedSpread,
+            liquidator: event.liquidator,
+            borrower: event.borrower,
+            block: logged.block,
+            month: time_map.month(logged.block),
+            debt_token: event.debt_token,
+            collateral_token: event.collateral_token,
+            debt_repaid_usd: event.debt_repaid_usd,
+            collateral_received_usd: event.collateral_seized_usd,
+            gas_price: logged.gas_price,
+            gas_used: logged.gas_used,
+            fee_usd,
+            used_flash_loan: event.used_flash_loan,
+            auction_started_at: None,
+            auction_last_bid_at: None,
+            tend_bids: 0,
+            dent_bids: 0,
+        }),
+        ChainEvent::AuctionFinalized {
+            winner,
+            debt_repaid_usd,
+            collateral_token,
+            collateral_received_usd,
+            borrower,
+            started_at,
+            last_bid_at,
+            tend_bids,
+            dent_bids,
+            final_phase,
+            ..
+        } => Some(LiquidationRecord {
+            platform: Platform::MakerDao,
+            kind: LiquidationKind::Auction(*final_phase),
+            liquidator: *winner,
+            borrower: *borrower,
+            block: logged.block,
+            month: time_map.month(logged.block),
+            debt_token: Token::DAI,
+            collateral_token: *collateral_token,
+            debt_repaid_usd: *debt_repaid_usd,
+            collateral_received_usd: *collateral_received_usd,
+            gas_price: logged.gas_price,
+            gas_used: logged.gas_used,
+            fee_usd,
+            used_flash_loan: false,
+            auction_started_at: Some(*started_at),
+            auction_last_bid_at: Some(*last_bid_at),
+            tend_bids: *tend_bids,
+            dent_bids: *dent_bids,
+        }),
+        _ => None,
+    }
+}
+
 /// Extract every liquidation record from the chain event log.
 ///
-/// `eth_price_at` values transaction fees; the paper normalises with the
-/// on-chain oracle price at the settlement block, so we pass the market
-/// oracle here.
+/// The market oracle values transaction fees; the paper normalises with the
+/// on-chain oracle price at the settlement block.
 pub fn collect_records(chain: &Blockchain, market_oracle: &PriceOracle) -> Vec<LiquidationRecord> {
     let time_map: &TimeMap = chain.time_map();
-    let mut records = Vec::new();
+    chain
+        .events()
+        .iter()
+        .filter_map(|logged| {
+            let eth_price = market_oracle
+                .price_at(logged.block, Token::ETH)
+                .unwrap_or_else(|| market_oracle.price_or_zero(Token::ETH));
+            record_from_logged(logged, eth_price, time_map)
+        })
+        .collect()
+}
 
-    // Index flash loans by (block, sender) so fixed-spread records can be
-    // flagged even if the protocol event did not carry the flag.
-    for logged in chain.events().iter() {
-        let eth_price = market_oracle
-            .price_at(logged.block, Token::ETH)
-            .unwrap_or_else(|| market_oracle.price_or_zero(Token::ETH));
-        let fee_usd = Wad::from_f64(
-            logged.gas_price as f64 * logged.gas_used as f64 * 1e-9 * eth_price.to_f64(),
-        );
-        match &logged.event {
-            ChainEvent::Liquidation(event) => {
-                records.push(LiquidationRecord {
-                    platform: event.platform,
-                    kind: LiquidationKind::FixedSpread,
-                    liquidator: event.liquidator,
-                    borrower: event.borrower,
-                    block: logged.block,
-                    month: time_map.month(logged.block),
-                    debt_token: event.debt_token,
-                    collateral_token: event.collateral_token,
-                    debt_repaid_usd: event.debt_repaid_usd,
-                    collateral_received_usd: event.collateral_seized_usd,
-                    gas_price: logged.gas_price,
-                    gas_used: logged.gas_used,
-                    fee_usd,
-                    used_flash_loan: event.used_flash_loan,
-                    auction_started_at: None,
-                    auction_last_bid_at: None,
-                    tend_bids: 0,
-                    dent_bids: 0,
-                });
-            }
-            ChainEvent::AuctionFinalized {
-                winner,
-                debt_repaid_usd,
-                collateral_token,
-                collateral_received_usd,
-                borrower,
-                started_at,
-                last_bid_at,
-                tend_bids,
-                dent_bids,
-                final_phase,
-                ..
-            } => {
-                records.push(LiquidationRecord {
-                    platform: Platform::MakerDao,
-                    kind: LiquidationKind::Auction(*final_phase),
-                    liquidator: *winner,
-                    borrower: *borrower,
-                    block: logged.block,
-                    month: time_map.month(logged.block),
-                    debt_token: Token::DAI,
-                    collateral_token: *collateral_token,
-                    debt_repaid_usd: *debt_repaid_usd,
-                    collateral_received_usd: *collateral_received_usd,
-                    gas_price: logged.gas_price,
-                    gas_used: logged.gas_used,
-                    fee_usd,
-                    used_flash_loan: false,
-                    auction_started_at: Some(*started_at),
-                    auction_last_bid_at: Some(*last_bid_at),
-                    tend_bids: *tend_bids,
-                    dent_bids: *dent_bids,
-                });
-            }
-            _ => {}
-        }
+/// Streaming builder of the liquidation ledger: the observer equivalent of
+/// [`collect_records`], accumulating one record per settlement as the run
+/// produces it.
+#[derive(Debug, Default)]
+pub struct RecordsCollector {
+    time_map: Option<TimeMap>,
+    records: Vec<LiquidationRecord>,
+}
+
+impl RecordsCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        RecordsCollector::default()
     }
-    records
+
+    /// The ledger accumulated so far.
+    pub fn records(&self) -> &[LiquidationRecord] {
+        &self.records
+    }
+
+    /// Consume the collector, returning the ledger.
+    pub fn into_records(self) -> Vec<LiquidationRecord> {
+        self.records
+    }
+
+    pub(crate) fn set_time_map(&mut self, time_map: TimeMap) {
+        self.time_map = Some(time_map);
+    }
+
+    pub(crate) fn observe(
+        &mut self,
+        liquidation: &defi_sim::LiquidationObservation<'_>,
+    ) -> Option<&LiquidationRecord> {
+        let record = observed_record(self.time_map, liquidation)?;
+        self.records.push(record);
+        self.records.last()
+    }
+}
+
+/// Build a record from a streamed observation, falling back to the paper's
+/// study-window calendar when the observer was attached without seeing
+/// `on_run_start`. The one helper every streaming collector routes through.
+pub(crate) fn observed_record(
+    time_map: Option<TimeMap>,
+    liquidation: &defi_sim::LiquidationObservation<'_>,
+) -> Option<LiquidationRecord> {
+    let time_map = time_map.unwrap_or_else(TimeMap::paper_study_window);
+    record_from_logged(liquidation.logged, liquidation.eth_price, &time_map)
+}
+
+impl defi_sim::SimObserver for RecordsCollector {
+    fn on_run_start(&mut self, run: &defi_sim::RunStart<'_>) {
+        self.set_time_map(run.time_map);
+    }
+
+    fn on_liquidation(&mut self, liquidation: &defi_sim::LiquidationObservation<'_>) {
+        self.observe(liquidation);
+    }
 }
 
 #[cfg(test)]

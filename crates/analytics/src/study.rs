@@ -1,29 +1,42 @@
 //! One-call analysis of a full simulation run.
 //!
-//! [`StudyAnalysis::from_report`] computes every table and figure of the
-//! paper's evaluation from a [`SimulationReport`], so the examples and the
-//! benchmark harness only need a single entry point.
+//! Two equivalent pipelines produce the same [`StudyAnalysis`]:
+//!
+//! * **streaming** — [`StudyCollector`] is a
+//!   [`SimObserver`](defi_sim::SimObserver) composing the incremental
+//!   collectors of every module; attach it to a
+//!   [`Session`](defi_sim::Session) (or call [`StudyAnalysis::stream`]) and
+//!   the study computes in a single pass *during* the simulation;
+//! * **batch** — [`StudyAnalysis::from_report`] re-scans a materialised
+//!   [`SimulationReport`] after the fact (the legacy path, kept as the
+//!   reference the streaming path is tested against).
 
 use serde::Serialize;
 
 use defi_core::comparison::MechanismComparison;
-use defi_sim::SimulationReport;
-use defi_types::Token;
+use defi_sim::{
+    LiquidationObservation, RunEnd, RunStart, SimError, SimObserver, SimulationEngine,
+    SimulationReport, VolumeSample,
+};
+use defi_types::{TimeMap, Token};
 
-use crate::auctions::{auction_stats, AuctionStats};
+use crate::auctions::{auction_stats, AuctionCollector, AuctionStats};
 use crate::bad_debt::{table2, Table2};
-use crate::flashloan::{table4, Table4};
-use crate::gas::{gas_competition, GasCompetition};
+use crate::flashloan::{table4, FlashLoanCollector, Table4};
+use crate::gas::{gas_competition, GasCollector, GasCompetition, GAS_WINDOW_BLOCKS};
 use crate::overall::{
     accumulative_collateral_sold, headline, monthly_profit, table1, top_liquidators,
-    AccumulativePoint, HeadlineStats, Table1, TopLiquidators,
+    AccumulativePoint, HeadlineStats, OverallCollector, Table1, TopLiquidators,
 };
-use crate::price_movement::{table7, Table7};
-use crate::profit_volume::{figure9, table8, Table8};
-use crate::records::{collect_records, LiquidationRecord};
+use crate::price_movement::{table7, table7_window, Table7};
+use crate::profit_volume::{figure9, table8, ProfitVolumeCollector, Table8};
+use crate::records::{collect_records, observed_record, LiquidationRecord};
 use crate::sensitivity::{figure8, PlatformSensitivity};
 use crate::stablecoin::{stablecoin_stability, StablecoinStability};
 use crate::unprofitable::{table3, Table3};
+
+/// Sensitivity-sweep resolution of Figure 8.
+const FIGURE8_STEPS: usize = 50;
 
 /// Every artefact of the paper's evaluation, computed from one run.
 #[derive(Debug, Serialize)]
@@ -66,7 +79,8 @@ pub struct StudyAnalysis {
 }
 
 impl StudyAnalysis {
-    /// Run the full measurement pipeline over a simulation report.
+    /// Run the full measurement pipeline over a simulation report (the batch
+    /// path: a post-hoc scan of `report.chain.events()`).
     pub fn from_report(report: &SimulationReport) -> Self {
         let time_map = *report.chain.time_map();
         let records = collect_records(&report.chain, &report.market_oracle);
@@ -86,26 +100,135 @@ impl StudyAnalysis {
             top_liquidators: top_liquidators(&records),
             figure4: accumulative_collateral_sold(&records),
             figure5: monthly_profit(&records),
-            gas: gas_competition(&report.chain, &records, 6_000),
+            gas: gas_competition(&report.chain, &records, GAS_WINDOW_BLOCKS),
             auctions: auction_stats(&report.chain, &records, &time_map),
             table2: table2(&report.final_positions),
             table3: table3(&report.final_positions),
             table4: table4(&report.chain),
-            figure8: figure8(&report.final_positions, 50),
+            figure8: figure8(&report.final_positions, FIGURE8_STEPS),
             stablecoins,
             figure9: figure9(&records, &report.volume_samples, &time_map),
             table8: table8(&records),
             table7: table7(
                 &records,
                 &report.market_oracle,
-                // The oracle history is tick-resolution; widen the paper's
-                // 1,440-block window to at least four ticks so trajectories
-                // contain enough samples to classify.
-                1_440.max(4 * report.config.tick_blocks),
+                table7_window(report.config.tick_blocks),
                 report.config.tick_blocks,
             ),
             records,
         }
+    }
+
+    /// Stream a run through a [`StudyCollector`], computing the study in a
+    /// single pass during the simulation. Returns the analysis together with
+    /// the report.
+    pub fn stream(engine: SimulationEngine) -> Result<(StudyAnalysis, SimulationReport), SimError> {
+        let mut collector = StudyCollector::new();
+        let report = engine.session().run_to_end(&mut collector)?;
+        let analysis = collector
+            .into_analysis()
+            .expect("run_to_end dispatched on_run_end");
+        Ok((analysis, report))
+    }
+}
+
+/// The streaming counterpart of [`StudyAnalysis::from_report`]: composes the
+/// per-module incremental collectors behind one [`SimObserver`], building
+/// each liquidation record exactly once and fanning it out. Snapshot-bound
+/// artefacts (Tables 2–3, Figure 8, stablecoins, Table 7) are measured in
+/// `on_run_end` over the final state the session hands over.
+#[derive(Debug, Default)]
+pub struct StudyCollector {
+    time_map: Option<TimeMap>,
+    records: Vec<LiquidationRecord>,
+    overall: OverallCollector,
+    gas: GasCollector,
+    auctions: AuctionCollector,
+    flash_loans: FlashLoanCollector,
+    profit_volume: ProfitVolumeCollector,
+    analysis: Option<StudyAnalysis>,
+}
+
+impl StudyCollector {
+    /// An empty collector (attach to a session before the first tick).
+    pub fn new() -> Self {
+        StudyCollector::default()
+    }
+
+    /// The ledger accumulated so far (live during the run).
+    pub fn records(&self) -> &[LiquidationRecord] {
+        &self.records
+    }
+
+    /// Consume the collector, returning the analysis built by `on_run_end`
+    /// (`None` if the session never finished).
+    pub fn into_analysis(self) -> Option<StudyAnalysis> {
+        self.analysis
+    }
+}
+
+impl SimObserver for StudyCollector {
+    fn on_run_start(&mut self, run: &RunStart<'_>) {
+        self.time_map = Some(run.time_map);
+        self.overall.set_time_map(run.time_map);
+        self.auctions.set_time_map(run.time_map);
+        self.profit_volume.set_time_map(run.time_map);
+    }
+
+    fn on_event(&mut self, logged: &defi_chain::LoggedEvent) {
+        self.flash_loans.observe_event(logged);
+        self.auctions.observe_event(logged);
+    }
+
+    fn on_liquidation(&mut self, liquidation: &LiquidationObservation<'_>) {
+        let Some(record) = observed_record(self.time_map, liquidation) else {
+            return;
+        };
+        self.overall.observe_record(&record);
+        self.gas.observe_record(&record);
+        self.auctions.observe_record(&record);
+        self.profit_volume.observe_record(&record);
+        self.records.push(record);
+    }
+
+    fn on_volume_sample(&mut self, sample: &VolumeSample) {
+        self.profit_volume.observe_sample(sample);
+    }
+
+    fn on_run_end(&mut self, end: &RunEnd<'_>) {
+        let overall = std::mem::take(&mut self.overall).finish();
+        let (table8, figure9) = self.profit_volume.finish();
+        let records = std::mem::take(&mut self.records);
+        self.analysis = Some(StudyAnalysis {
+            headline: overall.headline,
+            table1: overall.table1,
+            top_liquidators: overall.top_liquidators,
+            figure4: overall.figure4,
+            figure5: overall.figure5,
+            gas: self.gas.finish(end.chain),
+            auctions: self.auctions.finish(),
+            table2: table2(end.final_positions),
+            table3: table3(end.final_positions),
+            table4: self.flash_loans.finish(),
+            figure8: figure8(end.final_positions, FIGURE8_STEPS),
+            stablecoins: stablecoin_stability(
+                end.market_oracle,
+                &[Token::DAI, Token::USDC, Token::USDT],
+                end.config.start_block,
+                end.snapshot_block,
+                end.config.tick_blocks,
+                0.05,
+            ),
+            figure9,
+            table8,
+            table7: table7(
+                &records,
+                end.market_oracle,
+                table7_window(end.config.tick_blocks),
+                end.config.tick_blocks,
+            ),
+            records,
+        });
     }
 }
 
@@ -153,5 +276,40 @@ mod tests {
                 .any(|r| r.platform == Platform::MakerDao),
             "expected MakerDAO auction liquidations in the crash window"
         );
+    }
+
+    #[test]
+    fn streaming_pipeline_matches_batch_counts() {
+        let mut config = SimConfig::smoke_test(12);
+        config.end_block = config.start_block + 60 * config.tick_blocks;
+        let report = SimulationEngine::new(config.clone()).run();
+        let batch = StudyAnalysis::from_report(&report);
+
+        let (streamed, stream_report) =
+            StudyAnalysis::stream(SimulationEngine::new(config)).unwrap();
+        assert_eq!(
+            report.chain.events().len(),
+            stream_report.chain.events().len()
+        );
+        assert_eq!(batch.records.len(), streamed.records.len());
+        assert_eq!(
+            batch.headline.liquidation_count,
+            streamed.headline.liquidation_count
+        );
+        assert_eq!(batch.headline.total_profit, streamed.headline.total_profit);
+        assert_eq!(
+            batch.table1.total_liquidators,
+            streamed.table1.total_liquidators
+        );
+        assert_eq!(batch.gas.points.len(), streamed.gas.points.len());
+        assert_eq!(
+            batch.auctions.terminated_in_tend + batch.auctions.terminated_in_dent,
+            streamed.auctions.terminated_in_tend + streamed.auctions.terminated_in_dent
+        );
+        assert_eq!(
+            batch.table4.total_flash_loans,
+            streamed.table4.total_flash_loans
+        );
+        assert_eq!(batch.table7.total, streamed.table7.total);
     }
 }

@@ -284,6 +284,56 @@ fn bench_simulation_ticks(c: &mut Criterion) {
     group.finish();
 }
 
+/// Session-loop throughput: the tick rate of the streaming run surface, with
+/// and without the full analytics collector attached. The smoke scenario is
+/// 333 ticks, so ticks/sec = 333 / (reported seconds per iteration). This is
+/// the perf baseline future PRs compare against.
+fn bench_session_loop(c: &mut Criterion) {
+    use defi_analytics::StudyCollector;
+    use defi_sim::NullObserver;
+
+    let ticks = SimConfig::smoke_test(5).tick_count();
+    let mut group = c.benchmark_group("session_loop");
+    group.sample_size(10);
+    group.bench_function(format!("null_observer_{ticks}_ticks"), |b| {
+        b.iter(|| {
+            SimulationEngine::new(SimConfig::smoke_test(5))
+                .session()
+                .run_to_end(&mut NullObserver)
+                .unwrap()
+        })
+    });
+    group.bench_function(format!("study_collector_{ticks}_ticks"), |b| {
+        b.iter(|| {
+            let mut collector = StudyCollector::new();
+            let report = SimulationEngine::new(SimConfig::smoke_test(5))
+                .session()
+                .run_to_end(&mut collector)
+                .unwrap();
+            (collector.into_analysis(), report)
+        })
+    });
+    group.finish();
+}
+
+/// Single-pass streaming analytics vs. the legacy run-then-rescan pipeline.
+fn bench_streaming_vs_batch_analytics(c: &mut Criterion) {
+    use defi_analytics::StudyAnalysis;
+
+    let mut group = c.benchmark_group("study_pipeline");
+    group.sample_size(10);
+    group.bench_function("batch_run_then_from_report", |b| {
+        b.iter(|| {
+            let report = SimulationEngine::new(SimConfig::smoke_test(6)).run();
+            StudyAnalysis::from_report(&report)
+        })
+    });
+    group.bench_function("streaming_single_pass", |b| {
+        b.iter(|| StudyAnalysis::stream(SimulationEngine::new(SimConfig::smoke_test(6))).unwrap())
+    });
+    group.finish();
+}
+
 /// Baseline comparison for the mechanism-comparison experiment: close-factor
 /// ablation (50 % vs 100 % vs the optimal strategy) on a fixed position.
 fn bench_close_factor_ablation(c: &mut Criterion) {
@@ -328,6 +378,8 @@ criterion_group!(
     bench_table5_table6_strategy,
     bench_liquidation_call,
     bench_simulation_ticks,
+    bench_session_loop,
+    bench_streaming_vs_batch_analytics,
     bench_close_factor_ablation,
     bench_platform_books,
 );

@@ -5,6 +5,8 @@
 //! cargo run --release -p defi-bench --bin repro -- table1 fig8
 //! cargo run --release -p defi-bench --bin repro -- --smoke all
 //! cargo run --release -p defi-bench --bin repro -- --seed 7 fig9 table8
+//! cargo run --release -p defi-bench --bin repro -- --smoke --json out all
+//! cargo run --release -p defi-bench --bin repro -- --smoke --sweep seeds=8 --workers 4
 //! ```
 //!
 //! Without `--smoke` the harness runs the full two-year scenario
@@ -13,27 +15,138 @@
 //! suite. Artefact names: `headline`, `table1`…`table8`, `fig4`…`fig9`,
 //! `auction-stats`, `stablecoins`, `mitigation`, `configs`, `case-study`
 //! (alias of `table5`/`table6`), or `all`.
+//!
+//! The study computes in a single pass: the simulation streams through the
+//! analytics crate's `StudyCollector` observer instead of materialising a
+//! report and re-scanning it. `--json <dir>` additionally writes every
+//! selected artefact as a machine-readable JSON file. `--sweep seeds=N` fans
+//! N seeds of the scenario across `SweepRunner` workers and prints per-run
+//! summaries with mean/std aggregates instead of the single-run artefacts.
 
 use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 
+use defi_analytics::auctions::MeanStd;
 use defi_analytics::StudyAnalysis;
 use defi_bench::case_study::{run_case_study, CaseStudyInput};
-use defi_bench::render;
+use defi_bench::{json, render};
 use defi_core::config::is_sound_fixed_spread_config;
 use defi_core::params::RiskParams;
-use defi_sim::{SimConfig, SimulationEngine};
+use defi_sim::{RunSummary, SimConfig, SimulationEngine, SweepRunner};
 use defi_types::Platform;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--smoke] [--seed N] <artefact>...\n       artefacts: all headline table1 table2 table3 table4 table5 table6 table7 table8\n                  fig4 fig5 fig6 fig7 fig8 fig9 auction-stats stablecoins mitigation configs case-study"
+        "usage: repro [--smoke] [--seed N] [--json DIR] [--sweep seeds=N] [--workers N] <artefact>...\n       artefacts: all headline table1 table2 table3 table4 table5 table6 table7 table8\n                  fig4 fig5 fig6 fig7 fig8 fig9 auction-stats stablecoins mitigation configs case-study\n       --sweep seeds=N runs N seeds through the SweepRunner and prints per-run summaries instead"
     );
     std::process::exit(2)
+}
+
+fn signed_to_f64(value: defi_types::SignedWad) -> f64 {
+    let magnitude = value.magnitude.to_f64();
+    if value.is_negative() {
+        -magnitude
+    } else {
+        magnitude
+    }
+}
+
+fn write_json(dir: &Path, name: &str, value: &json::Json) {
+    let path = dir.join(format!("{name}.json"));
+    if let Err(error) = std::fs::write(&path, format!("{value}\n")) {
+        eprintln!("failed to write {}: {error}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", path.display());
+}
+
+fn run_sweep(base: SimConfig, seeds: u64, workers: Option<usize>, json_dir: Option<&Path>) {
+    let runner = workers
+        .map(SweepRunner::new)
+        .unwrap_or_else(SweepRunner::auto);
+    let grid = SweepRunner::seed_grid(&base, seeds);
+    eprintln!(
+        "sweeping {} seeds ({} ticks each) across {} workers…",
+        seeds,
+        base.tick_count(),
+        runner.workers()
+    );
+    let started = std::time::Instant::now();
+    let summaries: Vec<RunSummary> = match runner.run(&grid) {
+        Ok(summaries) => summaries,
+        Err(error) => {
+            eprintln!("sweep failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("sweep finished in {:.1}s", started.elapsed().as_secs_f64());
+
+    println!("== seed sweep: per-run summaries ==");
+    println!(
+        "{:>10} {:>8} {:>13} {:>9} {:>16} {:>18} {:>10} {:>16}",
+        "Seed",
+        "Events",
+        "Liquidations",
+        "Auctions",
+        "Gross profit",
+        "Collateral sold",
+        "Open pos.",
+        "43% ETH liq."
+    );
+    for summary in &summaries {
+        println!(
+            "{:>10} {:>8} {:>13} {:>9} {:>16.0} {:>18.0} {:>10} {:>16.0}",
+            summary.seed,
+            summary.events,
+            summary.liquidations,
+            summary.auctions_settled,
+            signed_to_f64(summary.gross_profit),
+            summary.collateral_sold.to_f64(),
+            summary.open_positions,
+            summary.eth_decline_43_liquidatable.to_f64(),
+        );
+    }
+    let liquidations: Vec<f64> = summaries.iter().map(|s| s.liquidations as f64).collect();
+    let profits: Vec<f64> = summaries
+        .iter()
+        .map(|s| signed_to_f64(s.gross_profit))
+        .collect();
+    let sensitivities: Vec<f64> = summaries
+        .iter()
+        .map(|s| s.eth_decline_43_liquidatable.to_f64())
+        .collect();
+    let liq = MeanStd::from_samples(&liquidations);
+    let profit = MeanStd::from_samples(&profits);
+    let sens = MeanStd::from_samples(&sensitivities);
+    println!("== seed sweep: aggregates over {} runs ==", summaries.len());
+    println!(
+        "  liquidations:        {:.1} ± {:.1}",
+        liq.mean, liq.std_dev
+    );
+    println!(
+        "  gross profit (USD):  {:.0} ± {:.0}",
+        profit.mean, profit.std_dev
+    );
+    println!(
+        "  43% ETH decline liquidatable (USD): {:.0} ± {:.0}",
+        sens.mean, sens.std_dev
+    );
+
+    if let Some(dir) = json_dir {
+        write_json(
+            dir,
+            "sweep",
+            &json::sweep_json(&summaries, runner.workers()),
+        );
+    }
 }
 
 fn main() {
     let mut smoke = false;
     let mut seed: u64 = 20_211_102; // the paper's publication date as a seed
+    let mut json_dir: Option<PathBuf> = None;
+    let mut sweep_seeds: Option<u64> = None;
+    let mut workers: Option<usize> = None;
     let mut artefacts: BTreeSet<String> = BTreeSet::new();
 
     let mut args = std::env::args().skip(1).peekable();
@@ -44,12 +157,46 @@ fn main() {
                 let Some(value) = args.next() else { usage() };
                 seed = value.parse().unwrap_or_else(|_| usage());
             }
+            "--json" => {
+                let Some(value) = args.next() else { usage() };
+                json_dir = Some(PathBuf::from(value));
+            }
+            "--sweep" => {
+                let Some(value) = args.next() else { usage() };
+                let Some(count) = value.strip_prefix("seeds=") else {
+                    usage()
+                };
+                sweep_seeds = Some(count.parse().unwrap_or_else(|_| usage()));
+            }
+            "--workers" => {
+                let Some(value) = args.next() else { usage() };
+                workers = Some(value.parse().unwrap_or_else(|_| usage()));
+            }
             "--help" | "-h" => usage(),
             other => {
                 artefacts.insert(other.to_ascii_lowercase());
             }
         }
     }
+
+    if let Some(dir) = &json_dir {
+        if let Err(error) = std::fs::create_dir_all(dir) {
+            eprintln!("failed to create {}: {error}", dir.display());
+            std::process::exit(1);
+        }
+    }
+
+    let base_config = if smoke {
+        SimConfig::smoke_test(seed)
+    } else {
+        SimConfig::paper_default(seed)
+    };
+
+    if let Some(seeds) = sweep_seeds {
+        run_sweep(base_config, seeds, workers, json_dir.as_deref());
+        return;
+    }
+
     if artefacts.is_empty() {
         artefacts.insert("all".to_string());
     }
@@ -60,6 +207,9 @@ fn main() {
     if wanted(&["table5", "table6", "case-study", "mitigation"]) {
         let study = run_case_study(&CaseStudyInput::default());
         println!("{}", render::render_case_study(&study));
+        if let Some(dir) = &json_dir {
+            write_json(dir, "case-study", &json::case_study_json(&study));
+        }
     }
     if wanted(&["configs"]) {
         println!("== Appendix C: fixed-spread configuration soundness ==");
@@ -98,65 +248,121 @@ fn main() {
         return;
     }
 
-    let config = if smoke {
-        SimConfig::smoke_test(seed)
-    } else {
-        SimConfig::paper_default(seed)
-    };
+    let config = base_config;
     eprintln!(
         "running the {} scenario (seed {seed}, {} ticks)…",
         if smoke { "smoke" } else { "two-year study" },
         config.tick_count()
     );
     let started = std::time::Instant::now();
-    let report = SimulationEngine::new(config).run();
+    // One streaming pass: the study computes while the simulation runs.
+    let (analysis, report) = match StudyAnalysis::stream(SimulationEngine::new(config)) {
+        Ok(result) => result,
+        Err(error) => {
+            eprintln!("simulation failed: {error}");
+            std::process::exit(1);
+        }
+    };
     eprintln!(
-        "simulation finished in {:.1}s ({} events); computing analytics…",
+        "simulation finished in {:.1}s ({} events); analytics computed in-stream",
         started.elapsed().as_secs_f64(),
         report.chain.events().len()
     );
-    let analysis = StudyAnalysis::from_report(&report);
 
-    if wanted(&["headline"]) {
-        println!("{}", render::render_headline(&analysis));
+    // Render (and JSON-encode) lazily: only the selected artefacts are built.
+    macro_rules! emit {
+        ($names:expr, $file:literal, $render:expr, $json:expr) => {
+            if wanted(&$names) {
+                println!("{}", $render);
+                if let Some(dir) = &json_dir {
+                    write_json(dir, $file, &$json);
+                }
+            }
+        };
     }
-    if wanted(&["table1"]) {
-        println!("{}", render::render_table1(&analysis));
-    }
-    if wanted(&["fig4"]) {
-        println!("{}", render::render_figure4(&analysis));
-    }
-    if wanted(&["fig5"]) {
-        println!("{}", render::render_figure5(&analysis));
-    }
-    if wanted(&["fig6"]) {
-        println!("{}", render::render_figure6(&analysis));
-    }
-    if wanted(&["fig7", "auction-stats"]) {
-        println!("{}", render::render_auctions(&analysis));
-    }
-    if wanted(&["table2"]) {
-        println!("{}", render::render_table2(&analysis));
-    }
-    if wanted(&["table3"]) {
-        println!("{}", render::render_table3(&analysis));
-    }
-    if wanted(&["table4"]) {
-        println!("{}", render::render_table4(&analysis));
-    }
-    if wanted(&["fig8"]) {
-        println!("{}", render::render_figure8(&analysis));
-    }
-    if wanted(&["stablecoins"]) {
-        println!("{}", render::render_stablecoins(&analysis));
-    }
-    if wanted(&["fig9"]) {
-        println!("{}", render::render_figure9(&analysis));
-    }
-    if wanted(&["table8"]) {
-        println!("{}", render::render_table8(&analysis));
-    }
-    if wanted(&["table7"]) {
-        println!("{}", render::render_table7(&analysis));
-    }
+
+    emit!(
+        ["headline"],
+        "headline",
+        render::render_headline(&analysis),
+        json::headline_json(&analysis)
+    );
+    emit!(
+        ["table1"],
+        "table1",
+        render::render_table1(&analysis),
+        json::table1_json(&analysis)
+    );
+    emit!(
+        ["fig4"],
+        "fig4",
+        render::render_figure4(&analysis),
+        json::figure4_json(&analysis)
+    );
+    emit!(
+        ["fig5"],
+        "fig5",
+        render::render_figure5(&analysis),
+        json::figure5_json(&analysis)
+    );
+    emit!(
+        ["fig6"],
+        "fig6",
+        render::render_figure6(&analysis),
+        json::figure6_json(&analysis)
+    );
+    emit!(
+        ["fig7", "auction-stats"],
+        "fig7",
+        render::render_auctions(&analysis),
+        json::auctions_json(&analysis)
+    );
+    emit!(
+        ["table2"],
+        "table2",
+        render::render_table2(&analysis),
+        json::table2_json(&analysis)
+    );
+    emit!(
+        ["table3"],
+        "table3",
+        render::render_table3(&analysis),
+        json::table3_json(&analysis)
+    );
+    emit!(
+        ["table4"],
+        "table4",
+        render::render_table4(&analysis),
+        json::table4_json(&analysis)
+    );
+    emit!(
+        ["fig8"],
+        "fig8",
+        render::render_figure8(&analysis),
+        json::figure8_json(&analysis)
+    );
+    emit!(
+        ["stablecoins"],
+        "stablecoins",
+        render::render_stablecoins(&analysis),
+        json::stablecoins_json(&analysis)
+    );
+    emit!(
+        ["fig9"],
+        "fig9",
+        render::render_figure9(&analysis),
+        json::figure9_json(&analysis)
+    );
+    emit!(
+        ["table8"],
+        "table8",
+        render::render_table8(&analysis),
+        json::table8_json(&analysis)
+    );
+    emit!(
+        ["table7"],
+        "table7",
+        render::render_table7(&analysis),
+        json::table7_json(&analysis)
+    );
 }

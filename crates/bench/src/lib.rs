@@ -17,6 +17,7 @@
 //! the authors' mainnet-fork validation.
 
 pub mod case_study;
+pub mod json;
 pub mod render;
 
 pub use case_study::{CaseStudy, StrategyRow, Table5, Table6};

@@ -1,0 +1,52 @@
+//! Streaming-vs-batch parity: the `StudyAnalysis` built incrementally by
+//! `StudyCollector` observers during the run must render byte-identically to
+//! the legacy post-hoc `StudyAnalysis::from_report` scan on the smoke
+//! scenario — the guarantee that migrating `repro` to the session API did
+//! not change a single printed digit.
+
+use defi_analytics::StudyAnalysis;
+use defi_bench::render;
+use defi_sim::{SimConfig, SimulationEngine};
+
+#[test]
+fn streaming_study_renders_byte_identically_to_batch() {
+    let config = SimConfig::smoke_test(11);
+
+    let report = SimulationEngine::new(config.clone()).run();
+    let batch = StudyAnalysis::from_report(&report);
+
+    let (streamed, stream_report) =
+        StudyAnalysis::stream(SimulationEngine::new(config)).expect("streaming run");
+
+    assert_eq!(
+        report.chain.events().len(),
+        stream_report.chain.events().len(),
+        "the session replays the exact same run"
+    );
+    assert_eq!(batch.records.len(), streamed.records.len());
+
+    type Renderer = fn(&StudyAnalysis) -> String;
+    let artefacts: [(&str, Renderer); 14] = [
+        ("headline", render::render_headline),
+        ("table1", render::render_table1),
+        ("fig4", render::render_figure4),
+        ("fig5", render::render_figure5),
+        ("fig6", render::render_figure6),
+        ("fig7", render::render_auctions),
+        ("table2", render::render_table2),
+        ("table3", render::render_table3),
+        ("table4", render::render_table4),
+        ("fig8", render::render_figure8),
+        ("stablecoins", render::render_stablecoins),
+        ("fig9", render::render_figure9),
+        ("table8", render::render_table8),
+        ("table7", render::render_table7),
+    ];
+    for (name, renderer) in artefacts {
+        assert_eq!(
+            renderer(&batch),
+            renderer(&streamed),
+            "artefact {name} diverged between the batch and streaming pipelines"
+        );
+    }
+}

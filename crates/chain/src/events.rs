@@ -350,6 +350,12 @@ impl EventLog {
         self.entries.iter()
     }
 
+    /// The full log as a slice, in emission order (streaming consumers index
+    /// into this with a cursor to pick up where they left off).
+    pub fn as_slice(&self) -> &[LoggedEvent] {
+        &self.entries
+    }
+
     /// All events matching a filter, in emission order.
     pub fn query(&self, filter: &EventFilter) -> Vec<&LoggedEvent> {
         self.entries.iter().filter(|e| filter.matches(e)).collect()

@@ -74,16 +74,16 @@ pub struct SimulationReport {
 
 /// The simulation engine.
 pub struct SimulationEngine {
-    config: SimConfig,
+    pub(crate) config: SimConfig,
     rng: StdRng,
-    chain: Blockchain,
+    pub(crate) chain: Blockchain,
     scenario: MarketScenario,
-    market_oracle: PriceOracle,
-    oracles: BTreeMap<Platform, PriceOracle>,
+    pub(crate) market_oracle: PriceOracle,
+    pub(crate) oracles: BTreeMap<Platform, PriceOracle>,
     dex: Dex,
     flash_pools: BTreeMap<Platform, FlashLoanPool>,
     /// Every protocol behind the unified trait, keyed by platform.
-    protocols: ProtocolRegistry,
+    pub(crate) protocols: ProtocolRegistry,
     borrowers: Vec<BorrowerAgent>,
     liquidators: Vec<LiquidatorAgent>,
     keepers: Vec<KeeperAgent>,
@@ -94,9 +94,9 @@ pub struct SimulationEngine {
     /// Per-tick index of the active irregularities, rebuilt once per tick so
     /// price application is a hash lookup instead of a linear scan.
     irregularity_index: HashMap<(Platform, Token), f64>,
-    volume_samples: Vec<VolumeSample>,
+    pub(crate) volume_samples: Vec<VolumeSample>,
     auction_params_switched: bool,
-    tick_index: u64,
+    pub(crate) tick_index: u64,
 }
 
 impl SimulationEngine {
@@ -188,38 +188,28 @@ impl SimulationEngine {
         }
     }
 
+    /// Open a streaming [`Session`](crate::Session) over this engine — the
+    /// primary run surface: step, pause, inspect and checkpoint the run while
+    /// [`SimObserver`](crate::SimObserver)s consume it.
+    pub fn session(self) -> crate::Session {
+        crate::Session::new(self)
+    }
+
     /// Run the configured scenario to completion and return the report.
-    pub fn run(mut self) -> SimulationReport {
-        self.seed_initial_prices();
-        self.seed_pool_liquidity();
-
-        let mut block = self.config.start_block;
-        while block < self.config.end_block {
-            block += self.config.tick_blocks;
-            self.tick(block);
-            self.tick_index += 1;
-        }
-
-        let snapshot_block = self.chain.current_block();
-        let mut final_positions = BTreeMap::new();
-        for (platform, protocol) in &self.protocols {
-            final_positions.insert(*platform, protocol.book_positions(&self.oracles[platform]));
-        }
-
-        SimulationReport {
-            config: self.config,
-            chain: self.chain,
-            market_oracle: self.market_oracle,
-            platform_oracles: self.oracles,
-            volume_samples: self.volume_samples,
-            final_positions,
-            snapshot_block,
-        }
+    ///
+    /// Thin compatibility wrapper over the session API, equivalent to
+    /// `self.session().run_to_end(&mut NullObserver)`. Panics if genesis
+    /// liquidity seeding fails; use [`Session`](crate::Session) directly for
+    /// the recoverable error path.
+    pub fn run(self) -> SimulationReport {
+        self.session()
+            .run_to_end(&mut crate::NullObserver)
+            .expect("simulation start-up failed")
     }
 
     // ------------------------------------------------------------------ setup
 
-    fn seed_initial_prices(&mut self) {
+    pub(crate) fn seed_initial_prices(&mut self) {
         let block = self.config.start_block;
         let updates = self.scenario.advance(block);
         for (token, price) in &updates {
@@ -232,8 +222,10 @@ impl SimulationEngine {
 
     /// Genesis lenders deposit deep liquidity in every pool-funded market so
     /// borrowers can actually borrow. Mint-on-demand protocols (MakerDAO)
-    /// report no lendable tokens and are skipped.
-    fn seed_pool_liquidity(&mut self) {
+    /// report no lendable tokens and are skipped. A reverted deposit is a
+    /// hard error — the run would otherwise start with an unfunded market
+    /// and silently produce no borrowing activity on that platform.
+    pub(crate) fn seed_pool_liquidity(&mut self) -> Result<(), crate::SimError> {
         let user_op_gas = self.config.user_op_gas;
         let chain = &mut self.chain;
         for (platform, protocol) in self.protocols.iter_mut() {
@@ -249,14 +241,21 @@ impl SimulationEngine {
                         .deposit(ctx.ledger, ctx.events, lender, token, amount)
                         .map_err(|e| e.to_string())
                 });
-                debug_assert!(outcome.is_success(), "genesis deposit failed");
+                if let Err(error) = outcome.result {
+                    return Err(crate::SimError::GenesisDeposit {
+                        platform: *platform,
+                        token,
+                        reason: error.to_string(),
+                    });
+                }
             }
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------- tick
 
-    fn tick(&mut self, block: BlockNumber) {
+    pub(crate) fn tick(&mut self, block: BlockNumber) {
         self.update_prices(block);
         let congested = self.chain.gas_market().is_congested(block);
         self.chain

@@ -18,13 +18,28 @@
 //! * [`engine`] — the [`SimulationEngine`] driving the tick loop over the
 //!   [`ProtocolRegistry`] and the [`SimulationReport`] handed to the
 //!   analytics crate.
+//! * [`observer`] — the [`SimObserver`] hook trait streaming a run's events,
+//!   liquidations and samples to consumers as they are produced.
+//! * [`session`] — the resumable [`Session`] run surface
+//!   (`step` / `run_to_end` / `finish`), of which `SimulationEngine::run` is
+//!   a thin compatibility wrapper.
+//! * [`sweep`] — the [`SweepRunner`] fanning grids of configurations across
+//!   scoped worker threads for sensitivity-style studies.
 
 pub mod agents;
 pub mod builder;
 pub mod config;
 pub mod engine;
+pub mod observer;
+pub mod session;
+pub mod sweep;
 
 pub use agents::{BorrowerAgent, KeeperAgent, LiquidatorAgent};
 pub use builder::{EngineBuilder, ProtocolRegistry};
 pub use config::{PlatformPopulation, SimConfig};
 pub use engine::{SimulationEngine, SimulationReport, VolumeSample};
+pub use observer::{
+    LiquidationObservation, MultiObserver, NullObserver, RunEnd, RunStart, SimObserver, TickStart,
+};
+pub use session::{Session, SessionStatus, SimError};
+pub use sweep::{RunSummary, SweepRunner};

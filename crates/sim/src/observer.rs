@@ -1,0 +1,184 @@
+//! Observer hooks for streaming simulation sessions.
+//!
+//! A [`SimObserver`] receives the simulation's observable surface *as it is
+//! produced* — ticks, chain events, settled liquidations, collateral-volume
+//! samples and the end-of-run snapshot — instead of scanning a materialised
+//! [`SimulationReport`](crate::SimulationReport) after the fact. The analytics
+//! crate's collectors are observers, which is what lets a full study compute
+//! in a single pass over the run (see `defi_analytics::StudyCollector`).
+//!
+//! Observers are driven by a [`Session`](crate::Session): every hook has a
+//! default empty body, so an implementation only overrides what it consumes.
+//!
+//! ```
+//! use defi_sim::{SessionStatus, SimConfig, SimObserver, SimulationEngine};
+//!
+//! /// Counts settled liquidations as they happen.
+//! #[derive(Default)]
+//! struct LiquidationCounter {
+//!     settled: u32,
+//! }
+//!
+//! impl SimObserver for LiquidationCounter {
+//!     fn on_liquidation(&mut self, _liquidation: &defi_sim::LiquidationObservation<'_>) {
+//!         self.settled += 1;
+//!     }
+//! }
+//!
+//! // A few ticks of the smoke scenario, streamed through the counter.
+//! let mut config = SimConfig::smoke_test(7);
+//! config.end_block = config.start_block + 5 * config.tick_blocks;
+//! let mut counter = LiquidationCounter::default();
+//! let mut session = SimulationEngine::new(config).session();
+//! while session.step(&mut counter).unwrap() == SessionStatus::Running {}
+//! let report = session.finish(&mut counter).unwrap();
+//! assert_eq!(report.snapshot_block, report.config.end_block);
+//! ```
+
+use std::collections::BTreeMap;
+
+use defi_chain::{Blockchain, LoggedEvent};
+use defi_core::position::Position;
+use defi_oracle::PriceOracle;
+use defi_types::{BlockNumber, Platform, TimeMap, Wad};
+
+use crate::config::SimConfig;
+use crate::engine::VolumeSample;
+
+/// Context handed to [`SimObserver::on_run_start`] before the first tick.
+#[derive(Debug)]
+pub struct RunStart<'a> {
+    /// The scenario configuration of the run.
+    pub config: &'a SimConfig,
+    /// The chain's block ⇄ time mapping (for calendar aggregation).
+    pub time_map: TimeMap,
+}
+
+/// Context handed to [`SimObserver::on_tick_start`] before each tick runs.
+#[derive(Debug, Clone, Copy)]
+pub struct TickStart {
+    /// The block the tick will advance the chain to.
+    pub block: BlockNumber,
+    /// Zero-based index of the tick within the run.
+    pub tick_index: u64,
+}
+
+/// A settled liquidation (fixed-spread call or finalised auction) surfaced to
+/// observers at the tick it happened.
+#[derive(Debug)]
+pub struct LiquidationObservation<'a> {
+    /// The logged settlement event
+    /// ([`ChainEvent::Liquidation`](defi_chain::ChainEvent::Liquidation) or
+    /// [`ChainEvent::AuctionFinalized`](defi_chain::ChainEvent::AuctionFinalized))
+    /// with its transaction context.
+    pub logged: &'a LoggedEvent,
+    /// Market ETH price at the settlement block (for valuing the gas fee).
+    pub eth_price: Wad,
+}
+
+/// Context handed to [`SimObserver::on_run_end`] after the final snapshot.
+#[derive(Debug)]
+pub struct RunEnd<'a> {
+    /// The scenario configuration of the run.
+    pub config: &'a SimConfig,
+    /// Block of the final snapshot.
+    pub snapshot_block: BlockNumber,
+    /// Position books at the end of the run.
+    pub final_positions: &'a BTreeMap<Platform, Vec<Position>>,
+    /// The chain (event log, headers, gas history).
+    pub chain: &'a Blockchain,
+    /// The "true" market price history.
+    pub market_oracle: &'a PriceOracle,
+}
+
+/// Typed hooks over a streaming simulation run.
+///
+/// Hooks fire in a fixed order: `on_run_start` once, then per tick
+/// `on_tick_start` followed by `on_event` for every chain event the tick
+/// emitted (in emission order, with `on_liquidation` fired additionally for
+/// settlement events) and `on_volume_sample` for every recorded sample, and
+/// finally `on_run_end` once when the session is finished.
+pub trait SimObserver {
+    /// The run is about to start (prices and genesis liquidity are seeded
+    /// immediately after this hook).
+    fn on_run_start(&mut self, _run: &RunStart<'_>) {}
+
+    /// A tick is about to execute.
+    fn on_tick_start(&mut self, _tick: &TickStart) {}
+
+    /// A chain event was emitted (fires for every event, in emission order).
+    fn on_event(&mut self, _logged: &LoggedEvent) {}
+
+    /// A liquidation settled (fires after `on_event` for the same event).
+    fn on_liquidation(&mut self, _liquidation: &LiquidationObservation<'_>) {}
+
+    /// A collateral-volume sample was recorded.
+    fn on_volume_sample(&mut self, _sample: &VolumeSample) {}
+
+    /// The run ended and the final snapshot is available.
+    fn on_run_end(&mut self, _end: &RunEnd<'_>) {}
+}
+
+/// An observer that ignores everything (the legacy
+/// [`SimulationEngine::run`](crate::SimulationEngine::run) path).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {}
+
+/// Fans every hook out to a list of observers, in order.
+#[derive(Default)]
+pub struct MultiObserver<'a> {
+    observers: Vec<&'a mut dyn SimObserver>,
+}
+
+impl<'a> MultiObserver<'a> {
+    /// An empty fan-out.
+    pub fn new() -> Self {
+        MultiObserver::default()
+    }
+
+    /// Append an observer (builder style).
+    pub fn with(mut self, observer: &'a mut dyn SimObserver) -> Self {
+        self.observers.push(observer);
+        self
+    }
+}
+
+impl SimObserver for MultiObserver<'_> {
+    fn on_run_start(&mut self, run: &RunStart<'_>) {
+        for observer in &mut self.observers {
+            observer.on_run_start(run);
+        }
+    }
+
+    fn on_tick_start(&mut self, tick: &TickStart) {
+        for observer in &mut self.observers {
+            observer.on_tick_start(tick);
+        }
+    }
+
+    fn on_event(&mut self, logged: &LoggedEvent) {
+        for observer in &mut self.observers {
+            observer.on_event(logged);
+        }
+    }
+
+    fn on_liquidation(&mut self, liquidation: &LiquidationObservation<'_>) {
+        for observer in &mut self.observers {
+            observer.on_liquidation(liquidation);
+        }
+    }
+
+    fn on_volume_sample(&mut self, sample: &VolumeSample) {
+        for observer in &mut self.observers {
+            observer.on_volume_sample(sample);
+        }
+    }
+
+    fn on_run_end(&mut self, end: &RunEnd<'_>) {
+        for observer in &mut self.observers {
+            observer.on_run_end(end);
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Parallel parameter sweeps over simulation sessions.
+//!
+//! Sensitivity-style studies (seed grids, risk-parameter grids, scenario
+//! knobs) need dozens of independent runs. [`SweepRunner`] fans a list of
+//! [`SimConfig`]s across `std::thread::scope` workers — each worker builds
+//! its own engine, streams the run through a summarising observer, and the
+//! results come back indexed by input position, so the output is identical
+//! for any worker count.
+//!
+//! ```
+//! use defi_sim::{SimConfig, SweepRunner};
+//!
+//! // Four seeds of a shortened smoke scenario across two workers.
+//! let mut base = SimConfig::smoke_test(40);
+//! base.end_block = base.start_block + 3 * base.tick_blocks;
+//! let grid = SweepRunner::seed_grid(&base, 4);
+//! let summaries = SweepRunner::new(2).run(&grid).unwrap();
+//! assert_eq!(summaries.len(), 4);
+//! assert_eq!(summaries[0].seed, 40);
+//! assert_eq!(summaries[3].seed, 43);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::Serialize;
+
+use defi_chain::ChainEvent;
+use defi_core::sensitivity::liquidatable_collateral;
+use defi_types::{SignedWad, Token, Wad};
+
+use crate::config::SimConfig;
+use crate::engine::SimulationEngine;
+use crate::observer::{LiquidationObservation, RunEnd, SimObserver};
+use crate::session::SimError;
+
+/// Deterministic per-run digest returned by [`SweepRunner::run`]: everything
+/// here is a pure function of the run's seed and configuration, so summaries
+/// compare equal across worker counts.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RunSummary {
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Ticks the scenario executed.
+    pub ticks: u64,
+    /// Total chain events emitted.
+    pub events: usize,
+    /// Settled fixed-spread liquidations.
+    pub liquidations: u32,
+    /// Finalised auctions.
+    pub auctions_settled: u32,
+    /// Gross liquidator profit across both mechanisms (USD).
+    pub gross_profit: SignedWad,
+    /// Collateral sold through liquidations (USD).
+    pub collateral_sold: Wad,
+    /// Open borrowing positions at the snapshot block.
+    pub open_positions: u32,
+    /// Collateral (USD) that an immediate 43 % ETH decline — the March 2020
+    /// crash magnitude — would make liquidatable at the snapshot (Figure 8's
+    /// reference point).
+    pub eth_decline_43_liquidatable: Wad,
+}
+
+/// Streaming observer that accumulates a [`RunSummary`] in a single pass.
+#[derive(Debug)]
+struct SummaryObserver {
+    liquidations: u32,
+    auctions_settled: u32,
+    gross_profit: SignedWad,
+    collateral_sold: Wad,
+    open_positions: u32,
+    eth_decline_43_liquidatable: Wad,
+}
+
+impl SummaryObserver {
+    fn new() -> Self {
+        SummaryObserver {
+            liquidations: 0,
+            auctions_settled: 0,
+            gross_profit: SignedWad::ZERO,
+            collateral_sold: Wad::ZERO,
+            open_positions: 0,
+            eth_decline_43_liquidatable: Wad::ZERO,
+        }
+    }
+
+    fn into_summary(self, seed: u64, ticks: u64, events: usize) -> RunSummary {
+        RunSummary {
+            seed,
+            ticks,
+            events,
+            liquidations: self.liquidations,
+            auctions_settled: self.auctions_settled,
+            gross_profit: self.gross_profit,
+            collateral_sold: self.collateral_sold,
+            open_positions: self.open_positions,
+            eth_decline_43_liquidatable: self.eth_decline_43_liquidatable,
+        }
+    }
+}
+
+impl SimObserver for SummaryObserver {
+    fn on_liquidation(&mut self, liquidation: &LiquidationObservation<'_>) {
+        let (repaid, received) = match &liquidation.logged.event {
+            ChainEvent::Liquidation(event) => {
+                self.liquidations += 1;
+                (event.debt_repaid_usd, event.collateral_seized_usd)
+            }
+            ChainEvent::AuctionFinalized {
+                debt_repaid_usd,
+                collateral_received_usd,
+                ..
+            } => {
+                self.auctions_settled += 1;
+                (*debt_repaid_usd, *collateral_received_usd)
+            }
+            _ => return,
+        };
+        self.gross_profit = self.gross_profit.add(SignedWad::sub_wads(received, repaid));
+        self.collateral_sold = self.collateral_sold.saturating_add(received);
+    }
+
+    fn on_run_end(&mut self, end: &RunEnd<'_>) {
+        for positions in end.final_positions.values() {
+            self.open_positions += positions.len() as u32;
+            self.eth_decline_43_liquidatable = self
+                .eth_decline_43_liquidatable
+                .saturating_add(liquidatable_collateral(positions, Token::ETH, 0.43));
+        }
+    }
+}
+
+/// Fans independent simulation runs across scoped worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    workers: usize,
+}
+
+impl SweepRunner {
+    /// A runner with a fixed worker count (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        SweepRunner {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A runner sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        SweepRunner::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// A grid of `runs` configurations differing only in seed
+    /// (`base.seed`, `base.seed + 1`, …).
+    pub fn seed_grid(base: &SimConfig, runs: u64) -> Vec<SimConfig> {
+        (0..runs)
+            .map(|i| {
+                let mut config = base.clone();
+                config.seed = base.seed.wrapping_add(i);
+                config
+            })
+            .collect()
+    }
+
+    /// Run every configuration through a fresh engine + [`SummaryObserver`]
+    /// session and return the per-run summaries in input order.
+    pub fn run(&self, configs: &[SimConfig]) -> Result<Vec<RunSummary>, SimError> {
+        self.map(configs, |_, config| {
+            let seed = config.seed;
+            let ticks = config.tick_count();
+            let mut observer = SummaryObserver::new();
+            let report = SimulationEngine::new(config)
+                .session()
+                .run_to_end(&mut observer)?;
+            Ok(observer.into_summary(seed, ticks, report.chain.events().len()))
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Run an arbitrary job over every configuration, returning results in
+    /// input order. The job receives the configuration's index and a clone of
+    /// the configuration; each invocation runs on one of the scoped workers.
+    pub fn map<T, F>(&self, configs: &[SimConfig], job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, SimConfig) -> T + Sync,
+    {
+        let total = configs.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(total);
+        if workers <= 1 {
+            return configs
+                .iter()
+                .enumerate()
+                .map(|(index, config)| job(index, config.clone()))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::SeqCst);
+                    if index >= total {
+                        break;
+                    }
+                    let result = job(index, configs[index].clone());
+                    *slots[index].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every sweep slot is filled before the scope ends")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_config(seed: u64, ticks: u64) -> SimConfig {
+        let mut config = SimConfig::smoke_test(seed);
+        config.end_block = config.start_block + ticks * config.tick_blocks;
+        config
+    }
+
+    #[test]
+    fn seed_grid_varies_only_the_seed() {
+        let base = short_config(100, 5);
+        let grid = SweepRunner::seed_grid(&base, 3);
+        assert_eq!(grid.len(), 3);
+        assert_eq!(grid[0].seed, 100);
+        assert_eq!(grid[2].seed, 102);
+        for config in &grid {
+            assert_eq!(config.end_block, base.end_block);
+            assert_eq!(config.populations.len(), base.populations.len());
+        }
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let grid = SweepRunner::seed_grid(&short_config(7, 1), 8);
+        let seeds = SweepRunner::new(3).map(&grid, |index, config| (index, config.seed));
+        for (position, (index, seed)) in seeds.iter().enumerate() {
+            assert_eq!(position, *index);
+            assert_eq!(*seed, 7 + position as u64);
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        assert!(SweepRunner::new(4).run(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn summaries_are_deterministic_per_seed() {
+        let grid = SweepRunner::seed_grid(&short_config(11, 25), 2);
+        let first = SweepRunner::new(1).run(&grid).unwrap();
+        let second = SweepRunner::new(2).run(&grid).unwrap();
+        assert_eq!(first, second);
+        assert!(first[0].events > 0);
+    }
+}
