@@ -15,8 +15,8 @@ use serde::Serialize;
 
 use defi_core::comparison::MechanismComparison;
 use defi_sim::{
-    LiquidationObservation, RunEnd, RunStart, SimError, SimObserver, SimulationEngine,
-    SimulationReport, VolumeSample,
+    LiquidationObservation, MultiObserver, RunEnd, RunStart, SimError, SimObserver,
+    SimulationEngine, SimulationReport, VolumeSample,
 };
 use defi_types::{TimeMap, Token};
 
@@ -125,6 +125,25 @@ impl StudyAnalysis {
     pub fn stream(engine: SimulationEngine) -> Result<(StudyAnalysis, SimulationReport), SimError> {
         let mut collector = StudyCollector::new();
         let report = engine.session().run_to_end(&mut collector)?;
+        let analysis = collector
+            .into_analysis()
+            .expect("run_to_end dispatched on_run_end");
+        Ok((analysis, report))
+    }
+
+    /// Like [`stream`](StudyAnalysis::stream), with an additional observer
+    /// attached to the same session — e.g. an
+    /// [`InvariantObserver`](defi_sim::InvariantObserver) auditing the run
+    /// the study is measuring.
+    pub fn stream_with(
+        engine: SimulationEngine,
+        extra: &mut dyn SimObserver,
+    ) -> Result<(StudyAnalysis, SimulationReport), SimError> {
+        let mut collector = StudyCollector::new();
+        let report = {
+            let mut observers = MultiObserver::new().with(&mut collector).with(extra);
+            engine.session().run_to_end(&mut observers)?
+        };
         let analysis = collector
             .into_analysis()
             .expect("run_to_end dispatched on_run_end");

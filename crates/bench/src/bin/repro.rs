@@ -32,12 +32,14 @@ use defi_bench::case_study::{run_case_study, CaseStudyInput};
 use defi_bench::{json, render};
 use defi_core::config::is_sound_fixed_spread_config;
 use defi_core::params::RiskParams;
-use defi_sim::{RunSummary, SimConfig, SimulationEngine, SweepRunner};
+use defi_sim::{
+    InvariantObserver, RunSummary, ScenarioCatalog, SimConfig, SimulationEngine, SweepRunner,
+};
 use defi_types::Platform;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--smoke] [--seed N] [--json DIR] [--sweep seeds=N] [--workers N] <artefact>...\n       artefacts: all headline table1 table2 table3 table4 table5 table6 table7 table8\n                  fig4 fig5 fig6 fig7 fig8 fig9 auction-stats stablecoins mitigation configs case-study\n       --sweep seeds=N runs N seeds through the SweepRunner and prints per-run summaries instead"
+        "usage: repro [--smoke] [--seed N] [--json DIR] [--scenario NAME] [--list-scenarios]\n             [--check-invariants] [--sweep seeds=N|scenarios] [--workers N] <artefact>...\n       artefacts: all headline table1 table2 table3 table4 table5 table6 table7 table8\n                  fig4 fig5 fig6 fig7 fig8 fig9 auction-stats stablecoins mitigation configs case-study\n       --scenario NAME runs a named catalog scenario (see --list-scenarios)\n       --check-invariants attaches the InvariantObserver and fails on any violation\n       --sweep seeds=N runs N seeds through the SweepRunner and prints per-run summaries instead;\n       --sweep scenarios fans the whole scenario catalog across the workers"
     );
     std::process::exit(2)
 }
@@ -60,14 +62,27 @@ fn write_json(dir: &Path, name: &str, value: &json::Json) {
     eprintln!("wrote {}", path.display());
 }
 
-fn run_sweep(base: SimConfig, seeds: u64, workers: Option<usize>, json_dir: Option<&Path>) {
+/// What a `--sweep` invocation fans across the workers.
+enum SweepKind {
+    /// `--sweep seeds=N`: N consecutive seeds of the base configuration.
+    Seeds(u64),
+    /// `--sweep scenarios`: the full scenario catalog at the base seed.
+    Scenarios,
+}
+
+fn run_sweep(base: SimConfig, kind: SweepKind, workers: Option<usize>, json_dir: Option<&Path>) {
     let runner = workers
         .map(SweepRunner::new)
         .unwrap_or_else(SweepRunner::auto);
-    let grid = SweepRunner::seed_grid(&base, seeds);
+    let grid = match &kind {
+        SweepKind::Seeds(seeds) => SweepRunner::seed_grid(&base, *seeds),
+        SweepKind::Scenarios => {
+            SweepRunner::scenario_grid(&base, &ScenarioCatalog::standard().names())
+        }
+    };
     eprintln!(
-        "sweeping {} seeds ({} ticks each) across {} workers…",
-        seeds,
+        "sweeping {} runs ({} ticks each) across {} workers…",
+        grid.len(),
         base.tick_count(),
         runner.workers()
     );
@@ -81,10 +96,11 @@ fn run_sweep(base: SimConfig, seeds: u64, workers: Option<usize>, json_dir: Opti
     };
     eprintln!("sweep finished in {:.1}s", started.elapsed().as_secs_f64());
 
-    println!("== seed sweep: per-run summaries ==");
+    println!("== sweep: per-run summaries ==");
     println!(
-        "{:>10} {:>8} {:>13} {:>9} {:>16} {:>18} {:>10} {:>16}",
+        "{:>10} {:>22} {:>8} {:>13} {:>9} {:>16} {:>18} {:>10} {:>16}",
         "Seed",
+        "Scenario",
         "Events",
         "Liquidations",
         "Auctions",
@@ -95,8 +111,9 @@ fn run_sweep(base: SimConfig, seeds: u64, workers: Option<usize>, json_dir: Opti
     );
     for summary in &summaries {
         println!(
-            "{:>10} {:>8} {:>13} {:>9} {:>16.0} {:>18.0} {:>10} {:>16.0}",
+            "{:>10} {:>22} {:>8} {:>13} {:>9} {:>16.0} {:>18.0} {:>10} {:>16.0}",
             summary.seed,
+            summary.scenario,
             summary.events,
             summary.liquidations,
             summary.auctions_settled,
@@ -118,7 +135,7 @@ fn run_sweep(base: SimConfig, seeds: u64, workers: Option<usize>, json_dir: Opti
     let liq = MeanStd::from_samples(&liquidations);
     let profit = MeanStd::from_samples(&profits);
     let sens = MeanStd::from_samples(&sensitivities);
-    println!("== seed sweep: aggregates over {} runs ==", summaries.len());
+    println!("== sweep: aggregates over {} runs ==", summaries.len());
     println!(
         "  liquidations:        {:.1} ± {:.1}",
         liq.mean, liq.std_dev
@@ -145,8 +162,11 @@ fn main() {
     let mut smoke = false;
     let mut seed: u64 = 20_211_102; // the paper's publication date as a seed
     let mut json_dir: Option<PathBuf> = None;
-    let mut sweep_seeds: Option<u64> = None;
+    let mut sweep: Option<SweepKind> = None;
     let mut workers: Option<usize> = None;
+    let mut scenario: Option<String> = None;
+    let mut list_scenarios = false;
+    let mut check_invariants = false;
     let mut artefacts: BTreeSet<String> = BTreeSet::new();
 
     let mut args = std::env::args().skip(1).peekable();
@@ -161,12 +181,21 @@ fn main() {
                 let Some(value) = args.next() else { usage() };
                 json_dir = Some(PathBuf::from(value));
             }
+            "--scenario" => {
+                let Some(value) = args.next() else { usage() };
+                scenario = Some(value);
+            }
+            "--list-scenarios" => list_scenarios = true,
+            "--check-invariants" => check_invariants = true,
             "--sweep" => {
                 let Some(value) = args.next() else { usage() };
-                let Some(count) = value.strip_prefix("seeds=") else {
+                if value == "scenarios" {
+                    sweep = Some(SweepKind::Scenarios);
+                } else if let Some(count) = value.strip_prefix("seeds=") {
+                    sweep = Some(SweepKind::Seeds(count.parse().unwrap_or_else(|_| usage())));
+                } else {
                     usage()
-                };
-                sweep_seeds = Some(count.parse().unwrap_or_else(|_| usage()));
+                }
             }
             "--workers" => {
                 let Some(value) = args.next() else { usage() };
@@ -179,6 +208,14 @@ fn main() {
         }
     }
 
+    if check_invariants && sweep.is_some() {
+        // The sweep path runs its own summarising observer per worker; it
+        // does not audit invariants, so refuse instead of silently ignoring
+        // the flag and reporting a false "clean" exit.
+        eprintln!("--check-invariants cannot be combined with --sweep");
+        std::process::exit(2);
+    }
+
     if let Some(dir) = &json_dir {
         if let Err(error) = std::fs::create_dir_all(dir) {
             eprintln!("failed to create {}: {error}", dir.display());
@@ -186,14 +223,36 @@ fn main() {
         }
     }
 
-    let base_config = if smoke {
+    let catalog = ScenarioCatalog::standard();
+    if list_scenarios {
+        println!("== scenario catalog ==");
+        for entry in catalog.entries() {
+            println!("  {:<24} {}", entry.name, entry.summary);
+        }
+        if let Some(dir) = &json_dir {
+            write_json(dir, "scenarios", &json::scenario_catalog_json(&catalog));
+        }
+        return;
+    }
+    if let Some(name) = &scenario {
+        if catalog.get(name).is_none() {
+            eprintln!(
+                "unknown scenario '{name}'; valid names: {}",
+                catalog.names().join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let mut base_config = if smoke {
         SimConfig::smoke_test(seed)
     } else {
         SimConfig::paper_default(seed)
     };
+    base_config.scenario = scenario;
 
-    if let Some(seeds) = sweep_seeds {
-        run_sweep(base_config, seeds, workers, json_dir.as_deref());
+    if let Some(kind) = sweep {
+        run_sweep(base_config, kind, workers, json_dir.as_deref());
         return;
     }
 
@@ -250,13 +309,30 @@ fn main() {
 
     let config = base_config;
     eprintln!(
-        "running the {} scenario (seed {seed}, {} ticks)…",
+        "running the {} window of scenario '{}' (seed {seed}, {} ticks){}…",
         if smoke { "smoke" } else { "two-year study" },
-        config.tick_count()
+        config
+            .scenario
+            .as_deref()
+            .unwrap_or(ScenarioCatalog::DEFAULT_NAME),
+        config.tick_count(),
+        if check_invariants {
+            " with invariant checking"
+        } else {
+            ""
+        }
     );
     let started = std::time::Instant::now();
-    // One streaming pass: the study computes while the simulation runs.
-    let (analysis, report) = match StudyAnalysis::stream(SimulationEngine::new(config)) {
+    // One streaming pass: the study computes while the simulation runs, with
+    // the invariant observer auditing the same session when requested.
+    let mut invariants = InvariantObserver::new();
+    let engine = SimulationEngine::new(config);
+    let result = if check_invariants {
+        StudyAnalysis::stream_with(engine, &mut invariants)
+    } else {
+        StudyAnalysis::stream(engine)
+    };
+    let (analysis, report) = match result {
         Ok(result) => result,
         Err(error) => {
             eprintln!("simulation failed: {error}");
@@ -268,6 +344,17 @@ fn main() {
         started.elapsed().as_secs_f64(),
         report.chain.events().len()
     );
+    if check_invariants {
+        if invariants.is_clean() {
+            eprintln!("invariants: clean");
+        } else {
+            eprintln!("invariants: {} violation(s)", invariants.violations().len());
+            for violation in invariants.violations().iter().take(20) {
+                eprintln!("  {violation}");
+            }
+            std::process::exit(1);
+        }
+    }
 
     // Render (and JSON-encode) lazily: only the selected artefacts are built.
     macro_rules! emit {

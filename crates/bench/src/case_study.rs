@@ -369,8 +369,22 @@ pub fn execute_on_compound(input: &CaseStudyInput) -> (Wad, Wad) {
         )
         .expect("liquidatable");
         let dai_price = oracle.price(Token::DAI).unwrap();
-        let repay_1_tokens = plan.repay_1.checked_div(dai_price).unwrap();
-        let repay_2_tokens = plan.repay_2.checked_div(dai_price).unwrap();
+        // The protocol rejects repayments above the close-factor cap, and the
+        // abstract plan's amounts can exceed the live cap by fixed-point
+        // dust once interest accrual and index truncation are in play — so
+        // request min(plan, live cap) like a real liquidator contract would.
+        let live_cap = |protocol: &mut FixedSpreadProtocol, block: u64| {
+            protocol.accrue_all(block);
+            protocol
+                .debt_of(borrower, Token::DAI)
+                .checked_mul(protocol.config().close_factor)
+                .unwrap()
+        };
+        let repay_1_tokens = plan
+            .repay_1
+            .checked_div(dai_price)
+            .unwrap()
+            .min(live_cap(&mut protocol, 3));
         let r1 = protocol
             .liquidation_call(
                 &mut ledger,
@@ -385,6 +399,11 @@ pub fn execute_on_compound(input: &CaseStudyInput) -> (Wad, Wad) {
                 false,
             )
             .expect("optimal step 1");
+        let repay_2_tokens = plan
+            .repay_2
+            .checked_div(dai_price)
+            .unwrap()
+            .min(live_cap(&mut protocol, 4));
         let r2 = protocol
             .liquidation_call(
                 &mut ledger,

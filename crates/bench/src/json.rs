@@ -9,7 +9,7 @@
 use std::fmt;
 
 use defi_analytics::StudyAnalysis;
-use defi_sim::RunSummary;
+use defi_sim::{RunSummary, ScenarioCatalog};
 use defi_types::{Platform, SignedWad, Wad};
 
 use crate::case_study::CaseStudy;
@@ -605,6 +605,7 @@ pub fn sweep_json(summaries: &[RunSummary], workers: usize) -> Json {
         .map(|summary| {
             Json::obj([
                 ("seed", Json::U64(summary.seed)),
+                ("scenario", Json::str(summary.scenario.clone())),
                 ("ticks", Json::U64(summary.ticks)),
                 ("events", Json::U64(summary.events as u64)),
                 ("liquidations", Json::U64(summary.liquidations as u64)),
@@ -626,6 +627,22 @@ pub fn sweep_json(summaries: &[RunSummary], workers: usize) -> Json {
         ("workers", Json::U64(workers as u64)),
         ("runs", Json::Arr(runs)),
     ])
+}
+
+/// `repro --list-scenarios --json`: the scenario catalog as a machine-
+/// readable artefact.
+pub fn scenario_catalog_json(catalog: &ScenarioCatalog) -> Json {
+    let entries = catalog
+        .entries()
+        .iter()
+        .map(|entry| {
+            Json::obj([
+                ("name", Json::str(entry.name)),
+                ("summary", Json::str(entry.summary)),
+            ])
+        })
+        .collect();
+    Json::obj([("scenarios", Json::Arr(entries))])
 }
 
 #[cfg(test)]

@@ -1,0 +1,47 @@
+//! Golden-file snapshots of `repro --json` on the smoke scenario.
+//!
+//! The committed files under `tests/golden/` are the byte-exact JSON the
+//! harness writes for the default smoke run (`repro --smoke --json <dir>
+//! headline table1`, seed 20 211 102). Any drift in the simulation, the
+//! analytics pipeline or the hand-rolled JSON encoder shows up here as a
+//! byte diff — regenerate the files deliberately (and explain why) rather
+//! than loosening the comparison.
+
+use defi_analytics::StudyAnalysis;
+use defi_bench::json;
+use defi_sim::{SimConfig, SimulationEngine};
+
+/// The `repro` binary's default seed (the paper's publication date).
+const REPRO_DEFAULT_SEED: u64 = 20_211_102;
+
+fn rendered(value: &json::Json) -> String {
+    // `repro --json` writes `format!("{value}\n")`; match it exactly.
+    format!("{value}\n")
+}
+
+#[test]
+fn smoke_json_artefacts_match_the_committed_golden_files() {
+    let config = SimConfig::smoke_test(REPRO_DEFAULT_SEED);
+    let (analysis, _report) =
+        StudyAnalysis::stream(SimulationEngine::new(config)).expect("smoke run");
+
+    let cases: [(&str, json::Json, &str); 2] = [
+        (
+            "headline",
+            json::headline_json(&analysis),
+            include_str!("golden/headline.json"),
+        ),
+        (
+            "table1",
+            json::table1_json(&analysis),
+            include_str!("golden/table1.json"),
+        ),
+    ];
+    for (name, value, golden) in cases {
+        let actual = rendered(&value);
+        assert!(
+            actual == golden,
+            "{name}.json drifted from the golden file.\n--- expected ---\n{golden}\n--- actual ---\n{actual}"
+        );
+    }
+}

@@ -1,16 +1,19 @@
 //! Streaming-vs-batch parity: the `StudyAnalysis` built incrementally by
 //! `StudyCollector` observers during the run must render byte-identically to
-//! the legacy post-hoc `StudyAnalysis::from_report` scan on the smoke
-//! scenario — the guarantee that migrating `repro` to the session API did
-//! not change a single printed digit.
+//! the legacy post-hoc `StudyAnalysis::from_report` scan — the guarantee that
+//! migrating `repro` to the session API did not change a single printed
+//! digit. Checked on the smoke default and on a scenario-catalog entry
+//! (`stablecoin-depeg`), so catalog plumbing cannot skew either pipeline.
 
 use defi_analytics::StudyAnalysis;
 use defi_bench::render;
-use defi_sim::{SimConfig, SimulationEngine};
+use defi_sim::{ScenarioCatalog, SimConfig, SimulationEngine};
 
-#[test]
-fn streaming_study_renders_byte_identically_to_batch() {
-    let config = SimConfig::smoke_test(11);
+fn assert_parity(config: SimConfig) {
+    let scenario = config
+        .scenario
+        .clone()
+        .unwrap_or_else(|| ScenarioCatalog::DEFAULT_NAME.to_string());
 
     let report = SimulationEngine::new(config.clone()).run();
     let batch = StudyAnalysis::from_report(&report);
@@ -21,7 +24,7 @@ fn streaming_study_renders_byte_identically_to_batch() {
     assert_eq!(
         report.chain.events().len(),
         stream_report.chain.events().len(),
-        "the session replays the exact same run"
+        "{scenario}: the session replays the exact same run"
     );
     assert_eq!(batch.records.len(), streamed.records.len());
 
@@ -46,7 +49,19 @@ fn streaming_study_renders_byte_identically_to_batch() {
         assert_eq!(
             renderer(&batch),
             renderer(&streamed),
-            "artefact {name} diverged between the batch and streaming pipelines"
+            "{scenario}: artefact {name} diverged between the batch and streaming pipelines"
         );
     }
+}
+
+#[test]
+fn streaming_study_renders_byte_identically_to_batch() {
+    assert_parity(SimConfig::smoke_test(11));
+}
+
+#[test]
+fn streaming_parity_holds_on_a_catalog_scenario() {
+    let mut config = SimConfig::smoke_test(11);
+    config.scenario = Some("stablecoin-depeg".to_string());
+    assert_parity(config);
 }

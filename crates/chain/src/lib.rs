@@ -42,6 +42,6 @@ pub use events::{
     AuctionId, AuctionPhase, ChainEvent, EventFilter, EventKind, EventLog, LiquidationEvent,
     LoggedEvent,
 };
-pub use gas::{GasMarket, GasMarketConfig, GweiPrice};
+pub use gas::{CongestionEpisode, GasMarket, GasMarketConfig, GweiPrice};
 pub use ledger::{Ledger, LedgerError};
 pub use mempool::{Mempool, PendingTx};

@@ -146,13 +146,20 @@ impl Position {
     }
 
     /// Health factor (Eq. 4): HF = BC / Σ value(debt_i).
-    /// Returns `None` when the position has no debt.
+    /// Returns `None` when the position has no debt. A ratio too large for
+    /// the fixed-point representation (microscopic debt against real
+    /// collateral) saturates to [`Wad::MAX`] — the health factor of an
+    /// indebted position is always defined.
     pub fn health_factor(&self) -> Option<Wad> {
         let debt = self.total_debt_value();
         if debt.is_zero() {
             return None;
         }
-        self.borrowing_capacity().checked_div(debt).ok()
+        Some(
+            self.borrowing_capacity()
+                .checked_div(debt)
+                .unwrap_or(Wad::MAX),
+        )
     }
 
     /// "If HF < 1, the collateral becomes eligible for liquidation." (§2.3)

@@ -29,6 +29,14 @@ pub enum ProtocolError {
     },
     /// The position is not liquidatable (health factor ≥ 1).
     NotLiquidatable(Address),
+    /// The repayment exceeds the account's outstanding debt in the token
+    /// (repay exactly the outstanding amount to close the debt).
+    RepayExceedsOutstanding {
+        /// Outstanding debt (with accrued interest).
+        outstanding: Wad,
+        /// Requested repayment.
+        requested: Wad,
+    },
     /// The liquidation repay amount exceeds the close factor limit.
     ExceedsCloseFactor {
         /// Maximum repayable under the close factor.
@@ -94,6 +102,13 @@ impl fmt::Display for ProtocolError {
             ProtocolError::NotLiquidatable(a) => {
                 write!(f, "position {} is not liquidatable", a.short())
             }
+            ProtocolError::RepayExceedsOutstanding {
+                outstanding,
+                requested,
+            } => write!(
+                f,
+                "repay {requested} exceeds the outstanding debt {outstanding}"
+            ),
             ProtocolError::ExceedsCloseFactor {
                 max_repay,
                 requested,

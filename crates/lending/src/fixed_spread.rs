@@ -127,6 +127,12 @@ impl LiquidationReceipt {
     }
 }
 
+/// Residual scaled debt (raw 18-decimal units, i.e. 10⁻¹⁵ tokens) below
+/// which a repayment is treated as full: interest-index truncation can leave
+/// a few raw units behind an otherwise complete repayment, and such dust
+/// positions would linger in the book with an unrepresentable health factor.
+const DEBT_DUST: Wad = Wad::from_raw(1_000);
+
 /// The fixed-spread lending pool.
 #[derive(Debug, Clone)]
 pub struct FixedSpreadProtocol {
@@ -356,8 +362,11 @@ impl FixedSpreadProtocol {
         Ok(())
     }
 
-    /// Repay up to `amount` of the account's `token` debt; returns the amount
-    /// actually repaid.
+    /// Repay `amount` of the account's `token` debt; returns the amount
+    /// repaid. Repaying more than the outstanding debt (after accrual) is
+    /// rejected with [`ProtocolError::RepayExceedsOutstanding`] — a typed
+    /// error rather than a silent clamp, so callers repaying "everything"
+    /// must read the accrued debt first.
     pub fn repay(
         &mut self,
         ledger: &mut Ledger,
@@ -375,7 +384,13 @@ impl FixedSpreadProtocol {
         if outstanding.is_zero() {
             return Err(ProtocolError::NoDebtInToken(token));
         }
-        let repaid = amount.min(outstanding);
+        if amount > outstanding {
+            return Err(ProtocolError::RepayExceedsOutstanding {
+                outstanding,
+                requested: amount,
+            });
+        }
+        let repaid = amount;
         ledger.transfer(account, self.pool_address, token, repaid)?;
         self.reduce_debt(account, token, repaid);
         let market = self.market_mut(token)?;
@@ -412,13 +427,24 @@ impl FixedSpreadProtocol {
             None => return,
         };
         let scaled = index.scale_down(amount);
+        let mut dust_written_off = Wad::ZERO;
         if let Some(acct) = self.accounts.get_mut(&account) {
             if let Some(entry) = acct.scaled_debt.get_mut(&token) {
                 *entry = entry.saturating_sub(scaled);
+                // A full repayment routed through the interest index can
+                // truncate to a few raw units of residual debt. Write the
+                // dust off so "fully repaid" really is zero — otherwise the
+                // account lingers in the position book with sub-wei debt.
+                if *entry <= DEBT_DUST {
+                    dust_written_off = *entry;
+                    *entry = Wad::ZERO;
+                }
             }
         }
         if let Some(market) = self.markets.get_mut(&token) {
-            market.total_scaled_debt = market.total_scaled_debt.saturating_sub(scaled);
+            market.total_scaled_debt = market
+                .total_scaled_debt
+                .saturating_sub(scaled.saturating_add(dust_written_off));
         }
     }
 
@@ -532,9 +558,11 @@ impl FixedSpreadProtocol {
     /// The public `liquidationCall`: repay part of `borrower`'s `debt_token`
     /// debt and seize `collateral_token` collateral at the market's spread.
     ///
-    /// The requested repayment is capped by the close factor and by the
-    /// available collateral; the capped amount actually repaid is returned in
-    /// the receipt. Emits a [`ChainEvent::Liquidation`].
+    /// A repayment above the close-factor cap is rejected with
+    /// [`ProtocolError::ExceedsCloseFactor`]; within the cap, the repayment
+    /// shrinks only when the targeted collateral market cannot cover the
+    /// claim, and the amount actually repaid is returned in the receipt.
+    /// Emits a [`ChainEvent::Liquidation`].
     #[allow(clippy::too_many_arguments)]
     pub fn liquidation_call(
         &mut self,
@@ -577,13 +605,18 @@ impl FixedSpreadProtocol {
         let max_repay = outstanding
             .checked_mul(self.config.close_factor)
             .map_err(|_| ProtocolError::Arithmetic)?;
-        let mut repay = repay_amount.min(max_repay);
-        if repay.is_zero() {
+        // A repayment above the close-factor cap (or an empty one) is a
+        // typed error, not a silent clamp: the caller's claim calculation
+        // would otherwise diverge from what actually settles. Requests within
+        // interest-index rounding dust of the cap (≤ 10⁻¹⁵ tokens over) are
+        // the "repay exactly half the nominal borrow" pattern and clamp.
+        if repay_amount > max_repay.saturating_add(DEBT_DUST) || repay_amount.is_zero() {
             return Err(ProtocolError::ExceedsCloseFactor {
                 max_repay,
                 requested: repay_amount,
             });
         }
+        let mut repay = repay_amount.min(max_repay);
 
         let debt_price = Self::price(oracle, debt_token)?;
         let collateral_price = Self::price(oracle, collateral_token)?;
@@ -923,13 +956,15 @@ mod tests {
     }
 
     #[test]
-    fn repay_above_close_factor_is_capped() {
+    fn repay_above_close_factor_is_rejected() {
         let (mut protocol, mut ledger, mut oracle, mut events) = setup();
         let borrower = paper_borrower(&mut protocol, &mut ledger, &oracle, &mut events);
         oracle.set_price(2, Token::ETH, Wad::from_int(3_300));
         let liquidator = Address::from_seed(99);
         ledger.mint(liquidator, Token::USDC, Wad::from_int(20_000));
-        let receipt = protocol
+        // Close factor 50%: requesting the full 8,400 debt is a typed error,
+        // not a silent clamp.
+        let err = protocol
             .liquidation_call(
                 &mut ledger,
                 &mut events,
@@ -942,9 +977,30 @@ mod tests {
                 Wad::from_int(8_400),
                 false,
             )
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::ExceedsCloseFactor { .. }));
+        // Repaying exactly the cap settles.
+        protocol.accrue_all(2);
+        let max_repay = protocol
+            .debt_of(borrower, Token::USDC)
+            .checked_mul(protocol.config().close_factor)
             .unwrap();
-        // Close factor 50%: ~4,200 repaid even though 8,400 was requested
-        // (interest accrued between borrow and liquidation adds a few wei).
+        let receipt = protocol
+            .liquidation_call(
+                &mut ledger,
+                &mut events,
+                &oracle,
+                2,
+                liquidator,
+                borrower,
+                Token::USDC,
+                Token::ETH,
+                max_repay,
+                false,
+            )
+            .unwrap();
+        assert_eq!(receipt.debt_repaid, max_repay);
+        // ~4,200 plus the interest accrued between borrow and liquidation.
         assert!(receipt.debt_repaid >= Wad::from_int(4_200));
         assert!(receipt.debt_repaid < Wad::from_int(4_201));
     }

@@ -302,7 +302,8 @@ impl MakerProtocol {
         Ok(())
     }
 
-    /// Repay DAI debt (burning the DAI).
+    /// Repay DAI debt (burning the DAI). Repaying more than the outstanding
+    /// debt is rejected with [`ProtocolError::RepayExceedsOutstanding`].
     pub fn repay_dai(
         &mut self,
         ledger: &mut Ledger,
@@ -314,7 +315,13 @@ impl MakerProtocol {
             .cdps
             .get_mut(&owner)
             .ok_or(ProtocolError::UnknownCdp(owner))?;
-        let repaid = amount.min(cdp.debt);
+        if amount > cdp.debt {
+            return Err(ProtocolError::RepayExceedsOutstanding {
+                outstanding: cdp.debt,
+                requested: amount,
+            });
+        }
+        let repaid = amount;
         ledger.burn(owner, Token::DAI, repaid)?;
         cdp.debt = cdp.debt.saturating_sub(repaid);
         events.push(ChainEvent::Repay {
@@ -410,7 +417,6 @@ impl MakerProtocol {
         let lt = Wad::ONE
             .checked_div(ilk.liquidation_ratio)
             .unwrap_or(Wad::from_f64(2.0 / 3.0));
-        let dai_price = oracle.price(Token::DAI).unwrap_or(Wad::ONE);
         let mut position = Position::new(owner).on_platform(Platform::MakerDao);
         if !cdp.collateral.is_zero() {
             position = position.with_collateral(CollateralHolding {
@@ -422,10 +428,15 @@ impl MakerProtocol {
             });
         }
         if !cdp.debt.is_zero() {
+            // The vat accounts DAI at its 1-USD par price: the contracts are
+            // oblivious to DAI's market price, so valuing the debt at par is
+            // what makes HF < 1 coincide *exactly* with the bite condition
+            // (collateral value < debt × liquidation ratio) even while DAI
+            // trades off peg.
             position = position.with_debt(DebtHolding {
                 token: Token::DAI,
                 amount: cdp.debt,
-                value_usd: cdp.debt.checked_mul(dai_price).unwrap_or(cdp.debt),
+                value_usd: cdp.debt,
             });
         }
         Some(position)
@@ -1089,9 +1100,14 @@ mod tests {
             .unwrap();
         assert_eq!(repaid, Wad::from_int(400));
         assert_eq!(maker.cdp(owner).unwrap().debt, Wad::from_int(600));
-        // Repaying more than owed only burns the outstanding amount.
-        let repaid = maker
+        // Repaying more than owed is a typed error, not a silent clamp.
+        let err = maker
             .repay_dai(&mut ledger, &mut events, owner, Wad::from_int(10_000))
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::RepayExceedsOutstanding { .. }));
+        // Repaying exactly the outstanding debt closes it.
+        let repaid = maker
+            .repay_dai(&mut ledger, &mut events, owner, Wad::from_int(600))
             .unwrap();
         assert_eq!(repaid, Wad::from_int(600));
         assert_eq!(maker.cdp(owner).unwrap().debt, Wad::ZERO);

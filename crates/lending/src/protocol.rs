@@ -200,7 +200,10 @@ pub trait LendingProtocol {
         amount: Wad,
     ) -> Result<(), ProtocolError>;
 
-    /// Repay up to `amount` of debt; returns the amount actually repaid.
+    /// Repay `amount` of debt; returns the amount repaid. Repaying more than
+    /// the outstanding debt is a typed
+    /// [`ProtocolError::RepayExceedsOutstanding`] error, never a silent
+    /// clamp — callers repaying in full must read the accrued debt first.
     #[allow(clippy::too_many_arguments)]
     fn repay(
         &mut self,

@@ -27,4 +27,4 @@ pub mod scenario;
 
 pub use oracle::{OracleConfig, PriceOracle, PricePoint};
 pub use process::{GbmParams, JumpParams, PegParams, PriceProcess, ScheduledShock};
-pub use scenario::{MarketScenario, ScenarioEvent, TokenPathSpec};
+pub use scenario::{MarketScenario, ScenarioEvent, SellPressureFeedback, TokenPathSpec};

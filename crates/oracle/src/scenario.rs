@@ -87,6 +87,34 @@ impl ScenarioEvent {
     }
 }
 
+/// Endogenous price-impact feedback: how strongly liquidation sell-pressure
+/// routed through the AMM feeds back into the scenario's "true" market price.
+///
+/// With feedback enabled, the simulation engine sells seized collateral
+/// through the DEX every tick and reports the realised pool price impact via
+/// [`MarketScenario::apply_sell_pressure`]; the depressed price becomes the
+/// starting point of the next tick's stochastic step. This is the
+/// toxic-liquidation-spiral dynamic (Warmuz et al., 2022): liquidations deepen
+/// the decline that caused them, triggering further liquidations.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SellPressureFeedback {
+    /// Fraction of the AMM pool price impact passed through to the market
+    /// price (1.0 = the market marks straight to the pool).
+    pub passthrough: f64,
+    /// Cap on the relative market-price decline a single tick's sell pressure
+    /// may cause (guards against degenerate one-tick collapses).
+    pub max_tick_impact: f64,
+}
+
+impl Default for SellPressureFeedback {
+    fn default() -> Self {
+        SellPressureFeedback {
+            passthrough: 0.8,
+            max_tick_impact: 0.25,
+        }
+    }
+}
+
 /// The market scenario: per-token price paths plus scripted events.
 #[derive(Debug, Clone)]
 pub struct MarketScenario {
@@ -96,6 +124,7 @@ pub struct MarketScenario {
     current: BTreeMap<Token, f64>,
     last_block: BlockNumber,
     start_block: BlockNumber,
+    feedback: Option<SellPressureFeedback>,
 }
 
 impl MarketScenario {
@@ -108,6 +137,7 @@ impl MarketScenario {
             current: BTreeMap::new(),
             last_block: start_block,
             start_block,
+            feedback: None,
         }
     }
 
@@ -122,6 +152,49 @@ impl MarketScenario {
     pub fn with_event(mut self, event: ScenarioEvent) -> Self {
         self.events.push(event);
         self
+    }
+
+    /// Layer an extra scripted shock onto an already-registered token's path
+    /// (catalog scenarios deepen or add episodes on top of the paper market).
+    /// No-op when the token is not registered.
+    pub fn with_shock_on(mut self, token: Token, shock: ScheduledShock) -> Self {
+        if let Some(spec) = self.specs.get_mut(&token) {
+            spec.shocks.push(shock);
+        }
+        self
+    }
+
+    /// Enable endogenous sell-pressure feedback (the liquidation-spiral
+    /// dynamic). With feedback on, the engine routes liquidation proceeds
+    /// through the DEX and reports the pool impact back via
+    /// [`apply_sell_pressure`](MarketScenario::apply_sell_pressure).
+    pub fn with_sell_pressure_feedback(mut self, feedback: SellPressureFeedback) -> Self {
+        self.feedback = Some(feedback);
+        self
+    }
+
+    /// The feedback parameters, when the spiral dynamic is enabled.
+    pub fn feedback(&self) -> Option<SellPressureFeedback> {
+        self.feedback
+    }
+
+    /// Depress a token's market price by the realised AMM sell impact
+    /// (`impact` is the relative pool price impact, 0–1). The decline is
+    /// scaled by the feedback's passthrough and capped per tick; the next
+    /// [`advance`](MarketScenario::advance) steps from the depressed level,
+    /// which is what makes liquidation sell-pressure feed the next round of
+    /// liquidations. No-op when feedback is disabled.
+    pub fn apply_sell_pressure(&mut self, token: Token, impact: f64) {
+        let Some(feedback) = self.feedback else {
+            return;
+        };
+        if !impact.is_finite() || impact <= 0.0 {
+            return;
+        }
+        let decline = (impact * feedback.passthrough).min(feedback.max_tick_impact.max(0.0));
+        if let Some(price) = self.current.get_mut(&token) {
+            *price = (*price * (1.0 - decline)).max(1e-12);
+        }
     }
 
     /// Tokens covered by the scenario.
@@ -322,6 +395,50 @@ mod tests {
         }
         // Outside the window nothing fires.
         assert!(scenario.events_between(7_500_000, 9_000_000).is_empty());
+    }
+
+    #[test]
+    fn sell_pressure_depresses_the_next_tick() {
+        let base = MarketScenario::paper_two_year(5);
+        let mut fed = base
+            .clone()
+            .with_sell_pressure_feedback(SellPressureFeedback {
+                passthrough: 1.0,
+                max_tick_impact: 0.5,
+            });
+        let mut dry = base;
+        dry.advance(7_600_000);
+        fed.advance(7_600_000);
+        assert_eq!(dry.price_f64(Token::ETH), fed.price_f64(Token::ETH));
+        fed.apply_sell_pressure(Token::ETH, 0.10);
+        // Same RNG stream: the fed path is exactly the dry path scaled down.
+        dry.advance(7_700_000);
+        fed.advance(7_700_000);
+        let dry_eth = dry.price_f64(Token::ETH).unwrap();
+        let fed_eth = fed.price_f64(Token::ETH).unwrap();
+        assert!(
+            (fed_eth / dry_eth - 0.90).abs() < 1e-9,
+            "expected a 10% haircut to persist multiplicatively: {fed_eth} vs {dry_eth}"
+        );
+    }
+
+    #[test]
+    fn sell_pressure_is_capped_and_gated() {
+        let mut scenario = MarketScenario::paper_two_year(6);
+        let before = scenario.price_f64(Token::ETH).unwrap();
+        // Feedback disabled: no-op.
+        scenario.apply_sell_pressure(Token::ETH, 0.5);
+        assert_eq!(scenario.price_f64(Token::ETH).unwrap(), before);
+        let mut scenario = scenario.with_sell_pressure_feedback(SellPressureFeedback::default());
+        // A pathological 100% impact is capped at max_tick_impact.
+        scenario.apply_sell_pressure(Token::ETH, 1.0);
+        let after = scenario.price_f64(Token::ETH).unwrap();
+        let cap = SellPressureFeedback::default().max_tick_impact;
+        assert!((after / before - (1.0 - cap)).abs() < 1e-9);
+        // Non-finite and non-positive impacts are ignored.
+        scenario.apply_sell_pressure(Token::ETH, f64::NAN);
+        scenario.apply_sell_pressure(Token::ETH, -0.3);
+        assert_eq!(scenario.price_f64(Token::ETH).unwrap(), after);
     }
 
     #[test]

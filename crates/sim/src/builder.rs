@@ -35,6 +35,7 @@ use defi_types::{Platform, Token};
 
 use crate::config::SimConfig;
 use crate::engine::SimulationEngine;
+use crate::scenarios::ScenarioCatalog;
 
 /// The engine's protocol set: every platform behind the unified trait.
 pub type ProtocolRegistry = BTreeMap<Platform, Box<dyn LendingProtocol>>;
@@ -87,6 +88,25 @@ impl EngineBuilder {
         self
     }
 
+    /// Use a named [`ScenarioCatalog`] entry as the price scenario. The
+    /// entry's configuration adjustments (extra congestion episodes, bot
+    /// behaviour, flash-loan availability) are applied when the engine is
+    /// built. Overrides any previously set explicit scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not in [`ScenarioCatalog::standard`].
+    pub fn with_named_scenario(mut self, name: &str) -> Self {
+        assert!(
+            ScenarioCatalog::standard().get(name).is_some(),
+            "unknown scenario '{name}'; valid names: {:?}",
+            ScenarioCatalog::standard().names()
+        );
+        self.config.scenario = Some(name.to_string());
+        self.scenario = None;
+        self
+    }
+
     /// Replace the DEX. The closure receives the chain so it can seed pool
     /// reserves through the ledger.
     pub fn with_dex(mut self, setup: impl FnOnce(&mut Blockchain) -> Dex + 'static) -> Self {
@@ -94,16 +114,32 @@ impl EngineBuilder {
         self
     }
 
-    /// Assemble the engine.
+    /// Assemble the engine. The price scenario resolves in order: an explicit
+    /// [`with_scenario`](EngineBuilder::with_scenario), then the catalog entry
+    /// named by `config.scenario` (set via
+    /// [`with_named_scenario`](EngineBuilder::with_named_scenario) or carried
+    /// in the configuration, e.g. by a sweep grid), then the paper default.
     pub fn build(self) -> SimulationEngine {
         let EngineBuilder {
-            config,
+            mut config,
             protocols,
             scenario,
             dex_setup,
         } = self;
-        let scenario =
-            scenario.unwrap_or_else(|| MarketScenario::paper_two_year(config.seed ^ 0xfeed));
+        let scenario = match scenario {
+            Some(scenario) => scenario,
+            None => match config.scenario.clone() {
+                Some(name) => ScenarioCatalog::standard()
+                    .build(&name, &mut config)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "unknown scenario '{name}'; valid names: {:?}",
+                            ScenarioCatalog::standard().names()
+                        )
+                    }),
+                None => MarketScenario::paper_two_year(config.seed ^ 0xfeed),
+            },
+        };
         let dex_setup = dex_setup.unwrap_or_else(|| Box::new(standard_dex));
         SimulationEngine::from_parts(config, protocols, scenario, dex_setup)
     }

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use defi_chain::CongestionEpisode;
 use defi_types::{BlockNumber, Platform};
 
 /// Population and behaviour parameters for one platform.
@@ -81,6 +82,21 @@ pub struct SimConfig {
     pub auction_gas: u64,
     /// Gas consumed by ordinary user operations (deposit/borrow/repay).
     pub user_op_gas: u64,
+    /// Name of a [`ScenarioCatalog`](crate::ScenarioCatalog) entry that
+    /// provides the price scenario (and its config adjustments) for this run.
+    /// `None` reproduces the paper's two-year market. Carried in the config so
+    /// sweep grids stay a plain `Vec<SimConfig>`.
+    pub scenario: Option<String>,
+    /// Whether the named scenario's config adjustments have already been
+    /// applied to this configuration. Set by
+    /// [`ScenarioEntry::build`](crate::ScenarioEntry::build) so that building
+    /// an engine from an already-materialised config (e.g. a report's config)
+    /// rebuilds the market without re-applying non-idempotent adjustments
+    /// such as gas multipliers or extra congestion episodes.
+    pub scenario_applied: bool,
+    /// Additional scripted gas-congestion episodes layered on top of the
+    /// paper's (used by stress scenarios such as `gas-spike-congestion`).
+    pub extra_congestion_episodes: Vec<CongestionEpisode>,
 }
 
 /// Default gas cost of a fixed-spread liquidation call.
@@ -134,6 +150,9 @@ impl SimConfig {
             liquidation_gas: DEFAULT_LIQUIDATION_GAS,
             auction_gas: DEFAULT_AUCTION_GAS,
             user_op_gas: DEFAULT_USER_OP_GAS,
+            scenario: None,
+            scenario_applied: false,
+            extra_congestion_episodes: Vec::new(),
         }
     }
 

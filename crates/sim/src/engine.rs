@@ -19,7 +19,9 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
 use defi_amm::Dex;
-use defi_chain::{mempool::BackgroundDemand, AuctionPhase, Blockchain, ChainConfig, GweiPrice};
+use defi_chain::{
+    mempool::BackgroundDemand, AuctionPhase, Blockchain, ChainConfig, ChainEvent, GweiPrice,
+};
 use defi_core::mechanism::AuctionParams;
 use defi_core::position::Position;
 use defi_lending::{
@@ -80,7 +82,7 @@ pub struct SimulationEngine {
     scenario: MarketScenario,
     pub(crate) market_oracle: PriceOracle,
     pub(crate) oracles: BTreeMap<Platform, PriceOracle>,
-    dex: Dex,
+    pub(crate) dex: Dex,
     flash_pools: BTreeMap<Platform, FlashLoanPool>,
     /// Every protocol behind the unified trait, keyed by platform.
     pub(crate) protocols: ProtocolRegistry,
@@ -97,6 +99,18 @@ pub struct SimulationEngine {
     pub(crate) volume_samples: Vec<VolumeSample>,
     auction_params_switched: bool,
     pub(crate) tick_index: u64,
+    /// Health factor each settled liquidation's borrower had when the
+    /// opportunity was discovered, keyed by the settlement event's index in
+    /// the chain log (surfaced to observers for invariant checking).
+    pub(crate) liquidation_hf: HashMap<usize, Wad>,
+    /// Health factor at bite time, keyed by auction id (resolved into
+    /// `liquidation_hf` when the auction finalises).
+    auction_bite_hf: HashMap<u64, Wad>,
+    /// Collateral seized this tick, awaiting the sell-pressure pass
+    /// (liquidation-spiral scenarios only).
+    pending_sell_pressure: Vec<(Token, Wad)>,
+    /// Account through which the spiral pass unwinds seized collateral.
+    spiral_trader: Address,
 }
 
 impl SimulationEngine {
@@ -116,10 +130,14 @@ impl SimulationEngine {
         dex_setup: DexSetup,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let chain_config = ChainConfig {
+        let mut chain_config = ChainConfig {
             start_block: config.start_block,
             ..ChainConfig::default()
         };
+        chain_config
+            .gas
+            .episodes
+            .extend(config.extra_congestion_episodes.iter().copied());
         let mut chain = Blockchain::new(chain_config);
 
         let market_oracle = PriceOracle::new(OracleConfig::every_update());
@@ -184,6 +202,10 @@ impl SimulationEngine {
             volume_samples: Vec::new(),
             auction_params_switched: false,
             tick_index: 0,
+            liquidation_hf: HashMap::new(),
+            auction_bite_hf: HashMap::new(),
+            pending_sell_pressure: Vec::new(),
+            spiral_trader: Address::from_label("spiral-unwind"),
             config,
         }
     }
@@ -265,6 +287,7 @@ impl SimulationEngine {
         self.spawn_borrowers(block);
         self.accrue_protocols(block);
         self.drive_liquidations(block, congested);
+        self.apply_sell_pressure_feedback();
 
         if self
             .tick_index
@@ -735,6 +758,15 @@ impl SimulationEngine {
             );
 
         let borrower = position.owner;
+        let hf_before = position.health_factor();
+        let feedback = self.scenario.feedback().is_some();
+        let events_before = self.chain.events().len();
+        let mut receipt_slot: Option<defi_lending::LiquidationReceipt> = None;
+        // The ledger journals and reverts with the transaction, but the DEX
+        // pool reserves mutated by an in-transaction unwind swap do not —
+        // snapshot them so a reverted flash-loan liquidation cannot leave the
+        // AMM desynchronised from the ledger.
+        let dex_snapshot = use_flash.then(|| self.dex.clone());
         let oracle = &self.oracles[&platform];
         let protocol = self.protocols.get_mut(&platform).expect("platform exists");
         let dex = &mut self.dex;
@@ -754,7 +786,8 @@ impl SimulationEngine {
             repay_amount,
             used_flash_loan: use_flash,
         };
-        chain.execute(
+        let receipt_out = &mut receipt_slot;
+        let outcome = chain.execute(
             liquidator.address,
             gas_price,
             liquidation_gas,
@@ -790,6 +823,7 @@ impl SimulationEngine {
                                 )
                                 .map_err(|e| defi_lending::ProtocolError::Ledger(e.to_string()))?;
                             }
+                            *receipt_out = Some(receipt);
                             Ok(())
                         },
                     )
@@ -797,11 +831,28 @@ impl SimulationEngine {
                 } else {
                     protocol
                         .execute_liquidation(ctx.ledger, ctx.events, oracle, block, &request)
-                        .map(|_| ())
+                        .map(|execution| {
+                            if let LiquidationExecution::FixedSpread(receipt) = execution {
+                                *receipt_out = Some(receipt);
+                            }
+                        })
                         .map_err(|e| e.to_string())
                 }
             },
         );
+        if outcome.is_success() {
+            if feedback && !use_flash {
+                // Flash-loan unwinds already traded through the DEX inside
+                // the transaction; everything else queues for the spiral pass.
+                if let Some(receipt) = &receipt_slot {
+                    self.pending_sell_pressure
+                        .push((collateral.token, receipt.collateral_seized));
+                }
+            }
+            self.record_liquidation_context(events_before, hf_before);
+        } else if let Some(snapshot) = dex_snapshot {
+            self.dex = snapshot;
+        }
     }
 
     // --------------------------------------------------------------- auctions
@@ -821,6 +872,8 @@ impl SimulationEngine {
             if congested && keeper.stale_under_congestion && self.rng.gen_bool(0.8) {
                 continue; // overdue liquidation
             }
+            let hf_at_bite = opportunity.position.health_factor();
+            let events_before = self.chain.events().len();
             let gas = self.chain.gas_market_mut().competitive_bid(0.3);
             let protocol = self.protocols.get_mut(&platform).expect("platform exists");
             let oracle = &self.oracles[&platform];
@@ -829,7 +882,7 @@ impl SimulationEngine {
                 keeper: keeper.address,
                 borrower: opportunity.borrower,
             };
-            chain.execute(
+            let outcome = chain.execute(
                 keeper.address,
                 gas,
                 self.config.auction_gas,
@@ -841,6 +894,20 @@ impl SimulationEngine {
                         .map_err(|e| e.to_string())
                 },
             );
+            if outcome.is_success() {
+                if let Some(hf) = hf_at_bite {
+                    let started: Vec<u64> = self.chain.events().as_slice()[events_before..]
+                        .iter()
+                        .filter_map(|logged| match logged.event {
+                            ChainEvent::AuctionStarted { auction_id, .. } => Some(auction_id),
+                            _ => None,
+                        })
+                        .collect();
+                    for auction_id in started {
+                        self.auction_bite_hf.insert(auction_id, hf);
+                    }
+                }
+            }
         }
 
         // 2. Bid on / finalise open auctions.
@@ -861,6 +928,9 @@ impl SimulationEngine {
                         .best_bid
                         .map(|b| b.bidder)
                         .unwrap_or_else(|| self.keepers[0].address);
+                    let feedback = self.scenario.feedback().is_some();
+                    let events_before = self.chain.events().len();
+                    let mut settled: Option<defi_lending::AuctionOutcome> = None;
                     let gas = self.chain.gas_market_mut().competitive_bid(0.1);
                     let protocol = self.protocols.get_mut(&platform).expect("platform exists");
                     let oracle = &self.oracles[&platform];
@@ -869,14 +939,35 @@ impl SimulationEngine {
                         caller: finalizer,
                         auction_id,
                     };
-                    chain.execute(finalizer, gas, self.config.auction_gas, "deal", |ctx| {
-                        protocol
-                            .execute_liquidation(
-                                ctx.ledger, ctx.events, oracle, ctx.block, &request,
-                            )
-                            .map(|_| ())
-                            .map_err(|e| e.to_string())
-                    });
+                    let settled_out = &mut settled;
+                    let outcome =
+                        chain.execute(finalizer, gas, self.config.auction_gas, "deal", |ctx| {
+                            protocol
+                                .execute_liquidation(
+                                    ctx.ledger, ctx.events, oracle, ctx.block, &request,
+                                )
+                                .map(|execution| {
+                                    if let LiquidationExecution::AuctionSettled(result) = execution
+                                    {
+                                        *settled_out = Some(result);
+                                    }
+                                })
+                                .map_err(|e| e.to_string())
+                        });
+                    if outcome.is_success() {
+                        if feedback {
+                            if let Some(result) = &settled {
+                                if result.winner.is_some() && !result.collateral_received.is_zero()
+                                {
+                                    self.pending_sell_pressure.push((
+                                        snapshot.collateral_token,
+                                        result.collateral_received,
+                                    ));
+                                }
+                            }
+                        }
+                        self.record_liquidation_context(events_before, None);
+                    }
                 }
                 continue;
             }
@@ -1026,6 +1117,82 @@ impl SimulationEngine {
                     .map_err(|e| e.to_string())
             },
         );
+    }
+
+    // --------------------------------------------------------------- feedback
+
+    /// The liquidation-spiral pass: sell every lot of collateral seized this
+    /// tick through the DEX and feed the realised pool price impact back into
+    /// the market scenario. The swap is executed (not just quoted) so pool
+    /// depth depletes across ticks — sustained liquidation pressure has a
+    /// compounding impact, which is the toxic-spiral dynamic. Tokens without
+    /// a DEX route are skipped. No-op unless the scenario enables
+    /// [`SellPressureFeedback`](defi_oracle::SellPressureFeedback).
+    fn apply_sell_pressure_feedback(&mut self) {
+        if self.scenario.feedback().is_none() || self.pending_sell_pressure.is_empty() {
+            self.pending_sell_pressure.clear();
+            return;
+        }
+        let mut by_token: BTreeMap<Token, Wad> = BTreeMap::new();
+        for (token, amount) in self.pending_sell_pressure.drain(..) {
+            let entry = by_token.entry(token).or_insert(Wad::ZERO);
+            *entry = entry.saturating_add(amount);
+        }
+        for (token, amount) in by_token {
+            if amount.is_zero() {
+                continue;
+            }
+            // Stablecoin lots unwind into ETH, everything else into DAI (the
+            // deepest legs of the standard DEX).
+            let target = if matches!(token, Token::DAI | Token::USDC | Token::USDT) {
+                Token::ETH
+            } else {
+                Token::DAI
+            };
+            let Ok(quote) = self.dex.quote(token, target, amount) else {
+                continue; // no route for this collateral type
+            };
+            let trader = self.spiral_trader;
+            self.chain.fund(trader, token, amount);
+            let ledger = self.chain.ledger_mut();
+            if self
+                .dex
+                .swap(ledger, trader, token, target, amount)
+                .is_err()
+            {
+                continue;
+            }
+            self.scenario.apply_sell_pressure(token, quote.price_impact);
+        }
+    }
+
+    /// Map settlement events appended at or after `from_index` to the health
+    /// factor their borrower had at discovery (fixed-spread, passed in) or at
+    /// bite time (auctions, resolved through `auction_bite_hf`), for
+    /// observers that verify liquidations only happen below the threshold.
+    fn record_liquidation_context(&mut self, from_index: usize, fixed_spread_hf: Option<Wad>) {
+        let mut contexts = Vec::new();
+        for (offset, logged) in self.chain.events().as_slice()[from_index..]
+            .iter()
+            .enumerate()
+        {
+            match logged.event {
+                ChainEvent::Liquidation(_) => {
+                    if let Some(hf) = fixed_spread_hf {
+                        contexts.push((from_index + offset, hf));
+                    }
+                }
+                ChainEvent::AuctionFinalized { auction_id, .. } => {
+                    if let Some(hf) = self.auction_bite_hf.get(&auction_id) {
+                        contexts.push((from_index + offset, *hf));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (index, hf) in contexts {
+            self.liquidation_hf.insert(index, hf);
+        }
     }
 
     // ------------------------------------------------------------- sampling

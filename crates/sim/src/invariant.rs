@@ -1,0 +1,589 @@
+//! Per-tick conservation and solvency invariant checking.
+//!
+//! [`InvariantObserver`] is a [`SimObserver`] that audits a run as it
+//! streams, independently of the analytics pipeline. It is attached to every
+//! scenario-catalog entry in CI (`repro --check-invariants`) so that engine
+//! or protocol drift — a claim rule that over-pays, an auction settling more
+//! than its lot, a valuation that desynchronises from the oracle — fails the
+//! build instead of silently skewing the measurements.
+//!
+//! Checked invariants:
+//!
+//! * **event stream** (every tick, no extra cost):
+//!   event blocks are monotone; user-operation and settlement amounts are
+//!   strictly positive; fixed-spread settlements obey the Eq. 1 claim rule
+//!   envelope (`repaid ≤ seized ≤ repaid × (1 + MAX_SPREAD)`); oracle pushes
+//!   carry positive prices; settlement transactions carry real gas context;
+//! * **auction lifecycle**: bids and settlements reference started,
+//!   un-finalised auctions; bids never exceed the lot; a settlement never
+//!   pays out more collateral (or recovers more debt) than the lot that was
+//!   put up at `bite`; no double finalisation;
+//! * **liquidation only below the threshold**: every settlement observed via
+//!   [`SimObserver::on_liquidation`] must carry a discovery health factor
+//!   below 1 (the engine records it when the opportunity is found);
+//! * **per-tick state** (via [`SimObserver::on_tick_end`], which the observer
+//!   opts into): the chain head matches the tick block; every position book
+//!   entry values its holdings at the platform oracle's current price (no
+//!   stale or saturated valuations — the "no negative balances" failure mode
+//!   of unsigned arithmetic is a saturated blow-up, which the sanity ceiling
+//!   catches); health factors exist exactly for indebted positions and agree
+//!   with `is_liquidatable`; and every DEX pool's recorded reserves equal the
+//!   pool account's ledger balances token for token (AMM conservation).
+//!
+//! Violations are recorded (not panicked) by default so a run can be audited
+//! post-hoc; [`InvariantObserver::strict`] panics at the first violation.
+
+use std::collections::BTreeMap;
+
+use defi_chain::{ChainEvent, LoggedEvent};
+use defi_types::{BlockNumber, Platform, Token, Wad};
+
+use crate::observer::{LiquidationObservation, RunEnd, SimObserver, TickEnd};
+
+/// Upper bound on any plausible fixed-spread bonus (the studied platforms
+/// use 5–15 %; MakerDAO's penalty is 13 %).
+const MAX_SPREAD: f64 = 0.25;
+
+/// Sanity ceiling on any single USD valuation (catches saturated u128
+/// arithmetic masquerading as astronomically large balances).
+const MAX_SANE_USD: f64 = 1e15;
+
+/// One recorded invariant violation.
+#[derive(Debug, Clone)]
+pub struct InvariantViolation {
+    /// Block at which the violation was observed.
+    pub block: BlockNumber,
+    /// Human-readable description of the broken invariant.
+    pub description: String,
+}
+
+impl core::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "block {}: {}", self.block, self.description)
+    }
+}
+
+/// Lot recorded when an auction starts, checked at every later step.
+#[derive(Debug, Clone, Copy)]
+struct AuctionLot {
+    collateral: Wad,
+    debt: Wad,
+    finalized: bool,
+}
+
+/// `a ≤ b` up to fixed-point rounding dust.
+fn le_dust(a: Wad, b: Wad) -> bool {
+    a.to_f64() <= b.to_f64() * (1.0 + 1e-9) + 1e-9
+}
+
+/// `a ≈ b` within a relative tolerance.
+fn approx(a: Wad, b: Wad, rel: f64) -> bool {
+    let (a, b) = (a.to_f64(), b.to_f64());
+    (a - b).abs() <= rel * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Streaming invariant checker; see the module docs for the invariant list.
+#[derive(Debug, Default)]
+pub struct InvariantObserver {
+    strict: bool,
+    last_event_block: BlockNumber,
+    auctions: BTreeMap<u64, AuctionLot>,
+    violations: Vec<InvariantViolation>,
+}
+
+impl InvariantObserver {
+    /// A recording observer: violations accumulate and are inspected after
+    /// the run via [`violations`](InvariantObserver::violations) /
+    /// [`assert_clean`](InvariantObserver::assert_clean).
+    pub fn new() -> Self {
+        InvariantObserver::default()
+    }
+
+    /// A panicking observer: the first violation aborts the run with the
+    /// violation as the panic message (CI mode).
+    pub fn strict() -> Self {
+        InvariantObserver {
+            strict: true,
+            ..InvariantObserver::default()
+        }
+    }
+
+    /// Every violation recorded so far.
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
+    /// Whether the run satisfied every invariant so far.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panic with a summary if any invariant was violated.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.is_clean(),
+            "{} invariant violation(s): {}",
+            self.violations.len(),
+            self.violations
+                .iter()
+                .take(5)
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+
+    fn report(&mut self, block: BlockNumber, description: String) {
+        let violation = InvariantViolation { block, description };
+        if self.strict {
+            panic!("invariant violation at {violation}");
+        }
+        self.violations.push(violation);
+    }
+
+    fn check_positive(&mut self, block: BlockNumber, what: &str, amount: Wad) {
+        if amount.is_zero() {
+            self.report(block, format!("{what} has a zero amount"));
+        }
+    }
+}
+
+impl SimObserver for InvariantObserver {
+    fn on_event(&mut self, logged: &LoggedEvent) {
+        let block = logged.block;
+        if block < self.last_event_block {
+            self.report(
+                block,
+                format!(
+                    "event block regressed: {} after {}",
+                    block, self.last_event_block
+                ),
+            );
+        }
+        self.last_event_block = self.last_event_block.max(block);
+
+        match &logged.event {
+            ChainEvent::Liquidation(event) => {
+                if logged.gas_price == 0 || logged.gas_used == 0 {
+                    self.report(block, "liquidation settled without gas context".to_string());
+                }
+                self.check_positive(block, "liquidation debt repaid", event.debt_repaid);
+                self.check_positive(
+                    block,
+                    "liquidation collateral seized",
+                    event.collateral_seized,
+                );
+                if event.collateral_seized_usd < event.debt_repaid_usd {
+                    self.report(
+                        block,
+                        format!(
+                            "claim rule violated: seized {} USD < repaid {} USD",
+                            event.collateral_seized_usd, event.debt_repaid_usd
+                        ),
+                    );
+                }
+                let envelope = Wad::from_f64(event.debt_repaid_usd.to_f64() * (1.0 + MAX_SPREAD));
+                if !le_dust(event.collateral_seized_usd, envelope) {
+                    self.report(
+                        block,
+                        format!(
+                            "claim rule violated: seized {} USD exceeds repaid {} USD × (1+{MAX_SPREAD})",
+                            event.collateral_seized_usd, event.debt_repaid_usd
+                        ),
+                    );
+                }
+            }
+            ChainEvent::AuctionStarted {
+                auction_id,
+                collateral_amount,
+                debt,
+                ..
+            } => {
+                self.check_positive(block, "auction lot collateral", *collateral_amount);
+                self.check_positive(block, "auction lot debt", *debt);
+                if self
+                    .auctions
+                    .insert(
+                        *auction_id,
+                        AuctionLot {
+                            collateral: *collateral_amount,
+                            debt: *debt,
+                            finalized: false,
+                        },
+                    )
+                    .is_some()
+                {
+                    self.report(block, format!("auction {auction_id} started twice"));
+                }
+            }
+            ChainEvent::AuctionBid {
+                auction_id,
+                debt_bid,
+                collateral_bid,
+                ..
+            } => match self.auctions.get(auction_id).copied() {
+                None => self.report(block, format!("bid on unknown auction {auction_id}")),
+                Some(lot) if lot.finalized => {
+                    self.report(block, format!("bid on finalised auction {auction_id}"))
+                }
+                Some(lot) => {
+                    if !le_dust(*debt_bid, lot.debt) {
+                        self.report(
+                            block,
+                            format!(
+                                "auction {auction_id} debt bid {} exceeds lot debt {}",
+                                debt_bid, lot.debt
+                            ),
+                        );
+                    }
+                    if !le_dust(*collateral_bid, lot.collateral) {
+                        self.report(
+                            block,
+                            format!(
+                                "auction {auction_id} collateral bid {} exceeds lot {}",
+                                collateral_bid, lot.collateral
+                            ),
+                        );
+                    }
+                }
+            },
+            ChainEvent::AuctionFinalized {
+                auction_id,
+                debt_repaid,
+                collateral_received,
+                started_at,
+                ..
+            } => {
+                if *started_at > block {
+                    self.report(
+                        block,
+                        format!("auction {auction_id} finalised before it started"),
+                    );
+                }
+                match self.auctions.get_mut(auction_id) {
+                    None => {
+                        let id = *auction_id;
+                        self.report(block, format!("settled unknown auction {id}"));
+                    }
+                    Some(lot) if lot.finalized => {
+                        let id = *auction_id;
+                        self.report(block, format!("auction {id} finalised twice"));
+                    }
+                    Some(lot) => {
+                        lot.finalized = true;
+                        let lot = *lot;
+                        if !le_dust(*collateral_received, lot.collateral) {
+                            self.report(
+                                block,
+                                format!(
+                                    "auction {auction_id} paid out {} collateral, lot was {}",
+                                    collateral_received, lot.collateral
+                                ),
+                            );
+                        }
+                        if !le_dust(*debt_repaid, lot.debt) {
+                            self.report(
+                                block,
+                                format!(
+                                    "auction {auction_id} recovered {} DAI, lot debt was {}",
+                                    debt_repaid, lot.debt
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            ChainEvent::FlashLoan { amount, .. } => {
+                self.check_positive(block, "flash loan", *amount);
+            }
+            ChainEvent::OracleUpdate { token, price } => {
+                if price.is_zero() {
+                    self.report(block, format!("oracle pushed a zero {token} price"));
+                }
+            }
+            ChainEvent::Borrow { amount, .. } => self.check_positive(block, "borrow", *amount),
+            ChainEvent::Deposit { amount, .. } => self.check_positive(block, "deposit", *amount),
+            ChainEvent::Repay { amount, .. } => self.check_positive(block, "repay", *amount),
+        }
+    }
+
+    fn on_liquidation(&mut self, liquidation: &LiquidationObservation<'_>) {
+        let block = liquidation.logged.block;
+        match liquidation.health_factor_before {
+            Some(hf) if hf >= Wad::ONE => self.report(
+                block,
+                format!("liquidation of a healthy position (HF {hf} ≥ 1 at discovery)"),
+            ),
+            Some(_) => {}
+            None => self.report(
+                block,
+                "liquidation settled without a recorded discovery health factor".to_string(),
+            ),
+        }
+    }
+
+    fn wants_tick_end(&self) -> bool {
+        true
+    }
+
+    fn on_tick_end(&mut self, tick: &TickEnd<'_>) {
+        let block = tick.block;
+        if tick.chain.current_block() != block {
+            self.report(
+                block,
+                format!(
+                    "chain head {} does not match the tick block",
+                    tick.chain.current_block()
+                ),
+            );
+        }
+
+        // Position books: valuations track the platform oracle, health
+        // factors exist exactly for indebted positions, nothing saturated.
+        for (platform, positions) in &tick.positions {
+            let Some(oracle) = tick.oracles.get(platform) else {
+                self.report(block, format!("{platform} book without an oracle"));
+                continue;
+            };
+            for position in positions {
+                let has_debt = !position.total_debt_value().is_zero();
+                if has_debt && position.health_factor().is_none() {
+                    self.report(
+                        block,
+                        format!("{platform}: indebted position without a health factor"),
+                    );
+                }
+                if position.is_liquidatable()
+                    && position.health_factor().map(|hf| hf >= Wad::ONE) == Some(true)
+                {
+                    self.report(
+                        block,
+                        format!("{platform}: position flagged liquidatable with HF ≥ 1"),
+                    );
+                }
+                for holding in &position.collateral {
+                    let expected = holding
+                        .amount
+                        .checked_mul(oracle.price_or_zero(holding.token))
+                        .unwrap_or(Wad::MAX);
+                    if !approx(holding.value_usd, expected, 1e-6) {
+                        self.report(
+                            block,
+                            format!(
+                                "{platform}: {} collateral valued {} USD, oracle says {}",
+                                holding.token, holding.value_usd, expected
+                            ),
+                        );
+                    }
+                    if holding.value_usd.to_f64() > MAX_SANE_USD {
+                        self.report(block, format!("{platform}: saturated collateral valuation"));
+                    }
+                }
+                for holding in &position.debt {
+                    // MakerDAO's vat accounts DAI debt at its 1-USD par
+                    // price regardless of the market price.
+                    let expected = if *platform == Platform::MakerDao && holding.token == Token::DAI
+                    {
+                        holding.amount
+                    } else {
+                        holding
+                            .amount
+                            .checked_mul(oracle.price_or_zero(holding.token))
+                            .unwrap_or(Wad::MAX)
+                    };
+                    if !approx(holding.value_usd, expected, 1e-6) {
+                        self.report(
+                            block,
+                            format!(
+                                "{platform}: {} debt valued {} USD, oracle says {}",
+                                holding.token, holding.value_usd, expected
+                            ),
+                        );
+                    }
+                    if holding.value_usd.to_f64() > MAX_SANE_USD {
+                        self.report(block, format!("{platform}: saturated debt valuation"));
+                    }
+                }
+            }
+        }
+
+        // AMM conservation: every pool's recorded reserves are exactly the
+        // pool account's ledger balances.
+        let ledger = tick.chain.ledger();
+        for pool in tick.dex.pools() {
+            let config = pool.config();
+            let (reserve_a, reserve_b) = pool.reserves();
+            for (token, reserve) in [(config.token_a, reserve_a), (config.token_b, reserve_b)] {
+                let held = ledger.balance(pool.address, token);
+                if held != reserve {
+                    self.report(
+                        block,
+                        format!(
+                            "DEX pool {} desynchronised: records {} {token}, ledger holds {}",
+                            pool.address.short(),
+                            reserve,
+                            held
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_run_end(&mut self, end: &RunEnd<'_>) {
+        // Every auction must resolve exactly once over a completed window;
+        // an auction still open at the snapshot is fine (truncated runs), so
+        // only structural double-settlement is checked here, which already
+        // happened in the event pass. Record a final head check instead.
+        if end.snapshot_block < self.last_event_block {
+            self.report(
+                end.snapshot_block,
+                format!(
+                    "snapshot block precedes the last event block {}",
+                    self.last_event_block
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defi_types::{Address, Platform, Token, TxHash};
+
+    fn logged(block: BlockNumber, event: ChainEvent) -> LoggedEvent {
+        LoggedEvent {
+            block,
+            tx_index: 0,
+            tx_hash: TxHash::derive(block, 0, 0),
+            sender: Address::from_seed(1),
+            gas_price: 50,
+            gas_used: 400_000,
+            event,
+        }
+    }
+
+    fn liquidation_event(repaid_usd: u64, seized_usd: u64) -> ChainEvent {
+        ChainEvent::Liquidation(defi_chain::LiquidationEvent {
+            platform: Platform::Compound,
+            liquidator: Address::from_seed(2),
+            borrower: Address::from_seed(3),
+            debt_token: Token::USDC,
+            debt_repaid: Wad::from_int(repaid_usd),
+            debt_repaid_usd: Wad::from_int(repaid_usd),
+            collateral_token: Token::ETH,
+            collateral_seized: Wad::ONE,
+            collateral_seized_usd: Wad::from_int(seized_usd),
+            used_flash_loan: false,
+        })
+    }
+
+    #[test]
+    fn clean_events_record_no_violations() {
+        let mut observer = InvariantObserver::new();
+        observer.on_event(&logged(10, liquidation_event(1_000, 1_080)));
+        observer.on_event(&logged(
+            11,
+            ChainEvent::AuctionStarted {
+                auction_id: 1,
+                borrower: Address::from_seed(4),
+                collateral_token: Token::ETH,
+                collateral_amount: Wad::from_int(5),
+                debt: Wad::from_int(9_000),
+            },
+        ));
+        observer.on_event(&logged(
+            12,
+            ChainEvent::AuctionFinalized {
+                auction_id: 1,
+                winner: Address::from_seed(5),
+                debt_repaid: Wad::from_int(9_000),
+                debt_repaid_usd: Wad::from_int(9_000),
+                collateral_token: Token::ETH,
+                collateral_received: Wad::from_int(4),
+                collateral_received_usd: Wad::from_int(10_000),
+                borrower: Address::from_seed(4),
+                started_at: 11,
+                last_bid_at: 12,
+                tend_bids: 1,
+                dent_bids: 1,
+                final_phase: defi_chain::AuctionPhase::Dent,
+            },
+        ));
+        assert!(observer.is_clean(), "{:?}", observer.violations());
+        observer.assert_clean();
+    }
+
+    #[test]
+    fn claim_rule_violations_are_caught() {
+        let mut observer = InvariantObserver::new();
+        // Seized below repaid: negative spread.
+        observer.on_event(&logged(10, liquidation_event(1_000, 900)));
+        // Seized far above the spread envelope.
+        observer.on_event(&logged(11, liquidation_event(1_000, 2_000)));
+        assert_eq!(observer.violations().len(), 2);
+    }
+
+    #[test]
+    fn auction_overpayment_and_double_settlement_are_caught() {
+        let mut observer = InvariantObserver::new();
+        observer.on_event(&logged(
+            10,
+            ChainEvent::AuctionStarted {
+                auction_id: 7,
+                borrower: Address::from_seed(4),
+                collateral_token: Token::ETH,
+                collateral_amount: Wad::from_int(5),
+                debt: Wad::from_int(9_000),
+            },
+        ));
+        let settle = |received: u64| ChainEvent::AuctionFinalized {
+            auction_id: 7,
+            winner: Address::from_seed(5),
+            debt_repaid: Wad::from_int(9_000),
+            debt_repaid_usd: Wad::from_int(9_000),
+            collateral_token: Token::ETH,
+            collateral_received: Wad::from_int(received),
+            collateral_received_usd: Wad::from_int(10_000),
+            borrower: Address::from_seed(4),
+            started_at: 10,
+            last_bid_at: 11,
+            tend_bids: 1,
+            dent_bids: 0,
+            final_phase: defi_chain::AuctionPhase::Tend,
+        };
+        // Settles more collateral than the lot.
+        observer.on_event(&logged(12, settle(6)));
+        // Settles the same auction again.
+        observer.on_event(&logged(13, settle(1)));
+        assert_eq!(observer.violations().len(), 2);
+        assert!(!observer.is_clean());
+    }
+
+    #[test]
+    fn healthy_liquidation_is_a_violation() {
+        let mut observer = InvariantObserver::new();
+        let event = logged(10, liquidation_event(1_000, 1_080));
+        observer.on_liquidation(&LiquidationObservation {
+            logged: &event,
+            eth_price: Wad::from_int(2_000),
+            health_factor_before: Some(Wad::from_f64(1.2)),
+        });
+        assert_eq!(observer.violations().len(), 1);
+        let mut observer = InvariantObserver::new();
+        observer.on_liquidation(&LiquidationObservation {
+            logged: &event,
+            eth_price: Wad::from_int(2_000),
+            health_factor_before: Some(Wad::from_f64(0.93)),
+        });
+        assert!(observer.is_clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violation")]
+    fn strict_mode_panics_immediately() {
+        let mut observer = InvariantObserver::strict();
+        observer.on_event(&logged(10, liquidation_event(1_000, 900)));
+    }
+}

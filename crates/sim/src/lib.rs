@@ -18,8 +18,15 @@
 //! * [`engine`] — the [`SimulationEngine`] driving the tick loop over the
 //!   [`ProtocolRegistry`] and the [`SimulationReport`] handed to the
 //!   analytics crate.
+//! * [`scenarios`] — the named [`ScenarioCatalog`] of stress scenarios
+//!   (Black Thursday replay, stablecoin depeg, oracle-lag cascades, gas
+//!   spikes, endogenous liquidation spirals), addressable from the builder,
+//!   the `repro` harness and sweep grids.
 //! * [`observer`] — the [`SimObserver`] hook trait streaming a run's events,
 //!   liquidations and samples to consumers as they are produced.
+//! * [`invariant`] — the [`InvariantObserver`]: per-tick conservation and
+//!   solvency invariant checking over any run (attached to every catalog
+//!   entry in CI).
 //! * [`session`] — the resumable [`Session`] run surface
 //!   (`step` / `run_to_end` / `finish`), of which `SimulationEngine::run` is
 //!   a thin compatibility wrapper.
@@ -30,7 +37,9 @@ pub mod agents;
 pub mod builder;
 pub mod config;
 pub mod engine;
+pub mod invariant;
 pub mod observer;
+pub mod scenarios;
 pub mod session;
 pub mod sweep;
 
@@ -38,8 +47,11 @@ pub use agents::{BorrowerAgent, KeeperAgent, LiquidatorAgent};
 pub use builder::{EngineBuilder, ProtocolRegistry};
 pub use config::{PlatformPopulation, SimConfig};
 pub use engine::{SimulationEngine, SimulationReport, VolumeSample};
+pub use invariant::{InvariantObserver, InvariantViolation};
 pub use observer::{
-    LiquidationObservation, MultiObserver, NullObserver, RunEnd, RunStart, SimObserver, TickStart,
+    LiquidationObservation, MultiObserver, NullObserver, RunEnd, RunStart, SimObserver, TickEnd,
+    TickStart,
 };
+pub use scenarios::{ScenarioCatalog, ScenarioEntry};
 pub use session::{Session, SessionStatus, SimError};
 pub use sweep::{RunSummary, SweepRunner};

@@ -37,6 +37,7 @@
 
 use std::collections::BTreeMap;
 
+use defi_amm::Dex;
 use defi_chain::{Blockchain, LoggedEvent};
 use defi_core::position::Position;
 use defi_oracle::PriceOracle;
@@ -74,6 +75,33 @@ pub struct LiquidationObservation<'a> {
     pub logged: &'a LoggedEvent,
     /// Market ETH price at the settlement block (for valuing the gas fee).
     pub eth_price: Wad,
+    /// Health factor the borrower had when the engine discovered the
+    /// opportunity (fixed-spread) or bit the position (auctions). `None` for
+    /// liquidations executed outside the engine's discovery loop. Invariant
+    /// observers assert this is below 1: liquidation only below the threshold.
+    pub health_factor_before: Option<Wad>,
+}
+
+/// Context handed to [`SimObserver::on_tick_end`] after a tick has fully
+/// executed — including the engine's position books, oracles, chain and DEX,
+/// so invariant checkers can audit conservation and solvency per tick.
+///
+/// Building the books costs a full scan per platform, so the session only
+/// assembles this context when [`SimObserver::wants_tick_end`] returns true.
+#[derive(Debug)]
+pub struct TickEnd<'a> {
+    /// The block the tick advanced the chain to.
+    pub block: BlockNumber,
+    /// Zero-based index of the tick that just ran.
+    pub tick_index: u64,
+    /// The chain after the tick (ledger, event log, headers).
+    pub chain: &'a Blockchain,
+    /// The DEX after the tick (pool reserves).
+    pub dex: &'a Dex,
+    /// Each platform's own oracle as of this tick.
+    pub oracles: &'a BTreeMap<Platform, PriceOracle>,
+    /// Per-platform position books snapshotted at the tick end.
+    pub positions: BTreeMap<Platform, Vec<Position>>,
 }
 
 /// Context handed to [`SimObserver::on_run_end`] after the final snapshot.
@@ -114,6 +142,17 @@ pub trait SimObserver {
 
     /// A collateral-volume sample was recorded.
     fn on_volume_sample(&mut self, _sample: &VolumeSample) {}
+
+    /// A tick finished executing. Only dispatched when
+    /// [`wants_tick_end`](SimObserver::wants_tick_end) returns true, because
+    /// assembling the [`TickEnd`] books costs a full position scan.
+    fn on_tick_end(&mut self, _tick: &TickEnd<'_>) {}
+
+    /// Whether this observer consumes [`on_tick_end`](SimObserver::on_tick_end)
+    /// contexts. Defaults to false so the analytics path pays nothing.
+    fn wants_tick_end(&self) -> bool {
+        false
+    }
 
     /// The run ended and the final snapshot is available.
     fn on_run_end(&mut self, _end: &RunEnd<'_>) {}
@@ -174,6 +213,16 @@ impl SimObserver for MultiObserver<'_> {
         for observer in &mut self.observers {
             observer.on_volume_sample(sample);
         }
+    }
+
+    fn on_tick_end(&mut self, tick: &TickEnd<'_>) {
+        for observer in &mut self.observers {
+            observer.on_tick_end(tick);
+        }
+    }
+
+    fn wants_tick_end(&self) -> bool {
+        self.observers.iter().any(|o| o.wants_tick_end())
     }
 
     fn on_run_end(&mut self, end: &RunEnd<'_>) {

@@ -1,0 +1,400 @@
+//! The scenario catalog: named, composable stress scenarios.
+//!
+//! The paper's measurements hinge on three scripted episodes (the March 2020
+//! crash, the November 2020 Compound DAI oracle irregularity, the February
+//! 2021 volatility). The catalog generalises that into a library of named
+//! market environments that every layer of the suite can address by name:
+//!
+//! * [`EngineBuilder::with_named_scenario`](crate::EngineBuilder::with_named_scenario)
+//!   builds an engine against a catalog entry,
+//! * `repro --scenario <name>` / `repro --list-scenarios` runs and lists them,
+//! * [`SweepRunner::scenario_grid`](crate::SweepRunner::scenario_grid) fans
+//!   the whole catalog across worker threads,
+//! * the [`InvariantObserver`](crate::InvariantObserver) asserts the
+//!   conservation/solvency invariants on every entry in CI.
+//!
+//! A [`ScenarioEntry`] owns two things: a market builder (the
+//! [`MarketScenario`] price environment) and the [`SimConfig`] adjustments the
+//! episode needs (extra gas-congestion episodes, bot staleness, flash-loan
+//! availability). Entries are deterministic given the configuration seed —
+//! the scenario RNG is derived exactly like the default engine path
+//! (`config.seed ^ 0xfeed`), so `paper-two-year` reproduces the stock run
+//! byte for byte.
+//!
+//! The `liquidation-spiral` entry is the one scenario the scripted price
+//! model cannot express: it enables [`SellPressureFeedback`], under which the
+//! engine routes every tick's liquidation proceeds through the AMM
+//! [`Dex`](defi_amm::Dex) and feeds the realised pool price impact back into
+//! the market path — liquidations deepen the decline that caused them
+//! (*Toxic Liquidation Spirals*, Warmuz et al., 2022).
+
+use defi_chain::CongestionEpisode;
+use defi_oracle::{
+    MarketScenario, PegParams, PriceProcess, ScenarioEvent, ScheduledShock, SellPressureFeedback,
+    TokenPathSpec,
+};
+use defi_types::{Platform, Token};
+
+use crate::config::SimConfig;
+
+/// Block anchors shared by the catalog entries (mainnet numbering, matching
+/// [`MarketScenario::paper_two_year`]). All stress episodes are anchored
+/// around the March 2020 window so both the smoke and the full two-year runs
+/// exercise them.
+const MARCH_CRASH: u64 = 9_712_000;
+
+/// Seed for the price scenario, derived from the run seed exactly like the
+/// default engine construction path.
+fn scenario_seed(config: &SimConfig) -> u64 {
+    config.seed ^ 0xfeed
+}
+
+/// One named catalog scenario.
+pub struct ScenarioEntry {
+    /// Catalog name (`repro --scenario <name>`).
+    pub name: &'static str,
+    /// One-line description shown by `repro --list-scenarios`.
+    pub summary: &'static str,
+    build: fn(&mut SimConfig) -> MarketScenario,
+}
+
+impl ScenarioEntry {
+    /// Build the market scenario, applying the entry's configuration
+    /// adjustments to `config` in place — exactly once: a config whose
+    /// adjustments were already materialised (`scenario_applied`) only has
+    /// its market rebuilt, so non-idempotent tweaks like gas multipliers
+    /// cannot compound when a built config flows through the builder again.
+    pub fn build(&self, config: &mut SimConfig) -> MarketScenario {
+        config.scenario = Some(self.name.to_string());
+        if config.scenario_applied {
+            // Market only: run the builder on a scratch copy and discard the
+            // re-applied adjustments (the market depends only on the seed).
+            return (self.build)(&mut config.clone());
+        }
+        config.scenario_applied = true;
+        (self.build)(config)
+    }
+}
+
+impl core::fmt::Debug for ScenarioEntry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ScenarioEntry")
+            .field("name", &self.name)
+            .field("summary", &self.summary)
+            .finish()
+    }
+}
+
+/// The named scenario library.
+#[derive(Debug)]
+pub struct ScenarioCatalog {
+    entries: Vec<ScenarioEntry>,
+}
+
+impl ScenarioCatalog {
+    /// Name of the default entry (the paper's two-year market) — the label
+    /// reported for runs that never named a scenario.
+    pub const DEFAULT_NAME: &'static str = "paper-two-year";
+
+    /// The standard catalog shipped with the suite.
+    pub fn standard() -> Self {
+        ScenarioCatalog {
+            entries: vec![
+                ScenarioEntry {
+                    name: ScenarioCatalog::DEFAULT_NAME,
+                    summary: "The paper's scripted April 2019 – April 2021 market (the default).",
+                    build: |config| MarketScenario::paper_two_year(scenario_seed(config)),
+                },
+                ScenarioEntry {
+                    name: "black-thursday-replay",
+                    summary: "A deeper 13 March 2020: the crash compounds to ~60% and congestion \
+                         is harsher and longer, with more keepers stuck on stale gas prices.",
+                    build: black_thursday_replay,
+                },
+                ScenarioEntry {
+                    name: "stablecoin-depeg",
+                    summary: "DAI breaks its peg upward (+18%) while USDT slips below parity, \
+                         stressing stablecoin-collateral and stablecoin-debt positions.",
+                    build: stablecoin_depeg,
+                },
+                ScenarioEntry {
+                    name: "oracle-lag-cascade",
+                    summary: "Platform oracles lag the crash and then snap to market, so overdue \
+                         liquidations arrive as one cascade (plus a DAI irregularity).",
+                    build: oracle_lag_cascade,
+                },
+                ScenarioEntry {
+                    name: "gas-spike-congestion",
+                    summary: "A 25x gas-price spike with doubled liquidation gas: rescues and \
+                         liquidations compete for scarce blockspace (§4.3.1 stress).",
+                    build: gas_spike_congestion,
+                },
+                ScenarioEntry {
+                    name: "liquidation-spiral",
+                    summary: "Endogenous price impact: liquidation proceeds are sold through the \
+                         AMM and the pool impact feeds back into the market path each tick \
+                         (toxic-liquidation-spiral dynamics).",
+                    build: |config| liquidation_spiral(config, true),
+                },
+            ],
+        }
+    }
+
+    /// Every entry, in catalog order.
+    pub fn entries(&self) -> &[ScenarioEntry] {
+        &self.entries
+    }
+
+    /// Catalog names, in order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// Look up an entry by name.
+    pub fn get(&self, name: &str) -> Option<&ScenarioEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Build a named scenario (applying its config adjustments in place), or
+    /// `None` for an unknown name.
+    pub fn build(&self, name: &str, config: &mut SimConfig) -> Option<MarketScenario> {
+        self.get(name).map(|entry| entry.build(config))
+    }
+}
+
+impl Default for ScenarioCatalog {
+    fn default() -> Self {
+        ScenarioCatalog::standard()
+    }
+}
+
+// ------------------------------------------------------------------- builders
+
+fn black_thursday_replay(config: &mut SimConfig) -> MarketScenario {
+    // The historical episode: keepers crash-looped, gas stayed pinned for
+    // days, and prices overshot the −43% print intraday.
+    config.stale_bot_share = (config.stale_bot_share * 1.8).min(0.8);
+    config.extra_congestion_episodes.push(CongestionEpisode {
+        from: 9_640_000,
+        to: 9_860_000,
+        multiplier: 14.0,
+    });
+    let deepen = |scenario: MarketScenario, token: Token, magnitude: f64| {
+        scenario.with_shock_on(
+            token,
+            ScheduledShock::transient(MARCH_CRASH + 4_000, magnitude, 450_000),
+        )
+    };
+    let mut scenario = MarketScenario::paper_two_year(scenario_seed(config));
+    scenario = deepen(scenario, Token::ETH, -0.28);
+    scenario = deepen(scenario, Token::WBTC, -0.30);
+    for token in [Token::BAT, Token::ZRX, Token::LINK, Token::MKR] {
+        scenario = deepen(scenario, token, -0.25);
+    }
+    scenario
+}
+
+fn stablecoin_depeg(config: &mut SimConfig) -> MarketScenario {
+    // DAI demand spikes during deleveraging: a wide, slowly-reverting peg
+    // with a scripted +18% episode. USDT loses confidence and trades below
+    // parity for a stretch.
+    let seed = scenario_seed(config);
+    let dai = TokenPathSpec::new(
+        Token::DAI,
+        1.0,
+        PriceProcess::Peg(PegParams {
+            target: 1.0,
+            reversion: 0.02,
+            noise: 0.004,
+            max_deviation: 0.25,
+        }),
+    )
+    .with_shock(ScheduledShock::transient(
+        MARCH_CRASH + 8_000,
+        0.18,
+        350_000,
+    ));
+    let usdt = TokenPathSpec::new(
+        Token::USDT,
+        1.0,
+        PriceProcess::Peg(PegParams {
+            target: 1.0,
+            reversion: 0.04,
+            noise: 0.003,
+            max_deviation: 0.12,
+        }),
+    )
+    .with_shock(ScheduledShock::transient(
+        MARCH_CRASH + 20_000,
+        -0.08,
+        250_000,
+    ));
+    MarketScenario::paper_two_year(seed)
+        .with_token(dai)
+        .with_token(usdt)
+}
+
+fn oracle_lag_cascade(config: &mut SimConfig) -> MarketScenario {
+    // Mid-crash, two platforms' oracles keep reporting pre-crash collateral
+    // prices (multiplier > 1 on ETH). While the irregularity lasts their
+    // books look healthy; when it expires the accumulated insolvency is
+    // liquidated as one cascade. A DAI irregularity mirrors Nov 2020.
+    MarketScenario::paper_two_year(scenario_seed(config))
+        .with_event(ScenarioEvent::OracleIrregularity {
+            block: MARCH_CRASH + 1_000,
+            platform: Platform::Compound,
+            token: Token::ETH,
+            price_multiplier: 1.35,
+            duration_blocks: 25_000,
+        })
+        .with_event(ScenarioEvent::OracleIrregularity {
+            block: MARCH_CRASH + 1_000,
+            platform: Platform::AaveV1,
+            token: Token::ETH,
+            price_multiplier: 1.25,
+            duration_blocks: 40_000,
+        })
+        .with_event(ScenarioEvent::OracleIrregularity {
+            block: MARCH_CRASH + 60_000,
+            platform: Platform::Compound,
+            token: Token::DAI,
+            price_multiplier: 1.30,
+            duration_blocks: 1_200,
+        })
+}
+
+fn gas_spike_congestion(config: &mut SimConfig) -> MarketScenario {
+    // Blockspace famine: the spike is stronger and much longer than the
+    // paper's episode, liquidation calls cost twice the gas, and over half
+    // the bots keep bidding stale prices.
+    config.extra_congestion_episodes.push(CongestionEpisode {
+        from: 9_600_000,
+        to: 9_880_000,
+        multiplier: 25.0,
+    });
+    config.liquidation_gas *= 2;
+    config.stale_bot_share = 0.55;
+    MarketScenario::paper_two_year(scenario_seed(config))
+}
+
+/// The `liquidation-spiral` market, with the feedback loop switchable so the
+/// divergence test can run the identical scripted market without the spiral
+/// (the scenario RNG streams are then identical tick for tick).
+pub fn liquidation_spiral(config: &mut SimConfig, feedback: bool) -> MarketScenario {
+    // Flash-loan unwinds already trade through the DEX inside the
+    // liquidation transaction; disable them so sell pressure is routed (and
+    // counted) exactly once per seized lot.
+    config.flash_loan_probability = 0.0;
+    let scenario = MarketScenario::paper_two_year(scenario_seed(config));
+    if feedback {
+        scenario.with_sell_pressure_feedback(SellPressureFeedback::default())
+    } else {
+        scenario
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_the_documented_entries() {
+        let catalog = ScenarioCatalog::standard();
+        let names = catalog.names();
+        assert!(names.len() >= 6, "catalog too small: {names:?}");
+        for expected in [
+            "paper-two-year",
+            "black-thursday-replay",
+            "stablecoin-depeg",
+            "oracle-lag-cascade",
+            "gas-spike-congestion",
+            "liquidation-spiral",
+        ] {
+            assert!(names.contains(&expected), "{expected} missing: {names:?}");
+        }
+        assert!(catalog.get("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn paper_entry_matches_the_default_scenario() {
+        let mut config = SimConfig::smoke_test(9);
+        let mut named = ScenarioCatalog::standard()
+            .build("paper-two-year", &mut config)
+            .unwrap();
+        let mut stock = MarketScenario::paper_two_year(9 ^ 0xfeed);
+        for block in (9_500_000u64..9_700_000).step_by(50_000) {
+            assert_eq!(named.advance(block), stock.advance(block));
+        }
+        assert_eq!(config.scenario.as_deref(), Some("paper-two-year"));
+    }
+
+    #[test]
+    fn entries_adjust_the_config() {
+        let base = SimConfig::smoke_test(1);
+        let catalog = ScenarioCatalog::standard();
+
+        let mut gas = base.clone();
+        catalog.build("gas-spike-congestion", &mut gas).unwrap();
+        assert_eq!(gas.liquidation_gas, base.liquidation_gas * 2);
+        assert!(!gas.extra_congestion_episodes.is_empty());
+
+        let mut spiral = base.clone();
+        let scenario = catalog.build("liquidation-spiral", &mut spiral).unwrap();
+        assert_eq!(spiral.flash_loan_probability, 0.0);
+        assert!(scenario.feedback().is_some());
+
+        let mut thursday = base.clone();
+        catalog
+            .build("black-thursday-replay", &mut thursday)
+            .unwrap();
+        assert!(thursday.stale_bot_share > base.stale_bot_share);
+    }
+
+    #[test]
+    fn entry_adjustments_apply_exactly_once() {
+        let base = SimConfig::smoke_test(1);
+        let catalog = ScenarioCatalog::standard();
+        let mut config = base.clone();
+        catalog.build("gas-spike-congestion", &mut config).unwrap();
+        assert!(config.scenario_applied);
+        assert_eq!(config.liquidation_gas, base.liquidation_gas * 2);
+        let episodes = config.extra_congestion_episodes.len();
+        // Re-building from the materialised config (the report-config round
+        // trip through `SimulationEngine::new`) rebuilds the market but must
+        // not compound the non-idempotent adjustments.
+        catalog.build("gas-spike-congestion", &mut config).unwrap();
+        assert_eq!(config.liquidation_gas, base.liquidation_gas * 2);
+        assert_eq!(config.extra_congestion_episodes.len(), episodes);
+    }
+
+    #[test]
+    fn depeg_scenario_moves_dai_off_peg() {
+        let mut config = SimConfig::smoke_test(3);
+        let mut scenario = ScenarioCatalog::standard()
+            .build("stablecoin-depeg", &mut config)
+            .unwrap();
+        let mut max_dai: f64 = 0.0;
+        for block in (9_500_000u64..9_900_000).step_by(10_000) {
+            scenario.advance(block);
+            max_dai = max_dai.max(scenario.price_f64(Token::DAI).unwrap());
+        }
+        assert!(
+            max_dai > 1.10,
+            "DAI should depeg well above parity, peaked at {max_dai}"
+        );
+    }
+
+    #[test]
+    fn lag_cascade_schedules_irregularities_in_the_crash_window() {
+        let mut config = SimConfig::smoke_test(4);
+        let scenario = ScenarioCatalog::standard()
+            .build("oracle-lag-cascade", &mut config)
+            .unwrap();
+        let events = scenario.events_between(9_700_000, 9_800_000);
+        assert!(
+            events.len() >= 3,
+            "expected ≥3 events, got {}",
+            events.len()
+        );
+    }
+}

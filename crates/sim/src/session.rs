@@ -32,7 +32,7 @@ use defi_types::{BlockNumber, Platform, Token};
 
 use crate::config::SimConfig;
 use crate::engine::{SimulationEngine, SimulationReport};
-use crate::observer::{LiquidationObservation, RunEnd, RunStart, SimObserver, TickStart};
+use crate::observer::{LiquidationObservation, RunEnd, RunStart, SimObserver, TickEnd, TickStart};
 
 /// Errors surfaced by a streaming session.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -184,13 +184,24 @@ impl Session {
             return Ok(SessionStatus::TicksComplete);
         }
         self.block += self.engine.config.tick_blocks;
+        let tick_index = self.engine.tick_index;
         observer.on_tick_start(&TickStart {
             block: self.block,
-            tick_index: self.engine.tick_index,
+            tick_index,
         });
         self.engine.tick(self.block);
         self.engine.tick_index += 1;
         self.dispatch_new(observer);
+        if observer.wants_tick_end() {
+            observer.on_tick_end(&TickEnd {
+                block: self.block,
+                tick_index,
+                chain: &self.engine.chain,
+                dex: &self.engine.dex,
+                oracles: &self.engine.oracles,
+                positions: self.snapshot_positions(),
+            });
+        }
         if self.block >= self.engine.config.end_block {
             self.ticks_complete = true;
             Ok(SessionStatus::TicksComplete)
@@ -260,7 +271,11 @@ impl Session {
                     .market_oracle
                     .price_at(logged.block, Token::ETH)
                     .unwrap_or_else(|| engine.market_oracle.price_or_zero(Token::ETH));
-                observer.on_liquidation(&LiquidationObservation { logged, eth_price });
+                observer.on_liquidation(&LiquidationObservation {
+                    logged,
+                    eth_price,
+                    health_factor_before: engine.liquidation_hf.get(&cursor).copied(),
+                });
             }
             cursor += 1;
         }

@@ -41,6 +41,8 @@ use crate::session::SimError;
 pub struct RunSummary {
     /// RNG seed of the run.
     pub seed: u64,
+    /// Catalog scenario the run used (`paper-two-year` for the default).
+    pub scenario: String,
     /// Ticks the scenario executed.
     pub ticks: u64,
     /// Total chain events emitted.
@@ -84,9 +86,10 @@ impl SummaryObserver {
         }
     }
 
-    fn into_summary(self, seed: u64, ticks: u64, events: usize) -> RunSummary {
+    fn into_summary(self, seed: u64, scenario: String, ticks: u64, events: usize) -> RunSummary {
         RunSummary {
             seed,
+            scenario,
             ticks,
             events,
             liquidations: self.liquidations,
@@ -170,17 +173,38 @@ impl SweepRunner {
             .collect()
     }
 
+    /// A grid running the same seed through every named catalog scenario —
+    /// one configuration per name, in catalog order. Scenario-specific config
+    /// adjustments are applied when each engine is built, so the grid itself
+    /// stays a plain `Vec<SimConfig>` and sweeps stay worker-count-
+    /// independent. Use [`crate::ScenarioCatalog::standard`]`().names()` for
+    /// the full catalog.
+    pub fn scenario_grid(base: &SimConfig, names: &[&str]) -> Vec<SimConfig> {
+        names
+            .iter()
+            .map(|name| {
+                let mut config = base.clone();
+                config.scenario = Some(name.to_string());
+                config
+            })
+            .collect()
+    }
+
     /// Run every configuration through a fresh engine + [`SummaryObserver`]
     /// session and return the per-run summaries in input order.
     pub fn run(&self, configs: &[SimConfig]) -> Result<Vec<RunSummary>, SimError> {
         self.map(configs, |_, config| {
             let seed = config.seed;
+            let scenario = config
+                .scenario
+                .clone()
+                .unwrap_or_else(|| crate::ScenarioCatalog::DEFAULT_NAME.to_string());
             let ticks = config.tick_count();
             let mut observer = SummaryObserver::new();
             let report = SimulationEngine::new(config)
                 .session()
                 .run_to_end(&mut observer)?;
-            Ok(observer.into_summary(seed, ticks, report.chain.events().len()))
+            Ok(observer.into_summary(seed, scenario, ticks, report.chain.events().len()))
         })
         .into_iter()
         .collect()

@@ -3,7 +3,7 @@
 //! by input position and every run is seeded independently, so parallelism
 //! must never leak into the output.
 
-use defi_sim::{SimConfig, SweepRunner};
+use defi_sim::{ScenarioCatalog, SimConfig, SweepRunner};
 
 fn shortened_smoke(seed: u64, ticks: u64) -> SimConfig {
     let mut config = SimConfig::smoke_test(seed);
@@ -23,6 +23,26 @@ fn one_worker_equals_many_workers_on_identical_seed_grids() {
     for (index, summary) in serial.iter().enumerate() {
         assert_eq!(summary.seed, 31 + index as u64, "summaries keep grid order");
         assert!(summary.events > 0, "each run actually simulated");
+    }
+}
+
+#[test]
+fn scenario_grid_is_worker_count_independent() {
+    // The catalog sweep mirrors the seed-grid guarantee: results are indexed
+    // by input position, so a serial and a parallel sweep of the same
+    // scenario grid must be identical, in catalog order.
+    let names = ScenarioCatalog::standard().names();
+    let grid = SweepRunner::scenario_grid(&shortened_smoke(17, 30), &names);
+    assert_eq!(grid.len(), names.len());
+
+    let serial = SweepRunner::new(1).run(&grid).expect("serial sweep");
+    let four_workers = SweepRunner::new(4).run(&grid).expect("parallel sweep");
+
+    assert_eq!(serial, four_workers);
+    for (summary, name) in serial.iter().zip(&names) {
+        assert_eq!(summary.scenario, *name, "summaries keep catalog order");
+        assert_eq!(summary.seed, 17, "scenario grids share the base seed");
+        assert!(summary.events > 0, "each scenario actually simulated");
     }
 }
 

@@ -101,6 +101,18 @@ pub mod strategy {
 
     int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+    // u128 needs its own impl: the generic body routes through i128 and
+    // would overflow on wide spans.
+    impl Strategy for Range<u128> {
+        type Value = u128;
+        fn sample(&self, rng: &mut TestRng) -> u128 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let span = self.end - self.start;
+            let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            self.start + wide % span
+        }
+    }
+
     impl Strategy for Range<f64> {
         type Value = f64;
         fn sample(&self, rng: &mut TestRng) -> f64 {

@@ -46,6 +46,94 @@ proptest! {
         prop_assert_eq!((a + b) - b, a);
     }
 
+    /// Fractional mul/div round-trip: `(a × b) / b` recovers `a` up to the
+    /// truncation of the 18-decimal representation, amplified by at most
+    /// `1/b` when dividing back.
+    #[test]
+    fn wad_fractional_mul_div_roundtrip(a in 0.001f64..1e12, b in 0.001f64..1e6) {
+        let wa = wad(a);
+        let wb = wad(b);
+        prop_assume!(!wa.is_zero() && !wb.is_zero());
+        let product = wa.checked_mul(wb).unwrap();
+        let back = product.checked_div(wb).unwrap();
+        prop_assert!(
+            back.abs_diff(wa).to_f64() <= 1e-12,
+            "round-trip drift: {} -> {}", wa, back
+        );
+        // Division truncates, so the round-trip never overshoots.
+        prop_assert!(back <= wa);
+    }
+
+    /// Saturation at the bounds: the saturating operators clamp, the checked
+    /// operators return typed errors, and neither wraps.
+    #[test]
+    fn wad_saturates_at_bounds(raw in 1u128..u128::MAX / 2) {
+        let x = Wad::from_raw(raw);
+        prop_assert_eq!(Wad::MAX.saturating_add(x), Wad::MAX);
+        prop_assert_eq!(Wad::ZERO.saturating_sub(x), Wad::ZERO);
+        prop_assert!(Wad::MAX.checked_add(x).is_err());
+        prop_assert!(Wad::ZERO.checked_sub(x).is_err());
+        prop_assert!(x.checked_div(Wad::ZERO).is_err());
+        // Multiplying by one is always exact, even at the boundary.
+        prop_assert_eq!(Wad::MAX.checked_mul(Wad::ONE).unwrap(), Wad::MAX);
+        prop_assert_eq!(x.checked_mul(Wad::ONE).unwrap(), x);
+        // MAX × anything > 1 overflows as an error, not a wrap.
+        prop_assert!(Wad::MAX.checked_mul(Wad::from_f64(1.000001)).is_err());
+    }
+
+    /// Non-finite and non-positive `f64` inputs saturate to zero instead of
+    /// producing garbage fixed-point values.
+    #[test]
+    fn wad_from_f64_rejects_degenerate_inputs(x in 0.001f64..1e9) {
+        prop_assert_eq!(Wad::from_f64(-x), Wad::ZERO);
+        prop_assert_eq!(Wad::from_f64(f64::NAN), Wad::ZERO);
+        prop_assert_eq!(Wad::from_f64(f64::INFINITY), Wad::ZERO);
+        prop_assert!((Wad::from_f64(x).to_f64() - x).abs() <= 1e-6 * x.max(1.0));
+    }
+
+    /// Eq. 4 monotonicity: lowering the collateral price never makes a
+    /// liquidatable position healthy — the health factor is non-increasing
+    /// in the collateral price while the debt is price-independent.
+    #[test]
+    fn lowering_collateral_price_never_heals_a_liquidatable_position(
+        amount in 0.5f64..10_000.0,
+        price in 1.0f64..10_000.0,
+        lt in 0.4f64..0.9,
+        over_usage in 1.001f64..3.0,
+        decline in 0.001f64..0.999,
+    ) {
+        // Debt sized so HF = 1/over_usage < 1 at the starting price.
+        let debt_usd = amount * price * lt * over_usage;
+        let at_price = |p: f64| {
+            Position::new(Address::ZERO)
+                .with_collateral(CollateralHolding {
+                    token: Token::ETH,
+                    amount: wad(amount),
+                    value_usd: wad(amount * p),
+                    liquidation_threshold: wad(lt),
+                    liquidation_spread: wad(0.05),
+                })
+                .with_debt(DebtHolding {
+                    token: Token::DAI,
+                    amount: wad(debt_usd),
+                    value_usd: wad(debt_usd),
+                })
+        };
+        let before = at_price(price);
+        prop_assume!(before.is_liquidatable());
+        let after = at_price(price * (1.0 - decline));
+        prop_assert!(
+            after.is_liquidatable(),
+            "price decline healed the position: HF {} -> {:?}",
+            before.health_factor().unwrap(),
+            after.health_factor()
+        );
+        prop_assert!(
+            after.health_factor().unwrap() <= before.health_factor().unwrap(),
+            "HF increased under a price decline"
+        );
+    }
+
     /// Eq. 4: scaling collateral and debt by the same factor leaves the
     /// health factor unchanged (it is a ratio).
     #[test]

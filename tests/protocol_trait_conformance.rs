@@ -12,7 +12,7 @@
 use defi_liquidations_suite::chain::{ChainEvent, Ledger};
 use defi_liquidations_suite::lending::{
     aave_v1, aave_v2, compound, dydx, maker_protocol, LendingProtocol, LiquidationExecution,
-    LiquidationRequest, MechanismKind,
+    LiquidationRequest, MechanismKind, ProtocolError,
 };
 use defi_liquidations_suite::oracle::{OracleConfig, PriceOracle};
 use defi_liquidations_suite::prelude::*;
@@ -303,6 +303,300 @@ fn makerdao_conforms_to_the_unified_protocol_api() {
     let position_after = protocol.position(&oracle, borrower).unwrap();
     assert!(position_after.total_debt_value().is_zero());
     assert!(position_after.total_collateral_value().is_zero());
+}
+
+/// Adversarial edge cases on a fixed-spread platform: over-repayment, a
+/// liquidation request above the close factor, and liquidating a healthy
+/// position must each come back as a typed error — never a panic, never a
+/// silent clamp.
+fn drive_fixed_spread_adversarial(mut protocol: Box<dyn LendingProtocol>) {
+    let platform = protocol.platform();
+    let mut oracle = test_oracle();
+    let mut ledger = Ledger::new();
+    let mut events = Vec::new();
+
+    let lender = Address::from_seed(1);
+    ledger.mint(lender, Token::USDC, Wad::from_int(1_000_000));
+    protocol
+        .deposit(
+            &mut ledger,
+            &mut events,
+            lender,
+            Token::USDC,
+            Wad::from_int(1_000_000),
+        )
+        .unwrap();
+    let borrower = Address::from_seed(2);
+    ledger.mint(borrower, Token::ETH, Wad::from_int(3));
+    protocol
+        .deposit(
+            &mut ledger,
+            &mut events,
+            borrower,
+            Token::ETH,
+            Wad::from_int(3),
+        )
+        .unwrap();
+    let capacity = protocol
+        .position(&oracle, borrower)
+        .unwrap()
+        .borrowing_capacity();
+    let borrow = Wad::from_f64(capacity.to_f64() * 0.95);
+    protocol
+        .borrow(
+            &mut ledger,
+            &mut events,
+            &oracle,
+            1,
+            borrower,
+            Token::USDC,
+            borrow,
+        )
+        .unwrap();
+
+    // Repaying double the outstanding debt is rejected, and the position is
+    // untouched (no partial clamp happened behind the error).
+    let debt_before = protocol
+        .position(&oracle, borrower)
+        .unwrap()
+        .total_debt_value();
+    ledger.mint(borrower, Token::USDC, borrow);
+    let over_repay = borrow.checked_mul(Wad::from_int(2)).unwrap();
+    let err = protocol
+        .repay(
+            &mut ledger,
+            &mut events,
+            2,
+            borrower,
+            Token::USDC,
+            over_repay,
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, ProtocolError::RepayExceedsOutstanding { .. }),
+        "{platform}: over-repay must be typed, got {err}"
+    );
+    assert_eq!(
+        protocol
+            .position(&oracle, borrower)
+            .unwrap()
+            .total_debt_value(),
+        debt_before,
+        "{platform}: the rejected repayment must not move the book"
+    );
+
+    // Liquidating while the position is healthy is rejected.
+    let liquidator = Address::from_seed(3);
+    ledger.mint(liquidator, Token::USDC, over_repay);
+    let healthy = LiquidationRequest::FixedSpread {
+        liquidator,
+        borrower,
+        debt_token: Token::USDC,
+        collateral_token: Token::ETH,
+        repay_amount: Wad::from_int(100),
+        used_flash_loan: false,
+    };
+    let err = protocol
+        .execute_liquidation(&mut ledger, &mut events, &oracle, 2, &healthy)
+        .unwrap_err();
+    assert!(
+        matches!(err, ProtocolError::NotLiquidatable(_)),
+        "{platform}: healthy liquidation must be typed, got {err}"
+    );
+
+    // Once liquidatable, requesting double the whole debt exceeds every
+    // platform's close factor (even dYdX's 100%): typed error, and the
+    // position is untouched.
+    oracle.set_price(3, Token::ETH, Wad::from_f64(3_500.0 * 0.80));
+    assert_eq!(protocol.liquidatable(&oracle).len(), 1);
+    let above_cap = LiquidationRequest::FixedSpread {
+        liquidator,
+        borrower,
+        debt_token: Token::USDC,
+        collateral_token: Token::ETH,
+        repay_amount: over_repay,
+        used_flash_loan: false,
+    };
+    let debt_before = protocol
+        .position(&oracle, borrower)
+        .unwrap()
+        .total_debt_value();
+    let err = protocol
+        .execute_liquidation(&mut ledger, &mut events, &oracle, 3, &above_cap)
+        .unwrap_err();
+    assert!(
+        matches!(err, ProtocolError::ExceedsCloseFactor { .. }),
+        "{platform}: above-close-factor request must be typed, got {err}"
+    );
+    assert_eq!(
+        protocol
+            .position(&oracle, borrower)
+            .unwrap()
+            .total_debt_value(),
+        debt_before,
+        "{platform}: the rejected liquidation must not move the book"
+    );
+}
+
+#[test]
+fn aave_v1_rejects_adversarial_requests_with_typed_errors() {
+    drive_fixed_spread_adversarial(Box::new(aave_v1()));
+}
+
+#[test]
+fn aave_v2_rejects_adversarial_requests_with_typed_errors() {
+    drive_fixed_spread_adversarial(Box::new(aave_v2()));
+}
+
+#[test]
+fn compound_rejects_adversarial_requests_with_typed_errors() {
+    drive_fixed_spread_adversarial(Box::new(compound()));
+}
+
+#[test]
+fn dydx_rejects_adversarial_requests_with_typed_errors() {
+    drive_fixed_spread_adversarial(Box::new(dydx()));
+}
+
+/// MakerDAO's adversarial cases: over-repaying a CDP, and bidding on (or
+/// re-settling) an already-settled auction.
+#[test]
+fn makerdao_rejects_adversarial_requests_with_typed_errors() {
+    let mut protocol: Box<dyn LendingProtocol> = Box::new(maker_protocol());
+    let mut oracle = test_oracle();
+    let mut ledger = Ledger::new();
+    let mut events = Vec::new();
+
+    let borrower = Address::from_seed(2);
+    ledger.mint(borrower, Token::ETH, Wad::from_int(10));
+    protocol
+        .deposit(
+            &mut ledger,
+            &mut events,
+            borrower,
+            Token::ETH,
+            Wad::from_int(10),
+        )
+        .unwrap();
+    protocol
+        .borrow(
+            &mut ledger,
+            &mut events,
+            &oracle,
+            1,
+            borrower,
+            Token::DAI,
+            Wad::from_int(20_000),
+        )
+        .unwrap();
+
+    // Over-repaying the CDP is a typed error, not a clamp.
+    ledger.mint(borrower, Token::DAI, Wad::from_int(50_000));
+    let err = protocol
+        .repay(
+            &mut ledger,
+            &mut events,
+            2,
+            borrower,
+            Token::DAI,
+            Wad::from_int(30_000),
+        )
+        .unwrap_err();
+    assert!(matches!(err, ProtocolError::RepayExceedsOutstanding { .. }));
+
+    // Run a full auction to settlement…
+    oracle.set_price(2, Token::ETH, Wad::from_int(2_500));
+    let keeper = Address::from_seed(11);
+    let LiquidationExecution::AuctionStarted(auction_id) = protocol
+        .execute_liquidation(
+            &mut ledger,
+            &mut events,
+            &oracle,
+            10,
+            &LiquidationRequest::StartAuction { keeper, borrower },
+        )
+        .unwrap()
+    else {
+        panic!("expected an auction start");
+    };
+    let debt = protocol.auction_snapshot(auction_id).unwrap().debt;
+    ledger.mint(keeper, Token::DAI, debt);
+    protocol
+        .execute_liquidation(
+            &mut ledger,
+            &mut events,
+            &oracle,
+            11,
+            &LiquidationRequest::AuctionBid {
+                bidder: keeper,
+                auction_id,
+                debt_bid: debt,
+                collateral_bid: Wad::ZERO,
+            },
+        )
+        .unwrap();
+    let end = 11 + protocol.auction_params().unwrap().bid_duration_blocks;
+    protocol
+        .execute_liquidation(
+            &mut ledger,
+            &mut events,
+            &oracle,
+            end,
+            &LiquidationRequest::SettleAuction {
+                caller: keeper,
+                auction_id,
+            },
+        )
+        .unwrap();
+
+    // …then bidding on the settled auction is a typed error,
+    let late_bidder = Address::from_seed(12);
+    ledger.mint(late_bidder, Token::DAI, debt);
+    let err = protocol
+        .execute_liquidation(
+            &mut ledger,
+            &mut events,
+            &oracle,
+            end + 1,
+            &LiquidationRequest::AuctionBid {
+                bidder: late_bidder,
+                auction_id,
+                debt_bid: debt,
+                collateral_bid: Wad::ZERO,
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, ProtocolError::AuctionAlreadyFinalized));
+
+    // …as is settling it a second time or bidding on a non-existent auction.
+    let err = protocol
+        .execute_liquidation(
+            &mut ledger,
+            &mut events,
+            &oracle,
+            end + 2,
+            &LiquidationRequest::SettleAuction {
+                caller: keeper,
+                auction_id,
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, ProtocolError::AuctionAlreadyFinalized));
+    let err = protocol
+        .execute_liquidation(
+            &mut ledger,
+            &mut events,
+            &oracle,
+            end + 3,
+            &LiquidationRequest::AuctionBid {
+                bidder: late_bidder,
+                auction_id: auction_id + 999,
+                debt_bid: debt,
+                collateral_bid: Wad::ZERO,
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, ProtocolError::UnknownAuction(_)));
 }
 
 /// A liquidation request from the wrong mechanism is rejected uniformly.
