@@ -334,6 +334,186 @@ fn bench_streaming_vs_batch_analytics(c: &mut Criterion) {
     group.finish();
 }
 
+/// A populated fixed-spread pool with `n` borrowers at staggered health
+/// factors, plus the oracle it was built against — the synthetic book behind
+/// the `positions-scale` group.
+fn scale_fixed_spread_pool(
+    n: u64,
+) -> (
+    defi_lending::FixedSpreadProtocol,
+    defi_chain::Ledger,
+    PriceOracle,
+) {
+    let mut protocol = compound();
+    let mut oracle = PriceOracle::new(OracleConfig::every_update());
+    oracle.set_price(0, Token::ETH, Wad::from_int(3_500));
+    oracle.set_price(0, Token::USDC, Wad::ONE);
+    oracle.set_price(0, Token::DAI, Wad::ONE);
+    let mut ledger = defi_chain::Ledger::new();
+    let mut events = Vec::new();
+    let lender = Address::from_seed(1);
+    let liquidity = Wad::from_int(n * 20_000 + 1_000_000);
+    ledger.mint(lender, Token::USDC, liquidity);
+    protocol
+        .deposit(&mut ledger, &mut events, lender, Token::USDC, liquidity)
+        .unwrap();
+    for i in 0..n {
+        let account = Address::from_seed(1_000 + i);
+        let eth = Wad::from_f64(1.0 + (i % 50) as f64 * 0.1);
+        ledger.mint(account, Token::ETH, eth);
+        protocol
+            .deposit(&mut ledger, &mut events, account, Token::ETH, eth)
+            .unwrap();
+        let capacity = protocol
+            .position(&oracle, account)
+            .map(|p| p.borrowing_capacity())
+            .unwrap_or(Wad::ZERO);
+        // Staggered usage: most borrowers comfortable, a thin tail close to
+        // the threshold so small price moves flip a few per tick.
+        let usage = 0.55 + (i % 89) as f64 * 0.005;
+        let borrow = Wad::from_f64(capacity.to_f64() * usage.min(0.985));
+        protocol
+            .borrow(
+                &mut ledger,
+                &mut events,
+                &oracle,
+                1,
+                account,
+                Token::USDC,
+                borrow,
+            )
+            .unwrap();
+    }
+    (protocol, ledger, oracle)
+}
+
+/// A Maker book with `n` CDPs at staggered collateralization.
+fn scale_maker_pool(n: u64) -> (defi_lending::MakerProtocol, defi_chain::Ledger, PriceOracle) {
+    use defi_lending::maker_protocol;
+    let mut maker = maker_protocol();
+    let mut oracle = PriceOracle::new(OracleConfig::every_update());
+    oracle.set_price(0, Token::ETH, Wad::from_int(3_500));
+    oracle.set_price(0, Token::DAI, Wad::ONE);
+    let mut ledger = defi_chain::Ledger::new();
+    let mut events = Vec::new();
+    for i in 0..n {
+        let owner = Address::from_seed(500_000 + i);
+        let eth = Wad::from_f64(1.0 + (i % 40) as f64 * 0.25);
+        ledger.mint(owner, Token::ETH, eth);
+        maker
+            .lock_collateral(&mut ledger, &mut events, owner, Token::ETH, eth)
+            .unwrap();
+        // Collateralization between ~152 % and ~240 %.
+        let ratio = 1.52 + (i % 89) as f64 * 0.01;
+        let dai = Wad::from_f64(eth.to_f64() * 3_500.0 / ratio);
+        maker
+            .draw_dai(&mut ledger, &mut events, &oracle, owner, dai)
+            .unwrap();
+    }
+    (maker, ledger, oracle)
+}
+
+/// The position work of one engine tick on a fixed-spread platform: accrue,
+/// walk the book (the borrower-management pass), discover liquidatable
+/// positions, and take a volume sample — exactly the calls
+/// `SimulationEngine::tick` makes per platform.
+fn fixed_spread_tick_work(
+    protocol: &mut defi_lending::FixedSpreadProtocol,
+    oracle: &PriceOracle,
+    block: u64,
+) -> usize {
+    use defi_lending::LendingProtocol;
+    LendingProtocol::accrue(protocol, block);
+    // Borrower-management pass: every position's health factor is read,
+    // without materialising a snapshot vector (as the engine does).
+    let mut near_threshold = 0usize;
+    let band = Wad::from_f64(1.05);
+    LendingProtocol::for_each_position(protocol, oracle, &mut |position| {
+        if let Some(hf) = position.health_factor() {
+            if hf < band {
+                near_threshold += 1;
+            }
+        }
+    });
+    // Liquidation discovery.
+    let opportunities = LendingProtocol::liquidatable(protocol, oracle).len();
+    // Volume sampling (Figures 4/9 denominators) from the running totals.
+    let totals = LendingProtocol::book_totals(protocol, oracle);
+    near_threshold + opportunities + totals.collateral_usd.is_zero() as usize
+}
+
+/// Incremental-book scale benchmarks: 1k/10k/100k-account books, driving the
+/// exact per-tick position surface the engine uses. `BENCH_baseline.json`
+/// tracks these numbers across PRs.
+fn bench_positions_scale(c: &mut Criterion) {
+    use defi_lending::LendingProtocol;
+
+    let mut group = c.benchmark_group("positions_scale");
+    group.sample_size(5);
+    for n in [1_000u64, 10_000, 100_000] {
+        let (mut protocol, _ledger, mut oracle) = scale_fixed_spread_pool(n);
+        let mut block = 10u64;
+        group.bench_function(format!("fixed_spread_tick_{n}_accounts"), |b| {
+            b.iter(|| {
+                block += 1;
+                // A small ETH move every tick, as a deviation-threshold write.
+                let wiggle = 3_450.0 + (block % 7) as f64 * 2.0;
+                oracle.set_price(block, Token::ETH, Wad::from_f64(wiggle));
+                fixed_spread_tick_work(&mut protocol, &oracle, block)
+            })
+        });
+        group.bench_function(
+            format!("fixed_spread_noop_liquidatable_{n}_accounts"),
+            |b| {
+                // No price moved and no interest accrued since the last call:
+                // discovery should not rebuild (or allocate) the book.
+                b.iter(|| LendingProtocol::liquidatable(&mut protocol, &oracle).len())
+            },
+        );
+        // Regression guard (runs in CI quick mode too): a no-op tick must
+        // answer from the index, not rescan the book. Warm the cache first —
+        // under a bench filter the timed bodies above may not have run.
+        let _ = LendingProtocol::liquidatable(&mut protocol, &oracle);
+        let before = protocol.book_stats().revaluations;
+        let _ = LendingProtocol::liquidatable(&mut protocol, &oracle);
+        let after = protocol.book_stats().revaluations;
+        assert_eq!(
+            before,
+            after,
+            "no-op liquidatable re-valued {} accounts instead of using the index",
+            after - before
+        );
+
+        let (mut maker, _ledger, mut maker_oracle) = scale_maker_pool(n);
+        let mut maker_block = 10u64;
+        group.bench_function(format!("maker_discovery_{n}_accounts"), |b| {
+            b.iter(|| {
+                maker_block += 1;
+                let wiggle = 3_430.0 + (maker_block % 9) as f64 * 3.0;
+                maker_oracle.set_price(maker_block, Token::ETH, Wad::from_f64(wiggle));
+                LendingProtocol::liquidatable(&mut maker, &maker_oracle).len()
+            })
+        });
+        // Regression guard: CDP discovery must be a range scan — a price
+        // move that crosses nobody re-values nobody. The first call warms
+        // the cache (the timed bodies above may be filtered out).
+        maker_block += 1;
+        maker_oracle.set_price(maker_block, Token::ETH, Wad::from_int(3_500));
+        let _ = LendingProtocol::liquidatable(&mut maker, &maker_oracle);
+        let before = maker.book_stats().revaluations;
+        maker_oracle.set_price(maker_block + 1, Token::ETH, Wad::from_int(3_499));
+        let _ = LendingProtocol::liquidatable(&mut maker, &maker_oracle);
+        let after = maker.book_stats().revaluations;
+        assert_eq!(
+            before,
+            after,
+            "a non-crossing price move re-valued {} CDPs instead of range-scanning",
+            after - before
+        );
+    }
+    group.finish();
+}
+
 /// Baseline comparison for the mechanism-comparison experiment: close-factor
 /// ablation (50 % vs 100 % vs the optimal strategy) on a fixed position.
 fn bench_close_factor_ablation(c: &mut Criterion) {
@@ -382,5 +562,6 @@ criterion_group!(
     bench_streaming_vs_batch_analytics,
     bench_close_factor_ablation,
     bench_platform_books,
+    bench_positions_scale,
 );
 criterion_main!(benches);

@@ -26,7 +26,6 @@
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-use defi_analytics::auctions::MeanStd;
 use defi_analytics::StudyAnalysis;
 use defi_bench::case_study::{run_case_study, CaseStudyInput};
 use defi_bench::{json, render};
@@ -42,15 +41,6 @@ fn usage() -> ! {
         "usage: repro [--smoke] [--seed N] [--json DIR] [--scenario NAME] [--list-scenarios]\n             [--check-invariants] [--sweep seeds=N|scenarios] [--workers N] <artefact>...\n       artefacts: all headline table1 table2 table3 table4 table5 table6 table7 table8\n                  fig4 fig5 fig6 fig7 fig8 fig9 auction-stats stablecoins mitigation configs case-study\n       --scenario NAME runs a named catalog scenario (see --list-scenarios)\n       --check-invariants attaches the InvariantObserver and fails on any violation\n       --sweep seeds=N runs N seeds through the SweepRunner and prints per-run summaries instead;\n       --sweep scenarios fans the whole scenario catalog across the workers"
     );
     std::process::exit(2)
-}
-
-fn signed_to_f64(value: defi_types::SignedWad) -> f64 {
-    let magnitude = value.magnitude.to_f64();
-    if value.is_negative() {
-        -magnitude
-    } else {
-        magnitude
-    }
 }
 
 fn write_json(dir: &Path, name: &str, value: &json::Json) {
@@ -117,37 +107,34 @@ fn run_sweep(base: SimConfig, kind: SweepKind, workers: Option<usize>, json_dir:
             summary.events,
             summary.liquidations,
             summary.auctions_settled,
-            signed_to_f64(summary.gross_profit),
+            summary.gross_profit.to_f64(),
             summary.collateral_sold.to_f64(),
             summary.open_positions,
             summary.eth_decline_43_liquidatable.to_f64(),
         );
     }
-    let liquidations: Vec<f64> = summaries.iter().map(|s| s.liquidations as f64).collect();
-    let profits: Vec<f64> = summaries
-        .iter()
-        .map(|s| signed_to_f64(s.gross_profit))
-        .collect();
-    let sensitivities: Vec<f64> = summaries
-        .iter()
-        .map(|s| s.eth_decline_43_liquidatable.to_f64())
-        .collect();
-    let liq = MeanStd::from_samples(&liquidations);
-    let profit = MeanStd::from_samples(&profits);
-    let sens = MeanStd::from_samples(&sensitivities);
-    println!("== sweep: aggregates over {} runs ==", summaries.len());
-    println!(
-        "  liquidations:        {:.1} ± {:.1}",
-        liq.mean, liq.std_dev
-    );
-    println!(
-        "  gross profit (USD):  {:.0} ± {:.0}",
-        profit.mean, profit.std_dev
-    );
-    println!(
-        "  43% ETH decline liquidatable (USD): {:.0} ± {:.0}",
-        sens.mean, sens.std_dev
-    );
+    // Aggregates are grouped by catalog scenario (pooling a depeg run with a
+    // gas-spike run into one mean says nothing about either), computed by the
+    // same helper `sweep.json` renders from.
+    for aggregate in json::scenario_aggregates(&summaries) {
+        println!(
+            "== sweep: {} over {} run(s) ==",
+            aggregate.scenario, aggregate.runs
+        );
+        println!(
+            "  liquidations:        {:.1} ± {:.1}",
+            aggregate.liquidations.mean, aggregate.liquidations.std_dev
+        );
+        println!(
+            "  gross profit (USD):  {:.0} ± {:.0}",
+            aggregate.gross_profit_usd.mean, aggregate.gross_profit_usd.std_dev
+        );
+        println!(
+            "  43% ETH decline liquidatable (USD): {:.0} ± {:.0}",
+            aggregate.eth_decline_43_liquidatable_usd.mean,
+            aggregate.eth_decline_43_liquidatable_usd.std_dev
+        );
+    }
 
     if let Some(dir) = json_dir {
         write_json(

@@ -23,7 +23,7 @@ use serde::Serialize;
 use defi_chain::{ChainEvent, Ledger};
 use defi_core::params::RiskParams;
 use defi_core::strategy::{optimal_liquidation, StrategyComparison};
-use defi_lending::{FixedSpreadConfig, FixedSpreadProtocol, InterestRateModel};
+use defi_lending::{FixedSpreadConfig, FixedSpreadProtocol, InterestRateModel, DEFAULT_DEBT_DUST};
 use defi_oracle::{OracleConfig, PriceOracle};
 use defi_types::{Address, Platform, Token, Wad};
 
@@ -248,6 +248,7 @@ pub fn execute_on_compound(input: &CaseStudyInput) -> (Wad, Wad) {
             close_factor: Wad::from_f64(input.close_factor),
             one_liquidation_per_block: false,
             insurance_fund: false,
+            debt_dust: DEFAULT_DEBT_DUST,
         });
         for token in [Token::DAI, Token::USDC] {
             protocol.list_market(

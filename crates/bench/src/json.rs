@@ -598,7 +598,56 @@ pub fn case_study_json(study: &CaseStudy) -> Json {
     ])
 }
 
-/// A seed sweep: per-run summaries plus worker metadata.
+/// Per-scenario mean/std aggregates of a sweep — computed once and shared by
+/// the console report (`repro --sweep`) and [`sweep_json`] so the two
+/// renderings cannot drift apart.
+#[derive(Debug, Clone)]
+pub struct ScenarioAggregate {
+    /// Catalog scenario name.
+    pub scenario: String,
+    /// Number of runs in the group.
+    pub runs: usize,
+    /// Settled fixed-spread liquidations per run.
+    pub liquidations: defi_analytics::auctions::MeanStd,
+    /// Gross liquidator profit per run (USD).
+    pub gross_profit_usd: defi_analytics::auctions::MeanStd,
+    /// Collateral a 43 % ETH decline would make liquidatable (USD).
+    pub eth_decline_43_liquidatable_usd: defi_analytics::auctions::MeanStd,
+}
+
+/// Group sweep summaries by scenario and aggregate the headline metrics.
+pub fn scenario_aggregates(summaries: &[RunSummary]) -> Vec<ScenarioAggregate> {
+    use defi_analytics::auctions::MeanStd;
+    defi_sim::group_by_scenario(summaries)
+        .into_iter()
+        .map(|(scenario, group)| {
+            let liquidations: Vec<f64> = group.iter().map(|s| s.liquidations as f64).collect();
+            let profits: Vec<f64> = group.iter().map(|s| s.gross_profit.to_f64()).collect();
+            let sensitivities: Vec<f64> = group
+                .iter()
+                .map(|s| s.eth_decline_43_liquidatable.to_f64())
+                .collect();
+            ScenarioAggregate {
+                scenario: scenario.to_string(),
+                runs: group.len(),
+                liquidations: MeanStd::from_samples(&liquidations),
+                gross_profit_usd: MeanStd::from_samples(&profits),
+                eth_decline_43_liquidatable_usd: MeanStd::from_samples(&sensitivities),
+            }
+        })
+        .collect()
+}
+
+/// `{mean, std}` of one aggregated metric.
+fn mean_std_json(stats: &defi_analytics::auctions::MeanStd) -> Json {
+    Json::obj([
+        ("mean", Json::F64(stats.mean)),
+        ("std", Json::F64(stats.std_dev)),
+    ])
+}
+
+/// A seed sweep: per-run summaries, per-scenario mean/std aggregates, and
+/// worker metadata.
 pub fn sweep_json(summaries: &[RunSummary], workers: usize) -> Json {
     let runs = summaries
         .iter()
@@ -623,9 +672,28 @@ pub fn sweep_json(summaries: &[RunSummary], workers: usize) -> Json {
             ])
         })
         .collect();
+    let scenarios = scenario_aggregates(summaries)
+        .into_iter()
+        .map(|aggregate| {
+            Json::obj([
+                ("scenario", Json::str(aggregate.scenario)),
+                ("runs", Json::U64(aggregate.runs as u64)),
+                ("liquidations", mean_std_json(&aggregate.liquidations)),
+                (
+                    "gross_profit_usd",
+                    mean_std_json(&aggregate.gross_profit_usd),
+                ),
+                (
+                    "eth_decline_43_liquidatable_usd",
+                    mean_std_json(&aggregate.eth_decline_43_liquidatable_usd),
+                ),
+            ])
+        })
+        .collect();
     Json::obj([
         ("workers", Json::U64(workers as u64)),
         ("runs", Json::Arr(runs)),
+        ("scenarios", Json::Arr(scenarios)),
     ])
 }
 
@@ -669,6 +737,35 @@ mod tests {
     fn empty_containers_are_compact() {
         assert_eq!(Json::Arr(vec![]).to_string(), "[]");
         assert_eq!(Json::Obj(vec![]).to_string(), "{}");
+    }
+
+    #[test]
+    fn sweep_json_groups_aggregates_by_scenario() {
+        let summary = |seed: u64, scenario: &str, liquidations: u32| RunSummary {
+            seed,
+            scenario: scenario.to_string(),
+            ticks: 10,
+            events: 100,
+            liquidations,
+            auctions_settled: 1,
+            gross_profit: SignedWad::ZERO,
+            collateral_sold: Wad::from_int(5),
+            open_positions: 7,
+            eth_decline_43_liquidatable: Wad::from_int(1_000),
+        };
+        let summaries = vec![
+            summary(1, "paper-two-year", 10),
+            summary(2, "stablecoin-depeg", 4),
+            summary(3, "paper-two-year", 20),
+        ];
+        let text = sweep_json(&summaries, 2).to_string();
+        assert!(text.contains("\"scenarios\""));
+        assert!(text.contains("\"stablecoin-depeg\""));
+        // paper-two-year: mean 15 over two runs.
+        assert!(text.contains("\"mean\": 15"));
+        // Groups carry their run counts.
+        assert!(text.contains("\"runs\": 2"));
+        assert!(text.contains("\"runs\": 1"));
     }
 
     #[test]

@@ -1,0 +1,822 @@
+//! Incremental, dirty-tracked position books.
+//!
+//! The paper's measurement loop — like any real liquidation bot — has to know
+//! every platform's liquidatable positions *every block* (§4.4: monitoring
+//! must complete within one block to win the race). Rebuilding each
+//! protocol's full `Vec<Position>` from scratch several times per tick is the
+//! dominant cost at scale, so [`PositionBook`] caches one valuation snapshot
+//! per account and only re-values what can actually have changed:
+//!
+//! * **account mutations** — deposits, borrows, repayments, liquidations and
+//!   write-offs mark the touched account dirty
+//!   ([`PositionBook::mark_dirty`]);
+//! * **interest accrual** — a market whose borrow index advanced invalidates
+//!   exactly the accounts owing that token
+//!   ([`PositionBook::note_index_change`]);
+//! * **oracle moves** — the [`PriceOracle`] write epoch identifies the tokens
+//!   whose on-chain price changed since the book last synced, and only the
+//!   holders of those tokens re-value.
+//!
+//! On top of the cache sits a **critical-price liquidation index**: for every
+//! account whose health factor depends on exactly one oracle price (Maker
+//! CDPs — DAI debt is valued at the vat's 1-USD par, so only the collateral
+//! price matters), the owning protocol reports the exact threshold price at
+//! which HF crosses 1, and the book keeps those accounts in a per-token
+//! `BTreeMap<raw price, accounts>`. Discovery then becomes a range scan over
+//! each token's ordered map (`crit > current price` ⇔ liquidatable) instead
+//! of a full-book filter. A price move does not touch indexed accounts at
+//! all: their *status* is read off the ordered map, and their cached
+//! *valuation* carries the oracle epoch it was computed at, so it refreshes
+//! lazily — when discovery returns the account, or when a full book snapshot
+//! is taken. Accounts whose health factor is genuinely multivariate (every
+//! fixed-spread borrower: collateral *and* debt prices float, and the borrow
+//! index accrues per block) are tracked in an incrementally maintained `live`
+//! set instead — their status is refreshed exactly when one of their inputs
+//! changes, and when most of the book is invalidated at once (per-tick
+//! accrual) the flush switches from set marking to a single linear walk.
+//!
+//! The book is *exact by construction*: a cached entry is byte-identical to a
+//! from-scratch [`Position`] rebuild because the owning protocol's
+//! [`BookSource::fill_position`] is the same code path the legacy
+//! `positions()` API uses, and it only runs when an input changed. A property
+//! test (`tests/property_tests.rs`) asserts cache ≡ rebuild after arbitrary
+//! operation interleavings.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::ops::Bound;
+
+use defi_core::position::Position;
+use defi_oracle::PriceOracle;
+use defi_types::{Address, Token, Wad};
+
+/// Aggregate totals over the observable book — what the engine's
+/// volume-sampling pass (Figures 4/9 denominators) needs, maintained as
+/// running sums so sampling never materialises the position vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BookTotals {
+    /// Σ collateral USD value over book positions.
+    pub collateral_usd: Wad,
+    /// Σ debt USD value over book positions.
+    pub debt_usd: Wad,
+    /// Σ ETH/WETH collateral USD value of positions owing DAI (the DAI/ETH
+    /// market the §5.1 comparison is restricted to).
+    pub dai_eth_collateral_usd: Wad,
+    /// Number of positions in the observable book.
+    pub open_positions: u32,
+}
+
+/// Cache-maintenance counters, exposed for the scale benchmarks and the
+/// no-op-tick regression tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BookStats {
+    /// Accounts currently cached.
+    pub cached_accounts: usize,
+    /// Total account re-valuations performed since the book was created.
+    pub revaluations: u64,
+    /// Accounts currently tracked by the critical-price index.
+    pub indexed_accounts: usize,
+    /// Accounts currently flagged liquidatable outside the index.
+    pub live_accounts: usize,
+}
+
+/// What a [`PositionBook`] needs from its owning protocol to re-value one
+/// account. Implemented on a cheap borrow-view of the protocol's state so the
+/// book (a sibling field) can be mutated while the view is read.
+pub trait BookSource {
+    /// Rebuild `slot` in place as the account's fresh valuation snapshot,
+    /// reusing the slot's allocations. Returns `false` when the account has
+    /// no observable state any more (it is then dropped from the book) —
+    /// exactly the accounts the protocol's from-scratch `positions()` skips.
+    fn fill_position(&self, oracle: &PriceOracle, account: Address, slot: &mut Position) -> bool;
+
+    /// Whether the fresh position belongs to the *observable book*
+    /// (`book_positions`): fixed-spread pools only report accounts that
+    /// actually borrow, Maker reports every open CDP.
+    fn in_book(&self, position: &Position) -> bool;
+
+    /// Append every token whose oracle price the valuation depends on.
+    /// Par-valued debt (Maker's DAI) is *not* price-sensitive.
+    fn sensitive_tokens(&self, position: &Position, out: &mut Vec<Token>);
+
+    /// Append every token in which the account owes index-accruing debt.
+    fn debt_tokens(&self, position: &Position, out: &mut Vec<Token>);
+
+    /// The exact critical price of a single-price account: `Some((token,
+    /// crit_raw))` means the account is below the liquidation threshold *iff*
+    /// the raw oracle price of `token` is strictly less than `crit_raw`, and
+    /// that no other oracle price affects its health factor. Return `None`
+    /// for multivariate positions; they are tracked by the live set instead.
+    fn critical_price(&self, account: Address, position: &Position) -> Option<(Token, u128)>;
+}
+
+/// One cached account. Fresh entries start zeroed so the diff-based
+/// bookkeeping needs no special first-time case.
+#[derive(Debug, Clone)]
+struct Entry {
+    position: Position,
+    in_book: bool,
+    collateral_usd: Wad,
+    debt_usd: Wad,
+    dai_eth_usd: Wad,
+    critical: Option<(Token, u128)>,
+    /// Oracle write epoch the valuation was computed at.
+    valued_epoch: u64,
+    /// Price-sensitive exposure at the last re-valuation.
+    tokens: Vec<Token>,
+    /// Index-accruing debt exposure at the last re-valuation.
+    debt_tokens: Vec<Token>,
+}
+
+impl Entry {
+    fn new(account: Address) -> Self {
+        Entry {
+            position: Position::new(account),
+            in_book: false,
+            collateral_usd: Wad::ZERO,
+            debt_usd: Wad::ZERO,
+            dai_eth_usd: Wad::ZERO,
+            critical: None,
+            valued_epoch: 0,
+            tokens: Vec::new(),
+            debt_tokens: Vec::new(),
+        }
+    }
+
+    /// Whether any price this valuation depends on was written after it was
+    /// computed.
+    fn is_stale(&self, oracle: &PriceOracle) -> bool {
+        self.tokens
+            .iter()
+            .any(|&token| oracle.token_epoch(token) > self.valued_epoch)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Totals {
+    book_collateral_usd: Wad,
+    book_debt_usd: Wad,
+    book_dai_eth_usd: Wad,
+    book_count: u32,
+    all_collateral_usd: Wad,
+    all_debt_usd: Wad,
+}
+
+/// The incremental cache each [`crate::LendingProtocol`] implementation owns.
+/// See the module docs for the invalidation contract.
+#[derive(Debug, Clone, Default)]
+pub struct PositionBook {
+    entries: BTreeMap<Address, Entry>,
+    /// Accounts that must re-value before *any* query (mutated since the
+    /// last flush).
+    dirty: BTreeSet<Address>,
+    /// token → *multivariate* accounts whose valuation depends on its price
+    /// (indexed accounts are deliberately absent: price moves never touch
+    /// them eagerly).
+    multi_holders: HashMap<Token, BTreeSet<Address>>,
+    /// token → critical-price-indexed accounts exposed to it (walked only by
+    /// full refreshes to freshen lazily staled valuations).
+    indexed_holders: HashMap<Token, BTreeSet<Address>>,
+    /// token → accounts owing index-accruing debt in it.
+    debtors: HashMap<Token, BTreeSet<Address>>,
+    /// Markets whose borrow index changed since the last flush.
+    pending_index_tokens: Vec<Token>,
+    /// token → (critical raw price → accounts); liquidatable ⇔ price < crit.
+    critical: HashMap<Token, BTreeMap<u128, BTreeSet<Address>>>,
+    /// Liquidatable accounts among the non-indexed population.
+    live: BTreeSet<Address>,
+    /// Oracle epoch consumed by every flush (multivariate dirty marking).
+    synced_epoch: u64,
+    /// Oracle epoch up to which indexed valuations were freshened by a full
+    /// refresh.
+    full_synced_epoch: u64,
+    totals: Totals,
+    revaluations: u64,
+    scratch_tokens: Vec<Token>,
+    scratch_debt_tokens: Vec<Token>,
+    scratch_changed: Vec<Token>,
+    scratch_addresses: Vec<Address>,
+}
+
+impl PositionBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        PositionBook::default()
+    }
+
+    /// Mark one account for re-valuation (every protocol mutation that
+    /// touches the account must call this).
+    pub fn mark_dirty(&mut self, account: Address) {
+        self.dirty.insert(account);
+    }
+
+    /// Record that a market's borrow index advanced: every account owing
+    /// `token` re-values before the next query.
+    pub fn note_index_change(&mut self, token: Token) {
+        if !self.pending_index_tokens.contains(&token) {
+            self.pending_index_tokens.push(token);
+        }
+    }
+
+    /// Invalidate every cached account (risk-parameter changes: market or
+    /// ilk (re)listing can alter thresholds/spreads of existing positions).
+    pub fn invalidate_all(&mut self) {
+        self.dirty.extend(self.entries.keys().copied());
+    }
+
+    /// Cache-maintenance counters.
+    pub fn stats(&self) -> BookStats {
+        BookStats {
+            cached_accounts: self.entries.len(),
+            revaluations: self.revaluations,
+            indexed_accounts: self
+                .entries
+                .values()
+                .filter(|e| e.critical.is_some())
+                .count(),
+            live_accounts: self.live.len(),
+        }
+    }
+
+    /// The cached snapshot of one account, if it is in the cache. Exact only
+    /// after a refreshing query ([`book_positions`](Self::book_positions),
+    /// [`liquidatable_accounts`](Self::liquidatable_accounts), …).
+    pub fn cached_position(&self, account: Address) -> Option<&Position> {
+        self.entries.get(&account).map(|e| &e.position)
+    }
+
+    // ------------------------------------------------------------------ flush
+
+    /// Fold every pending invalidation into re-valuations. With `full`, also
+    /// freshen lazily staled indexed valuations so every cached position is
+    /// exact at current prices.
+    fn flush<S: BookSource>(&mut self, source: &S, oracle: &PriceOracle, full: bool) {
+        let epoch = oracle.epoch();
+        if epoch < self.synced_epoch {
+            // The book is being driven by a different (or rewound) oracle
+            // instance: nothing can be trusted, re-value everything.
+            self.pending_index_tokens.clear();
+            self.synced_epoch = epoch;
+            self.full_synced_epoch = epoch;
+            let mut batch = std::mem::take(&mut self.scratch_addresses);
+            batch.clear();
+            batch.extend(self.entries.keys().copied());
+            batch.extend(self.dirty.iter().copied());
+            self.dirty.clear();
+            batch.sort_unstable();
+            batch.dedup();
+            for &address in &batch {
+                self.revalue(source, oracle, address);
+            }
+            self.scratch_addresses = batch;
+            return;
+        }
+
+        let mut changed = std::mem::take(&mut self.scratch_changed);
+        changed.clear();
+        if epoch > self.synced_epoch {
+            oracle.collect_changed_since(self.synced_epoch, &mut changed);
+        }
+        self.synced_epoch = epoch;
+        let mut index_tokens = std::mem::take(&mut self.pending_index_tokens);
+
+        if !self.dirty.is_empty() || !changed.is_empty() || !index_tokens.is_empty() {
+            // Estimate how much of the book is affected: when it is most of
+            // it (per-tick interest accrual touches every borrower), a
+            // single linear walk beats building a dirty set address by
+            // address.
+            let mut estimate = self.dirty.len();
+            for token in &index_tokens {
+                estimate += self.debtors.get(token).map_or(0, |set| set.len());
+            }
+            for token in &changed {
+                estimate += self.multi_holders.get(token).map_or(0, |set| set.len());
+            }
+            let mut batch = std::mem::take(&mut self.scratch_addresses);
+            batch.clear();
+            if estimate * 4 >= self.entries.len() {
+                for (address, entry) in &self.entries {
+                    let affected = self.dirty.contains(address)
+                        || entry
+                            .debt_tokens
+                            .iter()
+                            .any(|token| index_tokens.contains(token))
+                        || (entry.critical.is_none()
+                            && entry.tokens.iter().any(|token| changed.contains(token)));
+                    if affected {
+                        batch.push(*address);
+                    }
+                }
+                // Mutated accounts without an entry yet (first deposit).
+                for &address in &self.dirty {
+                    if !self.entries.contains_key(&address) {
+                        batch.push(address);
+                    }
+                }
+                self.dirty.clear();
+            } else {
+                for token in &index_tokens {
+                    if let Some(debtors) = self.debtors.get(token) {
+                        self.dirty.extend(debtors.iter().copied());
+                    }
+                }
+                for token in &changed {
+                    if let Some(holders) = self.multi_holders.get(token) {
+                        self.dirty.extend(holders.iter().copied());
+                    }
+                }
+                batch.extend(self.dirty.iter().copied());
+                self.dirty.clear();
+            }
+            for &address in &batch {
+                self.revalue(source, oracle, address);
+            }
+            self.scratch_addresses = batch;
+        }
+        index_tokens.clear();
+        self.pending_index_tokens = index_tokens;
+        self.scratch_changed = changed;
+
+        if full && epoch > self.full_synced_epoch {
+            // Freshen indexed valuations whose token price moved since the
+            // last full refresh; their liquidatable status never went stale.
+            let mut changed = std::mem::take(&mut self.scratch_changed);
+            changed.clear();
+            oracle.collect_changed_since(self.full_synced_epoch, &mut changed);
+            let mut batch = std::mem::take(&mut self.scratch_addresses);
+            for token in &changed {
+                let token_epoch = oracle.token_epoch(*token);
+                if let Some(holders) = self.indexed_holders.get(token) {
+                    batch.clear();
+                    batch.extend(
+                        holders
+                            .iter()
+                            .filter(|address| {
+                                self.entries
+                                    .get(address)
+                                    .is_some_and(|e| e.valued_epoch < token_epoch)
+                            })
+                            .copied(),
+                    );
+                    for &address in &batch {
+                        self.revalue(source, oracle, address);
+                    }
+                }
+            }
+            self.scratch_addresses = batch;
+            self.scratch_changed = changed;
+            self.full_synced_epoch = epoch;
+        }
+    }
+
+    // --------------------------------------------------------------- queries
+
+    /// Bring every cached valuation up to date and clone out the observable
+    /// book in address order — byte-identical to the legacy from-scratch
+    /// rebuild, without re-valuing untouched accounts.
+    pub fn book_positions<S: BookSource>(
+        &mut self,
+        source: &S,
+        oracle: &PriceOracle,
+    ) -> Vec<Position> {
+        self.flush(source, oracle, true);
+        self.entries
+            .values()
+            .filter(|e| e.in_book)
+            .map(|e| e.position.clone())
+            .collect()
+    }
+
+    /// Visit every observable book position in address order without
+    /// allocating a snapshot vector (the engine's borrower-management pass).
+    pub fn for_each_book_position<S: BookSource>(
+        &mut self,
+        source: &S,
+        oracle: &PriceOracle,
+        visit: &mut dyn FnMut(&Position),
+    ) {
+        self.flush(source, oracle, true);
+        for entry in self.entries.values() {
+            if entry.in_book {
+                visit(&entry.position);
+            }
+        }
+    }
+
+    /// Running totals over the observable book (volume sampling).
+    pub fn totals<S: BookSource>(&mut self, source: &S, oracle: &PriceOracle) -> BookTotals {
+        self.flush(source, oracle, true);
+        BookTotals {
+            collateral_usd: self.totals.book_collateral_usd,
+            debt_usd: self.totals.book_debt_usd,
+            dai_eth_collateral_usd: self.totals.book_dai_eth_usd,
+            open_positions: self.totals.book_count,
+        }
+    }
+
+    /// Running totals over *every* cached account (the protocol-level
+    /// `total_collateral_value` / `total_debt_value` surface).
+    pub fn all_totals<S: BookSource>(&mut self, source: &S, oracle: &PriceOracle) -> (Wad, Wad) {
+        self.flush(source, oracle, true);
+        (self.totals.all_collateral_usd, self.totals.all_debt_usd)
+    }
+
+    /// Accounts currently below the liquidation threshold, in address order,
+    /// with their cached positions freshened: the union of the per-token
+    /// critical-price range scans and the incrementally maintained live set.
+    /// Does **not** re-value indexed accounts whose price merely moved — the
+    /// fast path a keeper loop takes every block.
+    pub fn liquidatable_accounts<S: BookSource>(
+        &mut self,
+        source: &S,
+        oracle: &PriceOracle,
+    ) -> Vec<Address> {
+        self.flush(source, oracle, false);
+        let mut found: BTreeSet<Address> = self.live.clone();
+        for (token, map) in &self.critical {
+            let Some(price) = oracle.price(*token) else {
+                continue;
+            };
+            for accounts in map
+                .range((Bound::Excluded(price.raw()), Bound::Unbounded))
+                .map(|(_, accounts)| accounts)
+            {
+                found.extend(accounts.iter().copied());
+            }
+        }
+        let found: Vec<Address> = found.into_iter().collect();
+        // Freshen the valuations discovery hands out; re-valuing cannot
+        // change the verdict (same state, same prices).
+        for &address in &found {
+            let stale = self
+                .entries
+                .get(&address)
+                .is_some_and(|entry| entry.is_stale(oracle));
+            if stale {
+                self.revalue(source, oracle, address);
+            }
+        }
+        found
+    }
+
+    // ----------------------------------------------------------- revaluation
+
+    /// Re-value one account and fold the delta into every derived structure.
+    fn revalue<S: BookSource>(&mut self, source: &S, oracle: &PriceOracle, address: Address) {
+        self.revaluations += 1;
+        let mut new_tokens = std::mem::take(&mut self.scratch_tokens);
+        let mut new_debt_tokens = std::mem::take(&mut self.scratch_debt_tokens);
+        new_tokens.clear();
+        new_debt_tokens.clear();
+
+        let entry = self
+            .entries
+            .entry(address)
+            .or_insert_with(|| Entry::new(address));
+        let old_in_book = entry.in_book;
+        let old_collateral = entry.collateral_usd;
+        let old_debt = entry.debt_usd;
+        let old_dai_eth = entry.dai_eth_usd;
+        let old_critical = entry.critical;
+        let old_tokens = std::mem::take(&mut entry.tokens);
+        let old_debt_list = std::mem::take(&mut entry.debt_tokens);
+
+        let exists = source.fill_position(oracle, address, &mut entry.position);
+        let mut liquidatable = false;
+        if exists {
+            source.sensitive_tokens(&entry.position, &mut new_tokens);
+            source.debt_tokens(&entry.position, &mut new_debt_tokens);
+            let critical = source.critical_price(address, &entry.position);
+            liquidatable = critical.is_none() && entry.position.is_liquidatable();
+            entry.in_book = source.in_book(&entry.position);
+            entry.collateral_usd = entry.position.total_collateral_value();
+            entry.debt_usd = entry.position.total_debt_value();
+            entry.dai_eth_usd = if entry.position.has_debt_in(Token::DAI) {
+                entry
+                    .position
+                    .collateral_value_in(Token::ETH)
+                    .saturating_add(entry.position.collateral_value_in(Token::WETH))
+            } else {
+                Wad::ZERO
+            };
+            entry.critical = critical;
+            entry.valued_epoch = oracle.epoch();
+        }
+        let new_in_book = exists && entry.in_book;
+        let new_collateral = entry.collateral_usd;
+        let new_debt = entry.debt_usd;
+        let new_dai_eth = entry.dai_eth_usd;
+        let new_critical = if exists { entry.critical } else { None };
+
+        // Totals: subtract the old contribution, add the new one. The sums
+        // never saturate at sane magnitudes, so the incremental totals equal
+        // the legacy fold exactly.
+        if old_in_book {
+            self.totals.book_collateral_usd = self
+                .totals
+                .book_collateral_usd
+                .saturating_sub(old_collateral);
+            self.totals.book_debt_usd = self.totals.book_debt_usd.saturating_sub(old_debt);
+            self.totals.book_dai_eth_usd = self.totals.book_dai_eth_usd.saturating_sub(old_dai_eth);
+            self.totals.book_count -= 1;
+        }
+        self.totals.all_collateral_usd = self
+            .totals
+            .all_collateral_usd
+            .saturating_sub(old_collateral);
+        self.totals.all_debt_usd = self.totals.all_debt_usd.saturating_sub(old_debt);
+        if new_in_book {
+            self.totals.book_collateral_usd = self
+                .totals
+                .book_collateral_usd
+                .saturating_add(new_collateral);
+            self.totals.book_debt_usd = self.totals.book_debt_usd.saturating_add(new_debt);
+            self.totals.book_dai_eth_usd = self.totals.book_dai_eth_usd.saturating_add(new_dai_eth);
+            self.totals.book_count += 1;
+        }
+        if exists {
+            self.totals.all_collateral_usd = self
+                .totals
+                .all_collateral_usd
+                .saturating_add(new_collateral);
+            self.totals.all_debt_usd = self.totals.all_debt_usd.saturating_add(new_debt);
+        }
+
+        // Exposure maps. An account's holder map depends on whether it is
+        // critical-price-indexed, so membership moves when that changes.
+        let was_indexed = old_critical.is_some();
+        let now_indexed = new_critical.is_some();
+        for token in &old_tokens {
+            let keep = exists && was_indexed == now_indexed && new_tokens.contains(token);
+            if !keep {
+                let map = if was_indexed {
+                    &mut self.indexed_holders
+                } else {
+                    &mut self.multi_holders
+                };
+                if let Some(holders) = map.get_mut(token) {
+                    holders.remove(&address);
+                }
+            }
+        }
+        if exists {
+            let map = if now_indexed {
+                &mut self.indexed_holders
+            } else {
+                &mut self.multi_holders
+            };
+            for token in &new_tokens {
+                let already = was_indexed == now_indexed && old_tokens.contains(token);
+                if !already {
+                    map.entry(*token).or_default().insert(address);
+                }
+            }
+        }
+        for token in &old_debt_list {
+            if !(exists && new_debt_tokens.contains(token)) {
+                if let Some(debtors) = self.debtors.get_mut(token) {
+                    debtors.remove(&address);
+                }
+            }
+        }
+        if exists {
+            for token in &new_debt_tokens {
+                if !old_debt_list.contains(token) {
+                    self.debtors.entry(*token).or_default().insert(address);
+                }
+            }
+        }
+
+        // Critical-price index.
+        if old_critical != new_critical {
+            if let Some((token, crit)) = old_critical {
+                if let Some(map) = self.critical.get_mut(&token) {
+                    if let Some(accounts) = map.get_mut(&crit) {
+                        accounts.remove(&address);
+                        if accounts.is_empty() {
+                            map.remove(&crit);
+                        }
+                    }
+                }
+            }
+            if let Some((token, crit)) = new_critical {
+                self.critical
+                    .entry(token)
+                    .or_default()
+                    .entry(crit)
+                    .or_default()
+                    .insert(address);
+            }
+        }
+
+        // Live set (non-indexed liquidatable accounts).
+        if liquidatable {
+            self.live.insert(address);
+        } else {
+            self.live.remove(&address);
+        }
+
+        if exists {
+            let entry = self.entries.get_mut(&address).expect("entry exists");
+            entry.tokens = new_tokens;
+            entry.debt_tokens = new_debt_tokens;
+            // Recycle the previous exposure buffers as scratch space.
+            self.scratch_tokens = old_tokens;
+            self.scratch_debt_tokens = old_debt_list;
+        } else {
+            self.entries.remove(&address);
+            self.scratch_tokens = new_tokens;
+            self.scratch_debt_tokens = new_debt_tokens;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defi_core::position::{CollateralHolding, DebtHolding};
+    use defi_oracle::OracleConfig;
+    use defi_types::mul_div_ceil;
+
+    /// A toy single-collateral protocol: account `i` holds `collateral[i]`
+    /// ETH against a fixed par-valued debt, liquidatable below
+    /// `debt × 1.5 / collateral` — the Maker shape, small enough to verify
+    /// the book's bookkeeping in isolation.
+    struct ToySource {
+        accounts: BTreeMap<Address, (Wad, Wad)>, // collateral ETH, par debt
+    }
+
+    impl ToySource {
+        fn ratio() -> Wad {
+            Wad::from_f64(1.5)
+        }
+    }
+
+    impl BookSource for ToySource {
+        fn fill_position(
+            &self,
+            oracle: &PriceOracle,
+            account: Address,
+            slot: &mut Position,
+        ) -> bool {
+            let Some(&(collateral, debt)) = self.accounts.get(&account) else {
+                return false;
+            };
+            slot.collateral.clear();
+            slot.debt.clear();
+            slot.owner = account;
+            if !collateral.is_zero() {
+                let price = oracle.price_or_zero(Token::ETH);
+                slot.collateral.push(CollateralHolding {
+                    token: Token::ETH,
+                    amount: collateral,
+                    value_usd: collateral.checked_mul(price).unwrap_or(Wad::ZERO),
+                    liquidation_threshold: Wad::ONE.checked_div(Self::ratio()).unwrap_or(Wad::ZERO),
+                    liquidation_spread: Wad::from_f64(0.13),
+                });
+            }
+            if !debt.is_zero() {
+                slot.debt.push(DebtHolding {
+                    token: Token::DAI,
+                    amount: debt,
+                    value_usd: debt,
+                });
+            }
+            !slot.collateral.is_empty() || !slot.debt.is_empty()
+        }
+
+        fn in_book(&self, _position: &Position) -> bool {
+            true
+        }
+
+        fn sensitive_tokens(&self, position: &Position, out: &mut Vec<Token>) {
+            for holding in &position.collateral {
+                out.push(holding.token);
+            }
+        }
+
+        fn debt_tokens(&self, _position: &Position, _out: &mut Vec<Token>) {}
+
+        fn critical_price(&self, account: Address, _position: &Position) -> Option<(Token, u128)> {
+            let &(collateral, debt) = self.accounts.get(&account)?;
+            if collateral.is_zero() || debt.is_zero() {
+                return None;
+            }
+            let required = debt.checked_mul(Self::ratio()).unwrap_or(Wad::MAX);
+            let crit = mul_div_ceil(required.raw(), defi_types::WAD, collateral.raw())
+                .unwrap_or(u128::MAX);
+            Some((Token::ETH, crit))
+        }
+    }
+
+    fn setup(n: u64) -> (ToySource, PositionBook, PriceOracle) {
+        let mut source = ToySource {
+            accounts: BTreeMap::new(),
+        };
+        let mut book = PositionBook::new();
+        for i in 0..n {
+            let address = Address::from_seed(i);
+            // Collateralization spreads from 150.1 % upwards.
+            let collateral = Wad::from_int(10);
+            let debt = Wad::from_f64(10.0 * 100.0 / (1.501 + i as f64 * 0.05));
+            source.accounts.insert(address, (collateral, debt));
+            book.mark_dirty(address);
+        }
+        let mut oracle = PriceOracle::new(OracleConfig::every_update());
+        oracle.set_price(0, Token::ETH, Wad::from_int(100));
+        (source, book, oracle)
+    }
+
+    #[test]
+    fn range_scan_flags_exactly_the_crossed_accounts() {
+        let (source, mut book, mut oracle) = setup(20);
+        assert!(book.liquidatable_accounts(&source, &oracle).is_empty());
+        // Drop ETH until some collateralizations fall below 150 %.
+        oracle.set_price(1, Token::ETH, Wad::from_int(90));
+        let flagged = book.liquidatable_accounts(&source, &oracle);
+        let expected: Vec<Address> = source
+            .accounts
+            .iter()
+            .filter(|(_, (c, d))| {
+                let value = c.checked_mul(oracle.price_or_zero(Token::ETH)).unwrap();
+                value < d.checked_mul(ToySource::ratio()).unwrap()
+            })
+            .map(|(a, _)| *a)
+            .collect();
+        assert_eq!(flagged, expected);
+        assert!(!flagged.is_empty());
+        assert!(flagged.len() < source.accounts.len());
+    }
+
+    #[test]
+    fn price_moves_do_not_revalue_indexed_accounts() {
+        let (source, mut book, mut oracle) = setup(50);
+        book.liquidatable_accounts(&source, &oracle);
+        let after_build = book.stats().revaluations;
+        assert_eq!(after_build, 50);
+        // A small move that crosses nobody (the tightest account's critical
+        // price is ≈ 99.93): discovery re-values nothing.
+        oracle.set_price(1, Token::ETH, Wad::from_f64(99.95));
+        assert!(book.liquidatable_accounts(&source, &oracle).is_empty());
+        assert_eq!(book.stats().revaluations, after_build);
+        // A crossing move re-values exactly the returned accounts.
+        oracle.set_price(2, Token::ETH, Wad::from_int(88));
+        let flagged = book.liquidatable_accounts(&source, &oracle);
+        assert!(!flagged.is_empty());
+        assert_eq!(
+            book.stats().revaluations,
+            after_build + flagged.len() as u64
+        );
+        // A full snapshot then freshens the remaining stale valuations once.
+        let positions = book.book_positions(&source, &oracle);
+        assert_eq!(positions.len(), 50);
+        assert_eq!(book.stats().revaluations, after_build + 50);
+        // …and a repeated snapshot re-values nothing at all.
+        let again = book.book_positions(&source, &oracle);
+        assert_eq!(again, positions);
+        assert_eq!(book.stats().revaluations, after_build + 50);
+    }
+
+    #[test]
+    fn totals_track_mutations_and_removals() {
+        let (mut source, mut book, oracle) = setup(10);
+        let totals = book.totals(&source, &oracle);
+        assert_eq!(totals.open_positions, 10);
+        assert_eq!(totals.collateral_usd, Wad::from_int(10 * 10 * 100));
+
+        // Remove one account, repay another's debt.
+        let gone = Address::from_seed(3);
+        source.accounts.remove(&gone);
+        book.mark_dirty(gone);
+        let repaid = Address::from_seed(4);
+        source.accounts.get_mut(&repaid).unwrap().1 = Wad::ZERO;
+        book.mark_dirty(repaid);
+
+        let totals = book.totals(&source, &oracle);
+        assert_eq!(totals.open_positions, 9);
+        assert_eq!(totals.collateral_usd, Wad::from_int(9 * 10 * 100));
+        let manual_debt: Wad = source
+            .accounts
+            .values()
+            .fold(Wad::ZERO, |acc, (_, d)| acc.saturating_add(*d));
+        assert_eq!(totals.debt_usd, manual_debt);
+        assert!(book.cached_position(gone).is_none());
+    }
+
+    #[test]
+    fn oracle_rewind_is_detected_and_invalidates_everything() {
+        let (source, mut book, mut oracle) = setup(5);
+        oracle.set_price(1, Token::ETH, Wad::from_int(120));
+        book.book_positions(&source, &oracle);
+        let baseline = book.stats().revaluations;
+        // A *different* oracle instance whose epoch sits behind the one the
+        // book synced to: the book cannot trust any cached valuation.
+        let mut other = PriceOracle::new(OracleConfig::every_update());
+        other.set_price(0, Token::ETH, Wad::from_int(250));
+        assert!(other.epoch() < oracle.epoch());
+        let positions = book.book_positions(&source, &other);
+        assert_eq!(book.stats().revaluations, baseline + 5);
+        assert!(positions
+            .iter()
+            .all(|p| p.total_collateral_value() == Wad::from_int(2_500)));
+    }
+}

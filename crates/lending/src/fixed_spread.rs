@@ -17,6 +17,7 @@ use defi_core::position::{CollateralHolding, DebtHolding, Position};
 use defi_oracle::PriceOracle;
 use defi_types::{Address, BlockNumber, Platform, Token, Wad};
 
+use crate::book::{BookSource, BookStats, BookTotals, PositionBook};
 use crate::error::ProtocolError;
 use crate::interest::{utilization, BorrowIndex, InterestRateModel};
 
@@ -34,6 +35,14 @@ pub struct FixedSpreadConfig {
     /// Whether an insurance fund absorbs under-collateralized (Type I)
     /// positions, as dYdX does (§4.4.2).
     pub insurance_fund: bool,
+    /// Residual scaled debt (raw 18-decimal units) below which a repayment is
+    /// treated as full and written off: interest-index truncation can leave a
+    /// few raw units behind an otherwise complete repayment, and such dust
+    /// positions would linger in the book with an unrepresentable health
+    /// factor. The same tolerance absorbs close-factor rounding dust on
+    /// liquidation requests. [`DEFAULT_DEBT_DUST`] (10⁻¹⁵ tokens) reproduces
+    /// the paper setup; dust-sensitivity experiments can dial it.
+    pub debt_dust: Wad,
 }
 
 /// One listed market.
@@ -83,9 +92,14 @@ impl Market {
         utilization(self.available_liquidity, self.total_debt())
     }
 
-    fn accrue(&mut self, block: BlockNumber) {
+    /// Accrue up to `block`; returns whether the borrow index actually moved
+    /// (the owning pool's valuation cache invalidates the market's debtors
+    /// exactly when it did).
+    fn accrue(&mut self, block: BlockNumber) -> bool {
+        let before = self.index.index;
         let u = self.utilization();
         self.index.accrue(&self.rate_model, u, block);
+        self.index.index != before
     }
 }
 
@@ -127,11 +141,9 @@ impl LiquidationReceipt {
     }
 }
 
-/// Residual scaled debt (raw 18-decimal units, i.e. 10⁻¹⁵ tokens) below
-/// which a repayment is treated as full: interest-index truncation can leave
-/// a few raw units behind an otherwise complete repayment, and such dust
-/// positions would linger in the book with an unrepresentable health factor.
-const DEBT_DUST: Wad = Wad::from_raw(1_000);
+/// Default residual-scaled-debt write-off threshold (raw 18-decimal units,
+/// i.e. 10⁻¹⁵ tokens) — see [`FixedSpreadConfig::debt_dust`].
+pub const DEFAULT_DEBT_DUST: Wad = Wad::from_raw(1_000);
 
 /// The fixed-spread lending pool.
 #[derive(Debug, Clone)]
@@ -144,6 +156,117 @@ pub struct FixedSpreadProtocol {
     last_liquidation_block: HashMap<Address, BlockNumber>,
     /// Cumulative debt written off by the insurance fund (USD, diagnostics).
     pub insurance_written_off: Wad,
+    /// Incremental valuation cache (see [`crate::book`]).
+    book: PositionBook,
+}
+
+/// Borrow-view of the pool state handed to the [`PositionBook`]: the book is
+/// a sibling field, so re-valuations read the pool through this view while
+/// the book itself is mutated.
+struct FixedSpreadView<'a> {
+    platform: Platform,
+    markets: &'a BTreeMap<Token, Market>,
+    accounts: &'a HashMap<Address, Account>,
+}
+
+impl BookSource for FixedSpreadView<'_> {
+    fn fill_position(&self, oracle: &PriceOracle, account: Address, slot: &mut Position) -> bool {
+        let Some(state) = self.accounts.get(&account) else {
+            return false;
+        };
+        if state.is_empty() {
+            // The legacy `positions()` rebuild skips emptied accounts.
+            return false;
+        }
+        fill_position_from(self.platform, self.markets, state, oracle, account, slot)
+    }
+
+    fn in_book(&self, position: &Position) -> bool {
+        // The observable book reports accounts that actually borrow.
+        !position.total_debt_value().is_zero()
+    }
+
+    fn sensitive_tokens(&self, position: &Position, out: &mut Vec<Token>) {
+        for holding in &position.collateral {
+            if !out.contains(&holding.token) {
+                out.push(holding.token);
+            }
+        }
+        for holding in &position.debt {
+            if !out.contains(&holding.token) {
+                out.push(holding.token);
+            }
+        }
+    }
+
+    fn debt_tokens(&self, position: &Position, out: &mut Vec<Token>) {
+        for holding in &position.debt {
+            if !out.contains(&holding.token) {
+                out.push(holding.token);
+            }
+        }
+    }
+
+    fn critical_price(&self, _account: Address, _position: &Position) -> Option<(Token, u128)> {
+        // A fixed-spread health factor is never a function of one price
+        // alone: collateral and debt tokens are valued at floating oracle
+        // prices, and the borrow index accrues per block — a single-token
+        // position (same collateral and debt asset) has a price-independent
+        // HF anyway. The dirty/live-set path is the exact mechanism here; the
+        // critical-price index serves par-debt mechanisms (Maker).
+        None
+    }
+}
+
+/// Build `slot` in place as the account's valuation snapshot. This is *the*
+/// valuation code path: the public [`FixedSpreadProtocol::position`] and the
+/// incremental book both route through it, which is what keeps cached entries
+/// byte-identical to from-scratch rebuilds. Returns `false` when a held
+/// token's market is missing (the legacy rebuild drops such accounts).
+fn fill_position_from(
+    platform: Platform,
+    markets: &BTreeMap<Token, Market>,
+    state: &Account,
+    oracle: &PriceOracle,
+    account: Address,
+    slot: &mut Position,
+) -> bool {
+    slot.owner = account;
+    slot.platform = Some(platform);
+    slot.collateral.clear();
+    slot.debt.clear();
+    for (&token, &amount) in &state.collateral {
+        if amount.is_zero() {
+            continue;
+        }
+        let Some(market) = markets.get(&token) else {
+            return false;
+        };
+        let price = oracle.price_or_zero(token);
+        slot.collateral.push(CollateralHolding {
+            token,
+            amount,
+            value_usd: amount.checked_mul(price).unwrap_or(Wad::ZERO),
+            liquidation_threshold: market.liquidation_threshold,
+            liquidation_spread: market.liquidation_spread,
+        });
+    }
+    for (&token, &scaled) in &state.scaled_debt {
+        if scaled.is_zero() {
+            continue;
+        }
+        let Some(market) = markets.get(&token) else {
+            return false;
+        };
+        let amount = market.index.scale_up(scaled);
+        let price = oracle.price_or_zero(token);
+        slot.debt.push(DebtHolding {
+            token,
+            amount,
+            value_usd: amount.checked_mul(price).unwrap_or(Wad::ZERO),
+        });
+    }
+    true
 }
 
 impl FixedSpreadProtocol {
@@ -157,7 +280,21 @@ impl FixedSpreadProtocol {
             accounts: HashMap::new(),
             last_liquidation_block: HashMap::new(),
             insurance_written_off: Wad::ZERO,
+            book: PositionBook::new(),
         }
+    }
+
+    /// Split the pool into its valuation cache and the read-view the cache
+    /// re-values accounts through.
+    fn split_book(&mut self) -> (&mut PositionBook, FixedSpreadView<'_>) {
+        (
+            &mut self.book,
+            FixedSpreadView {
+                platform: self.config.platform,
+                markets: &self.markets,
+                accounts: &self.accounts,
+            },
+        )
     }
 
     /// The protocol configuration.
@@ -176,7 +313,9 @@ impl FixedSpreadProtocol {
         self.config.one_liquidation_per_block = enabled;
     }
 
-    /// List a market.
+    /// List a market. Re-listing an existing token replaces its risk
+    /// parameters, which changes every cached valuation's thresholds — the
+    /// whole book re-values.
     pub fn list_market(
         &mut self,
         token: Token,
@@ -184,6 +323,7 @@ impl FixedSpreadProtocol {
         rate_model: InterestRateModel,
         block: BlockNumber,
     ) {
+        self.book.invalidate_all();
         self.markets
             .insert(token, Market::new(token, params, rate_model, block));
     }
@@ -207,10 +347,13 @@ impl FixedSpreadProtocol {
         })
     }
 
-    /// Accrue interest in every market up to `block`.
+    /// Accrue interest in every market up to `block`. Markets whose borrow
+    /// index actually moved invalidate their debtors in the valuation cache.
     pub fn accrue_all(&mut self, block: BlockNumber) {
-        for market in self.markets.values_mut() {
-            market.accrue(block);
+        for (token, market) in self.markets.iter_mut() {
+            if market.accrue(block) {
+                self.book.note_index_change(*token);
+            }
         }
     }
 
@@ -253,6 +396,7 @@ impl FixedSpreadProtocol {
             .entry(token)
             .or_insert(Wad::ZERO);
         *entry = entry.saturating_add(amount);
+        self.book.mark_dirty(account);
         events.push(ChainEvent::Deposit {
             platform: self.config.platform,
             account,
@@ -298,6 +442,7 @@ impl FixedSpreadProtocol {
         }
         let market = self.market_mut(token)?;
         market.available_liquidity = market.available_liquidity.saturating_sub(amount);
+        self.book.mark_dirty(account);
         ledger.transfer(self.pool_address, account, token, amount)?;
         Ok(())
     }
@@ -315,13 +460,19 @@ impl FixedSpreadProtocol {
         amount: Wad,
     ) -> Result<(), ProtocolError> {
         {
-            let market = self.market_mut(token)?;
-            market.accrue(block);
-            if market.available_liquidity < amount {
+            let (index_moved, available) = {
+                let market = self.market_mut(token)?;
+                (market.accrue(block), market.available_liquidity)
+            };
+            if index_moved {
+                // Recorded before any error path: the accrual persisted.
+                self.book.note_index_change(token);
+            }
+            if available < amount {
                 return Err(ProtocolError::InsufficientLiquidity {
                     token,
                     requested: amount,
-                    available: market.available_liquidity,
+                    available,
                 });
             }
         }
@@ -351,6 +502,7 @@ impl FixedSpreadProtocol {
             .entry(token)
             .or_insert(Wad::ZERO);
         *entry = entry.saturating_add(scaled);
+        self.book.mark_dirty(account);
 
         ledger.transfer(self.pool_address, account, token, amount)?;
         events.push(ChainEvent::Borrow {
@@ -377,8 +529,13 @@ impl FixedSpreadProtocol {
         amount: Wad,
     ) -> Result<Wad, ProtocolError> {
         {
-            let market = self.market_mut(token)?;
-            market.accrue(block);
+            let index_moved = {
+                let market = self.market_mut(token)?;
+                market.accrue(block)
+            };
+            if index_moved {
+                self.book.note_index_change(token);
+            }
         }
         let outstanding = self.debt_of(account, token);
         if outstanding.is_zero() {
@@ -393,6 +550,7 @@ impl FixedSpreadProtocol {
         let repaid = amount;
         ledger.transfer(account, self.pool_address, token, repaid)?;
         self.reduce_debt(account, token, repaid);
+        self.book.mark_dirty(account);
         let market = self.market_mut(token)?;
         market.available_liquidity = market.available_liquidity.saturating_add(repaid);
         events.push(ChainEvent::Repay {
@@ -427,6 +585,7 @@ impl FixedSpreadProtocol {
             None => return,
         };
         let scaled = index.scale_down(amount);
+        let dust = self.config.debt_dust;
         let mut dust_written_off = Wad::ZERO;
         if let Some(acct) = self.accounts.get_mut(&account) {
             if let Some(entry) = acct.scaled_debt.get_mut(&token) {
@@ -435,7 +594,7 @@ impl FixedSpreadProtocol {
                 // truncate to a few raw units of residual debt. Write the
                 // dust off so "fully repaid" really is zero — otherwise the
                 // account lingers in the position book with sub-wei debt.
-                if *entry <= DEBT_DUST {
+                if *entry <= dust {
                     dust_written_off = *entry;
                     *entry = Wad::ZERO;
                 }
@@ -472,41 +631,25 @@ impl FixedSpreadProtocol {
     }
 
     /// The valuation snapshot of one account, or `None` if the account has
-    /// never interacted with the pool.
+    /// never interacted with the pool. Always computed from scratch — this is
+    /// the reference path the incremental book is tested against.
     pub fn position(&self, oracle: &PriceOracle, account: Address) -> Option<Position> {
         let state = self.accounts.get(&account)?;
-        let mut position = Position::new(account).on_platform(self.config.platform);
-        for (&token, &amount) in &state.collateral {
-            if amount.is_zero() {
-                continue;
-            }
-            let market = self.markets.get(&token)?;
-            let price = oracle.price_or_zero(token);
-            position = position.with_collateral(CollateralHolding {
-                token,
-                amount,
-                value_usd: amount.checked_mul(price).unwrap_or(Wad::ZERO),
-                liquidation_threshold: market.liquidation_threshold,
-                liquidation_spread: market.liquidation_spread,
-            });
-        }
-        for (&token, &scaled) in &state.scaled_debt {
-            if scaled.is_zero() {
-                continue;
-            }
-            let market = self.markets.get(&token)?;
-            let amount = market.index.scale_up(scaled);
-            let price = oracle.price_or_zero(token);
-            position = position.with_debt(DebtHolding {
-                token,
-                amount,
-                value_usd: amount.checked_mul(price).unwrap_or(Wad::ZERO),
-            });
-        }
-        Some(position)
+        let mut position = Position::new(account);
+        fill_position_from(
+            self.config.platform,
+            &self.markets,
+            state,
+            oracle,
+            account,
+            &mut position,
+        )
+        .then_some(position)
     }
 
-    /// Valuation snapshots of every account with a non-empty position.
+    /// Valuation snapshots of every account with a non-empty position,
+    /// rebuilt from scratch (the reference path; the engine reads the
+    /// incremental [`cached_book`](FixedSpreadProtocol::cached_book)).
     pub fn positions(&self, oracle: &PriceOracle) -> Vec<Position> {
         let mut addresses: Vec<Address> = self
             .accounts
@@ -521,7 +664,8 @@ impl FixedSpreadProtocol {
             .collect()
     }
 
-    /// Accounts whose health factor is below 1 at current oracle prices.
+    /// Accounts whose health factor is below 1 at current oracle prices,
+    /// rebuilt from scratch (reference path for the incremental book).
     pub fn liquidatable_accounts(&self, oracle: &PriceOracle) -> Vec<Address> {
         self.positions(oracle)
             .into_iter()
@@ -537,20 +681,61 @@ impl FixedSpreadProtocol {
             .unwrap_or(false)
     }
 
-    /// Total USD value of collateral deposited in the pool.
-    pub fn total_collateral_value(&self, oracle: &PriceOracle) -> Wad {
-        self.positions(oracle)
-            .iter()
-            .map(|p| p.total_collateral_value())
-            .fold(Wad::ZERO, |acc, v| acc.saturating_add(v))
+    // ------------------------------------------------------- incremental book
+
+    /// The observable book (borrowing accounts) served from the incremental
+    /// cache: only accounts whose inputs changed since the last query
+    /// re-value.
+    pub fn cached_book(&mut self, oracle: &PriceOracle) -> Vec<Position> {
+        let (book, view) = self.split_book();
+        book.book_positions(&view, oracle)
     }
 
-    /// Total USD value of outstanding debt.
-    pub fn total_debt_value(&self, oracle: &PriceOracle) -> Wad {
-        self.positions(oracle)
-            .iter()
-            .map(|p| p.total_debt_value())
-            .fold(Wad::ZERO, |acc, v| acc.saturating_add(v))
+    /// Visit every observable book position without materialising a snapshot
+    /// vector (the engine's borrower-management pass).
+    pub fn for_each_book_position(
+        &mut self,
+        oracle: &PriceOracle,
+        visit: &mut dyn FnMut(&Position),
+    ) {
+        let (book, view) = self.split_book();
+        book.for_each_book_position(&view, oracle, visit);
+    }
+
+    /// Liquidatable accounts with fresh cached snapshots, in address order.
+    pub fn cached_liquidatable_accounts(&mut self, oracle: &PriceOracle) -> Vec<Address> {
+        let (book, view) = self.split_book();
+        book.liquidatable_accounts(&view, oracle)
+    }
+
+    /// Running aggregate totals over the observable book (volume sampling).
+    pub fn book_totals(&mut self, oracle: &PriceOracle) -> BookTotals {
+        let (book, view) = self.split_book();
+        book.totals(&view, oracle)
+    }
+
+    /// The cached snapshot of one account (exact after any cached query).
+    pub fn cached_position(&self, account: Address) -> Option<&Position> {
+        self.book.cached_position(account)
+    }
+
+    /// Cache-maintenance counters (scale benchmarks, no-op-tick tests).
+    pub fn book_stats(&self) -> BookStats {
+        self.book.stats()
+    }
+
+    /// Total USD value of collateral deposited in the pool (running total
+    /// maintained by the incremental book).
+    pub fn total_collateral_value(&mut self, oracle: &PriceOracle) -> Wad {
+        let (book, view) = self.split_book();
+        book.all_totals(&view, oracle).0
+    }
+
+    /// Total USD value of outstanding debt (running total maintained by the
+    /// incremental book).
+    pub fn total_debt_value(&mut self, oracle: &PriceOracle) -> Wad {
+        let (book, view) = self.split_book();
+        book.all_totals(&view, oracle).1
     }
 
     // ------------------------------------------------------------- liquidation
@@ -584,8 +769,13 @@ impl FixedSpreadProtocol {
         }
         // Accrue interest on the debt market before measuring anything.
         {
-            let market = self.market_mut(debt_token)?;
-            market.accrue(block);
+            let index_moved = {
+                let market = self.market_mut(debt_token)?;
+                market.accrue(block)
+            };
+            if index_moved {
+                self.book.note_index_change(debt_token);
+            }
         }
         if !self.markets.contains_key(&collateral_token) {
             return Err(ProtocolError::MarketNotListed(collateral_token));
@@ -608,9 +798,11 @@ impl FixedSpreadProtocol {
         // A repayment above the close-factor cap (or an empty one) is a
         // typed error, not a silent clamp: the caller's claim calculation
         // would otherwise diverge from what actually settles. Requests within
-        // interest-index rounding dust of the cap (≤ 10⁻¹⁵ tokens over) are
-        // the "repay exactly half the nominal borrow" pattern and clamp.
-        if repay_amount > max_repay.saturating_add(DEBT_DUST) || repay_amount.is_zero() {
+        // interest-index rounding dust of the cap (the configured
+        // `debt_dust`) are the "repay exactly half the nominal borrow"
+        // pattern and clamp.
+        if repay_amount > max_repay.saturating_add(self.config.debt_dust) || repay_amount.is_zero()
+        {
             return Err(ProtocolError::ExceedsCloseFactor {
                 max_repay,
                 requested: repay_amount,
@@ -672,6 +864,7 @@ impl FixedSpreadProtocol {
             market.available_liquidity =
                 market.available_liquidity.saturating_sub(collateral_tokens);
         }
+        self.book.mark_dirty(borrower);
         self.last_liquidation_block.insert(borrower, block);
 
         let debt_repaid_usd = repay
@@ -729,6 +922,7 @@ impl FixedSpreadProtocol {
                     }
                 }
             }
+            self.book.mark_dirty(address);
         }
         self.insurance_written_off = self.insurance_written_off.saturating_add(written_off);
         written_off
@@ -751,6 +945,7 @@ mod tests {
             close_factor: Wad::from_f64(0.5),
             one_liquidation_per_block: false,
             insurance_fund: false,
+            debt_dust: DEFAULT_DEBT_DUST,
         });
         protocol.list_market(
             Token::ETH,
@@ -1147,5 +1342,154 @@ mod tests {
         assert_eq!(protocol.account_count(), 2);
         assert!(protocol.total_collateral_value(&oracle) > Wad::from_int(1_000_000));
         assert_eq!(protocol.liquidatable_accounts(&oracle).len(), 0);
+    }
+
+    /// The incremental book serves byte-identical snapshots to the
+    /// from-scratch rebuild, and a tick where nothing moved re-values
+    /// nothing (the no-op-tick acceptance gate).
+    #[test]
+    fn cached_book_matches_scratch_and_skips_noop_ticks() {
+        let (mut protocol, mut ledger, mut oracle, mut events) = setup();
+        let borrower = paper_borrower(&mut protocol, &mut ledger, &oracle, &mut events);
+
+        let cached = protocol.cached_book(&oracle);
+        let scratch: Vec<Position> = protocol
+            .positions(&oracle)
+            .into_iter()
+            .filter(|p| !p.total_debt_value().is_zero())
+            .collect();
+        assert_eq!(cached, scratch);
+
+        // No price moved, no op ran, no interest accrued: discovery and the
+        // book answer from cache without a single re-valuation.
+        let before = protocol.book_stats().revaluations;
+        assert!(protocol.cached_liquidatable_accounts(&oracle).is_empty());
+        let again = protocol.cached_book(&oracle);
+        assert_eq!(protocol.book_stats().revaluations, before);
+        assert_eq!(again, cached);
+
+        // A crash re-flags exactly what the scratch filter flags…
+        oracle.set_price(2, Token::ETH, Wad::from_int(3_300));
+        let cached_flagged = protocol.cached_liquidatable_accounts(&oracle);
+        let scratch_flagged = protocol.liquidatable_accounts(&oracle);
+        assert_eq!(cached_flagged, scratch_flagged);
+        assert_eq!(cached_flagged, vec![borrower]);
+
+        // …and the running totals equal the legacy folds.
+        let totals = protocol.book_totals(&oracle);
+        let scratch_book: Vec<Position> = protocol
+            .positions(&oracle)
+            .into_iter()
+            .filter(|p| !p.total_debt_value().is_zero())
+            .collect();
+        let fold = scratch_book
+            .iter()
+            .map(|p| p.total_collateral_value())
+            .fold(Wad::ZERO, |acc, v| acc.saturating_add(v));
+        assert_eq!(totals.collateral_usd, fold);
+        assert_eq!(totals.open_positions as usize, scratch_book.len());
+        let all = protocol
+            .positions(&oracle)
+            .iter()
+            .map(|p| p.total_collateral_value())
+            .fold(Wad::ZERO, |acc, v| acc.saturating_add(v));
+        assert_eq!(protocol.total_collateral_value(&oracle), all);
+    }
+
+    /// Re-listing a market replaces risk parameters of existing positions,
+    /// so it must invalidate the whole cache.
+    #[test]
+    fn relisting_a_market_invalidates_cached_valuations() {
+        let (mut protocol, mut ledger, oracle, mut events) = setup();
+        let borrower = paper_borrower(&mut protocol, &mut ledger, &oracle, &mut events);
+        assert!(protocol.cached_liquidatable_accounts(&oracle).is_empty());
+        // Governance tightens the ETH liquidation threshold to 50 %.
+        protocol.list_market(
+            Token::ETH,
+            RiskParams::new(0.5, 0.10, 0.5),
+            InterestRateModel::default(),
+            0,
+        );
+        let cached = protocol.cached_liquidatable_accounts(&oracle);
+        let scratch = protocol.liquidatable_accounts(&oracle);
+        assert_eq!(cached, scratch);
+        assert_eq!(cached, vec![borrower]);
+        assert_eq!(protocol.cached_book(&oracle), {
+            let filtered: Vec<Position> = protocol
+                .positions(&oracle)
+                .into_iter()
+                .filter(|p| !p.total_debt_value().is_zero())
+                .collect();
+            filtered
+        });
+    }
+
+    /// The `debt_dust` knob controls the residual write-off threshold that
+    /// used to be a hard-wired constant.
+    #[test]
+    fn debt_dust_knob_controls_writeoff_threshold() {
+        // A deliberately huge dust tolerance of one whole token.
+        let mut config = FixedSpreadConfig {
+            platform: Platform::Compound,
+            close_factor: Wad::from_f64(0.5),
+            one_liquidation_per_block: false,
+            insurance_fund: false,
+            debt_dust: Wad::from_int(1),
+        };
+        let build = |config: FixedSpreadConfig| {
+            let mut protocol = FixedSpreadProtocol::new(config);
+            protocol.list_market(
+                Token::ETH,
+                RiskParams::new(0.8, 0.10, 0.5),
+                InterestRateModel::default(),
+                0,
+            );
+            protocol.list_market(
+                Token::USDC,
+                RiskParams::new(0.85, 0.05, 0.5),
+                InterestRateModel::stablecoin(),
+                0,
+            );
+            protocol
+        };
+        let run = |mut protocol: FixedSpreadProtocol| {
+            let mut oracle = PriceOracle::new(OracleConfig::every_update());
+            oracle.set_price(0, Token::ETH, Wad::from_int(3_500));
+            oracle.set_price(0, Token::USDC, Wad::ONE);
+            let mut ledger = Ledger::new();
+            let mut events = Vec::new();
+            let lender = Address::from_seed(1_000);
+            ledger.mint(lender, Token::USDC, Wad::from_int(1_000_000));
+            protocol
+                .deposit(
+                    &mut ledger,
+                    &mut events,
+                    lender,
+                    Token::USDC,
+                    Wad::from_int(1_000_000),
+                )
+                .unwrap();
+            let borrower = paper_borrower(&mut protocol, &mut ledger, &oracle, &mut events);
+            // Repay all but half a USDC: residue 0.5 tokens.
+            let outstanding = protocol.debt_of(borrower, Token::USDC);
+            let residue = Wad::from_f64(0.5);
+            protocol
+                .repay(
+                    &mut ledger,
+                    &mut events,
+                    1,
+                    borrower,
+                    Token::USDC,
+                    outstanding.saturating_sub(residue),
+                )
+                .unwrap();
+            protocol.debt_of(borrower, Token::USDC)
+        };
+        // One-token dust: the 0.5-token residue is written off as dust.
+        assert_eq!(run(build(config)), Wad::ZERO);
+        // Default dust (10⁻¹⁵ tokens): the residue survives.
+        config.debt_dust = DEFAULT_DEBT_DUST;
+        let remaining = run(build(config));
+        assert!(remaining > Wad::from_f64(0.49) && remaining < Wad::from_f64(0.51));
     }
 }

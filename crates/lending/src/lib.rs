@@ -21,12 +21,17 @@
 //!   mechanisms implement: one vocabulary for markets, positions,
 //!   liquidation-opportunity discovery and mechanism-specific execution, so
 //!   the engine can hold all five platforms behind `Box<dyn LendingProtocol>`.
+//! * [`book`] — the incremental [`PositionBook`] every implementation owns: a
+//!   dirty-tracked valuation cache (invalidated by account mutations, borrow
+//!   index accrual and oracle write epochs) plus a critical-price liquidation
+//!   index that turns discovery into a per-token range scan.
 //!
 //! All balance movements settle through the shared
 //! [`Ledger`](defi_chain::Ledger); protocols emit
 //! [`ChainEvent`](defi_chain::ChainEvent)s describing liquidations, auctions
 //! and flash loans, which is exactly the surface the analytics crate indexes.
 
+pub mod book;
 pub mod error;
 pub mod fixed_spread;
 pub mod flashloan;
@@ -35,8 +40,11 @@ pub mod maker;
 pub mod platforms;
 pub mod protocol;
 
+pub use book::{BookSource, BookStats, BookTotals, PositionBook};
 pub use error::ProtocolError;
-pub use fixed_spread::{FixedSpreadConfig, FixedSpreadProtocol, LiquidationReceipt, Market};
+pub use fixed_spread::{
+    FixedSpreadConfig, FixedSpreadProtocol, LiquidationReceipt, Market, DEFAULT_DEBT_DUST,
+};
 pub use flashloan::FlashLoanPool;
 pub use interest::InterestRateModel;
 pub use maker::{Auction, AuctionOutcome, Cdp, IlkParams, MakerProtocol};

@@ -25,8 +25,9 @@ use defi_chain::{AuctionId, AuctionPhase, ChainEvent, Ledger};
 use defi_core::mechanism::AuctionParams;
 use defi_core::position::{CollateralHolding, DebtHolding, Position};
 use defi_oracle::PriceOracle;
-use defi_types::{Address, BlockNumber, Platform, Token, Wad};
+use defi_types::{mul_div_ceil, Address, BlockNumber, Platform, Token, Wad, WAD};
 
+use crate::book::{BookSource, BookStats, BookTotals, PositionBook};
 use crate::error::ProtocolError;
 
 /// Per-collateral-type ("ilk") risk parameters.
@@ -149,6 +150,110 @@ pub struct MakerProtocol {
     auctions: BTreeMap<AuctionId, Auction>,
     auction_params: AuctionParams,
     next_auction_id: AuctionId,
+    /// Incremental valuation cache + critical-price liquidation index (see
+    /// [`crate::book`]).
+    book: PositionBook,
+}
+
+/// Borrow-view of the CDP state handed to the [`PositionBook`].
+struct MakerView<'a> {
+    ilks: &'a BTreeMap<Token, IlkParams>,
+    cdps: &'a HashMap<Address, Cdp>,
+}
+
+impl BookSource for MakerView<'_> {
+    fn fill_position(&self, oracle: &PriceOracle, account: Address, slot: &mut Position) -> bool {
+        let Some(cdp) = self.cdps.get(&account) else {
+            return false;
+        };
+        let Some(ilk) = self.ilks.get(&cdp.collateral_token) else {
+            return false;
+        };
+        if !fill_cdp_position(cdp, ilk, oracle, account, slot) {
+            return false;
+        }
+        // The legacy `positions()` rebuild drops emptied (post-bite) CDPs.
+        !slot.collateral.is_empty() || !slot.debt.is_empty()
+    }
+
+    fn in_book(&self, _position: &Position) -> bool {
+        // Maker's observable book is every open CDP.
+        true
+    }
+
+    fn sensitive_tokens(&self, position: &Position, out: &mut Vec<Token>) {
+        // DAI debt is valued at the vat's 1-USD par, so only the collateral
+        // price enters the valuation — which is what makes every CDP a
+        // single-price account the critical index can cover exactly.
+        for holding in &position.collateral {
+            if !out.contains(&holding.token) {
+                out.push(holding.token);
+            }
+        }
+    }
+
+    fn debt_tokens(&self, _position: &Position, _out: &mut Vec<Token>) {
+        // Stability fees accrue lazily in this model; no per-block index.
+    }
+
+    fn critical_price(&self, account: Address, _position: &Position) -> Option<(Token, u128)> {
+        let cdp = self.cdps.get(&account)?;
+        if cdp.debt.is_zero() || cdp.collateral.is_zero() {
+            return None;
+        }
+        let ilk = self.ilks.get(&cdp.collateral_token)?;
+        // Bite condition: collateral × p < debt × liquidation_ratio, with the
+        // truncating fixed-point multiply on the left. The exact threshold is
+        // crit = ⌈required × WAD / collateral⌉: the CDP is liquidatable iff
+        // the raw oracle price is strictly below it.
+        let required = cdp
+            .debt
+            .checked_mul(ilk.liquidation_ratio)
+            .unwrap_or(Wad::MAX);
+        let crit = mul_div_ceil(required.raw(), WAD, cdp.collateral.raw()).unwrap_or(u128::MAX);
+        Some((cdp.collateral_token, crit))
+    }
+}
+
+/// Build `slot` in place as the CDP's valuation snapshot — the one valuation
+/// code path shared by [`MakerProtocol::position`] and the incremental book.
+fn fill_cdp_position(
+    cdp: &Cdp,
+    ilk: &IlkParams,
+    oracle: &PriceOracle,
+    owner: Address,
+    slot: &mut Position,
+) -> bool {
+    slot.owner = owner;
+    slot.platform = Some(Platform::MakerDao);
+    slot.collateral.clear();
+    slot.debt.clear();
+    let price = oracle.price_or_zero(cdp.collateral_token);
+    let lt = Wad::ONE
+        .checked_div(ilk.liquidation_ratio)
+        .unwrap_or(Wad::from_f64(2.0 / 3.0));
+    if !cdp.collateral.is_zero() {
+        slot.collateral.push(CollateralHolding {
+            token: cdp.collateral_token,
+            amount: cdp.collateral,
+            value_usd: cdp.collateral.checked_mul(price).unwrap_or(Wad::ZERO),
+            liquidation_threshold: lt,
+            liquidation_spread: ilk.liquidation_penalty,
+        });
+    }
+    if !cdp.debt.is_zero() {
+        // The vat accounts DAI at its 1-USD par price: the contracts are
+        // oblivious to DAI's market price, so valuing the debt at par is
+        // what makes HF < 1 coincide *exactly* with the bite condition
+        // (collateral value < debt × liquidation ratio) even while DAI
+        // trades off peg.
+        slot.debt.push(DebtHolding {
+            token: Token::DAI,
+            amount: cdp.debt,
+            value_usd: cdp.debt,
+        });
+    }
+    true
 }
 
 impl MakerProtocol {
@@ -161,7 +266,19 @@ impl MakerProtocol {
             auctions: BTreeMap::new(),
             auction_params,
             next_auction_id: 1,
+            book: PositionBook::new(),
         }
+    }
+
+    /// Split into the valuation cache and the read-view it re-values through.
+    fn split_book(&mut self) -> (&mut PositionBook, MakerView<'_>) {
+        (
+            &mut self.book,
+            MakerView {
+                ilks: &self.ilks,
+                cdps: &self.cdps,
+            },
+        )
     }
 
     /// The auction parameters currently in force.
@@ -175,8 +292,11 @@ impl MakerProtocol {
         self.auction_params = params;
     }
 
-    /// Register a collateral type.
+    /// Register a collateral type. Re-listing an existing ilk replaces its
+    /// risk parameters, which changes every cached valuation's thresholds —
+    /// the whole book re-values.
     pub fn list_ilk(&mut self, token: Token, params: IlkParams) {
+        self.book.invalidate_all();
         self.ilks.insert(token, params);
     }
 
@@ -246,6 +366,7 @@ impl MakerProtocol {
         }
         cdp.collateral_token = token;
         cdp.collateral = cdp.collateral.saturating_add(amount);
+        self.book.mark_dirty(owner);
         events.push(ChainEvent::Deposit {
             platform: Platform::MakerDao,
             account: owner,
@@ -293,6 +414,7 @@ impl MakerProtocol {
         // Mint DAI to the owner.
         ledger.mint(owner, Token::DAI, amount);
         self.cdps.get_mut(&owner).expect("checked").debt = new_debt;
+        self.book.mark_dirty(owner);
         events.push(ChainEvent::Borrow {
             platform: Platform::MakerDao,
             borrower: owner,
@@ -324,6 +446,7 @@ impl MakerProtocol {
         let repaid = amount;
         ledger.burn(owner, Token::DAI, repaid)?;
         cdp.debt = cdp.debt.saturating_sub(repaid);
+        self.book.mark_dirty(owner);
         events.push(ChainEvent::Repay {
             platform: Platform::MakerDao,
             borrower: owner,
@@ -369,6 +492,7 @@ impl MakerProtocol {
         let token = cdp.collateral_token;
         ledger.transfer(self.pool_address, owner, token, amount)?;
         self.cdps.get_mut(&owner).expect("checked").collateral -= amount;
+        self.book.mark_dirty(owner);
         Ok(())
     }
 
@@ -409,40 +533,18 @@ impl MakerProtocol {
 
     /// Valuation snapshot of one CDP as a generic [`Position`] (the LT used
     /// is the inverse of the liquidation ratio, so HF < 1 coincides with the
-    /// CDP liquidation condition).
+    /// CDP liquidation condition). Always computed from scratch — the
+    /// reference path the incremental book is tested against.
     pub fn position(&self, oracle: &PriceOracle, owner: Address) -> Option<Position> {
         let cdp = self.cdps.get(&owner)?;
         let ilk = self.ilks.get(&cdp.collateral_token)?;
-        let price = oracle.price_or_zero(cdp.collateral_token);
-        let lt = Wad::ONE
-            .checked_div(ilk.liquidation_ratio)
-            .unwrap_or(Wad::from_f64(2.0 / 3.0));
-        let mut position = Position::new(owner).on_platform(Platform::MakerDao);
-        if !cdp.collateral.is_zero() {
-            position = position.with_collateral(CollateralHolding {
-                token: cdp.collateral_token,
-                amount: cdp.collateral,
-                value_usd: cdp.collateral.checked_mul(price).unwrap_or(Wad::ZERO),
-                liquidation_threshold: lt,
-                liquidation_spread: ilk.liquidation_penalty,
-            });
-        }
-        if !cdp.debt.is_zero() {
-            // The vat accounts DAI at its 1-USD par price: the contracts are
-            // oblivious to DAI's market price, so valuing the debt at par is
-            // what makes HF < 1 coincide *exactly* with the bite condition
-            // (collateral value < debt × liquidation ratio) even while DAI
-            // trades off peg.
-            position = position.with_debt(DebtHolding {
-                token: Token::DAI,
-                amount: cdp.debt,
-                value_usd: cdp.debt,
-            });
-        }
-        Some(position)
+        let mut position = Position::new(owner);
+        fill_cdp_position(cdp, ilk, oracle, owner, &mut position).then_some(position)
     }
 
-    /// Valuation snapshots of all CDPs.
+    /// Valuation snapshots of all CDPs, rebuilt from scratch (the reference
+    /// path; the engine reads the incremental
+    /// [`cached_book`](MakerProtocol::cached_book)).
     pub fn positions(&self, oracle: &PriceOracle) -> Vec<Position> {
         let mut owners: Vec<Address> = self.cdps.keys().copied().collect();
         owners.sort();
@@ -453,12 +555,69 @@ impl MakerProtocol {
             .collect()
     }
 
-    /// Total USD value of locked collateral.
-    pub fn total_collateral_value(&self, oracle: &PriceOracle) -> Wad {
-        self.positions(oracle)
-            .iter()
-            .map(|p| p.total_collateral_value())
-            .fold(Wad::ZERO, |acc, v| acc.saturating_add(v))
+    // ------------------------------------------------------- incremental book
+
+    /// All open CDPs served from the incremental cache.
+    pub fn cached_book(&mut self, oracle: &PriceOracle) -> Vec<Position> {
+        let (book, view) = self.split_book();
+        book.book_positions(&view, oracle)
+    }
+
+    /// Visit every open CDP without materialising a snapshot vector.
+    pub fn for_each_book_position(
+        &mut self,
+        oracle: &PriceOracle,
+        visit: &mut dyn FnMut(&Position),
+    ) {
+        let (book, view) = self.split_book();
+        book.for_each_book_position(&view, oracle, visit);
+    }
+
+    /// CDPs eligible for liquidation via the critical-price index: a range
+    /// scan over each collateral token's ordered threshold map instead of a
+    /// full-book filter. Exact — the thresholds replicate the bite condition
+    /// in the same fixed-point arithmetic — and re-values only the accounts
+    /// it returns.
+    pub fn cached_liquidatable_cdps(&mut self, oracle: &PriceOracle) -> Vec<Address> {
+        let candidates = {
+            let (book, view) = self.split_book();
+            book.liquidatable_accounts(&view, oracle)
+        };
+        // Belt and braces: re-check candidates through the reference bite
+        // condition so a threshold-map bug can only ever hide an account,
+        // never invent one. The two agree everywhere except when
+        // `collateral × price` overflows u128 fixed-point — a collateral
+        // valuation beyond ~3.4·10²⁰ USD, five orders of magnitude past the
+        // 10¹⁵-USD sanity ceiling the invariant observer already rejects as
+        // saturated arithmetic — so within the suite's representable domain
+        // the cached surface is exact.
+        candidates
+            .into_iter()
+            .filter(|owner| self.is_liquidatable(oracle, *owner))
+            .collect()
+    }
+
+    /// Running aggregate totals over the CDP book (volume sampling).
+    pub fn book_totals(&mut self, oracle: &PriceOracle) -> BookTotals {
+        let (book, view) = self.split_book();
+        book.totals(&view, oracle)
+    }
+
+    /// The cached snapshot of one CDP (exact after any cached query).
+    pub fn cached_position(&self, owner: Address) -> Option<&Position> {
+        self.book.cached_position(owner)
+    }
+
+    /// Cache-maintenance counters (scale benchmarks, no-op-tick tests).
+    pub fn book_stats(&self) -> BookStats {
+        self.book.stats()
+    }
+
+    /// Total USD value of locked collateral (running total maintained by the
+    /// incremental book).
+    pub fn total_collateral_value(&mut self, oracle: &PriceOracle) -> Wad {
+        let (book, view) = self.split_book();
+        book.all_totals(&view, oracle).0
     }
 
     // ------------------------------------------------------------ auction ops
@@ -516,6 +675,7 @@ impl MakerProtocol {
         // debt is being recovered through it.
         cdp.collateral = Wad::ZERO;
         cdp.debt = Wad::ZERO;
+        self.book.mark_dirty(borrower);
         self.auctions.insert(id, auction);
         Ok(id)
     }
@@ -1080,6 +1240,68 @@ mod tests {
         assert!(!position.is_liquidatable());
         assert_eq!(maker.positions(&oracle).len(), 1);
         assert_eq!(maker.total_collateral_value(&oracle), Wad::from_int(2_000));
+    }
+
+    /// The critical-price index answers discovery without touching CDPs a
+    /// price move did not flip, and always agrees with the from-scratch
+    /// bite-condition scan.
+    #[test]
+    fn critical_price_index_matches_scratch_scan() {
+        let (mut maker, mut ledger, mut oracle, mut events) = setup();
+        // Ten CDPs at collateralizations from ~154 % to ~190 %.
+        for i in 0..10u64 {
+            let owner = Address::from_seed(100 + i);
+            let dai = 1_300 - i * 25;
+            open_cdp(
+                &mut maker,
+                &mut ledger,
+                &oracle,
+                &mut events,
+                owner,
+                10,
+                dai,
+            );
+        }
+        assert!(maker.cached_liquidatable_cdps(&oracle).is_empty());
+        let baseline = maker.book_stats().revaluations;
+        assert_eq!(maker.book_stats().indexed_accounts, 10);
+
+        // A move that crosses nobody re-values nobody.
+        oracle.set_price(5, Token::ETH, Wad::from_int(199));
+        assert!(maker.cached_liquidatable_cdps(&oracle).is_empty());
+        assert_eq!(maker.book_stats().revaluations, baseline);
+
+        // A deep move flags exactly what the scratch scan flags and
+        // re-values exactly the flipped CDPs.
+        oracle.set_price(6, Token::ETH, Wad::from_int(180));
+        let cached = maker.cached_liquidatable_cdps(&oracle);
+        let scratch = maker.liquidatable_cdps(&oracle);
+        assert_eq!(cached, scratch);
+        assert!(!cached.is_empty() && cached.len() < 10);
+        assert_eq!(
+            maker.book_stats().revaluations,
+            baseline + cached.len() as u64
+        );
+
+        // The cached book still matches the from-scratch rebuild exactly.
+        let cached_book = maker.cached_book(&oracle);
+        assert_eq!(cached_book, maker.positions(&oracle));
+        // Totals parity with the legacy fold.
+        let fold = maker
+            .positions(&oracle)
+            .iter()
+            .map(|p| p.total_collateral_value())
+            .fold(Wad::ZERO, |acc, v| acc.saturating_add(v));
+        assert_eq!(maker.book_totals(&oracle).collateral_usd, fold);
+        assert_eq!(maker.total_collateral_value(&oracle), fold);
+
+        // Biting a flagged CDP drops it from the index; the rest stay.
+        let bitten = cached[0];
+        maker.bite(&mut events, &oracle, 10, bitten).unwrap();
+        let after_bite = maker.cached_liquidatable_cdps(&oracle);
+        assert!(!after_bite.contains(&bitten));
+        assert_eq!(after_bite.len(), cached.len() - 1);
+        assert_eq!(maker.book_stats().indexed_accounts, 9);
     }
 
     #[test]

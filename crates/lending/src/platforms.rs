@@ -19,7 +19,7 @@ use defi_core::mechanism::AuctionParams;
 use defi_core::params::RiskParams;
 use defi_types::{BlockNumber, Platform, Token, Wad};
 
-use crate::fixed_spread::{FixedSpreadConfig, FixedSpreadProtocol};
+use crate::fixed_spread::{FixedSpreadConfig, FixedSpreadProtocol, DEFAULT_DEBT_DUST};
 use crate::interest::InterestRateModel;
 use crate::maker::{IlkParams, MakerProtocol};
 use crate::protocol::LendingProtocol;
@@ -44,6 +44,7 @@ fn build_fixed_spread(
         close_factor: Wad::from_f64(close_factor),
         one_liquidation_per_block: false,
         insurance_fund,
+        debt_dust: DEFAULT_DEBT_DUST,
     });
     for &token in markets {
         protocol.list_market(

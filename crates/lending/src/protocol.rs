@@ -29,6 +29,7 @@ use defi_core::position::Position;
 use defi_oracle::PriceOracle;
 use defi_types::{Address, BlockNumber, Platform, Token, Wad};
 
+use crate::book::BookTotals;
 use crate::error::ProtocolError;
 use crate::fixed_spread::{FixedSpreadProtocol, LiquidationReceipt};
 use crate::maker::{AuctionOutcome, MakerProtocol};
@@ -221,11 +222,59 @@ pub trait LendingProtocol {
     /// The protocol's observable position book — what volume sampling and
     /// the end-of-run snapshot iterate. Fixed-spread pools report accounts
     /// that actually borrow; Maker reports every open CDP.
-    fn book_positions(&self, oracle: &PriceOracle) -> Vec<Position>;
+    ///
+    /// Takes `&mut self` so implementations can serve it from an incremental
+    /// cache (see [`crate::book::PositionBook`]); results are identical to a
+    /// from-scratch rebuild at current prices.
+    fn book_positions(&mut self, oracle: &PriceOracle) -> Vec<Position>;
+
+    /// Visit every observable book position in the same deterministic order
+    /// as [`book_positions`](LendingProtocol::book_positions) without
+    /// materialising a snapshot vector. Cache-backed implementations override
+    /// this to avoid the per-tick clone in the engine's hot loop.
+    fn for_each_position(&mut self, oracle: &PriceOracle, visit: &mut dyn FnMut(&Position)) {
+        for position in self.book_positions(oracle) {
+            visit(&position);
+        }
+    }
+
+    /// Aggregate totals over the observable book (the volume-sampling pass).
+    /// The default computes them from
+    /// [`book_positions`](LendingProtocol::book_positions); cache-backed
+    /// implementations serve running sums instead.
+    fn book_totals(&mut self, oracle: &PriceOracle) -> BookTotals {
+        let positions = self.book_positions(oracle);
+        let collateral_usd = positions
+            .iter()
+            .map(|p| p.total_collateral_value())
+            .fold(Wad::ZERO, |acc, v| acc.saturating_add(v));
+        let debt_usd = positions
+            .iter()
+            .map(|p| p.total_debt_value())
+            .fold(Wad::ZERO, |acc, v| acc.saturating_add(v));
+        let dai_eth_collateral_usd = positions
+            .iter()
+            .filter(|p| p.has_debt_in(Token::DAI))
+            .map(|p| {
+                p.collateral_value_in(Token::ETH)
+                    .saturating_add(p.collateral_value_in(Token::WETH))
+            })
+            .fold(Wad::ZERO, |acc, v| acc.saturating_add(v));
+        BookTotals {
+            collateral_usd,
+            debt_usd,
+            dai_eth_collateral_usd,
+            open_positions: positions.len() as u32,
+        }
+    }
 
     /// Liquidation opportunities at current oracle prices, in deterministic
     /// order.
-    fn liquidatable(&self, oracle: &PriceOracle) -> Vec<Opportunity>;
+    ///
+    /// Takes `&mut self` so implementations can answer from their
+    /// critical-price index / incrementally maintained liquidatable set
+    /// instead of filtering a freshly built book.
+    fn liquidatable(&mut self, oracle: &PriceOracle) -> Vec<Opportunity>;
 
     /// Execute one mechanism-specific liquidation step. Implementations must
     /// reject request variants that do not belong to their mechanism with
@@ -335,22 +384,29 @@ impl LendingProtocol for FixedSpreadProtocol {
         FixedSpreadProtocol::position(self, oracle, account)
     }
 
-    fn book_positions(&self, oracle: &PriceOracle) -> Vec<Position> {
-        self.positions(oracle)
-            .into_iter()
-            .filter(|p| !p.total_debt_value().is_zero())
-            .collect()
+    fn book_positions(&mut self, oracle: &PriceOracle) -> Vec<Position> {
+        self.cached_book(oracle)
     }
 
-    fn liquidatable(&self, oracle: &PriceOracle) -> Vec<Opportunity> {
-        self.positions(oracle)
+    fn for_each_position(&mut self, oracle: &PriceOracle, visit: &mut dyn FnMut(&Position)) {
+        FixedSpreadProtocol::for_each_book_position(self, oracle, visit);
+    }
+
+    fn book_totals(&mut self, oracle: &PriceOracle) -> BookTotals {
+        FixedSpreadProtocol::book_totals(self, oracle)
+    }
+
+    fn liquidatable(&mut self, oracle: &PriceOracle) -> Vec<Opportunity> {
+        let platform = self.config().platform;
+        self.cached_liquidatable_accounts(oracle)
             .into_iter()
-            .filter(Position::is_liquidatable)
-            .map(|position| Opportunity {
-                platform: self.config().platform,
-                borrower: position.owner,
-                position,
-                mechanism: MechanismKind::FixedSpread,
+            .filter_map(|borrower| {
+                self.cached_position(borrower).map(|position| Opportunity {
+                    platform,
+                    borrower,
+                    position: position.clone(),
+                    mechanism: MechanismKind::FixedSpread,
+                })
             })
             .collect()
     }
@@ -472,18 +528,26 @@ impl LendingProtocol for MakerProtocol {
         MakerProtocol::position(self, oracle, account)
     }
 
-    fn book_positions(&self, oracle: &PriceOracle) -> Vec<Position> {
-        self.positions(oracle)
+    fn book_positions(&mut self, oracle: &PriceOracle) -> Vec<Position> {
+        self.cached_book(oracle)
     }
 
-    fn liquidatable(&self, oracle: &PriceOracle) -> Vec<Opportunity> {
-        self.liquidatable_cdps(oracle)
+    fn for_each_position(&mut self, oracle: &PriceOracle, visit: &mut dyn FnMut(&Position)) {
+        MakerProtocol::for_each_book_position(self, oracle, visit);
+    }
+
+    fn book_totals(&mut self, oracle: &PriceOracle) -> BookTotals {
+        MakerProtocol::book_totals(self, oracle)
+    }
+
+    fn liquidatable(&mut self, oracle: &PriceOracle) -> Vec<Opportunity> {
+        self.cached_liquidatable_cdps(oracle)
             .into_iter()
             .filter_map(|owner| {
-                MakerProtocol::position(self, oracle, owner).map(|position| Opportunity {
+                self.cached_position(owner).map(|position| Opportunity {
                     platform: Platform::MakerDao,
                     borrower: owner,
-                    position,
+                    position: position.clone(),
                     mechanism: MechanismKind::Auction,
                 })
             })

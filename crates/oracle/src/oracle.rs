@@ -57,12 +57,19 @@ impl OracleConfig {
     }
 }
 
-/// The price oracle: current prices + full write history per token.
+/// The price oracle: current prices + full write history per token, plus a
+/// monotone *write epoch* so downstream caches (the incremental
+/// `PositionBook`s in `defi-lending`) can ask "which tokens changed since I
+/// last synced?" instead of re-reading every price.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PriceOracle {
     config: OracleConfig,
     current: HashMap<Token, Price>,
     history: HashMap<Token, Vec<PricePoint>>,
+    /// Bumped by one on every on-chain write (any token).
+    epoch: u64,
+    /// The epoch of each token's most recent write.
+    token_epochs: HashMap<Token, u64>,
 }
 
 impl PriceOracle {
@@ -72,6 +79,8 @@ impl PriceOracle {
             config,
             current: HashMap::new(),
             history: HashMap::new(),
+            epoch: 0,
+            token_epochs: HashMap::new(),
         }
     }
 
@@ -80,9 +89,35 @@ impl PriceOracle {
         self.config
     }
 
+    /// The current write epoch: increases by one on every on-chain price
+    /// write, for any token. A consumer that remembers the epoch it last
+    /// synced at can detect staleness with one integer comparison and recover
+    /// the changed tokens via
+    /// [`collect_changed_since`](PriceOracle::collect_changed_since).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch of a token's most recent write (0 if never written).
+    pub fn token_epoch(&self, token: Token) -> u64 {
+        self.token_epochs.get(&token).copied().unwrap_or(0)
+    }
+
+    /// Append every token written to strictly after `epoch` onto `out`
+    /// (unordered; callers feed the result into order-independent dirty sets).
+    pub fn collect_changed_since(&self, epoch: u64, out: &mut Vec<Token>) {
+        for (token, written_at) in &self.token_epochs {
+            if *written_at > epoch {
+                out.push(*token);
+            }
+        }
+    }
+
     /// Unconditionally write a price (genesis seeding, scripted oracle
     /// irregularities such as the November 2020 Compound DAI incident).
     pub fn set_price(&mut self, block: BlockNumber, token: Token, price: Price) {
+        self.epoch += 1;
+        self.token_epochs.insert(token, self.epoch);
         self.current.insert(token, price);
         self.history
             .entry(token)
@@ -246,6 +281,39 @@ mod tests {
         assert_eq!(oracle.price_at(10, Token::ETH), Some(usd(100.0)));
         assert_eq!(oracle.price_at(25, Token::ETH), Some(usd(150.0)));
         assert_eq!(oracle.price_at(1_000, Token::ETH), Some(usd(120.0)));
+    }
+
+    #[test]
+    fn epoch_tracks_writes_per_token() {
+        let mut oracle = PriceOracle::new(OracleConfig {
+            deviation_threshold: 0.01,
+            heartbeat_blocks: 10_000,
+        });
+        assert_eq!(oracle.epoch(), 0);
+        oracle.set_price(1, Token::ETH, usd(100.0));
+        oracle.set_price(1, Token::DAI, usd(1.0));
+        assert_eq!(oracle.epoch(), 2);
+        assert_eq!(oracle.token_epoch(Token::ETH), 1);
+        assert_eq!(oracle.token_epoch(Token::DAI), 2);
+        assert_eq!(oracle.token_epoch(Token::USDC), 0);
+
+        // A rejected observation does not advance the epoch…
+        assert!(!oracle.observe(2, Token::ETH, usd(100.2)));
+        assert_eq!(oracle.epoch(), 2);
+        // …a written one does, and only its token moves.
+        assert!(oracle.observe(3, Token::ETH, usd(105.0)));
+        assert_eq!(oracle.epoch(), 3);
+
+        let mut changed = Vec::new();
+        oracle.collect_changed_since(2, &mut changed);
+        assert_eq!(changed, vec![Token::ETH]);
+        changed.clear();
+        oracle.collect_changed_since(0, &mut changed);
+        changed.sort();
+        assert_eq!(changed, vec![Token::ETH, Token::DAI]);
+        changed.clear();
+        oracle.collect_changed_since(3, &mut changed);
+        assert!(changed.is_empty());
     }
 
     #[test]

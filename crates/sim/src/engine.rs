@@ -517,8 +517,12 @@ impl SimulationEngine {
             match mechanism {
                 MechanismKind::FixedSpread => {
                     self.manage_borrower_positions(platform, block, congested);
-                    let opportunities =
-                        self.protocols[&platform].liquidatable(&self.oracles[&platform]);
+                    let oracle = &self.oracles[&platform];
+                    let opportunities = self
+                        .protocols
+                        .get_mut(&platform)
+                        .expect("platform exists")
+                        .liquidatable(oracle);
                     for opportunity in opportunities {
                         self.attempt_liquidation(&opportunity, block, congested, eth_price);
                     }
@@ -532,29 +536,70 @@ impl SimulationEngine {
 
     /// Borrower-side management on a fixed-spread platform: rescue positions
     /// close to liquidation, re-leverage positions whose collateral has
-    /// appreciated far beyond the target.
+    /// appreciated far beyond the target. The scan walks the platform's
+    /// cached book without materialising a snapshot vector; the few positions
+    /// in the actionable health-factor bands are extracted and acted on
+    /// afterwards (the actions mutate the protocol, never the scan's
+    /// snapshot — same semantics the old copied vector had).
     fn manage_borrower_positions(
         &mut self,
         platform: Platform,
         block: BlockNumber,
         congested: bool,
     ) {
-        let positions = self.protocols[&platform].book_positions(&self.oracles[&platform]);
-        for position in positions {
-            let Some(hf) = position.health_factor() else {
-                continue;
-            };
-            if hf < Wad::ONE {
-                continue; // handled by the liquidation pass
-            }
-            if hf < Wad::from_f64(1.05) {
-                self.maybe_manage_position(platform, &position, block, congested);
-            } else if hf > Wad::from_f64(2.2) {
-                // Collateral appreciated well beyond the borrower's target:
-                // many borrowers re-leverage, which is what keeps the
-                // aggregate book sensitive to price declines (Figure 8)
-                // throughout the bull market.
-                self.maybe_releverage_position(platform, &position, block);
+        enum Action {
+            /// HF in [1, 1.05): the borrower may rescue-repay.
+            Rescue { owner: Address, debt_value: Wad },
+            /// HF > 2.2: the borrower may re-leverage.
+            Releverage {
+                owner: Address,
+                capacity: Wad,
+                debt_value: Wad,
+            },
+        }
+        let mut actions: Vec<Action> = Vec::new();
+        {
+            let oracle = &self.oracles[&platform];
+            let protocol = self.protocols.get_mut(&platform).expect("platform exists");
+            let rescue_band = Wad::from_f64(1.05);
+            let releverage_band = Wad::from_f64(2.2);
+            protocol.for_each_position(oracle, &mut |position| {
+                let Some(hf) = position.health_factor() else {
+                    return;
+                };
+                if hf < Wad::ONE {
+                    return; // handled by the liquidation pass
+                }
+                if hf < rescue_band {
+                    actions.push(Action::Rescue {
+                        owner: position.owner,
+                        debt_value: position.total_debt_value(),
+                    });
+                } else if hf > releverage_band {
+                    // Collateral appreciated well beyond the borrower's
+                    // target: many borrowers re-leverage, which is what keeps
+                    // the aggregate book sensitive to price declines
+                    // (Figure 8) throughout the bull market.
+                    actions.push(Action::Releverage {
+                        owner: position.owner,
+                        capacity: position.borrowing_capacity(),
+                        debt_value: position.total_debt_value(),
+                    });
+                }
+            });
+        }
+        for action in actions {
+            match action {
+                Action::Rescue { owner, debt_value } => {
+                    self.maybe_manage_position(platform, owner, debt_value, block, congested);
+                }
+                Action::Releverage {
+                    owner,
+                    capacity,
+                    debt_value,
+                } => {
+                    self.maybe_releverage_position(platform, owner, capacity, debt_value, block);
+                }
             }
         }
     }
@@ -565,7 +610,9 @@ impl SimulationEngine {
     fn maybe_releverage_position(
         &mut self,
         platform: Platform,
-        position: &Position,
+        owner: Address,
+        capacity: Wad,
+        debt_value: Wad,
         _block: BlockNumber,
     ) {
         if !self.rng.gen_bool(0.10) {
@@ -574,7 +621,7 @@ impl SimulationEngine {
         let Some(agent) = self
             .borrowers
             .iter()
-            .find(|b| b.address == position.owner && b.platform == platform)
+            .find(|b| b.address == owner && b.platform == platform)
         else {
             return;
         };
@@ -586,8 +633,8 @@ impl SimulationEngine {
         let oracle = &self.oracles[&platform];
         let debt_price = oracle.price_or_zero(debt_token).to_f64().max(1e-9);
         // Borrow back up to ~80% of the borrowing capacity.
-        let capacity = position.borrowing_capacity().to_f64();
-        let current_debt = position.total_debt_value().to_f64();
+        let capacity = capacity.to_f64();
+        let current_debt = debt_value.to_f64();
         let target_debt = capacity * self.rng.gen_range(0.60..0.85);
         if target_debt <= current_debt {
             return;
@@ -620,14 +667,15 @@ impl SimulationEngine {
     fn maybe_manage_position(
         &mut self,
         platform: Platform,
-        position: &Position,
+        owner: Address,
+        debt_value: Wad,
         _block: BlockNumber,
         congested: bool,
     ) {
         let Some(agent) = self
             .borrowers
             .iter()
-            .find(|b| b.address == position.owner && b.platform == platform)
+            .find(|b| b.address == owner && b.platform == platform)
         else {
             return;
         };
@@ -642,7 +690,7 @@ impl SimulationEngine {
         let debt_token = agent.debt_token;
         let gas = self.chain.gas_market_mut().competitive_bid(0.2);
         // Repay ~25% of the outstanding debt with fresh external funds.
-        let repay_usd = position.total_debt_value().to_f64() * 0.25;
+        let repay_usd = debt_value.to_f64() * 0.25;
         let oracle = &self.oracles[&platform];
         let debt_price = oracle.price_or_zero(debt_token).to_f64().max(1e-9);
         let amount = Wad::from_f64(repay_usd / debt_price);
@@ -865,8 +913,15 @@ impl SimulationEngine {
             return;
         }
 
-        // 1. Start auctions on liquidatable positions.
-        let opportunities = self.protocols[&platform].liquidatable(&self.oracles[&platform]);
+        // 1. Start auctions on liquidatable positions — a critical-price
+        // range scan on the cached book, not a full CDP rebuild.
+        let opportunities = {
+            let oracle = &self.oracles[&platform];
+            self.protocols
+                .get_mut(&platform)
+                .expect("platform exists")
+                .liquidatable(oracle)
+        };
         for opportunity in opportunities {
             let keeper = self.keepers[self.rng.gen_range(0..self.keepers.len())].clone();
             if congested && keeper.stale_under_congestion && self.rng.gen_bool(0.8) {
@@ -1198,33 +1253,18 @@ impl SimulationEngine {
     // ------------------------------------------------------------- sampling
 
     fn sample_volumes(&mut self, block: BlockNumber) {
-        for (platform, protocol) in &self.protocols {
-            let positions = protocol.book_positions(&self.oracles[platform]);
-            self.volume_samples
-                .push(make_sample(block, *platform, &positions));
+        for (platform, protocol) in self.protocols.iter_mut() {
+            // Running totals maintained by each protocol's incremental book —
+            // sampling no longer materialises the position vector.
+            let totals = protocol.book_totals(&self.oracles[platform]);
+            self.volume_samples.push(VolumeSample {
+                block,
+                platform: *platform,
+                total_collateral_usd: totals.collateral_usd,
+                dai_eth_collateral_usd: totals.dai_eth_collateral_usd,
+                open_positions: totals.open_positions,
+            });
         }
-    }
-}
-
-fn make_sample(block: BlockNumber, platform: Platform, positions: &[Position]) -> VolumeSample {
-    let total = positions
-        .iter()
-        .map(|p| p.total_collateral_value())
-        .fold(Wad::ZERO, |acc, v| acc.saturating_add(v));
-    let dai_eth = positions
-        .iter()
-        .filter(|p| p.has_debt_in(Token::DAI))
-        .map(|p| {
-            p.collateral_value_in(Token::ETH)
-                .saturating_add(p.collateral_value_in(Token::WETH))
-        })
-        .fold(Wad::ZERO, |acc, v| acc.saturating_add(v));
-    VolumeSample {
-        block,
-        platform,
-        total_collateral_usd: total,
-        dai_eth_collateral_usd: dai_eth,
-        open_positions: positions.len() as u32,
     }
 }
 

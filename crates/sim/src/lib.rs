@@ -54,4 +54,4 @@ pub use observer::{
 };
 pub use scenarios::{ScenarioCatalog, ScenarioEntry};
 pub use session::{Session, SessionStatus, SimError};
-pub use sweep::{RunSummary, SweepRunner};
+pub use sweep::{group_by_scenario, RunSummary, SweepRunner};

@@ -146,9 +146,11 @@ impl Session {
 
     /// Checkpoint the per-platform position books at the current block — the
     /// same snapshot [`finish`](Session::finish) takes at the end of the run.
-    pub fn snapshot_positions(&self) -> BTreeMap<Platform, Vec<Position>> {
+    /// Served from each protocol's incremental book (`&mut` so lazily staled
+    /// valuations can refresh); identical to a from-scratch rebuild.
+    pub fn snapshot_positions(&mut self) -> BTreeMap<Platform, Vec<Position>> {
         let mut books = BTreeMap::new();
-        for (platform, protocol) in &self.engine.protocols {
+        for (platform, protocol) in self.engine.protocols.iter_mut() {
             books.insert(
                 *platform,
                 protocol.book_positions(&self.engine.oracles[platform]),
@@ -193,13 +195,14 @@ impl Session {
         self.engine.tick_index += 1;
         self.dispatch_new(observer);
         if observer.wants_tick_end() {
+            let positions = self.snapshot_positions();
             observer.on_tick_end(&TickEnd {
                 block: self.block,
                 tick_index,
                 chain: &self.engine.chain,
                 dex: &self.engine.dex,
                 oracles: &self.engine.oracles,
-                positions: self.snapshot_positions(),
+                positions,
             });
         }
         if self.block >= self.engine.config.end_block {
@@ -219,7 +222,7 @@ impl Session {
         }
         let snapshot_block = self.engine.chain.current_block();
         let mut final_positions = BTreeMap::new();
-        for (platform, protocol) in &self.engine.protocols {
+        for (platform, protocol) in self.engine.protocols.iter_mut() {
             final_positions.insert(
                 *platform,
                 protocol.book_positions(&self.engine.oracles[platform]),

@@ -133,6 +133,22 @@ impl SimObserver for SummaryObserver {
     }
 }
 
+/// Group per-run summaries by the catalog scenario that produced them, in
+/// scenario-name order with input order preserved inside each group. `repro
+/// --sweep scenarios` reports per-scenario aggregates from this instead of
+/// pooling runs of different scenarios into one mean.
+pub fn group_by_scenario(summaries: &[RunSummary]) -> Vec<(&str, Vec<&RunSummary>)> {
+    let mut groups: std::collections::BTreeMap<&str, Vec<&RunSummary>> =
+        std::collections::BTreeMap::new();
+    for summary in summaries {
+        groups
+            .entry(summary.scenario.as_str())
+            .or_default()
+            .push(summary);
+    }
+    groups.into_iter().collect()
+}
+
 /// Fans independent simulation runs across scoped worker threads.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepRunner {
@@ -291,6 +307,27 @@ mod tests {
     #[test]
     fn empty_grid_is_fine() {
         assert!(SweepRunner::new(4).run(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn group_by_scenario_partitions_in_name_order() {
+        let mut base = short_config(5, 2);
+        base.scenario = None;
+        let grid = {
+            let mut configs =
+                SweepRunner::scenario_grid(&base, &["paper-two-year", "stablecoin-depeg"]);
+            configs.extend(SweepRunner::scenario_grid(&base, &["paper-two-year"]));
+            configs
+        };
+        let summaries = SweepRunner::new(2).run(&grid).unwrap();
+        let groups = group_by_scenario(&summaries);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, "paper-two-year");
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].0, "stablecoin-depeg");
+        assert_eq!(groups[1].1.len(), 1);
+        let total: usize = groups.iter().map(|(_, runs)| runs.len()).sum();
+        assert_eq!(total, summaries.len());
     }
 
     #[test]

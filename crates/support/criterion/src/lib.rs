@@ -79,14 +79,61 @@ fn run_one(label: &str, iterations: u32, f: &mut dyn FnMut(&mut Bencher)) {
     );
 }
 
+/// Command-line options shared by every group, mirroring the subset of the
+/// real criterion CLI the workspace relies on: a substring filter selecting
+/// which benchmarks run, and `--test` (run each selected benchmark exactly
+/// once, as a smoke check, instead of timing it) for quick CI runs.
+#[derive(Debug, Clone, Default)]
+struct CliOptions {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl CliOptions {
+    fn from_env() -> Self {
+        let mut options = CliOptions::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => options.test_mode = true,
+                // Harness flags cargo may forward; ignore like criterion does.
+                "--bench" | "--nocapture" | "--quiet" => {}
+                other if other.starts_with("--") => {}
+                other => options.filter = Some(other.to_string()),
+            }
+        }
+        options
+    }
+
+    fn selects(&self, label: &str) -> bool {
+        self.filter
+            .as_deref()
+            .map(|needle| label.contains(needle))
+            .unwrap_or(true)
+    }
+
+    /// Timed iterations for one benchmark: `--test` forces a single smoke
+    /// iteration regardless of the configured sample size.
+    fn effective_iterations(&self, configured: u32) -> u32 {
+        if self.test_mode {
+            1
+        } else {
+            configured
+        }
+    }
+}
+
 /// Entry point handed to every benchmark function.
 pub struct Criterion {
     iterations: u32,
+    options: CliOptions,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { iterations: 5 }
+        Criterion {
+            iterations: 5,
+            options: CliOptions::from_env(),
+        }
     }
 }
 
@@ -96,7 +143,13 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(name.as_ref(), self.iterations, &mut f);
+        if self.options.selects(name.as_ref()) {
+            run_one(
+                name.as_ref(),
+                self.options.effective_iterations(self.iterations),
+                &mut f,
+            );
+        }
         self
     }
 
@@ -105,6 +158,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.as_ref().to_string(),
             iterations: self.iterations,
+            options: self.options.clone(),
         }
     }
 }
@@ -113,6 +167,7 @@ impl Criterion {
 pub struct BenchmarkGroup {
     name: String,
     iterations: u32,
+    options: CliOptions,
 }
 
 impl BenchmarkGroup {
@@ -128,7 +183,13 @@ impl BenchmarkGroup {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, name.as_ref());
-        run_one(&label, self.iterations, &mut f);
+        if self.options.selects(&label) {
+            run_one(
+                &label,
+                self.options.effective_iterations(self.iterations),
+                &mut f,
+            );
+        }
         self
     }
 

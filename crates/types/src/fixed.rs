@@ -63,38 +63,141 @@ impl U256 {
         U256 { lo, hi }
     }
 
-    /// Divide by a `u128` divisor, returning the quotient if it fits in 128
-    /// bits. Implemented as binary long division over 256 bits; the operand
-    /// sizes in this crate (≤ 10^38) keep this plenty fast for simulation use.
-    pub(crate) fn div_u128(self, divisor: u128) -> Result<u128, TypeError> {
+    /// Divide by a `u128` divisor, returning quotient and remainder if the
+    /// quotient fits in 128 bits.
+    ///
+    /// This is the innermost loop of every fixed-point multiply/divide in the
+    /// suite (valuations, interest indexes, claim rules), so it uses Knuth's
+    /// Algorithm D over 64-bit limbs — a handful of hardware divisions —
+    /// rather than bitwise long division. A reference bitwise implementation
+    /// is kept under test and the two are property-checked against each
+    /// other.
+    pub(crate) fn div_rem_u128(self, divisor: u128) -> Result<(u128, u128), TypeError> {
         if divisor == 0 {
             return Err(TypeError::DivisionByZero);
         }
         if self.hi == 0 {
-            return Ok(self.lo / divisor);
+            return Ok((self.lo / divisor, self.lo % divisor));
         }
         // If hi >= divisor the quotient needs more than 128 bits.
         if self.hi >= divisor {
             return Err(TypeError::Overflow);
         }
-        // Knuth-style bitwise long division: process 128 high bits already in
-        // `rem`, then shift in the low bits one at a time.
+        const MASK: u128 = u64::MAX as u128;
+        if divisor <= MASK {
+            // Single-limb divisor: schoolbook with native 128/64 divisions.
+            // hi < divisor < 2^64 keeps every partial quotient in one limb.
+            let d = divisor;
+            let mut rem = self.hi; // < 2^64
+            let mut quotient: u128 = 0;
+            for limb in [(self.lo >> 64) & MASK, self.lo & MASK] {
+                let cur = (rem << 64) | limb;
+                quotient = (quotient << 64) | (cur / d);
+                rem = cur % d;
+            }
+            return Ok((quotient, rem));
+        }
+
+        // Two-limb divisor (Knuth D, base 2^64). Normalize so the divisor's
+        // top bit is set; hi < divisor guarantees the quotient fits 128 bits.
+        let s = divisor.leading_zeros(); // < 64 since divisor > 2^64 - 1
+        let dn = divisor << s;
+        let d1 = (dn >> 64) as u64;
+        let d0 = (dn & MASK) as u64;
+        // Dividend shifted left by s into five limbs u[4]..u[0].
+        let (lo_s, hi_s, overflow) = if s == 0 {
+            (self.lo, self.hi, 0u64)
+        } else {
+            (
+                self.lo << s,
+                (self.hi << s) | (self.lo >> (128 - s)),
+                (self.hi >> (128 - s)) as u64,
+            )
+        };
+        let mut u = [
+            (lo_s & MASK) as u64,
+            ((lo_s >> 64) & MASK) as u64,
+            (hi_s & MASK) as u64,
+            ((hi_s >> 64) & MASK) as u64,
+            overflow,
+        ];
+        let mut quotient: u128 = 0;
+        for j in (0..=2).rev() {
+            // Estimate the next quotient limb from the top two remainder
+            // limbs against d1, then correct it with the d0 test.
+            let top = ((u[j + 2] as u128) << 64) | (u[j + 1] as u128);
+            let mut qhat = top / (d1 as u128);
+            let mut rhat = top % (d1 as u128);
+            while qhat > MASK || qhat * (d0 as u128) > ((rhat << 64) | (u[j] as u128)) {
+                qhat -= 1;
+                rhat += d1 as u128;
+                if rhat > MASK {
+                    break;
+                }
+            }
+            // Multiply-and-subtract qhat × dn from u[j..j+3].
+            let mut borrow: i128 = 0;
+            let mut carry: u128 = 0;
+            for (i, &d_limb) in [d0, d1].iter().enumerate() {
+                let product = qhat * (d_limb as u128) + carry;
+                carry = product >> 64;
+                let sub = (u[j + i] as i128) - ((product & MASK) as i128) + borrow;
+                u[j + i] = sub as u64;
+                borrow = sub >> 64;
+            }
+            let sub = (u[j + 2] as i128) - (carry as i128) + borrow;
+            u[j + 2] = sub as u64;
+            if sub < 0 {
+                // Estimate was one too large: add the divisor back.
+                qhat -= 1;
+                let mut carry: u128 = 0;
+                for (i, &d_limb) in [d0, d1].iter().enumerate() {
+                    let sum = (u[j + i] as u128) + (d_limb as u128) + carry;
+                    u[j + i] = sum as u64;
+                    carry = sum >> 64;
+                }
+                u[j + 2] = (u[j + 2] as u128 + carry) as u64;
+            }
+            debug_assert!(j == 2 || qhat <= MASK);
+            if j < 2 {
+                quotient |= qhat << (64 * j);
+            } else {
+                debug_assert_eq!(qhat, 0, "quotient exceeds 128 bits");
+            }
+        }
+        let rem = (((u[1] as u128) << 64) | (u[0] as u128)) >> s;
+        Ok((quotient, rem))
+    }
+
+    pub(crate) fn div_u128(self, divisor: u128) -> Result<u128, TypeError> {
+        self.div_rem_u128(divisor).map(|(q, _)| q)
+    }
+
+    /// Reference bitwise long division, kept to property-check the Knuth-D
+    /// fast path against.
+    #[cfg(test)]
+    pub(crate) fn div_rem_u128_reference(self, divisor: u128) -> Result<(u128, u128), TypeError> {
+        if divisor == 0 {
+            return Err(TypeError::DivisionByZero);
+        }
+        if self.hi == 0 {
+            return Ok((self.lo / divisor, self.lo % divisor));
+        }
+        if self.hi >= divisor {
+            return Err(TypeError::Overflow);
+        }
         let mut rem = self.hi;
         let mut quotient: u128 = 0;
         for i in (0..128).rev() {
-            // rem = rem << 1 | bit_i(lo); rem < divisor <= u128::MAX so the
-            // shift can overflow only transiently — detect via the top bit.
             let top_bit_set = rem >> 127 == 1;
             rem = (rem << 1) | ((self.lo >> i) & 1);
             quotient <<= 1;
             if top_bit_set || rem >= divisor {
-                // When the top bit was set the true remainder is rem + 2^128,
-                // which is certainly >= divisor.
                 rem = rem.wrapping_sub(divisor);
                 quotient |= 1;
             }
         }
-        Ok(quotient)
+        Ok((quotient, rem))
     }
 
     pub(crate) fn is_zero(self) -> bool {
@@ -109,6 +212,29 @@ pub(crate) fn mul_div(a: u128, b: u128, denominator: u128) -> Result<u128, TypeE
         return Ok(0);
     }
     prod.div_u128(denominator)
+}
+
+/// `⌈a * b / denominator⌉` with a full 256-bit intermediate.
+///
+/// The exact ceiling counterpart of the truncating `mulDiv` the fixed-point
+/// operators use. Liquidation-threshold indexes need it to turn a strict
+/// "value < required" comparison into an exact critical price: with
+/// `crit = ⌈required × WAD / amount⌉`, a position is below the threshold
+/// *iff* the raw oracle price is strictly less than `crit`.
+pub fn mul_div_ceil(a: u128, b: u128, denominator: u128) -> Result<u128, TypeError> {
+    let prod = U256::full_mul(a, b);
+    if prod.is_zero() {
+        if denominator == 0 {
+            return Err(TypeError::DivisionByZero);
+        }
+        return Ok(0);
+    }
+    let (quotient, remainder) = prod.div_rem_u128(denominator)?;
+    if remainder == 0 {
+        Ok(quotient)
+    } else {
+        quotient.checked_add(1).ok_or(TypeError::Overflow)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -619,6 +745,123 @@ mod tests {
         let p = U256::full_mul(6, 7);
         assert_eq!(p.lo, 42);
         assert_eq!(p.hi, 0);
+    }
+
+    #[test]
+    fn mul_div_ceil_rounds_up_exactly_when_inexact() {
+        assert_eq!(mul_div_ceil(7, 3, 2).unwrap(), 11); // 21/2 = 10.5 → 11
+        assert_eq!(mul_div_ceil(6, 3, 2).unwrap(), 9); // exact → no bump
+        assert_eq!(mul_div_ceil(0, 3, 2).unwrap(), 0);
+        assert!(mul_div_ceil(1, 1, 0).is_err());
+        assert!(mul_div_ceil(0, 0, 0).is_err());
+        // A 256-bit intermediate that divides back into range.
+        let big = u128::MAX / 2;
+        assert_eq!(mul_div_ceil(big, 4, 4).unwrap(), big);
+        // Remainder propagates through the wide path too.
+        assert_eq!(mul_div_ceil(u128::MAX, 3, 7).unwrap(), {
+            let (q, r) = U256::full_mul(u128::MAX, 3).div_rem_u128(7).unwrap();
+            assert!(r > 0);
+            q + 1
+        });
+        // Quotients beyond 128 bits overflow as errors, not wraps.
+        assert!(mul_div_ceil(u128::MAX, u128::MAX, 1).is_err());
+    }
+
+    #[test]
+    fn div_rem_matches_native_division_on_narrow_values() {
+        for (a, b) in [(12_345u128, 7u128), (1, 1), (u128::MAX, u128::MAX)] {
+            let (q, r) = U256::full_mul(a, 1).div_rem_u128(b).unwrap();
+            assert_eq!((q, r), (a / b, a % b));
+        }
+    }
+
+    /// The Knuth-D fast division must agree with the bitwise reference on a
+    /// large deterministic sample of wide operands (both divisor classes:
+    /// single-limb and two-limb), including the boundary shapes that trip
+    /// naive implementations.
+    #[test]
+    fn knuth_division_matches_bitwise_reference() {
+        // xorshift128+ keeps the sample deterministic without rand.
+        let mut state = (0x9e3779b97f4a7c15u64, 0xbf58476d1ce4e5b9u64);
+        let mut next = move || {
+            let (mut x, y) = state;
+            x ^= x << 23;
+            x ^= x >> 17;
+            x ^= y ^ (y >> 26);
+            state = (y, x);
+            x.wrapping_add(y)
+        };
+        let mut next_u128 = move || ((next() as u128) << 64) | next() as u128;
+        let mut checked = 0u32;
+        for i in 0..20_000 {
+            let a = next_u128();
+            let b = next_u128();
+            // Vary magnitudes so every branch is exercised.
+            let a = a >> (i % 5 * 25);
+            let b = b >> (i % 7 * 18);
+            let divisor = match i % 4 {
+                0 => WAD,
+                1 => RAY,
+                2 => (b >> 64).max(1),
+                _ => b.max(1),
+            };
+            let value = U256::full_mul(a, b.max(1));
+            let fast = value.div_rem_u128(divisor);
+            let reference = value.div_rem_u128_reference(divisor);
+            match (fast, reference) {
+                (Ok(f), Ok(r)) => {
+                    assert_eq!(f, r, "a={a} b={b} divisor={divisor}");
+                    checked += 1;
+                }
+                (Err(_), Err(_)) => {}
+                (f, r) => {
+                    panic!("divergent outcomes for a={a} b={b} divisor={divisor}: {f:?} vs {r:?}")
+                }
+            }
+        }
+        assert!(checked > 5_000, "sample too thin: {checked}");
+        // Hand-picked boundary shapes.
+        for (value, divisor) in [
+            (U256 { hi: 1, lo: 0 }, 2u128),
+            (
+                U256 {
+                    hi: 1,
+                    lo: u128::MAX,
+                },
+                2,
+            ),
+            (
+                U256 {
+                    hi: u128::MAX - 1,
+                    lo: u128::MAX,
+                },
+                u128::MAX,
+            ),
+            (
+                U256 {
+                    hi: 0,
+                    lo: u128::MAX,
+                },
+                1,
+            ),
+            (U256 { hi: 5, lo: 0 }, (1u128 << 64) + 1),
+            (U256 { hi: 5, lo: 12_345 }, 6u128 << 64),
+            (
+                U256 {
+                    hi: 1 << 63,
+                    lo: 42,
+                },
+                (1u128 << 127) + 99,
+            ),
+        ] {
+            assert_eq!(
+                value.div_rem_u128(divisor).unwrap(),
+                value.div_rem_u128_reference(divisor).unwrap(),
+                "hi={} lo={} divisor={divisor}",
+                value.hi,
+                value.lo,
+            );
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use defi_liquidations_suite::amm::Dex;
 use defi_liquidations_suite::chain::{Blockchain, ChainConfig};
 use defi_liquidations_suite::core::params::RiskParams;
 use defi_liquidations_suite::lending::{
-    FixedSpreadConfig, FixedSpreadProtocol, FlashLoanPool, InterestRateModel,
+    FixedSpreadConfig, FixedSpreadProtocol, FlashLoanPool, InterestRateModel, DEFAULT_DEBT_DUST,
 };
 use defi_liquidations_suite::oracle::{OracleConfig, PriceOracle};
 use defi_liquidations_suite::prelude::*;
@@ -33,6 +33,7 @@ fn main() {
         close_factor: Wad::from_f64(0.5),
         one_liquidation_per_block: false,
         insurance_fund: false,
+        debt_dust: DEFAULT_DEBT_DUST,
     });
     pool.list_market(
         Token::ETH,

@@ -11,7 +11,9 @@
 
 use defi_liquidations_suite::chain::{Blockchain, ChainConfig};
 use defi_liquidations_suite::core::params::RiskParams;
-use defi_liquidations_suite::lending::{FixedSpreadConfig, FixedSpreadProtocol, InterestRateModel};
+use defi_liquidations_suite::lending::{
+    FixedSpreadConfig, FixedSpreadProtocol, InterestRateModel, DEFAULT_DEBT_DUST,
+};
 use defi_liquidations_suite::oracle::{OracleConfig, PriceOracle};
 use defi_liquidations_suite::prelude::*;
 
@@ -27,6 +29,7 @@ fn main() {
         close_factor: Wad::from_f64(0.5),
         one_liquidation_per_block: false,
         insurance_fund: false,
+        debt_dust: DEFAULT_DEBT_DUST,
     });
     // The paper's example parameters: LT = 0.8, LS = 10 %.
     pool.list_market(

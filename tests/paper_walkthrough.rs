@@ -9,7 +9,9 @@ use defi_liquidations_suite::core::position::paper_walkthrough_position;
 use defi_liquidations_suite::core::strategy::{
     optimal_liquidation, up_to_close_factor_liquidation,
 };
-use defi_liquidations_suite::lending::{FixedSpreadConfig, FixedSpreadProtocol, InterestRateModel};
+use defi_liquidations_suite::lending::{
+    FixedSpreadConfig, FixedSpreadProtocol, InterestRateModel, DEFAULT_DEBT_DUST,
+};
 use defi_liquidations_suite::oracle::{OracleConfig, PriceOracle};
 use defi_liquidations_suite::prelude::*;
 use defi_liquidations_suite::types::Platform;
@@ -45,6 +47,7 @@ fn protocol_execution_matches_core_math() {
         close_factor: Wad::from_f64(0.5),
         one_liquidation_per_block: false,
         insurance_fund: false,
+        debt_dust: DEFAULT_DEBT_DUST,
     });
     pool.list_market(
         Token::ETH,
@@ -170,6 +173,7 @@ fn failed_liquidation_reverts_atomically() {
         close_factor: Wad::from_f64(0.5),
         one_liquidation_per_block: false,
         insurance_fund: false,
+        debt_dust: DEFAULT_DEBT_DUST,
     });
     pool.list_market(
         Token::ETH,

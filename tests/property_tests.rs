@@ -345,3 +345,266 @@ proptest! {
         prop_assert!(out.to_f64() <= trade as f64 * price as f64);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Incremental position books (PR 4): after an arbitrary interleaving of
+// deposits / borrows / repayments / price moves / accrual / liquidations, the
+// dirty-tracked `PositionBook` cache must equal a from-scratch `positions()`
+// rebuild, and the critical-price liquidation index must flag exactly the
+// accounts below the liquidation threshold.
+// ---------------------------------------------------------------------------
+
+mod incremental_book {
+    use defi_liquidations_suite::chain::Ledger;
+    use defi_liquidations_suite::lending::{compound, maker_protocol, LendingProtocol};
+    use defi_liquidations_suite::oracle::{OracleConfig, PriceOracle};
+    use defi_liquidations_suite::prelude::*;
+    use proptest::prelude::*;
+
+    fn account(i: u8) -> Address {
+        Address::from_seed(7_000 + (i % 6) as u64)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Fixed-spread pools: cache ≡ rebuild after arbitrary op sequences.
+        #[test]
+        fn fixed_spread_cache_equals_scratch_rebuild(
+            ops in prop::collection::vec((0u8..7, 0u8..6, 1u32..30_000, 0u16..1_000), 1..40),
+        ) {
+            let mut protocol = compound();
+            let mut ledger = Ledger::new();
+            let mut events = Vec::new();
+            let mut oracle = PriceOracle::new(OracleConfig::every_update());
+            oracle.set_price(0, Token::ETH, Wad::from_int(3_000));
+            oracle.set_price(0, Token::USDC, Wad::ONE);
+            let lender = Address::from_seed(1);
+            ledger.mint(lender, Token::USDC, Wad::from_int(50_000_000));
+            protocol
+                .deposit(&mut ledger, &mut events, lender, Token::USDC, Wad::from_int(50_000_000))
+                .unwrap();
+            let mut block: u64 = 1;
+
+            for (selector, who, magnitude, tweak) in ops {
+                let address = account(who);
+                match selector {
+                    0 => {
+                        // Deposit ETH collateral.
+                        let amount = Wad::from_f64(magnitude as f64 / 1_000.0);
+                        ledger.mint(address, Token::ETH, amount);
+                        let _ = protocol.deposit(&mut ledger, &mut events, address, Token::ETH, amount);
+                    }
+                    1 => {
+                        // Deposit USDC collateral.
+                        let amount = Wad::from_int(magnitude as u64);
+                        ledger.mint(address, Token::USDC, amount);
+                        let _ = protocol.deposit(&mut ledger, &mut events, address, Token::USDC, amount);
+                    }
+                    2 => {
+                        // Borrow USDC (may exceed capacity and fail: fine).
+                        let _ = protocol.borrow(
+                            &mut ledger, &mut events, &oracle, block, address,
+                            Token::USDC, Wad::from_int(magnitude as u64),
+                        );
+                    }
+                    3 => {
+                        // Partial repayment of the outstanding debt.
+                        let outstanding = protocol.debt_of(address, Token::USDC);
+                        let share = Wad::from_f64((tweak % 999 + 1) as f64 / 1_000.0);
+                        let amount = outstanding.checked_mul(share).unwrap_or(Wad::ZERO);
+                        if !amount.is_zero() {
+                            ledger.mint(address, Token::USDC, amount);
+                            let _ = protocol.repay(&mut ledger, &mut events, block, address, Token::USDC, amount);
+                        }
+                    }
+                    4 => {
+                        // Price move: ETH swings widely, USDC wobbles.
+                        if tweak % 3 == 0 {
+                            let wobble = 0.97 + (tweak % 60) as f64 / 1_000.0;
+                            oracle.set_price(block, Token::USDC, Wad::from_f64(wobble));
+                        } else {
+                            let factor = 0.5 + (tweak % 1_000) as f64 / 1_000.0;
+                            oracle.set_price(block, Token::ETH, Wad::from_f64(3_000.0 * factor));
+                        }
+                    }
+                    5 => {
+                        // Interest accrual.
+                        block += (tweak % 500) as u64 + 1;
+                        protocol.accrue_all(block);
+                    }
+                    _ => {
+                        // Liquidation attempt (close-factor sized).
+                        let outstanding = protocol.debt_of(address, Token::USDC);
+                        let repay = outstanding
+                            .checked_mul(protocol.config().close_factor)
+                            .unwrap_or(Wad::ZERO);
+                        if !repay.is_zero() {
+                            let liquidator = Address::from_seed(9_999);
+                            ledger.mint(liquidator, Token::USDC, repay);
+                            let _ = protocol.liquidation_call(
+                                &mut ledger, &mut events, &oracle, block,
+                                liquidator, address, Token::USDC, Token::ETH, repay, false,
+                            );
+                        }
+                    }
+                }
+
+                // Cache ≡ from-scratch rebuild, after every single op.
+                let scratch_book: Vec<_> = protocol
+                    .positions(&oracle)
+                    .into_iter()
+                    .filter(|p| !p.total_debt_value().is_zero())
+                    .collect();
+                let scratch_liquidatable = protocol.liquidatable_accounts(&oracle);
+                let scratch_total = protocol
+                    .positions(&oracle)
+                    .iter()
+                    .map(|p| p.total_collateral_value())
+                    .fold(Wad::ZERO, |acc, v| acc.saturating_add(v));
+                prop_assert_eq!(protocol.cached_book(&oracle), scratch_book);
+                prop_assert_eq!(protocol.cached_liquidatable_accounts(&oracle), scratch_liquidatable);
+                prop_assert_eq!(protocol.total_collateral_value(&oracle), scratch_total);
+            }
+        }
+
+        /// Maker CDPs: the critical-price index flags exactly the accounts
+        /// with HF < 1, and the cached book equals the rebuild.
+        #[test]
+        fn maker_critical_index_flags_exactly_hf_below_one(
+            ops in prop::collection::vec((0u8..6, 0u8..6, 1u32..40_000, 0u16..1_000), 1..40),
+        ) {
+            let mut maker = maker_protocol();
+            let mut ledger = Ledger::new();
+            let mut events = Vec::new();
+            let mut oracle = PriceOracle::new(OracleConfig::every_update());
+            oracle.set_price(0, Token::ETH, Wad::from_int(3_000));
+            oracle.set_price(0, Token::DAI, Wad::ONE);
+            let mut block: u64 = 1;
+
+            for (selector, who, magnitude, tweak) in ops {
+                let owner = account(who);
+                block += 1;
+                match selector {
+                    0 => {
+                        let amount = Wad::from_f64(magnitude as f64 / 2_000.0);
+                        ledger.mint(owner, Token::ETH, amount);
+                        let _ = maker.lock_collateral(&mut ledger, &mut events, owner, Token::ETH, amount);
+                    }
+                    1 => {
+                        let _ = maker.draw_dai(
+                            &mut ledger, &mut events, &oracle, owner, Wad::from_int(magnitude as u64),
+                        );
+                    }
+                    2 => {
+                        let debt = maker.cdp(owner).map(|c| c.debt).unwrap_or(Wad::ZERO);
+                        let share = Wad::from_f64((tweak % 999 + 1) as f64 / 1_000.0);
+                        let amount = debt.checked_mul(share).unwrap_or(Wad::ZERO);
+                        if !amount.is_zero() {
+                            ledger.mint(owner, Token::DAI, amount);
+                            let _ = maker.repay_dai(&mut ledger, &mut events, owner, amount);
+                        }
+                    }
+                    3 => {
+                        let factor = 0.4 + (tweak % 1_200) as f64 / 1_000.0;
+                        oracle.set_price(block, Token::ETH, Wad::from_f64(3_000.0 * factor));
+                    }
+                    4 => {
+                        let _ = maker.free_collateral(
+                            &mut ledger, &oracle, owner, Wad::from_f64(magnitude as f64 / 20_000.0),
+                        );
+                    }
+                    _ => {
+                        let _ = maker.bite(&mut events, &oracle, block, owner);
+                    }
+                }
+
+                // The index flags exactly the CDPs whose generic-position
+                // health factor is below 1 (PR 3 made HF < 1 coincide with
+                // the bite condition), and the cached book is byte-identical
+                // to the from-scratch rebuild.
+                let hf_below_one: Vec<Address> = maker
+                    .positions(&oracle)
+                    .into_iter()
+                    .filter(|p| p.is_liquidatable())
+                    .map(|p| p.owner)
+                    .collect();
+                let scratch_bite = maker.liquidatable_cdps(&oracle);
+                prop_assert_eq!(&scratch_bite, &hf_below_one);
+                prop_assert_eq!(maker.cached_liquidatable_cdps(&oracle), scratch_bite);
+                prop_assert_eq!(maker.cached_book(&oracle), maker.positions(&oracle));
+            }
+        }
+    }
+
+    /// Driving the engine through the object-safe trait keeps the cached
+    /// discovery surface consistent with the reference paths too.
+    #[test]
+    fn trait_surface_serves_cached_results() {
+        let mut protocol: Box<dyn LendingProtocol> = Box::new(compound());
+        let mut ledger = Ledger::new();
+        let mut events = Vec::new();
+        let mut oracle = PriceOracle::new(OracleConfig::every_update());
+        oracle.set_price(0, Token::ETH, Wad::from_int(3_000));
+        oracle.set_price(0, Token::USDC, Wad::ONE);
+        let lender = Address::from_seed(1);
+        ledger.mint(lender, Token::USDC, Wad::from_int(1_000_000));
+        protocol
+            .deposit(
+                &mut ledger,
+                &mut events,
+                lender,
+                Token::USDC,
+                Wad::from_int(1_000_000),
+            )
+            .unwrap();
+        let borrower = Address::from_seed(2);
+        ledger.mint(borrower, Token::ETH, Wad::from_int(5));
+        protocol
+            .deposit(
+                &mut ledger,
+                &mut events,
+                borrower,
+                Token::ETH,
+                Wad::from_int(5),
+            )
+            .unwrap();
+        protocol
+            .borrow(
+                &mut ledger,
+                &mut events,
+                &oracle,
+                1,
+                borrower,
+                Token::USDC,
+                Wad::from_int(11_000),
+            )
+            .unwrap();
+
+        // Volume totals from the default (rebuild) path and the cached path
+        // must agree.
+        let positions = protocol.book_positions(&oracle);
+        let totals = protocol.book_totals(&oracle);
+        let fold = positions
+            .iter()
+            .map(|p| p.total_collateral_value())
+            .fold(Wad::ZERO, |acc, v| acc.saturating_add(v));
+        assert_eq!(totals.collateral_usd, fold);
+        assert_eq!(totals.open_positions as usize, positions.len());
+
+        // for_each_position visits the same book in the same order.
+        let mut walked = Vec::new();
+        protocol.for_each_position(&oracle, &mut |p| walked.push(p.clone()));
+        assert_eq!(walked, positions);
+
+        oracle.set_price(2, Token::ETH, Wad::from_int(2_000));
+        let opportunities = protocol.liquidatable(&oracle);
+        assert_eq!(opportunities.len(), 1);
+        assert_eq!(opportunities[0].borrower, borrower);
+        // The opportunity snapshot is the fresh valuation.
+        assert_eq!(
+            opportunities[0].position,
+            protocol.position(&oracle, borrower).unwrap()
+        );
+    }
+}
