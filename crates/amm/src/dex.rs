@@ -3,6 +3,11 @@
 //! Liquidator agents ask the [`Dex`] for a quote from the seized collateral
 //! token into the debt token; if no direct pair exists the route goes through
 //! ETH (the deepest pairs on mainnet are almost always X/ETH and ETH/stable).
+//!
+//! Pool reserves live on the [`Ledger`] (each pool's own account holds them),
+//! so a swap executed inside a transaction scope is journaled with the
+//! ledger checkpoint and reverts with the transaction — no caller has to
+//! snapshot and restore the AMM around a revert.
 
 use serde::{Deserialize, Serialize};
 
@@ -57,12 +62,6 @@ impl Dex {
             .find(|p| p.supports(a) && p.supports(b) && a != b)
     }
 
-    fn pool_for_mut(&mut self, a: Token, b: Token) -> Option<&mut ConstantProductPool> {
-        self.pools
-            .iter_mut()
-            .find(|p| p.supports(a) && p.supports(b) && a != b)
-    }
-
     /// Seed a standard pool with reserves sized so its spot price matches the
     /// given USD prices and the given USD depth per side.
     pub fn seed_standard_pool(
@@ -87,6 +86,7 @@ impl Dex {
     /// Quote a swap, routing through ETH when no direct pair exists.
     pub fn quote(
         &self,
+        ledger: &Ledger,
         token_in: Token,
         token_out: Token,
         amount_in: Wad,
@@ -102,8 +102,8 @@ impl Dex {
             });
         }
         if let Some(pool) = self.pool_for(token_in, token_out) {
-            let amount_out = pool.quote_out(token_in, amount_in)?;
-            let price_impact = pool.price_impact(token_in, amount_in)?;
+            let amount_out = pool.quote_out(ledger, token_in, amount_in)?;
+            let price_impact = pool.price_impact(ledger, token_in, amount_in)?;
             return Ok(SwapQuote {
                 token_in,
                 token_out,
@@ -120,10 +120,10 @@ impl Dex {
         let second = self
             .pool_for(Token::ETH, token_out)
             .ok_or(AmmError::UnsupportedToken(token_out))?;
-        let eth_out = first.quote_out(token_in, amount_in)?;
-        let amount_out = second.quote_out(Token::ETH, eth_out)?;
-        let impact =
-            first.price_impact(token_in, amount_in)? + second.price_impact(Token::ETH, eth_out)?;
+        let eth_out = first.quote_out(ledger, token_in, amount_in)?;
+        let amount_out = second.quote_out(ledger, Token::ETH, eth_out)?;
+        let impact = first.price_impact(ledger, token_in, amount_in)?
+            + second.price_impact(ledger, Token::ETH, eth_out)?;
         Ok(SwapQuote {
             token_in,
             token_out,
@@ -135,9 +135,11 @@ impl Dex {
     }
 
     /// Execute a swap (routing through ETH when necessary); returns the
-    /// output amount credited to `trader`.
+    /// output amount credited to `trader`. Reserve mutations are ledger
+    /// transfers, so inside a transaction scope the whole route reverts
+    /// atomically with the checkpoint.
     pub fn swap(
-        &mut self,
+        &self,
         ledger: &mut Ledger,
         trader: Address,
         token_in: Token,
@@ -147,23 +149,17 @@ impl Dex {
         if token_in == token_out {
             return Ok(amount_in);
         }
-        if self.pool_for(token_in, token_out).is_some() {
-            let pool = self
-                .pool_for_mut(token_in, token_out)
-                .expect("checked above");
+        if let Some(pool) = self.pool_for(token_in, token_out) {
             return pool.swap(ledger, trader, token_in, amount_in);
         }
         // Two hops: in -> ETH -> out.
-        let eth_out = {
-            let pool = self
-                .pool_for_mut(token_in, Token::ETH)
-                .ok_or(AmmError::UnsupportedToken(token_in))?;
-            pool.swap(ledger, trader, token_in, amount_in)?
-        };
-        let pool = self
-            .pool_for_mut(Token::ETH, token_out)
-            .ok_or(AmmError::UnsupportedToken(token_out))?;
-        pool.swap(ledger, trader, Token::ETH, eth_out)
+        let eth_out = self
+            .pool_for(token_in, Token::ETH)
+            .ok_or(AmmError::UnsupportedToken(token_in))?
+            .swap(ledger, trader, token_in, amount_in)?;
+        self.pool_for(Token::ETH, token_out)
+            .ok_or(AmmError::UnsupportedToken(token_out))?
+            .swap(ledger, trader, Token::ETH, eth_out)
     }
 
     /// Iterate over the pools.
@@ -200,9 +196,9 @@ mod tests {
 
     #[test]
     fn direct_quote_uses_single_pool() {
-        let (dex, _) = setup();
+        let (dex, ledger) = setup();
         let quote = dex
-            .quote(Token::ETH, Token::DAI, Wad::from_int(10))
+            .quote(&ledger, Token::ETH, Token::DAI, Wad::from_int(10))
             .unwrap();
         assert!(!quote.via_eth);
         // ~3,000 DAI per ETH minus fee/impact.
@@ -212,9 +208,9 @@ mod tests {
 
     #[test]
     fn two_hop_quote_routes_via_eth() {
-        let (dex, _) = setup();
+        let (dex, ledger) = setup();
         let quote = dex
-            .quote(Token::WBTC, Token::DAI, Wad::from_int(1))
+            .quote(&ledger, Token::WBTC, Token::DAI, Wad::from_int(1))
             .unwrap();
         assert!(quote.via_eth);
         // 1 WBTC ≈ 45,000 DAI minus two fees and impact.
@@ -224,15 +220,17 @@ mod tests {
 
     #[test]
     fn same_token_is_identity() {
-        let (dex, _) = setup();
-        let quote = dex.quote(Token::DAI, Token::DAI, Wad::from_int(5)).unwrap();
+        let (dex, ledger) = setup();
+        let quote = dex
+            .quote(&ledger, Token::DAI, Token::DAI, Wad::from_int(5))
+            .unwrap();
         assert_eq!(quote.amount_out, Wad::from_int(5));
         assert_eq!(quote.price_impact, 0.0);
     }
 
     #[test]
     fn swap_executes_two_hops() {
-        let (mut dex, mut ledger) = setup();
+        let (dex, mut ledger) = setup();
         let trader = Address::from_seed(42);
         ledger.mint(trader, Token::WBTC, Wad::from_int(2));
         let out = dex
@@ -256,16 +254,20 @@ mod tests {
 
     #[test]
     fn missing_pair_is_an_error() {
-        let (dex, _) = setup();
-        assert!(dex.quote(Token::MKR, Token::DAI, Wad::from_int(1)).is_err());
+        let (dex, ledger) = setup();
+        assert!(dex
+            .quote(&ledger, Token::MKR, Token::DAI, Wad::from_int(1))
+            .is_err());
     }
 
     #[test]
     fn quote_matches_swap_output() {
-        let (mut dex, mut ledger) = setup();
+        let (dex, mut ledger) = setup();
         let trader = Address::from_seed(7);
         ledger.mint(trader, Token::ETH, Wad::from_int(3));
-        let quote = dex.quote(Token::ETH, Token::DAI, Wad::from_int(3)).unwrap();
+        let quote = dex
+            .quote(&ledger, Token::ETH, Token::DAI, Wad::from_int(3))
+            .unwrap();
         let out = dex
             .swap(
                 &mut ledger,
@@ -276,5 +278,43 @@ mod tests {
             )
             .unwrap();
         assert_eq!(quote.amount_out, out);
+    }
+
+    /// A swap inside a reverting ledger checkpoint rolls the pool reserves
+    /// back wherever it happens — here on a plain (non-flash-loan) path,
+    /// the case the engine used to have no hand-rolled snapshot for.
+    #[test]
+    fn reverted_swap_rolls_back_pool_reserves() {
+        let (dex, mut ledger) = setup();
+        let trader = Address::from_seed(77);
+        ledger.mint(trader, Token::ETH, Wad::from_int(25));
+        let pool = dex.pool_for(Token::ETH, Token::DAI).unwrap();
+        let reserves_before = pool.reserves(&ledger);
+        let quote_before = dex
+            .quote(&ledger, Token::ETH, Token::DAI, Wad::from_int(5))
+            .unwrap();
+
+        ledger.begin_checkpoint();
+        let out = dex
+            .swap(
+                &mut ledger,
+                trader,
+                Token::ETH,
+                Token::DAI,
+                Wad::from_int(25),
+            )
+            .unwrap();
+        assert!(!out.is_zero());
+        assert_ne!(pool.reserves(&ledger), reserves_before);
+        ledger.revert_checkpoint();
+
+        // Reserves, trader balances and quotes are exactly the pre-swap state.
+        assert_eq!(pool.reserves(&ledger), reserves_before);
+        assert_eq!(ledger.balance(trader, Token::ETH), Wad::from_int(25));
+        assert_eq!(ledger.balance(trader, Token::DAI), Wad::ZERO);
+        let quote_after = dex
+            .quote(&ledger, Token::ETH, Token::DAI, Wad::from_int(5))
+            .unwrap();
+        assert_eq!(quote_after.amount_out, quote_before.amount_out);
     }
 }

@@ -54,24 +54,23 @@ impl PoolConfig {
 }
 
 /// A single x·y=k pool.
+///
+/// The pool carries no reserve state of its own: its reserves *are* its
+/// ledger account's balances, so every reserve mutation is journaled with
+/// the ledger checkpoint and a swap inside a reverting transaction rolls
+/// back atomically — wherever it happens — instead of relying on callers to
+/// snapshot and restore the AMM by hand.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ConstantProductPool {
     /// The pool's own account on the ledger (holds the reserves).
     pub address: Address,
     config: PoolConfig,
-    reserve_a: Wad,
-    reserve_b: Wad,
 }
 
 impl ConstantProductPool {
     /// Create a pool; reserves start at zero until liquidity is seeded.
     pub fn new(address: Address, config: PoolConfig) -> Self {
-        ConstantProductPool {
-            address,
-            config,
-            reserve_a: Wad::ZERO,
-            reserve_b: Wad::ZERO,
-        }
+        ConstantProductPool { address, config }
     }
 
     /// The pool configuration.
@@ -79,9 +78,13 @@ impl ConstantProductPool {
         self.config
     }
 
-    /// Current reserves as `(token_a reserve, token_b reserve)`.
-    pub fn reserves(&self) -> (Wad, Wad) {
-        (self.reserve_a, self.reserve_b)
+    /// Current reserves as `(token_a reserve, token_b reserve)` — the pool
+    /// account's ledger balances.
+    pub fn reserves(&self, ledger: &Ledger) -> (Wad, Wad) {
+        (
+            ledger.balance(self.address, self.config.token_a),
+            ledger.balance(self.address, self.config.token_b),
+        )
     }
 
     /// Whether the pool trades `token`.
@@ -100,38 +103,28 @@ impl ConstantProductPool {
         }
     }
 
-    fn reserve_of(&self, token: Token) -> Result<Wad, AmmError> {
-        if token == self.config.token_a {
-            Ok(self.reserve_a)
-        } else if token == self.config.token_b {
-            Ok(self.reserve_b)
+    fn reserve_of(&self, ledger: &Ledger, token: Token) -> Result<Wad, AmmError> {
+        if token == self.config.token_a || token == self.config.token_b {
+            Ok(ledger.balance(self.address, token))
         } else {
             Err(AmmError::UnsupportedToken(token))
         }
     }
 
-    fn set_reserve(&mut self, token: Token, value: Wad) {
-        if token == self.config.token_a {
-            self.reserve_a = value;
-        } else {
-            self.reserve_b = value;
-        }
-    }
-
     /// Seed liquidity directly (scenario setup): mints the reserves into the
-    /// pool's ledger account and records them as reserves.
+    /// pool's ledger account.
     pub fn seed_liquidity(&mut self, ledger: &mut Ledger, amount_a: Wad, amount_b: Wad) {
         ledger.mint(self.address, self.config.token_a, amount_a);
         ledger.mint(self.address, self.config.token_b, amount_b);
-        self.reserve_a = self.reserve_a.saturating_add(amount_a);
-        self.reserve_b = self.reserve_b.saturating_add(amount_b);
     }
 
     /// Marginal (spot) price of `token` denominated in its counterpart:
     /// reserves_out / reserves_in. Returns `None` when the pool is empty.
-    pub fn spot_price(&self, token: Token) -> Option<Wad> {
-        let input_reserve = self.reserve_of(token).ok()?;
-        let output_reserve = self.reserve_of(self.counterpart(token).ok()?).ok()?;
+    pub fn spot_price(&self, ledger: &Ledger, token: Token) -> Option<Wad> {
+        let input_reserve = self.reserve_of(ledger, token).ok()?;
+        let output_reserve = self
+            .reserve_of(ledger, self.counterpart(token).ok()?)
+            .ok()?;
         if input_reserve.is_zero() {
             return None;
         }
@@ -140,13 +133,18 @@ impl ConstantProductPool {
 
     /// Output amount for a given input under x·y=k with the pool fee,
     /// without executing the swap.
-    pub fn quote_out(&self, token_in: Token, amount_in: Wad) -> Result<Wad, AmmError> {
+    pub fn quote_out(
+        &self,
+        ledger: &Ledger,
+        token_in: Token,
+        amount_in: Wad,
+    ) -> Result<Wad, AmmError> {
         if amount_in.is_zero() {
             return Err(AmmError::ZeroAmount);
         }
         let token_out = self.counterpart(token_in)?;
-        let reserve_in = self.reserve_of(token_in)?;
-        let reserve_out = self.reserve_of(token_out)?;
+        let reserve_in = self.reserve_of(ledger, token_in)?;
+        let reserve_out = self.reserve_of(ledger, token_out)?;
         if reserve_in.is_zero() || reserve_out.is_zero() {
             return Err(AmmError::InsufficientLiquidity);
         }
@@ -162,11 +160,16 @@ impl ConstantProductPool {
     }
 
     /// Relative price impact of swapping `amount_in` (0.0 = none, 1.0 = 100 %).
-    pub fn price_impact(&self, token_in: Token, amount_in: Wad) -> Result<f64, AmmError> {
+    pub fn price_impact(
+        &self,
+        ledger: &Ledger,
+        token_in: Token,
+        amount_in: Wad,
+    ) -> Result<f64, AmmError> {
         let spot = self
-            .spot_price(token_in)
+            .spot_price(ledger, token_in)
             .ok_or(AmmError::InsufficientLiquidity)?;
-        let out = self.quote_out(token_in, amount_in)?;
+        let out = self.quote_out(ledger, token_in, amount_in)?;
         let executed = out.to_f64() / amount_in.to_f64().max(1e-18);
         let spot = spot.to_f64();
         if spot <= 0.0 {
@@ -175,18 +178,20 @@ impl ConstantProductPool {
         Ok(((spot - executed) / spot).clamp(0.0, 1.0))
     }
 
-    /// Execute a swap: pulls `amount_in` from `trader`, pushes the output to
-    /// `trader`, updates reserves. Returns the output amount.
+    /// Execute a swap: pulls `amount_in` from `trader` into the pool account
+    /// and pushes the output back. The reserve mutation *is* the pair of
+    /// ledger transfers, so it is journaled with any open checkpoint and
+    /// reverts with the transaction. Returns the output amount.
     pub fn swap(
-        &mut self,
+        &self,
         ledger: &mut Ledger,
         trader: Address,
         token_in: Token,
         amount_in: Wad,
     ) -> Result<Wad, AmmError> {
         let token_out = self.counterpart(token_in)?;
-        let amount_out = self.quote_out(token_in, amount_in)?;
-        if amount_out >= self.reserve_of(token_out)? {
+        let amount_out = self.quote_out(ledger, token_in, amount_in)?;
+        if amount_out >= self.reserve_of(ledger, token_out)? {
             return Err(AmmError::InsufficientLiquidity);
         }
         ledger
@@ -195,10 +200,6 @@ impl ConstantProductPool {
         ledger
             .transfer(self.address, trader, token_out, amount_out)
             .map_err(|e| AmmError::Ledger(e.to_string()))?;
-        let new_in = self.reserve_of(token_in)?.saturating_add(amount_in);
-        let new_out = self.reserve_of(token_out)?.saturating_sub(amount_out);
-        self.set_reserve(token_in, new_in);
-        self.set_reserve(token_out, new_out);
         Ok(amount_out)
     }
 }
@@ -221,14 +222,19 @@ mod tests {
         let mut ledger = Ledger::new();
         let pool = pool_with_liquidity(&mut ledger, 1_000, 3_000_000);
         // 3,000,000 DAI / 1,000 ETH = 3,000 DAI per ETH.
-        assert_eq!(pool.spot_price(Token::ETH).unwrap(), Wad::from_int(3_000));
+        assert_eq!(
+            pool.spot_price(&ledger, Token::ETH).unwrap(),
+            Wad::from_int(3_000)
+        );
     }
 
     #[test]
     fn quote_less_than_spot_due_to_impact_and_fee() {
         let mut ledger = Ledger::new();
         let pool = pool_with_liquidity(&mut ledger, 1_000, 3_000_000);
-        let out = pool.quote_out(Token::ETH, Wad::from_int(10)).unwrap();
+        let out = pool
+            .quote_out(&ledger, Token::ETH, Wad::from_int(10))
+            .unwrap();
         // Spot value would be 30,000 DAI; the quote must be lower.
         assert!(out < Wad::from_int(30_000));
         assert!(
@@ -240,16 +246,16 @@ mod tests {
     #[test]
     fn swap_conserves_product_approximately() {
         let mut ledger = Ledger::new();
-        let mut pool = pool_with_liquidity(&mut ledger, 1_000, 3_000_000);
+        let pool = pool_with_liquidity(&mut ledger, 1_000, 3_000_000);
         let trader = Address::from_seed(9);
         ledger.mint(trader, Token::ETH, Wad::from_int(50));
-        let (ra0, rb0) = pool.reserves();
+        let (ra0, rb0) = pool.reserves(&ledger);
         let k0 = ra0.to_f64() * rb0.to_f64();
         let out = pool
             .swap(&mut ledger, trader, Token::ETH, Wad::from_int(50))
             .unwrap();
         assert!(!out.is_zero());
-        let (ra1, rb1) = pool.reserves();
+        let (ra1, rb1) = pool.reserves(&ledger);
         let k1 = ra1.to_f64() * rb1.to_f64();
         // Fees make k grow slightly; it must never shrink.
         assert!(k1 >= k0 * 0.9999, "k shrank: {k0} -> {k1}");
@@ -260,7 +266,7 @@ mod tests {
     #[test]
     fn swap_without_balance_fails_cleanly() {
         let mut ledger = Ledger::new();
-        let mut pool = pool_with_liquidity(&mut ledger, 100, 300_000);
+        let pool = pool_with_liquidity(&mut ledger, 100, 300_000);
         let trader = Address::from_seed(1);
         let err = pool
             .swap(&mut ledger, trader, Token::ETH, Wad::from_int(5))
@@ -268,7 +274,7 @@ mod tests {
         assert!(matches!(err, AmmError::Ledger(_)));
         // Reserves untouched.
         assert_eq!(
-            pool.reserves(),
+            pool.reserves(&ledger),
             (Wad::from_int(100), Wad::from_int(300_000))
         );
     }
@@ -278,7 +284,7 @@ mod tests {
         let mut ledger = Ledger::new();
         let pool = pool_with_liquidity(&mut ledger, 100, 300_000);
         assert!(matches!(
-            pool.quote_out(Token::WBTC, Wad::from_int(1)),
+            pool.quote_out(&ledger, Token::WBTC, Wad::from_int(1)),
             Err(AmmError::UnsupportedToken(Token::WBTC))
         ));
     }
@@ -288,7 +294,7 @@ mod tests {
         let mut ledger = Ledger::new();
         let pool = pool_with_liquidity(&mut ledger, 100, 300_000);
         assert!(matches!(
-            pool.quote_out(Token::ETH, Wad::ZERO),
+            pool.quote_out(&ledger, Token::ETH, Wad::ZERO),
             Err(AmmError::ZeroAmount)
         ));
     }
@@ -297,8 +303,12 @@ mod tests {
     fn price_impact_grows_with_trade_size() {
         let mut ledger = Ledger::new();
         let pool = pool_with_liquidity(&mut ledger, 1_000, 3_000_000);
-        let small = pool.price_impact(Token::ETH, Wad::from_int(1)).unwrap();
-        let large = pool.price_impact(Token::ETH, Wad::from_int(200)).unwrap();
+        let small = pool
+            .price_impact(&ledger, Token::ETH, Wad::from_int(1))
+            .unwrap();
+        let large = pool
+            .price_impact(&ledger, Token::ETH, Wad::from_int(200))
+            .unwrap();
         assert!(large > small);
         assert!(
             large > 0.15,

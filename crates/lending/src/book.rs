@@ -35,6 +35,31 @@
 //! changes, and when most of the book is invalidated at once (per-tick
 //! accrual) the flush switches from set marking to a single linear walk.
 //!
+//! Multivariate accounts additionally carry a **conservative health-factor
+//! band index**. Every account is classified into one of four HF bands —
+//! below 1 (liquidatable), `[1, rescue)` (rescue-repay candidates),
+//! `[rescue, releverage]` (quiet), above `releverage` (re-leverage
+//! candidates) — and the owning protocol derives a certified envelope
+//! ([`BookSource::hf_envelope`]): per-token raw price bounds plus per-market
+//! borrow-index ceilings within which the health factor *provably* stays in
+//! its current band. While every envelope condition holds, a price move or an
+//! interest accrual does **not** re-value the account — it is flagged lazily
+//! stale and its band verdict is read straight off the
+//! classification, so both [`liquidatable_accounts`](PositionBook::liquidatable_accounts)
+//! and the engine's borrower-management pass
+//! ([`for_each_at_risk`](PositionBook::for_each_at_risk)) skip the
+//! far-from-threshold bulk of the book. The conditions are *state*-based
+//! (current price within `[lo, hi]`, current index below its cap), so
+//! envelope checks compose across any interleaving of moves; the bounds are
+//! integer-rounded inward (never outward), a guard band absorbs fixed-point
+//! rounding in the HF evaluation itself, and accounts too close to a band
+//! edge get no envelope and ride the exact path. Exactness is enforced by a
+//! differential harness (`tests/band_differential.rs`): a shadow cache-less
+//! scan must agree with banded discovery every tick across every catalog
+//! scenario. Queries that need every valuation fresh (`book_positions`,
+//! `totals`) drain the lazy-stale set first, so snapshots and volume samples
+//! remain byte-identical to rebuilds.
+//!
 //! The book is *exact by construction*: a cached entry is byte-identical to a
 //! from-scratch [`Position`] rebuild because the owning protocol's
 //! [`BookSource::fill_position`] is the same code path the legacy
@@ -48,6 +73,79 @@ use std::ops::Bound;
 use defi_core::position::Position;
 use defi_oracle::PriceOracle;
 use defi_types::{Address, Token, Wad};
+
+/// Health factor below which the engine's borrower-management pass considers
+/// a position a rescue-repay candidate, and the default lower edge of the
+/// quiet band the band index certifies accounts into.
+pub const RESCUE_BAND_HF: f64 = 1.05;
+
+/// Health factor above which the engine's borrower-management pass considers
+/// a position a re-leverage candidate, and the default upper edge of the
+/// quiet band.
+pub const RELEVERAGE_BAND_HF: f64 = 2.2;
+
+/// A certified envelope within which an account's health factor provably
+/// stays in its current band (see the module docs).
+///
+/// The conditions are conjunctive and *state*-based: the account's band
+/// verdict is certified as long as every sensitive token's current raw oracle
+/// price sits inside its (inclusive) `[lo, hi]` bound **and** every debt
+/// market's current raw borrow index is at or below its cap. A derivation
+/// must emit a price bound for *every* price-sensitive token and an index cap
+/// for *every* index-accruing debt token — the book conservatively re-values
+/// on any condition it cannot find.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HfEnvelope {
+    /// `(token, lo, hi)`: inclusive raw oracle-price bounds per sensitive
+    /// token.
+    pub price_bounds: Vec<(Token, u128, u128)>,
+    /// `(token, cap)`: inclusive raw borrow-index ceiling per debt market
+    /// (`u128::MAX` when the band has no floor — accrual only pushes the
+    /// health factor down, which cannot cross an open lower edge).
+    pub index_caps: Vec<(Token, u128)>,
+}
+
+impl HfEnvelope {
+    /// Empty both condition lists, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.price_bounds.clear();
+        self.index_caps.clear();
+    }
+}
+
+/// The health-factor band an account was classified into at its last
+/// re-valuation, delimited by 1 and the book's configured
+/// (`rescue`, `releverage`) thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HfBand {
+    /// HF < 1.
+    Liquidatable,
+    /// 1 ≤ HF < rescue.
+    Rescue,
+    /// rescue ≤ HF ≤ releverage, or no debt (no health factor at all).
+    Quiet,
+    /// HF > releverage.
+    Releverage,
+}
+
+impl HfBand {
+    fn classify(hf: Wad, rescue: Wad, releverage: Wad) -> HfBand {
+        if hf < Wad::ONE {
+            HfBand::Liquidatable
+        } else if hf < rescue {
+            HfBand::Rescue
+        } else if hf > releverage {
+            HfBand::Releverage
+        } else {
+            HfBand::Quiet
+        }
+    }
+
+    /// Whether the borrower-management pass must see accounts in this band.
+    fn at_risk(self) -> bool {
+        !matches!(self, HfBand::Quiet)
+    }
+}
 
 /// Aggregate totals over the observable book — what the engine's
 /// volume-sampling pass (Figures 4/9 denominators) needs, maintained as
@@ -77,6 +175,14 @@ pub struct BookStats {
     pub indexed_accounts: usize,
     /// Accounts currently flagged liquidatable outside the index.
     pub live_accounts: usize,
+    /// Accounts currently carrying a certified health-factor band envelope.
+    pub banded_accounts: usize,
+    /// Accounts currently in an at-risk band (below `rescue` or above
+    /// `releverage`) — what the borrower-management pass iterates.
+    pub at_risk_accounts: usize,
+    /// Re-valuations avoided because a band envelope held, since the book was
+    /// created.
+    pub envelope_skips: u64,
 }
 
 /// What a [`PositionBook`] needs from its owning protocol to re-value one
@@ -107,6 +213,36 @@ pub trait BookSource {
     /// that no other oracle price affects its health factor. Return `None`
     /// for multivariate positions; they are tracked by the live set instead.
     fn critical_price(&self, account: Address, position: &Position) -> Option<(Token, u128)>;
+
+    /// Current raw borrow index ([`defi_types::Ray`] representation) of the
+    /// market in `token`, if the protocol accrues one. The band index
+    /// compares it against each debtor's certified cap when the market's
+    /// index moves; the default `None` makes every index notification
+    /// conservatively re-value all of the market's debtors (the pre-band
+    /// behaviour).
+    fn borrow_index(&self, _token: Token) -> Option<u128> {
+        None
+    }
+
+    /// Derive a certified health-factor band envelope for a multivariate
+    /// account: fill `out` with conditions under which the position's health
+    /// factor provably stays strictly inside `(floor, ceiling)` scaled by the
+    /// derivation's guard band (an open edge is `None`). The derivation must
+    /// bound **every** price the valuation is sensitive to and cap **every**
+    /// index-accruing debt market, and must round its integer bounds inward
+    /// so certification errs towards re-valuing. Return `false` (the
+    /// default) to ride the exact path — a new [`crate::LendingProtocol`]
+    /// implementation opts into banding by overriding this.
+    fn hf_envelope(
+        &self,
+        _oracle: &PriceOracle,
+        _position: &Position,
+        _floor: Option<Wad>,
+        _ceiling: Option<Wad>,
+        _out: &mut HfEnvelope,
+    ) -> bool {
+        false
+    }
 }
 
 /// One cached account. Fresh entries start zeroed so the diff-based
@@ -119,6 +255,15 @@ struct Entry {
     debt_usd: Wad,
     dai_eth_usd: Wad,
     critical: Option<(Token, u128)>,
+    /// Health-factor band at the last re-valuation.
+    band: HfBand,
+    /// Certified envelope within which `band` provably holds (`None`: the
+    /// account rides the exact path and re-values on every relevant change).
+    envelope: Option<HfEnvelope>,
+    /// An input moved but the envelope held: the band verdict is certified,
+    /// the cached valuation is stale until a full refresh or a query that
+    /// hands this account out re-values it.
+    stale: bool,
     /// Oracle write epoch the valuation was computed at.
     valued_epoch: u64,
     /// Price-sensitive exposure at the last re-valuation.
@@ -136,6 +281,9 @@ impl Entry {
             debt_usd: Wad::ZERO,
             dai_eth_usd: Wad::ZERO,
             critical: None,
+            band: HfBand::Quiet,
+            envelope: None,
+            stale: false,
             valued_epoch: 0,
             tokens: Vec::new(),
             debt_tokens: Vec::new(),
@@ -148,6 +296,46 @@ impl Entry {
         self.tokens
             .iter()
             .any(|&token| oracle.token_epoch(token) > self.valued_epoch)
+    }
+
+    /// Whether this entry's certified envelope survives the given input
+    /// changes: every changed price the account is sensitive to must sit
+    /// inside its bound and every moved debt index below its cap. Conditions
+    /// the envelope does not name fail conservatively.
+    fn envelope_holds(&self, prices: &[(Token, u128)], indexes: &[(Token, Option<u128>)]) -> bool {
+        let Some(envelope) = &self.envelope else {
+            return false;
+        };
+        for &(token, raw) in prices {
+            if !self.tokens.contains(&token) {
+                continue;
+            }
+            match envelope.price_bounds.iter().find(|(t, _, _)| *t == token) {
+                Some(&(_, lo, hi)) => {
+                    if raw < lo || raw > hi {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        for &(token, current) in indexes {
+            if !self.debt_tokens.contains(&token) {
+                continue;
+            }
+            let Some(current) = current else {
+                return false;
+            };
+            match envelope.index_caps.iter().find(|(t, _)| *t == token) {
+                Some(&(_, cap)) => {
+                    if current > cap {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        true
     }
 }
 
@@ -163,7 +351,7 @@ struct Totals {
 
 /// The incremental cache each [`crate::LendingProtocol`] implementation owns.
 /// See the module docs for the invalidation contract.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PositionBook {
     entries: BTreeMap<Address, Entry>,
     /// Accounts that must re-value before *any* query (mutated since the
@@ -184,6 +372,19 @@ pub struct PositionBook {
     critical: HashMap<Token, BTreeMap<u128, BTreeSet<Address>>>,
     /// Liquidatable accounts among the non-indexed population.
     live: BTreeSet<Address>,
+    /// Non-indexed observable-book accounts in an at-risk band (below
+    /// `rescue` or above `releverage`) — the banded borrower-management
+    /// iteration set.
+    at_risk: BTreeSet<Address>,
+    /// Number of entries whose `stale` flag is set (inputs moved, envelope
+    /// held). Full refreshes (`book_positions`, `totals`) drain them;
+    /// discovery and at-risk iteration freshen exactly the members they
+    /// return.
+    stale_count: usize,
+    /// The (rescue, releverage) HF thresholds the bands are classified by.
+    bands: (Wad, Wad),
+    /// Re-valuations avoided because an envelope held.
+    envelope_skips: u64,
     /// Oracle epoch consumed by every flush (multivariate dirty marking).
     synced_epoch: u64,
     /// Oracle epoch up to which indexed valuations were freshened by a full
@@ -195,10 +396,49 @@ pub struct PositionBook {
     scratch_debt_tokens: Vec<Token>,
     scratch_changed: Vec<Token>,
     scratch_addresses: Vec<Address>,
+    scratch_affected: Vec<Address>,
+    scratch_prices: Vec<(Token, u128)>,
+    scratch_index_moves: Vec<(Token, Option<u128>)>,
+    scratch_envelope: HfEnvelope,
+}
+
+impl Default for PositionBook {
+    fn default() -> Self {
+        PositionBook {
+            entries: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            multi_holders: HashMap::new(),
+            indexed_holders: HashMap::new(),
+            debtors: HashMap::new(),
+            pending_index_tokens: Vec::new(),
+            critical: HashMap::new(),
+            live: BTreeSet::new(),
+            at_risk: BTreeSet::new(),
+            stale_count: 0,
+            bands: (
+                Wad::from_f64(RESCUE_BAND_HF),
+                Wad::from_f64(RELEVERAGE_BAND_HF),
+            ),
+            envelope_skips: 0,
+            synced_epoch: 0,
+            full_synced_epoch: 0,
+            totals: Totals::default(),
+            revaluations: 0,
+            scratch_tokens: Vec::new(),
+            scratch_debt_tokens: Vec::new(),
+            scratch_changed: Vec::new(),
+            scratch_addresses: Vec::new(),
+            scratch_affected: Vec::new(),
+            scratch_prices: Vec::new(),
+            scratch_index_moves: Vec::new(),
+            scratch_envelope: HfEnvelope::default(),
+        }
+    }
 }
 
 impl PositionBook {
-    /// An empty book.
+    /// An empty book with the default
+    /// ([`RESCUE_BAND_HF`], [`RELEVERAGE_BAND_HF`]) band thresholds.
     pub fn new() -> Self {
         PositionBook::default()
     }
@@ -234,6 +474,13 @@ impl PositionBook {
                 .filter(|e| e.critical.is_some())
                 .count(),
             live_accounts: self.live.len(),
+            banded_accounts: self
+                .entries
+                .values()
+                .filter(|e| e.envelope.is_some())
+                .count(),
+            at_risk_accounts: self.at_risk.len(),
+            envelope_skips: self.envelope_skips,
         }
     }
 
@@ -268,6 +515,7 @@ impl PositionBook {
                 self.revalue(source, oracle, address);
             }
             self.scratch_addresses = batch;
+            debug_assert_eq!(self.stale_count, 0, "rewind left stale flags");
             return;
         }
 
@@ -280,6 +528,22 @@ impl PositionBook {
         let mut index_tokens = std::mem::take(&mut self.pending_index_tokens);
 
         if !self.dirty.is_empty() || !changed.is_empty() || !index_tokens.is_empty() {
+            // The current values the envelope conditions are checked against.
+            let mut changed_prices = std::mem::take(&mut self.scratch_prices);
+            changed_prices.clear();
+            changed_prices.extend(
+                changed
+                    .iter()
+                    .map(|&token| (token, oracle.price(token).map_or(0, |p| p.raw()))),
+            );
+            let mut index_moves = std::mem::take(&mut self.scratch_index_moves);
+            index_moves.clear();
+            index_moves.extend(
+                index_tokens
+                    .iter()
+                    .map(|&token| (token, source.borrow_index(token))),
+            );
+
             // Estimate how much of the book is affected: when it is most of
             // it (per-tick interest accrual touches every borrower), a
             // single linear walk beats building a dirty set address by
@@ -294,15 +558,29 @@ impl PositionBook {
             let mut batch = std::mem::take(&mut self.scratch_addresses);
             batch.clear();
             if estimate * 4 >= self.entries.len() {
-                for (address, entry) in &self.entries {
-                    let affected = self.dirty.contains(address)
-                        || entry
-                            .debt_tokens
-                            .iter()
-                            .any(|token| index_tokens.contains(token))
+                for (address, entry) in self.entries.iter_mut() {
+                    if self.dirty.contains(address) {
+                        batch.push(*address);
+                        continue;
+                    }
+                    let affected = entry
+                        .debt_tokens
+                        .iter()
+                        .any(|token| index_tokens.contains(token))
                         || (entry.critical.is_none()
                             && entry.tokens.iter().any(|token| changed.contains(token)));
-                    if affected {
+                    if !affected {
+                        continue;
+                    }
+                    if entry.envelope_holds(&changed_prices, &index_moves) {
+                        // The band verdict is certified; the valuation
+                        // freshens lazily.
+                        if !entry.stale {
+                            entry.stale = true;
+                            self.stale_count += 1;
+                        }
+                        self.envelope_skips += 1;
+                    } else {
                         batch.push(*address);
                     }
                 }
@@ -314,27 +592,70 @@ impl PositionBook {
                 }
                 self.dirty.clear();
             } else {
+                batch.extend(self.dirty.iter().copied());
+                let mut affected = std::mem::take(&mut self.scratch_affected);
+                affected.clear();
                 for token in &index_tokens {
                     if let Some(debtors) = self.debtors.get(token) {
-                        self.dirty.extend(debtors.iter().copied());
+                        affected.extend(debtors.iter().copied());
                     }
                 }
                 for token in &changed {
                     if let Some(holders) = self.multi_holders.get(token) {
-                        self.dirty.extend(holders.iter().copied());
+                        affected.extend(holders.iter().copied());
                     }
                 }
-                batch.extend(self.dirty.iter().copied());
+                affected.sort_unstable();
+                affected.dedup();
+                for &address in &affected {
+                    if self.dirty.contains(&address) {
+                        continue;
+                    }
+                    let Some(entry) = self.entries.get_mut(&address) else {
+                        batch.push(address);
+                        continue;
+                    };
+                    if entry.envelope_holds(&changed_prices, &index_moves) {
+                        if !entry.stale {
+                            entry.stale = true;
+                            self.stale_count += 1;
+                        }
+                        self.envelope_skips += 1;
+                    } else {
+                        batch.push(address);
+                    }
+                }
                 self.dirty.clear();
+                self.scratch_affected = affected;
             }
             for &address in &batch {
                 self.revalue(source, oracle, address);
             }
             self.scratch_addresses = batch;
+            self.scratch_prices = changed_prices;
+            self.scratch_index_moves = index_moves;
         }
         index_tokens.clear();
         self.pending_index_tokens = index_tokens;
         self.scratch_changed = changed;
+
+        if full && self.stale_count > 0 {
+            // Drain the lazily staled valuations so every cached position is
+            // exact at current prices and indexes.
+            let mut batch = std::mem::take(&mut self.scratch_addresses);
+            batch.clear();
+            batch.extend(
+                self.entries
+                    .iter()
+                    .filter(|(_, entry)| entry.stale)
+                    .map(|(address, _)| *address),
+            );
+            for &address in &batch {
+                self.revalue(source, oracle, address);
+            }
+            self.scratch_addresses = batch;
+            debug_assert_eq!(self.stale_count, 0, "full drain left stale flags");
+        }
 
         if full && epoch > self.full_synced_epoch {
             // Freshen indexed valuations whose token price moved since the
@@ -445,17 +766,83 @@ impl PositionBook {
         }
         let found: Vec<Address> = found.into_iter().collect();
         // Freshen the valuations discovery hands out; re-valuing cannot
-        // change the verdict (same state, same prices).
+        // change the verdict (same state, same prices — and for accounts an
+        // envelope parked in the lazy-stale set, the band is certified).
         for &address in &found {
             let stale = self
                 .entries
                 .get(&address)
-                .is_some_and(|entry| entry.is_stale(oracle));
+                .is_some_and(|entry| entry.stale || entry.is_stale(oracle));
             if stale {
                 self.revalue(source, oracle, address);
             }
         }
         found
+    }
+
+    /// Visit every *at-risk* observable position — health factor below
+    /// `rescue` (including liquidatable ones) or above `releverage` — in
+    /// address order, with each visited valuation freshened to current
+    /// prices and indexes. Quiet-band accounts whose envelope holds are
+    /// skipped without re-valuation: this is the banded fast path of the
+    /// engine's borrower-management pass, exactly equivalent to filtering a
+    /// full book walk by health factor.
+    ///
+    /// Changing the thresholds re-classifies the whole book (one-off full
+    /// re-valuation). Books containing critical-price-indexed accounts fall
+    /// back to the exact full walk — indexed accounts keep no HF band.
+    pub fn for_each_at_risk<S: BookSource>(
+        &mut self,
+        source: &S,
+        oracle: &PriceOracle,
+        rescue: Wad,
+        releverage: Wad,
+        visit: &mut dyn FnMut(&Position),
+    ) {
+        if (rescue, releverage) != self.bands {
+            self.bands = (rescue, releverage);
+            self.invalidate_all();
+        }
+        self.flush(source, oracle, false);
+        if self.critical.values().any(|map| !map.is_empty()) {
+            // Indexed (single-price) accounts read their liquidation status
+            // off the critical-price maps and maintain no band — serve mixed
+            // books through the exact full walk instead.
+            self.flush(source, oracle, true);
+            for entry in self.entries.values() {
+                if !entry.in_book {
+                    continue;
+                }
+                let Some(hf) = entry.position.health_factor() else {
+                    continue;
+                };
+                if hf < rescue || hf > releverage {
+                    visit(&entry.position);
+                }
+            }
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.scratch_addresses);
+        batch.clear();
+        batch.extend(self.at_risk.iter().copied());
+        for &address in &batch {
+            let stale = self
+                .entries
+                .get(&address)
+                .is_some_and(|entry| entry.stale || entry.is_stale(oracle));
+            if stale {
+                // Freshening cannot change the verdict: the account either
+                // re-valued in the flush above or its envelope certifies the
+                // band.
+                self.revalue(source, oracle, address);
+            }
+            if let Some(entry) = self.entries.get(&address) {
+                if entry.in_book {
+                    visit(&entry.position);
+                }
+            }
+        }
+        self.scratch_addresses = batch;
     }
 
     // ----------------------------------------------------------- revaluation
@@ -472,6 +859,10 @@ impl PositionBook {
             .entries
             .entry(address)
             .or_insert_with(|| Entry::new(address));
+        if entry.stale {
+            entry.stale = false;
+            self.stale_count -= 1;
+        }
         let old_in_book = entry.in_book;
         let old_collateral = entry.collateral_usd;
         let old_debt = entry.debt_usd;
@@ -480,13 +871,51 @@ impl PositionBook {
         let old_tokens = std::mem::take(&mut entry.tokens);
         let old_debt_list = std::mem::take(&mut entry.debt_tokens);
 
+        let mut envelope = match entry.envelope.take() {
+            Some(env) => env,
+            None => std::mem::take(&mut self.scratch_envelope),
+        };
+        envelope.clear();
+
         let exists = source.fill_position(oracle, address, &mut entry.position);
         let mut liquidatable = false;
+        let mut band = HfBand::Quiet;
+        let mut banded = false;
         if exists {
             source.sensitive_tokens(&entry.position, &mut new_tokens);
             source.debt_tokens(&entry.position, &mut new_debt_tokens);
             let critical = source.critical_price(address, &entry.position);
             liquidatable = critical.is_none() && entry.position.is_liquidatable();
+            if critical.is_none() {
+                let (rescue, releverage) = self.bands;
+                match entry.position.health_factor() {
+                    None => {
+                        // A debt-free account has no health factor at *any*
+                        // price: certify it with unbounded conditions, so
+                        // price moves only stale its valuation lazily.
+                        for &token in new_tokens.iter() {
+                            envelope.price_bounds.push((token, 0, u128::MAX));
+                        }
+                        banded = true;
+                    }
+                    Some(hf) => {
+                        band = HfBand::classify(hf, rescue, releverage);
+                        let (floor, ceiling) = match band {
+                            HfBand::Liquidatable => (None, Some(Wad::ONE)),
+                            HfBand::Rescue => (Some(Wad::ONE), Some(rescue)),
+                            HfBand::Quiet => (Some(rescue), Some(releverage)),
+                            HfBand::Releverage => (Some(releverage), None),
+                        };
+                        banded = source.hf_envelope(
+                            oracle,
+                            &entry.position,
+                            floor,
+                            ceiling,
+                            &mut envelope,
+                        );
+                    }
+                }
+            }
             entry.in_book = source.in_book(&entry.position);
             entry.collateral_usd = entry.position.total_collateral_value();
             entry.debt_usd = entry.position.total_debt_value();
@@ -500,6 +929,13 @@ impl PositionBook {
             };
             entry.critical = critical;
             entry.valued_epoch = oracle.epoch();
+        }
+        entry.band = band;
+        if banded {
+            entry.envelope = Some(envelope);
+        } else {
+            // Recycle the condition buffers for the next derivation.
+            self.scratch_envelope = envelope;
         }
         let new_in_book = exists && entry.in_book;
         let new_collateral = entry.collateral_usd;
@@ -613,6 +1049,14 @@ impl PositionBook {
             self.live.insert(address);
         } else {
             self.live.remove(&address);
+        }
+
+        // At-risk iteration set (non-indexed observable-book accounts in an
+        // actionable band), and this valuation is fresh again.
+        if new_in_book && new_critical.is_none() && band.at_risk() {
+            self.at_risk.insert(address);
+        } else {
+            self.at_risk.remove(&address);
         }
 
         if exists {
@@ -800,6 +1244,33 @@ mod tests {
             .fold(Wad::ZERO, |acc, (_, d)| acc.saturating_add(*d));
         assert_eq!(totals.debt_usd, manual_debt);
         assert!(book.cached_position(gone).is_none());
+    }
+
+    /// Books containing critical-price-indexed accounts serve the at-risk
+    /// iteration through the exact full walk — and it still equals the
+    /// health-factor filter over the observable book.
+    #[test]
+    fn at_risk_iteration_falls_back_to_exact_for_indexed_books() {
+        let (source, mut book, mut oracle) = setup(20);
+        oracle.set_price(1, Token::ETH, Wad::from_int(95));
+        let rescue = Wad::from_f64(RESCUE_BAND_HF);
+        let releverage = Wad::from_f64(RELEVERAGE_BAND_HF);
+        let mut seen = Vec::new();
+        book.for_each_at_risk(&source, &oracle, rescue, releverage, &mut |position| {
+            seen.push(position.owner)
+        });
+        let expected: Vec<Address> = book
+            .book_positions(&source, &oracle)
+            .into_iter()
+            .filter(|p| {
+                p.health_factor()
+                    .is_some_and(|hf| hf < rescue || hf > releverage)
+            })
+            .map(|p| p.owner)
+            .collect();
+        assert_eq!(seen, expected);
+        assert!(!seen.is_empty());
+        assert!(seen.len() < 20, "some accounts must be quiet");
     }
 
     #[test]

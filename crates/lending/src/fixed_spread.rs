@@ -15,9 +15,9 @@ use defi_chain::{ChainEvent, Ledger, LiquidationEvent};
 use defi_core::params::RiskParams;
 use defi_core::position::{CollateralHolding, DebtHolding, Position};
 use defi_oracle::PriceOracle;
-use defi_types::{Address, BlockNumber, Platform, Token, Wad};
+use defi_types::{mul_div_floor, Address, BlockNumber, Platform, Token, Wad, WAD};
 
-use crate::book::{BookSource, BookStats, BookTotals, PositionBook};
+use crate::book::{BookSource, BookStats, BookTotals, HfEnvelope, PositionBook};
 use crate::error::ProtocolError;
 use crate::interest::{utilization, BorrowIndex, InterestRateModel};
 
@@ -216,6 +216,147 @@ impl BookSource for FixedSpreadView<'_> {
         // critical-price index serves par-debt mechanisms (Maker).
         None
     }
+
+    fn borrow_index(&self, token: Token) -> Option<u128> {
+        self.markets.get(&token).map(|m| m.index.index.raw())
+    }
+
+    fn hf_envelope(
+        &self,
+        oracle: &PriceOracle,
+        position: &Position,
+        floor: Option<Wad>,
+        ceiling: Option<Wad>,
+        out: &mut HfEnvelope,
+    ) -> bool {
+        derive_hf_envelope(self.markets, oracle, position, floor, ceiling, out)
+    }
+}
+
+/// Relative shrink applied to the band margins before sizing an envelope.
+/// Every certified verdict therefore keeps a margin of at least
+/// `GUARD × HF` to its band edge, which dwarfs the fixed-point rounding of
+/// the health-factor evaluation for positions above
+/// [`ENVELOPE_VALUE_FLOOR`] by several orders of magnitude.
+const ENVELOPE_GUARD: f64 = 1e-6;
+
+/// Smallest relative slack worth certifying: a narrower envelope would be
+/// violated by almost any price write, so the account rides the exact path.
+const MIN_ENVELOPE_SLACK: f64 = 1e-6;
+
+/// Raw-Wad floor (10⁻⁶ USD) on both the borrowing capacity and the debt
+/// value below which an envelope is refused: truncation in the fixed-point
+/// valuation of microscopic positions could rival the guard band, so dust
+/// rides the exact path.
+const ENVELOPE_VALUE_FLOOR: u128 = 1_000_000_000_000;
+
+/// Derive a conservative health-factor band envelope for a fixed-spread
+/// position, from the same quantities [`fill_position`] computed
+/// (`fill_position_from`): per-token price bounds and per-market borrow-index
+/// caps within which the health factor provably stays strictly inside
+/// `(floor, ceiling)`.
+///
+/// The argument is monotone interval arithmetic on Eq. 4. Writing
+/// `B = Σ cᵢ·pᵢ·LTᵢ` (borrowing capacity) and `D = Σ dⱼ·Iⱼ/I⁰ⱼ·pⱼ` (debt
+/// value, with each borrow index only ever growing), a uniform relative
+/// slack `s` on every price plus a `(1+s)` budget on every index gives
+///
+/// * `HF' ≤ HF · (1+s)/(1−s)` (collateral up, debt prices down, index fixed),
+/// * `HF' ≥ HF · (1−s)/((1+s)·(1+s))` (collateral down, debt prices and
+///   index up to their caps),
+///
+/// so it suffices to pick `s` with `(1+s)/(1−s) ≤ ceiling/HF · (1−g)` and
+/// `(1+s)²/(1−s) ≤ HF/floor · (1−g)` (guard `g` = [`ENVELOPE_GUARD`]). The
+/// slack is found by halving from 25 %, and the integer bounds are rounded
+/// *inward* ([`mul_div_floor`] on the delta), so certification only ever
+/// narrows the real-valued envelope. A band with no floor needs no index
+/// caps at all: accrual only pushes the health factor down. Returns `false`
+/// (exact path) when the position is too close to a band edge, too small, or
+/// holds a token without a listed market.
+pub fn derive_hf_envelope(
+    markets: &BTreeMap<Token, Market>,
+    oracle: &PriceOracle,
+    position: &Position,
+    floor: Option<Wad>,
+    ceiling: Option<Wad>,
+    out: &mut HfEnvelope,
+) -> bool {
+    out.clear();
+    let capacity = position.borrowing_capacity();
+    let debt = position.total_debt_value();
+    if capacity.raw() < ENVELOPE_VALUE_FLOOR || debt.raw() < ENVELOPE_VALUE_FLOOR {
+        return false;
+    }
+    let Some(hf) = position.health_factor() else {
+        return false;
+    };
+    let hf = hf.to_f64();
+    let margin_up = match ceiling {
+        Some(c) => {
+            if hf <= 0.0 {
+                // Unreachable given the value floor above; if a future HF
+                // representation could get here, ride the exact path rather
+                // than certify a ceiling with an unbounded margin.
+                return false;
+            }
+            (c.to_f64() / hf) * (1.0 - ENVELOPE_GUARD)
+        }
+        None => f64::INFINITY,
+    };
+    let margin_down = match floor {
+        Some(f) if !f.is_zero() => (hf / f.to_f64()) * (1.0 - ENVELOPE_GUARD),
+        _ => f64::INFINITY,
+    };
+    let mut slack = 0.25;
+    loop {
+        let up_ok = !margin_up.is_finite() || (1.0 + slack) / (1.0 - slack) <= margin_up;
+        let down_ok = !margin_down.is_finite()
+            || (1.0 + slack) * (1.0 + slack) / (1.0 - slack) <= margin_down;
+        if up_ok && down_ok {
+            break;
+        }
+        slack *= 0.5;
+        if slack < MIN_ENVELOPE_SLACK {
+            return false;
+        }
+    }
+    // Shave the raw slack below the f64 value the inequalities were verified
+    // with, so representation rounding cannot widen the envelope.
+    let slack_raw = Wad::from_f64(slack * (1.0 - 1e-12)).raw();
+
+    for holding in position
+        .collateral
+        .iter()
+        .map(|c| c.token)
+        .chain(position.debt.iter().map(|d| d.token))
+    {
+        if out.price_bounds.iter().any(|(t, _, _)| *t == holding) {
+            continue;
+        }
+        let price = oracle.price_or_zero(holding).raw();
+        let delta = mul_div_floor(price, slack_raw, WAD).unwrap_or(0);
+        out.price_bounds
+            .push((holding, price - delta, price.saturating_add(delta)));
+    }
+    for d in &position.debt {
+        let cap = if floor.is_none() {
+            // Accrual only grows the debt, which cannot cross an open lower
+            // edge — the index is unconstrained.
+            u128::MAX
+        } else {
+            let Some(market) = markets.get(&d.token) else {
+                out.clear();
+                return false;
+            };
+            let index = market.index.index.raw();
+            index.saturating_add(mul_div_floor(index, slack_raw, WAD).unwrap_or(0))
+        };
+        if out.index_caps.iter().any(|(t, _)| *t == d.token) {
+            continue;
+        }
+        out.index_caps.push((d.token, cap));
+    }
+    true
 }
 
 /// Build `slot` in place as the account's valuation snapshot. This is *the*
@@ -706,6 +847,23 @@ impl FixedSpreadProtocol {
     pub fn cached_liquidatable_accounts(&mut self, oracle: &PriceOracle) -> Vec<Address> {
         let (book, view) = self.split_book();
         book.liquidatable_accounts(&view, oracle)
+    }
+
+    /// Visit the at-risk slice of the book — health factor below `rescue` or
+    /// above `releverage` — through the conservative band index: accounts
+    /// whose certified envelope holds are skipped without re-valuation.
+    /// Exactly equivalent to filtering
+    /// [`for_each_book_position`](FixedSpreadProtocol::for_each_book_position)
+    /// by health factor.
+    pub fn for_each_at_risk(
+        &mut self,
+        oracle: &PriceOracle,
+        rescue: Wad,
+        releverage: Wad,
+        visit: &mut dyn FnMut(&Position),
+    ) {
+        let (book, view) = self.split_book();
+        book.for_each_at_risk(&view, oracle, rescue, releverage, visit);
     }
 
     /// Running aggregate totals over the observable book (volume sampling).

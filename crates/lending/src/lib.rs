@@ -40,10 +40,13 @@ pub mod maker;
 pub mod platforms;
 pub mod protocol;
 
-pub use book::{BookSource, BookStats, BookTotals, PositionBook};
+pub use book::{
+    BookSource, BookStats, BookTotals, HfEnvelope, PositionBook, RELEVERAGE_BAND_HF, RESCUE_BAND_HF,
+};
 pub use error::ProtocolError;
 pub use fixed_spread::{
-    FixedSpreadConfig, FixedSpreadProtocol, LiquidationReceipt, Market, DEFAULT_DEBT_DUST,
+    derive_hf_envelope, FixedSpreadConfig, FixedSpreadProtocol, LiquidationReceipt, Market,
+    DEFAULT_DEBT_DUST,
 };
 pub use flashloan::FlashLoanPool;
 pub use interest::InterestRateModel;

@@ -25,6 +25,7 @@
 
 use defi_chain::{AuctionId, AuctionPhase, ChainEvent, Ledger};
 use defi_core::mechanism::AuctionParams;
+use defi_core::params::RiskParams;
 use defi_core::position::Position;
 use defi_oracle::PriceOracle;
 use defi_types::{Address, BlockNumber, Platform, Token, Wad};
@@ -268,6 +269,68 @@ pub trait LendingProtocol {
         }
     }
 
+    /// Visit the *at-risk* slice of the observable book — every position
+    /// whose health factor is below `rescue` (including liquidatable ones)
+    /// or above `releverage` — in the same deterministic order as
+    /// [`for_each_position`](LendingProtocol::for_each_position), with every
+    /// visited valuation exact at current prices.
+    ///
+    /// The default is the exact path: walk the full book and filter by
+    /// health factor. Band-indexed implementations (fixed-spread pools)
+    /// override it to skip far-from-threshold accounts whose certified
+    /// envelope holds — the engine's borrower-management pass consumes this
+    /// surface every tick.
+    ///
+    /// ```
+    /// use defi_lending::book::{RELEVERAGE_BAND_HF, RESCUE_BAND_HF};
+    /// use defi_lending::{compound, LendingProtocol};
+    /// use defi_oracle::{OracleConfig, PriceOracle};
+    /// use defi_types::{Token, Wad};
+    ///
+    /// let mut protocol: Box<dyn LendingProtocol> = Box::new(compound());
+    /// let mut oracle = PriceOracle::new(OracleConfig::every_update());
+    /// oracle.set_price(0, Token::ETH, Wad::from_int(3_500));
+    /// let mut at_risk = 0;
+    /// protocol.for_each_at_risk(
+    ///     &oracle,
+    ///     Wad::from_f64(RESCUE_BAND_HF),
+    ///     Wad::from_f64(RELEVERAGE_BAND_HF),
+    ///     &mut |_position| at_risk += 1,
+    /// );
+    /// assert_eq!(at_risk, 0, "an empty pool has nothing at risk");
+    /// ```
+    fn for_each_at_risk(
+        &mut self,
+        oracle: &PriceOracle,
+        rescue: Wad,
+        releverage: Wad,
+        visit: &mut dyn FnMut(&Position),
+    ) {
+        self.for_each_position(oracle, &mut |position| {
+            if let Some(hf) = position.health_factor() {
+                if hf < rescue || hf > releverage {
+                    visit(position);
+                }
+            }
+        });
+    }
+
+    /// The observable book rebuilt from scratch, bypassing every cache —
+    /// the cache-less shadow the differential harness
+    /// (`tests/band_differential.rs`) compares the banded/cached surfaces
+    /// against every tick. Must return exactly what
+    /// [`book_positions`](LendingProtocol::book_positions) returns, computed
+    /// the slow way.
+    fn reference_positions(&self, oracle: &PriceOracle) -> Vec<Position>;
+
+    /// Risk parameters of one listed market (liquidation threshold/spread
+    /// plus the protocol close factor), if the mechanism has per-market
+    /// parameters. Lets observers check settlement envelopes against each
+    /// market's actual liquidation spread instead of a global bound.
+    fn market_risk_params(&self, _token: Token) -> Option<RiskParams> {
+        None
+    }
+
     /// Liquidation opportunities at current oracle prices, in deterministic
     /// order.
     ///
@@ -390,6 +453,28 @@ impl LendingProtocol for FixedSpreadProtocol {
 
     fn for_each_position(&mut self, oracle: &PriceOracle, visit: &mut dyn FnMut(&Position)) {
         FixedSpreadProtocol::for_each_book_position(self, oracle, visit);
+    }
+
+    fn for_each_at_risk(
+        &mut self,
+        oracle: &PriceOracle,
+        rescue: Wad,
+        releverage: Wad,
+        visit: &mut dyn FnMut(&Position),
+    ) {
+        FixedSpreadProtocol::for_each_at_risk(self, oracle, rescue, releverage, visit);
+    }
+
+    fn reference_positions(&self, oracle: &PriceOracle) -> Vec<Position> {
+        // The observable book reports accounts that actually borrow.
+        self.positions(oracle)
+            .into_iter()
+            .filter(|p| !p.total_debt_value().is_zero())
+            .collect()
+    }
+
+    fn market_risk_params(&self, token: Token) -> Option<RiskParams> {
+        self.market_params(token)
     }
 
     fn book_totals(&mut self, oracle: &PriceOracle) -> BookTotals {
@@ -534,6 +619,11 @@ impl LendingProtocol for MakerProtocol {
 
     fn for_each_position(&mut self, oracle: &PriceOracle, visit: &mut dyn FnMut(&Position)) {
         MakerProtocol::for_each_book_position(self, oracle, visit);
+    }
+
+    fn reference_positions(&self, oracle: &PriceOracle) -> Vec<Position> {
+        // Every open CDP is observable.
+        MakerProtocol::positions(self, oracle)
     }
 
     fn book_totals(&mut self, oracle: &PriceOracle) -> BookTotals {

@@ -536,11 +536,12 @@ impl SimulationEngine {
 
     /// Borrower-side management on a fixed-spread platform: rescue positions
     /// close to liquidation, re-leverage positions whose collateral has
-    /// appreciated far beyond the target. The scan walks the platform's
-    /// cached book without materialising a snapshot vector; the few positions
-    /// in the actionable health-factor bands are extracted and acted on
-    /// afterwards (the actions mutate the protocol, never the scan's
-    /// snapshot — same semantics the old copied vector had).
+    /// appreciated far beyond the target. The scan consumes the protocol's
+    /// *banded* at-risk iterator — far-from-threshold borrowers whose
+    /// certified health-factor envelope holds are never read, let alone
+    /// re-valued — and the few positions in the actionable bands are
+    /// extracted and acted on afterwards (the actions mutate the protocol,
+    /// never the scan's snapshot — same semantics the old full walk had).
     fn manage_borrower_positions(
         &mut self,
         platform: Platform,
@@ -548,9 +549,9 @@ impl SimulationEngine {
         congested: bool,
     ) {
         enum Action {
-            /// HF in [1, 1.05): the borrower may rescue-repay.
+            /// HF in [1, RESCUE_BAND_HF): the borrower may rescue-repay.
             Rescue { owner: Address, debt_value: Wad },
-            /// HF > 2.2: the borrower may re-leverage.
+            /// HF > RELEVERAGE_BAND_HF: the borrower may re-leverage.
             Releverage {
                 owner: Address,
                 capacity: Wad,
@@ -561,9 +562,9 @@ impl SimulationEngine {
         {
             let oracle = &self.oracles[&platform];
             let protocol = self.protocols.get_mut(&platform).expect("platform exists");
-            let rescue_band = Wad::from_f64(1.05);
-            let releverage_band = Wad::from_f64(2.2);
-            protocol.for_each_position(oracle, &mut |position| {
+            let rescue_band = Wad::from_f64(defi_lending::RESCUE_BAND_HF);
+            let releverage_band = Wad::from_f64(defi_lending::RELEVERAGE_BAND_HF);
+            protocol.for_each_at_risk(oracle, rescue_band, releverage_band, &mut |position| {
                 let Some(hf) = position.health_factor() else {
                     return;
                 };
@@ -810,14 +811,11 @@ impl SimulationEngine {
         let feedback = self.scenario.feedback().is_some();
         let events_before = self.chain.events().len();
         let mut receipt_slot: Option<defi_lending::LiquidationReceipt> = None;
-        // The ledger journals and reverts with the transaction, but the DEX
-        // pool reserves mutated by an in-transaction unwind swap do not —
-        // snapshot them so a reverted flash-loan liquidation cannot leave the
-        // AMM desynchronised from the ledger.
-        let dex_snapshot = use_flash.then(|| self.dex.clone());
         let oracle = &self.oracles[&platform];
         let protocol = self.protocols.get_mut(&platform).expect("platform exists");
-        let dex = &mut self.dex;
+        // Pool reserves are ledger balances, so an in-transaction unwind swap
+        // reverts with the transaction's checkpoint like everything else.
+        let dex = &self.dex;
         let flash_pool = self.flash_pools.get(&liquidator.flash_loan_pool).copied();
         let chain = &mut self.chain;
 
@@ -898,8 +896,6 @@ impl SimulationEngine {
                 }
             }
             self.record_liquidation_context(events_before, hf_before);
-        } else if let Some(snapshot) = dex_snapshot {
-            self.dex = snapshot;
         }
     }
 
@@ -1204,7 +1200,7 @@ impl SimulationEngine {
             } else {
                 Token::DAI
             };
-            let Ok(quote) = self.dex.quote(token, target, amount) else {
+            let Ok(quote) = self.dex.quote(self.chain.ledger(), token, target, amount) else {
                 continue; // no route for this collateral type
             };
             let trader = self.spiral_trader;

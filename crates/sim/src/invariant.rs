@@ -12,8 +12,12 @@
 //! * **event stream** (every tick, no extra cost):
 //!   event blocks are monotone; user-operation and settlement amounts are
 //!   strictly positive; fixed-spread settlements obey the Eq. 1 claim rule
-//!   envelope (`repaid ≤ seized ≤ repaid × (1 + MAX_SPREAD)`); oracle pushes
-//!   carry positive prices; settlement transactions carry real gas context;
+//!   envelope `repaid ≤ seized ≤ repaid × (1 + LS)` against the *seized
+//!   market's own* liquidation spread (learned from the run-start context or
+//!   [`InvariantObserver::with_market_spread`]; markets the observer has no
+//!   spread for fall back to the global `MAX_SPREAD` worst case); oracle
+//!   pushes carry positive prices; settlement transactions carry real gas
+//!   context;
 //! * **auction lifecycle**: bids and settlements reference started,
 //!   un-finalised auctions; bids never exceed the lot; a settlement never
 //!   pays out more collateral (or recovers more debt) than the lot that was
@@ -27,8 +31,10 @@
 //!   stale or saturated valuations — the "no negative balances" failure mode
 //!   of unsigned arithmetic is a saturated blow-up, which the sanity ceiling
 //!   catches); health factors exist exactly for indebted positions and agree
-//!   with `is_liquidatable`; and every DEX pool's recorded reserves equal the
-//!   pool account's ledger balances token for token (AMM conservation).
+//!   with `is_liquidatable`; and no DEX pool is drained to zero on either
+//!   side (pool reserves *are* ledger balances since they moved into the
+//!   journaled ledger, so reserve-vs-ledger conservation now holds by
+//!   construction and depletion is the remaining failure mode).
 //!
 //! Violations are recorded (not panicked) by default so a run can be audited
 //! post-hoc; [`InvariantObserver::strict`] panics at the first violation.
@@ -38,10 +44,11 @@ use std::collections::BTreeMap;
 use defi_chain::{ChainEvent, LoggedEvent};
 use defi_types::{BlockNumber, Platform, Token, Wad};
 
-use crate::observer::{LiquidationObservation, RunEnd, SimObserver, TickEnd};
+use crate::observer::{LiquidationObservation, RunEnd, RunStart, SimObserver, TickEnd};
 
-/// Upper bound on any plausible fixed-spread bonus (the studied platforms
-/// use 5–15 %; MakerDAO's penalty is 13 %).
+/// Fallback upper bound on any plausible fixed-spread bonus (the studied
+/// platforms use 5–15 %; MakerDAO's penalty is 13 %), used only for markets
+/// whose actual liquidation spread the observer was not given.
 const MAX_SPREAD: f64 = 0.25;
 
 /// Sanity ceiling on any single USD valuation (catches saturated u128
@@ -88,6 +95,10 @@ pub struct InvariantObserver {
     strict: bool,
     last_event_block: BlockNumber,
     auctions: BTreeMap<u64, AuctionLot>,
+    /// Per-market liquidation spreads, keyed by (platform, collateral
+    /// token); populated from the run-start context and/or
+    /// [`with_market_spread`](InvariantObserver::with_market_spread).
+    market_spreads: BTreeMap<(Platform, Token), Wad>,
     violations: Vec<InvariantViolation>,
 }
 
@@ -106,6 +117,16 @@ impl InvariantObserver {
             strict: true,
             ..InvariantObserver::default()
         }
+    }
+
+    /// Teach the observer one market's actual liquidation spread: Eq. 1
+    /// settlements seizing `token` collateral on `platform` are then held to
+    /// `repaid × (1 + spread)` instead of the global `MAX_SPREAD` envelope.
+    /// Driven runs learn the whole table from the run-start context; this is
+    /// for post-hoc audits of bare event streams.
+    pub fn with_market_spread(mut self, platform: Platform, token: Token, spread: Wad) -> Self {
+        self.market_spreads.insert((platform, token), spread);
+        self
     }
 
     /// Every violation recorded so far.
@@ -149,6 +170,14 @@ impl InvariantObserver {
 }
 
 impl SimObserver for InvariantObserver {
+    fn on_run_start(&mut self, run: &RunStart<'_>) {
+        // Learn each market's actual liquidation spread; explicitly taught
+        // spreads (with_market_spread) take precedence.
+        for (&key, &spread) in &run.market_spreads {
+            self.market_spreads.entry(key).or_insert(spread);
+        }
+    }
+
     fn on_event(&mut self, logged: &LoggedEvent) {
         let block = logged.block;
         if block < self.last_event_block {
@@ -182,13 +211,23 @@ impl SimObserver for InvariantObserver {
                         ),
                     );
                 }
-                let envelope = Wad::from_f64(event.debt_repaid_usd.to_f64() * (1.0 + MAX_SPREAD));
+                // The seized market's own spread when known, the global
+                // worst case otherwise.
+                let spread = self
+                    .market_spreads
+                    .get(&(event.platform, event.collateral_token))
+                    .map(|s| s.to_f64())
+                    .unwrap_or(MAX_SPREAD);
+                let envelope = Wad::from_f64(event.debt_repaid_usd.to_f64() * (1.0 + spread));
                 if !le_dust(event.collateral_seized_usd, envelope) {
                     self.report(
                         block,
                         format!(
-                            "claim rule violated: seized {} USD exceeds repaid {} USD × (1+{MAX_SPREAD})",
-                            event.collateral_seized_usd, event.debt_repaid_usd
+                            "claim rule violated: seized {} USD exceeds repaid {} USD × (1+{spread}) on {} {}",
+                            event.collateral_seized_usd,
+                            event.debt_repaid_usd,
+                            event.platform,
+                            event.collateral_token,
                         ),
                     );
                 }
@@ -407,22 +446,22 @@ impl SimObserver for InvariantObserver {
             }
         }
 
-        // AMM conservation: every pool's recorded reserves are exactly the
-        // pool account's ledger balances.
+        // AMM depletion: pool reserves *are* the pool account's journaled
+        // ledger balances (reserve-vs-ledger conservation holds by
+        // construction), so the remaining failure mode is a pool drained to
+        // zero on one side — swaps against it would divide by an empty
+        // reserve.
         let ledger = tick.chain.ledger();
         for pool in tick.dex.pools() {
             let config = pool.config();
-            let (reserve_a, reserve_b) = pool.reserves();
+            let (reserve_a, reserve_b) = pool.reserves(ledger);
             for (token, reserve) in [(config.token_a, reserve_a), (config.token_b, reserve_b)] {
-                let held = ledger.balance(pool.address, token);
-                if held != reserve {
+                if reserve.is_zero() {
                     self.report(
                         block,
                         format!(
-                            "DEX pool {} desynchronised: records {} {token}, ledger holds {}",
+                            "DEX pool {} drained: zero {token} reserve",
                             pool.address.short(),
-                            reserve,
-                            held
                         ),
                     );
                 }
@@ -577,6 +616,37 @@ mod tests {
             eth_price: Wad::from_int(2_000),
             health_factor_before: Some(Wad::from_f64(0.93)),
         });
+        assert!(observer.is_clean());
+    }
+
+    /// A settlement whose spread exceeds the seized market's own bound trips
+    /// the per-market envelope even when it sits inside the global
+    /// `MAX_SPREAD` fallback.
+    #[test]
+    fn per_market_spread_tightens_the_claim_envelope() {
+        // ETH on Compound pays a 10 % bonus; a 12 % seizure is inside the
+        // 25 % global fallback but outside the market's own envelope.
+        let mut observer = InvariantObserver::new().with_market_spread(
+            Platform::Compound,
+            Token::ETH,
+            Wad::from_f64(0.10),
+        );
+        observer.on_event(&logged(10, liquidation_event(1_000, 1_120)));
+        assert_eq!(observer.violations().len(), 1);
+        assert!(observer.violations()[0].description.contains("claim rule"));
+
+        // At exactly the market spread the same settlement is clean…
+        let mut observer = InvariantObserver::new().with_market_spread(
+            Platform::Compound,
+            Token::ETH,
+            Wad::from_f64(0.10),
+        );
+        observer.on_event(&logged(10, liquidation_event(1_000, 1_100)));
+        assert!(observer.is_clean(), "{:?}", observer.violations());
+
+        // …and a market the observer has no spread for keeps the fallback.
+        let mut observer = InvariantObserver::new();
+        observer.on_event(&logged(10, liquidation_event(1_000, 1_120)));
         assert!(observer.is_clean());
     }
 

@@ -41,7 +41,7 @@ use defi_amm::Dex;
 use defi_chain::{Blockchain, LoggedEvent};
 use defi_core::position::Position;
 use defi_oracle::PriceOracle;
-use defi_types::{BlockNumber, Platform, TimeMap, Wad};
+use defi_types::{BlockNumber, Platform, TimeMap, Token, Wad};
 
 use crate::config::SimConfig;
 use crate::engine::VolumeSample;
@@ -53,6 +53,11 @@ pub struct RunStart<'a> {
     pub config: &'a SimConfig,
     /// The chain's block ⇄ time mapping (for calendar aggregation).
     pub time_map: TimeMap,
+    /// Liquidation spread of every listed market with per-market risk
+    /// parameters, keyed by `(platform, collateral token)`. Lets invariant
+    /// observers check the Eq. 1 claim envelope against each market's actual
+    /// spread instead of a global worst-case bound.
+    pub market_spreads: BTreeMap<(Platform, Token), Wad>,
 }
 
 /// Context handed to [`SimObserver::on_tick_start`] before each tick runs.

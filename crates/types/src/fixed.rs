@@ -214,6 +214,17 @@ pub(crate) fn mul_div(a: u128, b: u128, denominator: u128) -> Result<u128, TypeE
     prod.div_u128(denominator)
 }
 
+/// `⌊a * b / denominator⌋` with a full 256-bit intermediate.
+///
+/// The public truncating counterpart of [`mul_div_ceil`]. Conservative bound
+/// derivations (the health-factor band envelopes in `defi-lending`) need the
+/// rounding direction to be explicit: a price band `[p − ⌊p·s⌋, p + ⌊p·s⌋]`
+/// is always a *subset* of the real-valued band `[p(1−s), p(1+s)]`, so
+/// integer rounding can only narrow a certified envelope, never widen it.
+pub fn mul_div_floor(a: u128, b: u128, denominator: u128) -> Result<u128, TypeError> {
+    mul_div(a, b, denominator)
+}
+
 /// `⌈a * b / denominator⌉` with a full 256-bit intermediate.
 ///
 /// The exact ceiling counterpart of the truncating `mulDiv` the fixed-point

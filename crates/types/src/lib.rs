@@ -26,7 +26,7 @@ pub mod token;
 
 pub use address::{Address, TxHash};
 pub use error::TypeError;
-pub use fixed::{mul_div_ceil, Ray, SignedWad, Wad, RAY, WAD};
+pub use fixed::{mul_div_ceil, mul_div_floor, Ray, SignedWad, Wad, RAY, WAD};
 pub use platform::Platform;
 pub use time::{BlockNumber, MonthTag, TimeMap, Timestamp};
 pub use token::{Token, TokenAmount, TokenInfo, TokenRegistry};

@@ -662,3 +662,122 @@ fn engine_builder_runs_all_platforms_through_the_registry() {
         );
     }
 }
+
+/// The PR 5 discovery surfaces every implementation must satisfy:
+/// `reference_positions` is the cache-less shadow of `book_positions`, the
+/// banded `for_each_at_risk` equals the exact health-factor filter, and
+/// fixed-spread markets expose their per-market risk parameters.
+fn check_discovery_surfaces(protocol: &mut dyn LendingProtocol, oracle: &PriceOracle) {
+    let platform = protocol.platform();
+    let shadow = protocol.reference_positions(oracle);
+    let cached = protocol.book_positions(oracle);
+    assert_eq!(
+        cached, shadow,
+        "{platform}: book_positions must equal the from-scratch reference"
+    );
+
+    let rescue = Wad::from_f64(defi_liquidations_suite::lending::RESCUE_BAND_HF);
+    let releverage = Wad::from_f64(defi_liquidations_suite::lending::RELEVERAGE_BAND_HF);
+    let expected: Vec<Address> = shadow
+        .iter()
+        .filter(|p| {
+            p.health_factor()
+                .is_some_and(|hf| hf < rescue || hf > releverage)
+        })
+        .map(|p| p.owner)
+        .collect();
+    let mut seen: Vec<Address> = Vec::new();
+    protocol.for_each_at_risk(oracle, rescue, releverage, &mut |p| seen.push(p.owner));
+    assert_eq!(
+        seen, expected,
+        "{platform}: at-risk iteration must equal the exact HF filter"
+    );
+
+    if protocol.mechanism() == MechanismKind::FixedSpread {
+        for token in protocol.listed_tokens() {
+            let params = protocol
+                .market_risk_params(token)
+                .unwrap_or_else(|| panic!("{platform}: {token} has no risk parameters"));
+            assert!(!params.liquidation_spread.is_zero());
+        }
+    }
+}
+
+/// Both mechanisms satisfy the shadow/banded discovery contract after a
+/// price move pushes positions across the bands.
+#[test]
+fn discovery_surfaces_conform_across_mechanisms() {
+    let mut oracle = test_oracle();
+    let mut ledger = Ledger::new();
+    let mut events = Vec::new();
+
+    let mut fixed: Box<dyn LendingProtocol> = Box::new(compound());
+    let lender = Address::from_seed(41);
+    ledger.mint(lender, Token::USDC, Wad::from_int(1_000_000));
+    fixed
+        .deposit(
+            &mut ledger,
+            &mut events,
+            lender,
+            Token::USDC,
+            Wad::from_int(1_000_000),
+        )
+        .unwrap();
+    let borrower = Address::from_seed(42);
+    ledger.mint(borrower, Token::ETH, Wad::from_int(3));
+    fixed
+        .deposit(
+            &mut ledger,
+            &mut events,
+            borrower,
+            Token::ETH,
+            Wad::from_int(3),
+        )
+        .unwrap();
+    fixed
+        .borrow(
+            &mut ledger,
+            &mut events,
+            &oracle,
+            1,
+            borrower,
+            Token::USDC,
+            Wad::from_int(7_500),
+        )
+        .unwrap();
+
+    let mut maker: Box<dyn LendingProtocol> = Box::new(maker_protocol());
+    let owner = Address::from_seed(43);
+    ledger.mint(owner, Token::ETH, Wad::from_int(10));
+    maker
+        .deposit(
+            &mut ledger,
+            &mut events,
+            owner,
+            Token::ETH,
+            Wad::from_int(10),
+        )
+        .unwrap();
+    maker
+        .borrow(
+            &mut ledger,
+            &mut events,
+            &oracle,
+            1,
+            owner,
+            Token::DAI,
+            Wad::from_int(20_000),
+        )
+        .unwrap();
+
+    check_discovery_surfaces(fixed.as_mut(), &oracle);
+    check_discovery_surfaces(maker.as_mut(), &oracle);
+
+    // Crash ETH: both books cross into at-risk / liquidatable bands, and the
+    // surfaces must still agree with the shadow.
+    oracle.set_price(2, Token::ETH, Wad::from_int(2_600));
+    check_discovery_surfaces(fixed.as_mut(), &oracle);
+    check_discovery_surfaces(maker.as_mut(), &oracle);
+    assert!(!fixed.liquidatable(&oracle).is_empty());
+    assert!(!maker.liquidatable(&oracle).is_empty());
+}
