@@ -14,6 +14,8 @@
 //! exposes price-impact estimates so liquidator agents can decide whether a
 //! liquidation remains profitable after slippage.
 
+#![forbid(unsafe_code)]
+
 pub mod dex;
 pub mod pool;
 

@@ -27,6 +27,8 @@
 //! streaming collectors (building each record once and fanning it out) and
 //! measures the snapshot-bound artefacts at run end.
 
+#![forbid(unsafe_code)]
+
 pub mod auctions;
 pub mod bad_debt;
 pub mod flashloan;

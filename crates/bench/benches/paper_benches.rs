@@ -5,6 +5,8 @@
 //! generated once, outside the timing loops); the `repro` binary prints the
 //! actual rows/series.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::collections::BTreeMap;
 

@@ -23,6 +23,8 @@
 //! N seeds of the scenario across `SweepRunner` workers and prints per-run
 //! summaries with mean/std aggregates instead of the single-run artefacts.
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 

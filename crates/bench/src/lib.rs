@@ -16,6 +16,8 @@
 //! implementation (Table 6), which is the simulation-substrate equivalent of
 //! the authors' mainnet-fork validation.
 
+#![forbid(unsafe_code)]
+
 pub mod case_study;
 pub mod json;
 pub mod render;

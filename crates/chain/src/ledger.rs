@@ -153,7 +153,9 @@ impl Ledger {
             return;
         };
         while self.journal.len() > mark {
-            let entry = self.journal.pop().expect("journal length checked");
+            let Some(entry) = self.journal.pop() else {
+                break;
+            };
             self.balances
                 .insert((entry.account, entry.token), entry.previous);
         }

@@ -29,6 +29,8 @@
 //! accounting-accurate stand-in whose behaviour (atomicity, ordering by gas
 //! price, congestion) matches what the measured phenomena depend on.
 
+#![forbid(unsafe_code)]
+
 pub mod block;
 pub mod chain;
 pub mod events;

@@ -1,0 +1,224 @@
+//! Rule family 2: fixed-point hygiene.
+//!
+//! All valuation math runs on `Wad`/`Ray` fixed-point integers whose
+//! arithmetic is checked/saturating by construction (`crates/types`). Two
+//! habits can silently reintroduce the rounding and overflow bugs that layer
+//! guards against:
+//!
+//! * **`fixed-raw-arith`** — doing bare integer arithmetic on `.raw()` /
+//!   `.0` escapes outside `crates/types`. The raw value is only meant to be
+//!   *carried* (into ordered indexes, `mul_div_*` helpers, comparisons),
+//!   never recombined with `+ - * / %` at call sites where wrap and
+//!   truncation are unchecked.
+//! * **`fixed-float`** — converting fixed-point values through `f64`
+//!   (`to_f64`, `from_f64`, `as f64` on raw scale constants) inside the
+//!   valuation layer (`crates/lending`). Floats are fine in scenario/config
+//!   space and in the report layer; in the layer whose exactness the
+//!   band-differential harness certifies, every float round-trip must be
+//!   individually justified. The conservative envelope-slack derivation
+//!   (`derive_hf_envelope`) is allowlisted: its use of `f64` is one-sided by
+//!   construction (the slack is shaved below the value the inequalities were
+//!   verified with).
+
+use crate::lexer::{Tok, TokKind};
+use crate::scan::{matching, FileMap};
+use crate::{walk_left, Finding, Rule};
+
+/// Functions allowlisted for `fixed-float`, per file suffix.
+const FLOAT_ALLOWLIST: &[(&str, &str)] =
+    &[("crates/lending/src/fixed_spread.rs", "derive_hf_envelope")];
+
+/// Fixed-point type names whose locals we track for `.0` access.
+const FIXED_TYPES: &[&str] = &["Wad", "Ray", "Price"];
+
+/// Binary arithmetic operator characters.
+fn is_arith(t: &Tok) -> bool {
+    t.kind == TokKind::Punct && matches!(t.text.as_str(), "+" | "-" | "*" | "/" | "%")
+}
+
+/// Whether the token *after* an expression makes it an arithmetic operand
+/// (`-` followed by `>` is an arrow, not a subtraction).
+fn arith_on_right(toks: &[Tok], idx: usize) -> bool {
+    toks.get(idx).is_some_and(is_arith)
+        && !(toks[idx].is_punct('-') && toks.get(idx + 1).is_some_and(|t| t.is_punct('>')))
+}
+
+/// Whether the token *before* a postfix chain makes it an arithmetic
+/// operand: the operator must itself be binary (preceded by a value), so a
+/// unary `-`/`*`/`&` does not count.
+fn arith_on_left(toks: &[Tok], chain_start: usize) -> bool {
+    if chain_start == 0 {
+        return false;
+    }
+    let op = &toks[chain_start - 1];
+    if !is_arith(op) {
+        return false;
+    }
+    if op.is_punct('-') && chain_start >= 2 && toks[chain_start - 2].is_punct('-') {
+        return false; // `--` can't appear; defensive
+    }
+    // Binary iff the operator is preceded by a value-ish token.
+    chain_start >= 2
+        && matches!(
+            &toks[chain_start - 2],
+            t if t.kind == TokKind::Ident || t.kind == TokKind::Lit
+                || t.is_punct(')') || t.is_punct(']')
+        )
+}
+
+/// `fixed-raw-arith`: flag `.raw()` (and `.0` on tracked fixed-point locals)
+/// used directly as an arithmetic operand.
+pub fn check_raw_arith(path: &str, toks: &[Tok], map: &FileMap, findings: &mut Vec<Finding>) {
+    // `.raw()` everywhere in scope.
+    for i in 1..toks.len() {
+        if toks[i].is_ident("raw")
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && !map.in_test(i)
+        {
+            let close = matching(toks, i + 1);
+            // Receiver chain start (`walk_left` wants the last receiver
+            // token, just before the `.raw`).
+            let chain_start = walk_left(toks, i.saturating_sub(2));
+            if arith_on_right(toks, close + 1) || arith_on_left(toks, chain_start) {
+                findings.push(Finding::new(
+                    path,
+                    toks[i].line,
+                    Rule::FixedRawArith,
+                    "bare integer arithmetic on a `.raw()` escape — route the \
+                     operation through the checked `Wad`/`Ray` API or a \
+                     `mul_div_*` helper in `crates/types`"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    // `.0` on locals/params annotated with a fixed-point type.
+    for f in &map.fns {
+        let Some((bs, be)) = f.body else { continue };
+        if map.in_test(bs) {
+            continue;
+        }
+        let mut fixed_idents: Vec<&str> = Vec::new();
+        let (ps, pe) = f.params;
+        let mut collect = |range: (usize, usize)| {
+            for i in range.0..range.1.saturating_sub(1) {
+                if toks[i].kind == TokKind::Ident
+                    && toks[i + 1].is_punct(':')
+                    && toks
+                        .get(i + 2)
+                        .is_some_and(|t| FIXED_TYPES.iter().any(|ty| t.is_ident(ty)))
+                {
+                    fixed_idents.push(toks[i].text.as_str());
+                }
+            }
+        };
+        collect((ps, pe));
+        collect((bs, be));
+        if fixed_idents.is_empty() {
+            continue;
+        }
+        for i in bs..be.saturating_sub(1) {
+            if toks[i].kind == TokKind::Ident
+                && fixed_idents.contains(&toks[i].text.as_str())
+                && toks[i + 1].is_punct('.')
+                && toks[i + 2].kind == TokKind::Lit
+                && toks[i + 2].text == "0"
+            {
+                let chain_start = i;
+                if arith_on_right(toks, i + 3) || arith_on_left(toks, chain_start) {
+                    findings.push(Finding::new(
+                        path,
+                        toks[i].line,
+                        Rule::FixedRawArith,
+                        format!(
+                            "bare integer arithmetic on `{}.0` (a fixed-point raw \
+                             field) — use the checked `Wad`/`Ray` operations",
+                            toks[i].text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `fixed-float`: flag float round-trips on fixed-point values inside the
+/// valuation layer.
+pub fn check_fixed_float(path: &str, toks: &[Tok], map: &FileMap, findings: &mut Vec<Finding>) {
+    let allowed_fns: Vec<&str> = FLOAT_ALLOWLIST
+        .iter()
+        .filter(|(file, _)| path.ends_with(file) || *file == path)
+        .map(|(_, f)| *f)
+        .collect();
+    let in_allowed = |idx: usize| -> bool {
+        map.enclosing_fn(idx)
+            .is_some_and(|f| allowed_fns.contains(&f.name.as_str()))
+    };
+    for i in 0..toks.len() {
+        if map.in_test(i) || in_allowed(i) {
+            continue;
+        }
+        // `.to_f64()`
+        if toks[i].is_ident("to_f64")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            findings.push(Finding::new(
+                path,
+                toks[i].line,
+                Rule::FixedFloat,
+                "fixed-point value converted to f64 in the valuation layer — \
+                 stay in Wad/Ray or waive with the conversion's error bound"
+                    .to_string(),
+            ));
+        }
+        // `from_f64(…)` (any path prefix: `Wad::from_f64`, bare import).
+        if toks[i].is_ident("from_f64") && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            findings.push(Finding::new(
+                path,
+                toks[i].line,
+                Rule::FixedFloat,
+                "fixed-point value built from an f64 in the valuation layer — \
+                 construct exactly (from_int / from_raw / mul_div) or waive \
+                 with a reason"
+                    .to_string(),
+            ));
+        }
+        // `WAD as f64` / `RAY as f64`: lossy cast of a raw scale constant.
+        if (toks[i].is_ident("WAD") || toks[i].is_ident("RAY"))
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("as"))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("f64"))
+        {
+            findings.push(Finding::new(
+                path,
+                toks[i].line,
+                Rule::FixedFloat,
+                format!(
+                    "raw scale constant `{}` cast to f64 — a lossy round-trip \
+                     in the valuation layer needs an explicit waiver",
+                    toks[i].text
+                ),
+            ));
+        }
+        // `.raw() as f64` / `.0 as f64`.
+        if toks[i].is_ident("as")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("f64"))
+            && i >= 3
+            && toks[i - 1].is_punct(')')
+            && toks[walk_left(toks, i - 1)..i]
+                .iter()
+                .any(|t| t.is_ident("raw"))
+        {
+            findings.push(Finding::new(
+                path,
+                toks[i].line,
+                Rule::FixedFloat,
+                "`.raw()` cast to f64 — a lossy round-trip in the valuation \
+                 layer needs an explicit waiver"
+                    .to_string(),
+            ));
+        }
+    }
+}

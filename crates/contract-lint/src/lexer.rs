@@ -1,0 +1,429 @@
+//! A minimal Rust lexer: just enough token structure for the contract rules.
+//!
+//! The analyzer has no crates.io access (no `syn`, no `dylint`), so source
+//! files are tokenized by hand in the same house style as the hand-rolled
+//! JSON encoder in `defi-bench`. The lexer understands everything that could
+//! make a naive substring scan lie about code:
+//!
+//! * line comments, nested block comments and doc comments are skipped (but
+//!   `lint:allow` waiver directives inside line comments are collected);
+//! * string literals — plain, byte, raw with any number of `#` guards — and
+//!   character literals are swallowed as single `Lit` tokens, so an
+//!   `"unwrap"` inside a format string never looks like a method call;
+//! * lifetimes (`'a`) are distinguished from character literals (`'a'`);
+//! * numbers keep their suffixes and decimal points together (`1e-6` splits
+//!   at the sign, which no rule cares about).
+//!
+//! Everything else becomes an `Ident` (keywords included — the scanner
+//! matches them by text) or a single-character `Punct`. Multi-character
+//! operators are recognised contextually by the rules (`->` is a `-` punct
+//! followed by a `>` punct).
+
+/// The coarse kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String/char/number literal (contents are opaque to the rules).
+    Lit,
+    /// A lifetime or loop label (`'a`), quote included.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// The token text (for `Lit`, the raw source slice).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// Whether this token is the identifier/keyword `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// An inline `// lint:allow(<rule>) <reason>` waiver directive.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Line the directive comment sits on.
+    pub line: u32,
+    /// Line the waiver applies to: the directive's own line when the comment
+    /// trails code, otherwise the next line that carries a token.
+    pub target_line: u32,
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// The justification after the closing parenthesis (may be empty — the
+    /// rules reject empty reasons).
+    pub reason: String,
+}
+
+/// A fully lexed source file.
+#[derive(Debug)]
+pub struct Lexed {
+    /// The token stream, comments and whitespace removed.
+    pub toks: Vec<Tok>,
+    /// Waiver directives found in line comments, targets resolved.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Marker inside a line comment that introduces a waiver directive.
+const WAIVER_MARKER: &str = "lint:allow(";
+
+/// Tokenize `source`, collecting waiver directives on the way.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut waivers: Vec<Waiver> = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let comment = &source[start..i];
+                if let Some(pos) = comment.find(WAIVER_MARKER) {
+                    let rest = &comment[pos + WAIVER_MARKER.len()..];
+                    if let Some(close) = rest.find(')') {
+                        waivers.push(Waiver {
+                            line,
+                            target_line: line, // provisional; resolved below
+                            rule: rest[..close].trim().to_string(),
+                            reason: rest[close + 1..].trim().to_string(),
+                        });
+                    }
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comment.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (end, newlines) = scan_string(bytes, i);
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: source[i..end].to_string(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            '\'' => {
+                let (tok_end, kind, newlines) = scan_quote(bytes, i);
+                toks.push(Tok {
+                    kind,
+                    text: source[i..tok_end].to_string(),
+                    line,
+                });
+                line += newlines;
+                i = tok_end;
+            }
+            c if c.is_ascii_digit() => {
+                let end = scan_number(bytes, i);
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: source[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                // Raw/byte string prefixes first: r"", r#""#, b"", br#""#, b''.
+                if let Some((end, newlines)) = scan_prefixed_literal(bytes, i) {
+                    toks.push(Tok {
+                        kind: TokKind::Lit,
+                        text: source[i..end].to_string(),
+                        line,
+                    });
+                    line += newlines;
+                    i = end;
+                } else {
+                    let mut end = i;
+                    while end < bytes.len()
+                        && ((bytes[end] as char).is_alphanumeric() || bytes[end] == b'_')
+                    {
+                        end += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: source[i..end].to_string(),
+                        line,
+                    });
+                    i = end;
+                }
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    resolve_waiver_targets(&toks, &mut waivers);
+    Lexed { toks, waivers }
+}
+
+/// Point each whole-line waiver at the next line that carries a token; a
+/// directive trailing code on its own line keeps that line as its target.
+fn resolve_waiver_targets(toks: &[Tok], waivers: &mut [Waiver]) {
+    for w in waivers.iter_mut() {
+        let has_code_on_line = toks.iter().any(|t| t.line == w.line);
+        if !has_code_on_line {
+            if let Some(next) = toks.iter().map(|t| t.line).find(|&l| l > w.line) {
+                w.target_line = next;
+            }
+        }
+    }
+}
+
+/// Scan a double-quoted string starting at `start`; returns (end index past
+/// the closing quote, newline count inside).
+fn scan_string(bytes: &[u8], start: usize) -> (usize, u32) {
+    let mut i = start + 1;
+    let mut newlines = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            b'"' => return (i + 1, newlines),
+            _ => i += 1,
+        }
+    }
+    (i, newlines)
+}
+
+/// Scan from a `'`: either a lifetime/label (`'a`) or a char literal (`'a'`,
+/// `'\n'`). Returns (end, kind, newlines).
+fn scan_quote(bytes: &[u8], start: usize) -> (usize, TokKind, u32) {
+    let mut i = start + 1;
+    if i < bytes.len() && ((bytes[i] as char).is_alphabetic() || bytes[i] == b'_') {
+        // Could be a lifetime or a char like 'a'.
+        let mut end = i;
+        while end < bytes.len() && ((bytes[end] as char).is_alphanumeric() || bytes[end] == b'_') {
+            end += 1;
+        }
+        if bytes.get(end) == Some(&b'\'') {
+            return (end + 1, TokKind::Lit, 0);
+        }
+        return (end, TokKind::Lifetime, 0);
+    }
+    // Escaped or punctuation char literal: scan to the closing quote.
+    let mut newlines = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            b'\'' => return (i + 1, TokKind::Lit, newlines),
+            _ => i += 1,
+        }
+    }
+    (i, TokKind::Lit, newlines)
+}
+
+/// Scan a numeric literal (decimal point and exponent sign included).
+fn scan_number(bytes: &[u8], start: usize) -> usize {
+    let mut i = start;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_alphanumeric() || c == '_' {
+            // Signed exponent: `1e-6` / `2.5E+9`.
+            if (c == 'e' || c == 'E')
+                && !bytes[start..].starts_with(b"0x")
+                && matches!(bytes.get(i + 1), Some(b'+') | Some(b'-'))
+                && bytes
+                    .get(i + 2)
+                    .is_some_and(|b| (*b as char).is_ascii_digit())
+            {
+                i += 2;
+            }
+            i += 1;
+        } else if c == '.'
+            && bytes
+                .get(i + 1)
+                .is_some_and(|b| (*b as char).is_ascii_digit())
+        {
+            // Decimal point only when followed by a digit (so `1..n` stays a
+            // range and `x.0` stays a tuple access).
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+/// Scan raw/byte string or byte-char literals (`r".."`, `r#"…"#`, `b".."`,
+/// `br#"…"#`, `b'x'`). Returns `None` when the position is a plain ident.
+fn scan_prefixed_literal(bytes: &[u8], start: usize) -> Option<(usize, u32)> {
+    let mut i = start;
+    let mut raw = false;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'r' {
+        raw = true;
+        i += 1;
+    }
+    if i == start {
+        return None; // neither prefix consumed
+    }
+    let mut hashes = 0usize;
+    while raw && i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= bytes.len() {
+        return None;
+    }
+    match bytes[i] {
+        b'"' if raw => {
+            // Raw string: ends at `"` followed by `hashes` hash marks.
+            let mut j = i + 1;
+            let mut newlines = 0;
+            while j < bytes.len() {
+                if bytes[j] == b'\n' {
+                    newlines += 1;
+                } else if bytes[j] == b'"'
+                    && j + 1 + hashes <= bytes.len()
+                    && bytes[j + 1..j + 1 + hashes].iter().all(|&b| b == b'#')
+                {
+                    return Some((j + 1 + hashes, newlines));
+                }
+                j += 1;
+            }
+            Some((j, newlines))
+        }
+        b'"' if !raw && hashes == 0 => {
+            let (end, newlines) = scan_string(bytes, i);
+            Some((end, newlines))
+        }
+        b'\'' if !raw && hashes == 0 && bytes[start] == b'b' => {
+            let (end, _, newlines) = scan_quote(bytes, i);
+            Some((end, newlines))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = texts(r#"let x = "a.unwrap()"; // .unwrap() here too"#);
+        assert_eq!(toks, vec!["let", "x", "=", "\"a.unwrap()\"", ";"]);
+    }
+
+    #[test]
+    fn nested_block_comments_skip() {
+        let toks = texts("a /* x /* y */ z */ b");
+        assert_eq!(toks, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'a'; }");
+        let lifetimes = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lit && t.text == "'a'"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let toks = texts(r##"let s = r#"has "quotes" and .unwrap()"#; done"##);
+        assert_eq!(toks.last().map(String::as_str), Some("done"));
+        assert_eq!(toks.len(), 6);
+    }
+
+    #[test]
+    fn numbers_keep_exponents_and_points() {
+        let toks = texts("let x = 1e-6 + 2.5 + 0xff_u32 + 1..4");
+        assert!(toks.contains(&"1e-6".to_string()));
+        assert!(toks.contains(&"2.5".to_string()));
+        assert!(toks.contains(&"0xff_u32".to_string()));
+        // `1..4` keeps its range dots as puncts.
+        assert!(toks
+            .windows(3)
+            .any(|w| w[0] == "." && w[1] == "." && w[2] == "4"));
+    }
+
+    #[test]
+    fn tuple_field_access_is_not_a_decimal() {
+        let toks = texts("x.0 + y");
+        assert_eq!(toks, vec!["x", ".", "0", "+", "y"]);
+    }
+
+    #[test]
+    fn waiver_directive_trailing_code_targets_own_line() {
+        let lexed = lex("let x = a.unwrap(); // lint:allow(hot-unwrap) impossible by guard\n");
+        assert_eq!(lexed.waivers.len(), 1);
+        let w = &lexed.waivers[0];
+        assert_eq!(w.rule, "hot-unwrap");
+        assert_eq!(w.reason, "impossible by guard");
+        assert_eq!(w.target_line, 1);
+    }
+
+    #[test]
+    fn whole_line_waiver_targets_next_code_line() {
+        let src = "// lint:allow(hot-index) slot checked above\n\nlet x = v[0];\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.waivers[0].target_line, 3);
+    }
+}

@@ -1,0 +1,79 @@
+//! CLI for the contract analyzer.
+//!
+//! ```text
+//! cargo run -p contract-lint -- --workspace            # lint the tree, exit 1 on findings
+//! cargo run -p contract-lint -- --root <dir>           # lint another tree (fixtures, CI checkouts)
+//! cargo run -p contract-lint -- --workspace --emit-waivers   # print the waiver inventory TSV
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (or stale waivers), 2 usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut emit_waivers = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {
+                if root.is_none() {
+                    root = Some(PathBuf::from("."));
+                }
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("contract-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--emit-waivers" => emit_waivers = true,
+            other => {
+                eprintln!(
+                    "contract-lint: unknown argument `{other}` \
+                     (use --workspace, --root <dir>, --emit-waivers)"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(root) = root else {
+        eprintln!("contract-lint: pass --workspace (or --root <dir>)");
+        return ExitCode::from(2);
+    };
+
+    let findings = match contract_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("contract-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if emit_waivers {
+        for ((file, rule), count) in contract_lint::waiver_inventory(&findings) {
+            println!("{file}\t{rule}\t{count}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let waived = findings.iter().filter(|f| f.waived.is_some()).count();
+    let mut failed = 0usize;
+    for f in findings.iter().filter(|f| f.waived.is_none()) {
+        println!("{f}");
+        failed += 1;
+    }
+    println!(
+        "contract-lint: {failed} finding{} ({waived} waived)",
+        if failed == 1 { "" } else { "s" }
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,353 @@
+//! Item-level structure over the token stream: functions (with receiver and
+//! body spans), struct fields, `#[cfg(test)]` regions and an intra-file call
+//! graph. This is deliberately *not* a parser — it recovers exactly the shape
+//! the contract rules need and nothing more.
+
+use crate::lexer::{Tok, TokKind};
+
+/// A `fn` item (free function or method) found in the file.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token range (inclusive open brace, inclusive close brace) of the
+    /// parameter list.
+    pub params: (usize, usize),
+    /// Token range of the body braces; `None` for bodiless trait signatures.
+    pub body: Option<(usize, usize)>,
+    /// Whether the receiver is `&mut self`.
+    pub mut_self: bool,
+}
+
+/// One struct field: name plus the token texts of its type.
+#[derive(Debug)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// The type, as raw token texts (good enough for "contains `HashMap`
+    /// keyed by `Address`" style questions).
+    pub ty: Vec<String>,
+}
+
+/// A struct definition with named fields.
+#[derive(Debug)]
+pub struct StructItem {
+    /// The struct name.
+    pub name: String,
+    /// Named fields (tuple/unit structs contribute none).
+    pub fields: Vec<Field>,
+}
+
+/// The scanned structure of one file.
+#[derive(Debug, Default)]
+pub struct FileMap {
+    /// Every `fn` item, in source order (nested fns included).
+    pub fns: Vec<FnItem>,
+    /// Every struct with named fields.
+    pub structs: Vec<StructItem>,
+    /// Token ranges of `#[cfg(test)] mod … { … }` bodies.
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+impl FileMap {
+    /// Whether token index `idx` falls inside a `#[cfg(test)]` module.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_spans.iter().any(|&(s, e)| idx >= s && idx <= e)
+    }
+
+    /// The innermost function whose body contains token index `idx`.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(s, e)| idx >= s && idx <= e))
+            .min_by_key(|f| {
+                let (s, e) = f.body.unwrap_or((0, usize::MAX));
+                e - s
+            })
+    }
+}
+
+/// Index of the delimiter matching the opener at `open` (`(`/`[`/`{`).
+/// Returns the last token index when unbalanced (defensive; real files
+/// balance).
+pub fn matching(toks: &[Tok], open: usize) -> usize {
+    let (o, c) = match toks[open].text.as_str() {
+        "(" => ('(', ')'),
+        "[" => ('[', ']'),
+        "{" => ('{', '}'),
+        _ => return open,
+    };
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Scan the token stream into items.
+pub fn scan(toks: &[Tok]) -> FileMap {
+    let mut map = FileMap::default();
+    let mut i = 0usize;
+    let mut cfg_test_pending = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('#') && toks.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+            // Attribute: detect #[cfg(test)], then skip the whole attribute.
+            let close = matching(toks, i + 1);
+            let inner: Vec<&str> = toks[i + 2..close].iter().map(|t| t.text.as_str()).collect();
+            if inner.len() >= 4 && inner[0] == "cfg" && inner[1] == "(" && inner[2] == "test" {
+                cfg_test_pending = true;
+            }
+            i = close + 1;
+            continue;
+        }
+        if t.is_ident("mod") && cfg_test_pending {
+            // `#[cfg(test)] mod name { … }` — record and skip the body.
+            cfg_test_pending = false;
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('{') {
+                let end = matching(toks, j);
+                map.test_spans.push((j, end));
+                i = end + 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        if t.is_ident("struct") {
+            cfg_test_pending = false;
+            if let Some((item, next)) = scan_struct(toks, i) {
+                map.structs.push(item);
+                i = next;
+                continue;
+            }
+        }
+        if t.is_ident("fn") {
+            cfg_test_pending = false;
+            if let Some((item, body_start)) = scan_fn(toks, i) {
+                // Continue scanning *inside* the body (nested items, and the
+                // rules index into the same stream), so only step past `fn`
+                // and its header.
+                let next = body_start;
+                map.fns.push(item);
+                i = next;
+                continue;
+            }
+        }
+        // A `#[cfg(test)]` that did not end up on a `mod` (e.g. on a `use`
+        // or an item kind we don't model) stops being pending at the next
+        // statement boundary.
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            cfg_test_pending = false;
+        }
+        i += 1;
+    }
+    map
+}
+
+/// Scan a `struct` item starting at the `struct` keyword. Returns the item
+/// and the index to resume scanning from.
+fn scan_struct(toks: &[Tok], kw: usize) -> Option<(StructItem, usize)> {
+    let name = toks.get(kw + 1)?;
+    if name.kind != TokKind::Ident {
+        return None;
+    }
+    let mut i = kw + 2;
+    // Skip generics.
+    if toks.get(i).is_some_and(|t| t.is_punct('<')) {
+        i = skip_generics(toks, i);
+    }
+    let mut item = StructItem {
+        name: name.text.clone(),
+        fields: Vec::new(),
+    };
+    match toks.get(i) {
+        Some(t) if t.is_punct('{') => {
+            let end = matching(toks, i);
+            let mut j = i + 1;
+            while j < end {
+                // Skip attributes and visibility.
+                if toks[j].is_punct('#') && toks.get(j + 1).is_some_and(|n| n.is_punct('[')) {
+                    j = matching(toks, j + 1) + 1;
+                    continue;
+                }
+                if toks[j].is_ident("pub") {
+                    j += 1;
+                    if toks.get(j).is_some_and(|t| t.is_punct('(')) {
+                        j = matching(toks, j) + 1;
+                    }
+                    continue;
+                }
+                // `name : type , …`
+                if toks[j].kind == TokKind::Ident
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                {
+                    let fname = toks[j].text.clone();
+                    let mut k = j + 2;
+                    let mut ty = Vec::new();
+                    let mut depth = 0i32;
+                    while k < end {
+                        let tt = &toks[k];
+                        if depth == 0 && tt.is_punct(',') {
+                            break;
+                        }
+                        if tt.is_punct('<') || tt.is_punct('(') || tt.is_punct('[') {
+                            depth += 1;
+                        } else if tt.is_punct('>') || tt.is_punct(')') || tt.is_punct(']') {
+                            depth -= 1;
+                        }
+                        ty.push(tt.text.clone());
+                        k += 1;
+                    }
+                    item.fields.push(Field { name: fname, ty });
+                    j = k + 1;
+                    continue;
+                }
+                j += 1;
+            }
+            Some((item, end + 1))
+        }
+        Some(t) if t.is_punct('(') => Some((item, matching(toks, i) + 1)),
+        _ => Some((item, i + 1)),
+    }
+}
+
+/// Scan a `fn` item starting at the `fn` keyword. Returns the item and the
+/// index to resume from (just *inside* the body, so nested fns are found).
+fn scan_fn(toks: &[Tok], kw: usize) -> Option<(FnItem, usize)> {
+    let name = toks.get(kw + 1)?;
+    if name.kind != TokKind::Ident {
+        return None;
+    }
+    let mut i = kw + 2;
+    if toks.get(i).is_some_and(|t| t.is_punct('<')) {
+        i = skip_generics(toks, i);
+    }
+    if !toks.get(i).is_some_and(|t| t.is_punct('(')) {
+        return None;
+    }
+    let params_end = matching(toks, i);
+    let params = (i, params_end);
+    let mut_self = toks[i..=params_end]
+        .windows(2)
+        .any(|w| w[0].is_ident("mut") && w[1].is_ident("self"));
+    // Find the body `{` or a terminating `;` (trait signature).
+    let mut j = params_end + 1;
+    let mut body = None;
+    while let Some(t) = toks.get(j) {
+        if t.is_punct('{') {
+            body = Some((j, matching(toks, j)));
+            break;
+        }
+        if t.is_punct(';') {
+            break;
+        }
+        j += 1;
+    }
+    let resume = match body {
+        Some((s, _)) => s + 1,
+        None => j + 1,
+    };
+    Some((
+        FnItem {
+            name: name.text.clone(),
+            line: toks[kw].line,
+            params,
+            body,
+            mut_self,
+        },
+        resume,
+    ))
+}
+
+/// Skip a generics list starting at `<`, tolerating `->` arrows inside
+/// (e.g. `fn f<F: Fn() -> bool>`): a `>` preceded by `-` closes nothing.
+fn skip_generics(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') && !(i > 0 && toks[i - 1].is_punct('-')) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn finds_fns_and_receivers() {
+        let src = "impl Foo { pub fn a(&mut self, x: u32) -> bool { x > 0 } fn b(&self) {} }";
+        let map = scan(&lex(src).toks);
+        assert_eq!(map.fns.len(), 2);
+        assert!(map.fns[0].mut_self);
+        assert!(!map.fns[1].mut_self);
+    }
+
+    #[test]
+    fn struct_fields_capture_types() {
+        let src = "pub struct P { accounts: HashMap<Address, Account>, book: PositionBook }";
+        let map = scan(&lex(src).toks);
+        assert_eq!(map.structs.len(), 1);
+        let s = &map.structs[0];
+        assert_eq!(s.fields.len(), 2);
+        assert!(s.fields[0].ty.contains(&"Address".to_string()));
+        assert!(s.fields[1].ty.contains(&"PositionBook".to_string()));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_spanned() {
+        let src = "fn live() {} #[cfg(test)] mod tests { fn helper() { v.unwrap(); } }";
+        let lexed = lex(src);
+        let map = scan(&lexed.toks);
+        let unwrap_idx = lexed
+            .toks
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .unwrap();
+        assert!(map.in_test(unwrap_idx));
+        let live_body = map.fns.iter().find(|f| f.name == "live").unwrap();
+        assert!(!map.in_test(live_body.body.unwrap().0));
+    }
+
+    #[test]
+    fn nested_fn_bodies_resolve_innermost() {
+        let src = "fn outer() { fn inner() { let x = 1; } }";
+        let lexed = lex(src);
+        let map = scan(&lexed.toks);
+        assert_eq!(map.fns.len(), 2);
+        let x_idx = lexed.toks.iter().position(|t| t.is_ident("x")).unwrap();
+        assert_eq!(map.enclosing_fn(x_idx).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn generic_fn_with_arrow_bound_parses() {
+        let src = "fn f<F: Fn() -> bool>(pred: F) -> bool { pred() }";
+        let map = scan(&lex(src).toks);
+        assert_eq!(map.fns.len(), 1);
+        assert_eq!(map.fns[0].name, "f");
+        assert!(map.fns[0].body.is_some());
+    }
+}

@@ -1,0 +1,24 @@
+// Control fixture: hook-respecting code plus one justified waiver — the
+// analyzer must exit 0 here. Never compiled — only fed to the binary.
+
+pub struct Accounts {
+    inner: PositionBook,
+    accounts: HashMap<Address, u64>,
+}
+
+impl Accounts {
+    pub fn deposit(&mut self, owner: Address, amount: u64) {
+        self.accounts.insert(owner, amount);
+        self.inner.mark_dirty(owner);
+    }
+
+    pub fn tick(&mut self, block: u64) {
+        if self.market.accrue(block) {
+            self.inner.note_index_change(Token::ETH);
+        }
+    }
+
+    pub fn first_account(&self) -> Address {
+        self.order[0] // lint:allow(hot-index) order is rebuilt non-empty on every insert
+    }
+}

@@ -1,0 +1,6 @@
+// Sabotage fixture: an unjustified f64 round-trip in the valuation layer.
+// Never compiled — only fed to the analyzer binary.
+
+pub fn value(w: Wad) -> f64 {
+    w.to_f64()
+}

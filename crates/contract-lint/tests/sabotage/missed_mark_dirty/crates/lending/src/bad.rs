@@ -1,0 +1,13 @@
+// Sabotage fixture: an account-store mutation that never reaches
+// `mark_dirty`. Never compiled — only fed to the analyzer binary.
+
+pub struct Accounts {
+    inner: PositionBook,
+    accounts: HashMap<Address, u64>,
+}
+
+impl Accounts {
+    pub fn deposit(&mut self, owner: Address, amount: u64) {
+        self.accounts.insert(owner, amount);
+    }
+}

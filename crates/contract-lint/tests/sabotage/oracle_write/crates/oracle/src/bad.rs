@@ -1,0 +1,13 @@
+// Sabotage fixture: a price-map write on an epoch-carrying oracle that
+// never bumps the epoch. Never compiled — only fed to the analyzer binary.
+
+pub struct PriceOracle {
+    current: BTreeMap<Token, Wad>,
+    epoch: u64,
+}
+
+impl PriceOracle {
+    pub fn sneak(&mut self, token: Token, price: Wad) {
+        self.current.insert(token, price);
+    }
+}

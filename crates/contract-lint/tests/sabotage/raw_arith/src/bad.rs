@@ -1,0 +1,6 @@
+// Sabotage fixture: bare integer arithmetic on `.raw()` escapes outside
+// `crates/types`. Never compiled — only fed to the analyzer binary.
+
+pub fn spread(a: Wad, b: Wad) -> u128 {
+    a.raw() - b.raw()
+}

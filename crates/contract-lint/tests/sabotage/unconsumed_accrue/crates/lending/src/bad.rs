@@ -1,0 +1,12 @@
+// Sabotage fixture: a `Market::accrue` call whose moved-bit is thrown
+// away. Never compiled — only fed to the analyzer binary.
+
+pub struct Pool {
+    book: PositionBook,
+}
+
+impl Pool {
+    pub fn tick(&mut self, block: u64) {
+        self.market.accrue(block);
+    }
+}

@@ -1,0 +1,6 @@
+// Sabotage fixture: an un-waived `unwrap` in a gated hot path. Never
+// compiled — only fed to the analyzer binary.
+
+pub fn head(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,55 @@
+//! Tree regression: the real workspace must lint clean, and the set of
+//! accepted waivers must exactly match the checked-in inventory
+//! (`waivers.tsv`). Adding a waiver without updating the inventory — or
+//! leaving a stale row behind after burning a waiver down — fails here.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let findings = contract_lint::lint_workspace(&workspace_root()).expect("workspace walk");
+    let unwaived: Vec<String> = findings
+        .iter()
+        .filter(|f| f.waived.is_none())
+        .map(|f| f.to_string())
+        .collect();
+    assert!(
+        unwaived.is_empty(),
+        "the tree must be lint-clean; fix or waive:\n{}",
+        unwaived.join("\n")
+    );
+}
+
+#[test]
+fn waiver_inventory_matches_checked_in_tsv() {
+    let findings = contract_lint::lint_workspace(&workspace_root()).expect("workspace walk");
+    let actual = contract_lint::waiver_inventory(&findings);
+
+    let tsv_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("waivers.tsv");
+    let tsv = std::fs::read_to_string(&tsv_path).expect("read waivers.tsv");
+    let mut expected: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for line in tsv.lines().filter(|l| !l.trim().is_empty()) {
+        let mut cols = line.split('\t');
+        let file = cols.next().expect("file column").to_string();
+        let rule = cols.next().expect("rule column").to_string();
+        let count: usize = cols
+            .next()
+            .expect("count column")
+            .trim()
+            .parse()
+            .expect("count parses");
+        expected.insert((file, rule), count);
+    }
+
+    assert_eq!(
+        actual, expected,
+        "waiver inventory drifted — regenerate with \
+         `cargo run -p contract-lint -- --workspace --emit-waivers > \
+         crates/contract-lint/waivers.tsv`"
+    );
+}

@@ -33,6 +33,8 @@
 //! it can be reused against real on-chain data as well as against the
 //! simulation substrate shipped in the sibling crates.
 
+#![forbid(unsafe_code)]
+
 pub mod bad_debt;
 pub mod comparison;
 pub mod config;

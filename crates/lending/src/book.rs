@@ -416,7 +416,9 @@ impl Default for PositionBook {
             at_risk: BTreeSet::new(),
             stale_count: 0,
             bands: (
+                // lint:allow(fixed-float) band edges are config-space constants quantized once at construction, not per-valuation
                 Wad::from_f64(RESCUE_BAND_HF),
+                // lint:allow(fixed-float) band edges are config-space constants quantized once at construction, not per-valuation
                 Wad::from_f64(RELEVERAGE_BAND_HF),
             ),
             envelope_skips: 0,
@@ -1059,8 +1061,12 @@ impl PositionBook {
             self.at_risk.remove(&address);
         }
 
-        if exists {
-            let entry = self.entries.get_mut(&address).expect("entry exists");
+        let live_entry = if exists {
+            self.entries.get_mut(&address)
+        } else {
+            None
+        };
+        if let Some(entry) = live_entry {
             entry.tokens = new_tokens;
             entry.debt_tokens = new_debt_tokens;
             // Recycle the previous exposure buffers as scratch space.

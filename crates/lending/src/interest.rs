@@ -74,6 +74,7 @@ impl InterestRateModel {
     pub fn per_block_rate(&self, utilization: f64) -> Ray {
         let annual = self.annual_borrow_rate(utilization).max(0.0);
         let per_block = annual / BLOCKS_PER_YEAR as f64;
+        // lint:allow(fixed-float) the kinked rate curve is defined in f64 rate space; it is quantized to Ray exactly once here, and all index compounding downstream stays in Ray
         Ray::from_raw((per_block * RAY as f64) as u128)
     }
 
@@ -88,7 +89,9 @@ impl InterestRateModel {
 
 /// Utilization of a market: borrows / (cash + borrows).
 pub fn utilization(available_liquidity: Wad, total_debt: Wad) -> f64 {
+    // lint:allow(fixed-float) utilization is the f64 input of the f64 rate curve; valuation exactness is certified at the Ray index level, not the rate model
     let cash = available_liquidity.to_f64();
+    // lint:allow(fixed-float) utilization is the f64 input of the f64 rate curve; valuation exactness is certified at the Ray index level, not the rate model
     let debt = total_debt.to_f64();
     if cash + debt <= 0.0 {
         0.0

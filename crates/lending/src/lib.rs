@@ -31,6 +31,8 @@
 //! [`ChainEvent`](defi_chain::ChainEvent)s describing liquidations, auctions
 //! and flash loans, which is exactly the surface the analytics crate indexes.
 
+#![forbid(unsafe_code)]
+
 pub mod book;
 pub mod error;
 pub mod fixed_spread;

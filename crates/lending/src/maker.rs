@@ -45,8 +45,10 @@ pub struct IlkParams {
 impl Default for IlkParams {
     fn default() -> Self {
         IlkParams {
+            // lint:allow(fixed-float) ilk defaults are config-space constants quantized once at listing
             liquidation_ratio: Wad::from_f64(1.5),
             stability_fee: 0.02,
+            // lint:allow(fixed-float) ilk defaults are config-space constants quantized once at listing
             liquidation_penalty: Wad::from_f64(0.13),
         }
     }
@@ -231,6 +233,7 @@ fn fill_cdp_position(
     let price = oracle.price_or_zero(cdp.collateral_token);
     let lt = Wad::ONE
         .checked_div(ilk.liquidation_ratio)
+        // lint:allow(fixed-float) fallback threshold for a zero liquidation ratio; a config-space constant, unreachable for listed ilks
         .unwrap_or(Wad::from_f64(2.0 / 3.0));
     if !cdp.collateral.is_zero() {
         slot.collateral.push(CollateralHolding {
@@ -413,7 +416,10 @@ impl MakerProtocol {
         }
         // Mint DAI to the owner.
         ledger.mint(owner, Token::DAI, amount);
-        self.cdps.get_mut(&owner).expect("checked").debt = new_debt;
+        self.cdps
+            .get_mut(&owner)
+            .ok_or(ProtocolError::UnknownCdp(owner))?
+            .debt = new_debt;
         self.book.mark_dirty(owner);
         events.push(ChainEvent::Borrow {
             platform: Platform::MakerDao,
@@ -491,7 +497,10 @@ impl MakerProtocol {
         }
         let token = cdp.collateral_token;
         ledger.transfer(self.pool_address, owner, token, amount)?;
-        self.cdps.get_mut(&owner).expect("checked").collateral -= amount;
+        self.cdps
+            .get_mut(&owner)
+            .ok_or(ProtocolError::UnknownCdp(owner))?
+            .collateral -= amount;
         self.book.mark_dirty(owner);
         Ok(())
     }
@@ -710,6 +719,7 @@ impl MakerProtocol {
         if auction.has_terminated(block, &params) {
             return Err(ProtocolError::AuctionTerminated);
         }
+        // lint:allow(fixed-float) auction increment is an f64 protocol parameter quantized at bid time; bid comparisons themselves stay in Wad
         let min_increment = Wad::from_f64(1.0 + params.min_bid_increment);
 
         match auction.phase {

@@ -41,6 +41,7 @@ fn build_fixed_spread(
 ) -> FixedSpreadProtocol {
     let mut protocol = FixedSpreadProtocol::new(FixedSpreadConfig {
         platform,
+        // lint:allow(fixed-float) platform close factor is a config-space constant quantized once at protocol construction
         close_factor: Wad::from_f64(close_factor),
         one_liquidation_per_block: false,
         insurance_fund,
@@ -176,8 +177,10 @@ pub fn maker_protocol() -> MakerProtocol {
         maker.list_ilk(
             token,
             IlkParams {
+                // lint:allow(fixed-float) ilk listing parameters are config-space constants quantized once at listing
                 liquidation_ratio: Wad::from_f64(liquidation_ratio),
                 stability_fee: 0.02,
+                // lint:allow(fixed-float) ilk listing parameters are config-space constants quantized once at listing
                 liquidation_penalty: Wad::from_f64(0.13),
             },
         );

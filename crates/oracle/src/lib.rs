@@ -21,6 +21,8 @@
 //! * [`scenario`] — the [`MarketScenario`] used by the two-year study: per
 //!   token processes plus the scripted historical episodes.
 
+#![forbid(unsafe_code)]
+
 pub mod oracle;
 pub mod process;
 pub mod scenario;

@@ -226,6 +226,7 @@ impl SimulationEngine {
     pub fn run(self) -> SimulationReport {
         self.session()
             .run_to_end(&mut crate::NullObserver)
+            // lint:allow(hot-unwrap) documented infallible compatibility wrapper: a genesis seeding failure is a configuration error that must abort; Session::run_to_end is the recoverable path
             .expect("simulation start-up failed")
     }
 
@@ -251,7 +252,9 @@ impl SimulationEngine {
         let user_op_gas = self.config.user_op_gas;
         let chain = &mut self.chain;
         for (platform, protocol) in self.protocols.iter_mut() {
-            let oracle = &self.oracles[platform];
+            let Some(oracle) = self.oracles.get(platform) else {
+                continue; // registry and oracle map share keys by construction
+            };
             let lender = Address::from_label(&format!("genesis-lender-{}", platform.name()));
             for token in protocol.lendable_tokens() {
                 let price = oracle.price_or_zero(token).to_f64().max(1e-9);
@@ -295,7 +298,9 @@ impl SimulationEngine {
         {
             // Protocols without an insurance fund report zero and skip.
             for (platform, protocol) in self.protocols.iter_mut() {
-                protocol.write_off_insolvent_positions(&self.oracles[platform]);
+                if let Some(oracle) = self.oracles.get(platform) {
+                    protocol.write_off_insolvent_positions(oracle);
+                }
             }
         }
         if self
@@ -442,7 +447,9 @@ impl SimulationEngine {
             return false;
         };
         let mechanism = protocol.mechanism();
-        let oracle = &self.oracles[&platform];
+        let Some(oracle) = self.oracles.get(&platform) else {
+            return false;
+        };
         let address = borrower.address;
         // Fund and deposit each collateral token (split the value evenly).
         let share = borrower.collateral_value_usd / borrower.collateral_tokens.len() as f64;
@@ -517,12 +524,13 @@ impl SimulationEngine {
             match mechanism {
                 MechanismKind::FixedSpread => {
                     self.manage_borrower_positions(platform, block, congested);
-                    let oracle = &self.oracles[&platform];
-                    let opportunities = self
-                        .protocols
-                        .get_mut(&platform)
-                        .expect("platform exists")
-                        .liquidatable(oracle);
+                    let (Some(oracle), Some(protocol)) = (
+                        self.oracles.get(&platform),
+                        self.protocols.get_mut(&platform),
+                    ) else {
+                        continue;
+                    };
+                    let opportunities = protocol.liquidatable(oracle);
                     for opportunity in opportunities {
                         self.attempt_liquidation(&opportunity, block, congested, eth_price);
                     }
@@ -560,8 +568,12 @@ impl SimulationEngine {
         }
         let mut actions: Vec<Action> = Vec::new();
         {
-            let oracle = &self.oracles[&platform];
-            let protocol = self.protocols.get_mut(&platform).expect("platform exists");
+            let (Some(oracle), Some(protocol)) = (
+                self.oracles.get(&platform),
+                self.protocols.get_mut(&platform),
+            ) else {
+                return;
+            };
             let rescue_band = Wad::from_f64(defi_lending::RESCUE_BAND_HF);
             let releverage_band = Wad::from_f64(defi_lending::RELEVERAGE_BAND_HF);
             protocol.for_each_at_risk(oracle, rescue_band, releverage_band, &mut |position| {
@@ -631,7 +643,9 @@ impl SimulationEngine {
         }
         let address = agent.address;
         let debt_token = agent.debt_token;
-        let oracle = &self.oracles[&platform];
+        let Some(oracle) = self.oracles.get(&platform) else {
+            return;
+        };
         let debt_price = oracle.price_or_zero(debt_token).to_f64().max(1e-9);
         // Borrow back up to ~80% of the borrowing capacity.
         let capacity = capacity.to_f64();
@@ -692,7 +706,9 @@ impl SimulationEngine {
         let gas = self.chain.gas_market_mut().competitive_bid(0.2);
         // Repay ~25% of the outstanding debt with fresh external funds.
         let repay_usd = debt_value.to_f64() * 0.25;
-        let oracle = &self.oracles[&platform];
+        let Some(oracle) = self.oracles.get(&platform) else {
+            return;
+        };
         let debt_price = oracle.price_or_zero(debt_token).to_f64().max(1e-9);
         let amount = Wad::from_f64(repay_usd / debt_price);
         self.chain.fund(address, debt_token, amount);
@@ -739,8 +755,8 @@ impl SimulationEngine {
         if candidates.is_empty() {
             return;
         }
-        let liquidator =
-            self.liquidators[candidates[self.rng.gen_range(0..candidates.len())]].clone();
+        let pick = candidates[self.rng.gen_range(0..candidates.len())]; // lint:allow(hot-index) gen_range(0..len) is in bounds by construction
+        let liquidator = self.liquidators[pick].clone(); // lint:allow(hot-index) candidates holds valid liquidator indices from the enumerate above
 
         // Seize the most valuable collateral, repay the largest debt.
         let Some(collateral) = position
@@ -755,7 +771,9 @@ impl SimulationEngine {
             return;
         };
 
-        let close_factor = self.protocols[&platform].close_factor();
+        let Some(close_factor) = self.protocols.get(&platform).map(|p| p.close_factor()) else {
+            return;
+        };
         let repay_amount = debt.amount.checked_mul(close_factor).unwrap_or(Wad::ZERO);
         let repay_usd = debt
             .value_usd
@@ -811,8 +829,12 @@ impl SimulationEngine {
         let feedback = self.scenario.feedback().is_some();
         let events_before = self.chain.events().len();
         let mut receipt_slot: Option<defi_lending::LiquidationReceipt> = None;
-        let oracle = &self.oracles[&platform];
-        let protocol = self.protocols.get_mut(&platform).expect("platform exists");
+        let (Some(oracle), Some(protocol)) = (
+            self.oracles.get(&platform),
+            self.protocols.get_mut(&platform),
+        ) else {
+            return;
+        };
         // Pool reserves are ledger balances, so an in-transaction unwind swap
         // reverts with the transaction's checkpoint like everything else.
         let dex = &self.dex;
@@ -912,22 +934,28 @@ impl SimulationEngine {
         // 1. Start auctions on liquidatable positions — a critical-price
         // range scan on the cached book, not a full CDP rebuild.
         let opportunities = {
-            let oracle = &self.oracles[&platform];
-            self.protocols
-                .get_mut(&platform)
-                .expect("platform exists")
-                .liquidatable(oracle)
+            let (Some(oracle), Some(protocol)) = (
+                self.oracles.get(&platform),
+                self.protocols.get_mut(&platform),
+            ) else {
+                return;
+            };
+            protocol.liquidatable(oracle)
         };
         for opportunity in opportunities {
-            let keeper = self.keepers[self.rng.gen_range(0..self.keepers.len())].clone();
+            let keeper = self.keepers[self.rng.gen_range(0..self.keepers.len())].clone(); // lint:allow(hot-index) gen_range(0..len) is in bounds, and keepers is checked non-empty at fn entry
             if congested && keeper.stale_under_congestion && self.rng.gen_bool(0.8) {
                 continue; // overdue liquidation
             }
             let hf_at_bite = opportunity.position.health_factor();
             let events_before = self.chain.events().len();
             let gas = self.chain.gas_market_mut().competitive_bid(0.3);
-            let protocol = self.protocols.get_mut(&platform).expect("platform exists");
-            let oracle = &self.oracles[&platform];
+            let (Some(oracle), Some(protocol)) = (
+                self.oracles.get(&platform),
+                self.protocols.get_mut(&platform),
+            ) else {
+                return;
+            };
             let chain = &mut self.chain;
             let request = LiquidationRequest::StartAuction {
                 keeper: keeper.address,
@@ -947,7 +975,12 @@ impl SimulationEngine {
             );
             if outcome.is_success() {
                 if let Some(hf) = hf_at_bite {
-                    let started: Vec<u64> = self.chain.events().as_slice()[events_before..]
+                    let started: Vec<u64> = self
+                        .chain
+                        .events()
+                        .as_slice()
+                        .get(events_before..)
+                        .unwrap_or(&[])
                         .iter()
                         .filter_map(|logged| match logged.event {
                             ChainEvent::AuctionStarted { auction_id, .. } => Some(auction_id),
@@ -962,29 +995,49 @@ impl SimulationEngine {
         }
 
         // 2. Bid on / finalise open auctions.
-        let Some(params) = self.protocols[&platform].auction_params() else {
+        let Some(params) = self
+            .protocols
+            .get(&platform)
+            .and_then(|p| p.auction_params())
+        else {
             return;
         };
-        let open = self.protocols[&platform].open_auctions();
+        let open = self
+            .protocols
+            .get(&platform)
+            .map(|p| p.open_auctions())
+            .unwrap_or_default();
         for auction_id in open {
-            let Some(snapshot) = self.protocols[&platform].auction_snapshot(auction_id) else {
+            let snapshot = self
+                .protocols
+                .get(&platform)
+                .and_then(|p| p.auction_snapshot(auction_id));
+            let Some(snapshot) = snapshot else {
                 continue;
             };
-            if self.protocols[&platform].can_finalize_auction(auction_id, block) {
+            let finalizable = self
+                .protocols
+                .get(&platform)
+                .is_some_and(|p| p.can_finalize_auction(auction_id, block));
+            if finalizable {
                 // The winner (or any keeper) settles; occasionally nobody
                 // bothers for a while, producing the duration outliers of
                 // Figure 7.
                 if self.rng.gen_bool(0.85) {
-                    let finalizer = snapshot
-                        .best_bid
-                        .map(|b| b.bidder)
-                        .unwrap_or_else(|| self.keepers[0].address);
+                    let fallback = self.keepers.first().map(|k| k.address);
+                    let Some(finalizer) = snapshot.best_bid.map(|b| b.bidder).or(fallback) else {
+                        continue;
+                    };
                     let feedback = self.scenario.feedback().is_some();
                     let events_before = self.chain.events().len();
                     let mut settled: Option<defi_lending::AuctionOutcome> = None;
                     let gas = self.chain.gas_market_mut().competitive_bid(0.1);
-                    let protocol = self.protocols.get_mut(&platform).expect("platform exists");
-                    let oracle = &self.oracles[&platform];
+                    let (Some(oracle), Some(protocol)) = (
+                        self.oracles.get(&platform),
+                        self.protocols.get_mut(&platform),
+                    ) else {
+                        continue;
+                    };
                     let chain = &mut self.chain;
                     let request = LiquidationRequest::SettleAuction {
                         caller: finalizer,
@@ -1027,11 +1080,18 @@ impl SimulationEngine {
             // hours while real keepers react within minutes), so run a few
             // bidding rounds against the refreshed auction state.
             for _round in 0..3 {
-                let Some(auction) = self.protocols[&platform].auction_snapshot(auction_id) else {
+                let auction = self
+                    .protocols
+                    .get(&platform)
+                    .and_then(|p| p.auction_snapshot(auction_id));
+                let Some(auction) = auction else {
                     break;
                 };
                 if auction.finalized
-                    || self.protocols[&platform].can_finalize_auction(auction_id, block)
+                    || self
+                        .protocols
+                        .get(&platform)
+                        .is_some_and(|p| p.can_finalize_auction(auction_id, block))
                 {
                     break;
                 }
@@ -1049,14 +1109,20 @@ impl SimulationEngine {
         params: &AuctionParams,
         auction: &AuctionSnapshot,
     ) {
-        let collateral_price = self.oracles[&platform].price_or_zero(auction.collateral_token);
+        let Some(collateral_price) = self
+            .oracles
+            .get(&platform)
+            .map(|o| o.price_or_zero(auction.collateral_token))
+        else {
+            return;
+        };
         let collateral_value = auction
             .collateral
             .checked_mul(collateral_price)
             .unwrap_or(Wad::ZERO);
 
         // Pick a keeper willing to act in this round.
-        let keeper = self.keepers[self.rng.gen_range(0..self.keepers.len())].clone();
+        let keeper = self.keepers[self.rng.gen_range(0..self.keepers.len())].clone(); // lint:allow(hot-index) gen_range(0..len) is in bounds; run_auction_keepers checks keepers non-empty before any round runs
         let keeper_active = if congested {
             if keeper.stale_under_congestion {
                 false
@@ -1146,8 +1212,12 @@ impl SimulationEngine {
         let escrow = debt_bid.max(auction.debt);
         self.chain.fund(keeper.address, Token::DAI, escrow);
         let gas = self.chain.gas_market_mut().competitive_bid(0.2);
-        let protocol = self.protocols.get_mut(&platform).expect("platform exists");
-        let oracle = &self.oracles[&platform];
+        let (Some(oracle), Some(protocol)) = (
+            self.oracles.get(&platform),
+            self.protocols.get_mut(&platform),
+        ) else {
+            return;
+        };
         let chain = &mut self.chain;
         let address = keeper.address;
         let request = LiquidationRequest::AuctionBid {
@@ -1223,7 +1293,12 @@ impl SimulationEngine {
     /// observers that verify liquidations only happen below the threshold.
     fn record_liquidation_context(&mut self, from_index: usize, fixed_spread_hf: Option<Wad>) {
         let mut contexts = Vec::new();
-        for (offset, logged) in self.chain.events().as_slice()[from_index..]
+        for (offset, logged) in self
+            .chain
+            .events()
+            .as_slice()
+            .get(from_index..)
+            .unwrap_or(&[])
             .iter()
             .enumerate()
         {
@@ -1250,9 +1325,12 @@ impl SimulationEngine {
 
     fn sample_volumes(&mut self, block: BlockNumber) {
         for (platform, protocol) in self.protocols.iter_mut() {
+            let Some(oracle) = self.oracles.get(platform) else {
+                continue;
+            };
             // Running totals maintained by each protocol's incremental book —
             // sampling no longer materialises the position vector.
-            let totals = protocol.book_totals(&self.oracles[platform]);
+            let totals = protocol.book_totals(oracle);
             self.volume_samples.push(VolumeSample {
                 block,
                 platform: *platform,

@@ -33,6 +33,8 @@
 //! * [`sweep`] — the [`SweepRunner`] fanning grids of configurations across
 //!   scoped worker threads for sensitivity-style studies.
 
+#![forbid(unsafe_code)]
+
 pub mod agents;
 pub mod builder;
 pub mod config;

@@ -152,10 +152,10 @@ impl Session {
     pub fn snapshot_positions(&mut self) -> BTreeMap<Platform, Vec<Position>> {
         let mut books = BTreeMap::new();
         for (platform, protocol) in self.engine.protocols.iter_mut() {
-            books.insert(
-                *platform,
-                protocol.book_positions(&self.engine.oracles[platform]),
-            );
+            let Some(oracle) = self.engine.oracles.get(platform) else {
+                continue;
+            };
+            books.insert(*platform, protocol.book_positions(oracle));
         }
         books
     }
@@ -254,10 +254,10 @@ impl Session {
         let snapshot_block = self.engine.chain.current_block();
         let mut final_positions = BTreeMap::new();
         for (platform, protocol) in self.engine.protocols.iter_mut() {
-            final_positions.insert(
-                *platform,
-                protocol.book_positions(&self.engine.oracles[platform]),
-            );
+            let Some(oracle) = self.engine.oracles.get(platform) else {
+                continue;
+            };
+            final_positions.insert(*platform, protocol.book_positions(oracle));
         }
         observer.on_run_end(&RunEnd {
             config: &self.engine.config,
@@ -294,8 +294,7 @@ impl Session {
         let engine = &self.engine;
         let events = engine.chain.events().as_slice();
         let mut cursor = self.event_cursor;
-        while cursor < events.len() {
-            let logged = &events[cursor];
+        while let Some(logged) = events.get(cursor) {
             observer.on_event(logged);
             if matches!(
                 logged.event,
@@ -314,7 +313,11 @@ impl Session {
             cursor += 1;
         }
         self.event_cursor = cursor;
-        for sample in &engine.volume_samples[self.volume_cursor..] {
+        for sample in engine
+            .volume_samples
+            .get(self.volume_cursor..)
+            .unwrap_or(&[])
+        {
             observer.on_volume_sample(sample);
         }
         self.volume_cursor = engine.volume_samples.len();

@@ -17,6 +17,8 @@
 //! panic-free: all arithmetic that can overflow or divide by zero has
 //! checked variants returning [`TypeError`].
 
+#![forbid(unsafe_code)]
+
 pub mod address;
 pub mod error;
 pub mod fixed;

@@ -33,6 +33,8 @@
 //! with altered parameters, or an entirely new mechanism — can be plugged in
 //! with `EngineBuilder::with_protocol` without touching the engine.
 
+#![forbid(unsafe_code)]
+
 pub use defi_amm as amm;
 pub use defi_analytics as analytics;
 pub use defi_chain as chain;
