@@ -131,6 +131,20 @@ impl StudyAnalysis {
         Ok((analysis, report))
     }
 
+    /// Replay-driven construction: `drive` feeds an already-recorded
+    /// observation stream (e.g. a journal reader's `replay`) into a fresh
+    /// [`StudyCollector`], and the finished analysis is returned — the same
+    /// single-pass study [`stream`](StudyAnalysis::stream) computes live,
+    /// with no simulation attached. Returns `Ok(None)` when the stream never
+    /// reached `on_run_end` (an unfinished recording).
+    pub fn from_replay<E>(
+        drive: impl FnOnce(&mut dyn SimObserver) -> Result<(), E>,
+    ) -> Result<Option<StudyAnalysis>, E> {
+        let mut collector = StudyCollector::new();
+        drive(&mut collector)?;
+        Ok(collector.into_analysis())
+    }
+
     /// Like [`stream`](StudyAnalysis::stream), with an additional observer
     /// attached to the same session — e.g. an
     /// [`InvariantObserver`](defi_sim::InvariantObserver) auditing the run

@@ -615,6 +615,71 @@ fn bench_close_factor_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Journal subsystem: the write-side tax on the session loop (the recording
+/// overhead budget is <5% over a plain run — the measured pair is recorded
+/// in `BENCH_baseline.json`) and replay throughput from a pre-recorded
+/// journal through the full analytics collector.
+fn bench_journal(c: &mut Criterion) {
+    use defi_analytics::StudyAnalysis;
+    use defi_journal::{JournalReader, JournalWriter};
+    use defi_sim::NullObserver;
+
+    let ticks = SimConfig::smoke_test(5).tick_count();
+    let mut group = c.benchmark_group("journal");
+    group.sample_size(10);
+
+    let dir = std::env::temp_dir().join("djrn-bench");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    group.bench_function(format!("plain_session_loop_{ticks}_ticks"), |b| {
+        b.iter(|| {
+            SimulationEngine::new(SimConfig::smoke_test(5))
+                .session()
+                .run_to_end(&mut NullObserver)
+                .unwrap()
+        })
+    });
+
+    let write_path = dir.join("bench-write.jrn");
+    group.bench_function(format!("journaled_session_loop_{ticks}_ticks"), |b| {
+        b.iter(|| {
+            let mut writer = JournalWriter::create(&write_path).unwrap();
+            let report = SimulationEngine::new(SimConfig::smoke_test(5))
+                .session()
+                .run_to_end(&mut writer)
+                .unwrap();
+            writer.finish().unwrap();
+            report
+        })
+    });
+
+    // Replay throughput: decode a pre-recorded smoke journal and drive the
+    // full StudyCollector pipeline from it. In CI's `--test` quick mode the
+    // single iteration doubles as a structural check: the recording must
+    // reach its run end and produce a non-empty analysis.
+    let recorded = dir.join("bench-replay.jrn");
+    let mut writer = JournalWriter::create(&recorded).unwrap();
+    let (live, _) =
+        StudyAnalysis::stream_with(SimulationEngine::new(SimConfig::smoke_test(5)), &mut writer)
+            .unwrap();
+    writer.finish().unwrap();
+    group.bench_function(format!("replay_to_analysis_{ticks}_ticks"), |b| {
+        b.iter(|| {
+            let reader = JournalReader::open(&recorded).unwrap();
+            let replayed = StudyAnalysis::from_replay(|observer| reader.replay(observer))
+                .unwrap()
+                .expect("recording reaches its run end");
+            assert_eq!(
+                defi_bench::render::render_headline(&replayed),
+                defi_bench::render::render_headline(&live),
+                "replayed analysis diverged from the live run"
+            );
+            replayed
+        })
+    });
+    group.finish();
+}
+
 fn bench_platform_books(c: &mut Criterion) {
     // Building position snapshots is the hot path of the measurement loop.
     let report = shared_report();
@@ -650,5 +715,6 @@ criterion_group!(
     bench_platform_books,
     bench_positions_scale,
     bench_band_index,
+    bench_journal,
 );
 criterion_main!(benches);

@@ -33,14 +33,16 @@ use defi_bench::case_study::{run_case_study, CaseStudyInput};
 use defi_bench::{json, render};
 use defi_core::config::is_sound_fixed_spread_config;
 use defi_core::params::RiskParams;
+use defi_journal::{JournalReader, JournalWriter};
 use defi_sim::{
-    InvariantObserver, RunSummary, ScenarioCatalog, SimConfig, SimulationEngine, SweepRunner,
+    InvariantObserver, MultiObserver, RunSummary, ScenarioCatalog, SimConfig, SimulationEngine,
+    SweepRunner,
 };
 use defi_types::Platform;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--smoke] [--seed N] [--json DIR] [--scenario NAME] [--list-scenarios]\n             [--check-invariants] [--sweep seeds=N|scenarios] [--workers N] <artefact>...\n       artefacts: all headline table1 table2 table3 table4 table5 table6 table7 table8\n                  fig4 fig5 fig6 fig7 fig8 fig9 auction-stats stablecoins mitigation configs case-study\n       --scenario NAME runs a named catalog scenario (see --list-scenarios)\n       --check-invariants attaches the InvariantObserver and fails on any violation\n       --sweep seeds=N runs N seeds through the SweepRunner and prints per-run summaries instead;\n       --sweep scenarios fans the whole scenario catalog across the workers"
+        "usage: repro [--smoke] [--seed N] [--json DIR] [--scenario NAME] [--list-scenarios]\n             [--check-invariants] [--sweep seeds=N|scenarios] [--workers N]\n             [--journal FILE] [--replay FILE] <artefact>...\n       artefacts: all headline table1 table2 table3 table4 table5 table6 table7 table8\n                  fig4 fig5 fig6 fig7 fig8 fig9 auction-stats stablecoins mitigation configs case-study\n       --scenario NAME runs a named catalog scenario (see --list-scenarios)\n       --check-invariants attaches the InvariantObserver and fails on any violation\n       --sweep seeds=N runs N seeds through the SweepRunner and prints per-run summaries instead;\n       --sweep scenarios fans the whole scenario catalog across the workers\n       --journal FILE records the run's observation stream as a replayable journal\n       --replay FILE renders artefacts from a recorded journal instead of simulating"
     );
     std::process::exit(2)
 }
@@ -48,7 +50,10 @@ fn usage() -> ! {
 fn write_json(dir: &Path, name: &str, value: &json::Json) {
     let path = dir.join(format!("{name}.json"));
     if let Err(error) = std::fs::write(&path, format!("{value}\n")) {
-        eprintln!("failed to write {}: {error}", path.display());
+        eprintln!(
+            "write artefact JSON {}: {error} (is the --json directory writable?)",
+            path.display()
+        );
         std::process::exit(1);
     }
     eprintln!("wrote {}", path.display());
@@ -156,6 +161,8 @@ fn main() {
     let mut scenario: Option<String> = None;
     let mut list_scenarios = false;
     let mut check_invariants = false;
+    let mut journal_path: Option<PathBuf> = None;
+    let mut replay_path: Option<PathBuf> = None;
     let mut artefacts: BTreeSet<String> = BTreeSet::new();
 
     let mut args = std::env::args().skip(1).peekable();
@@ -176,6 +183,14 @@ fn main() {
             }
             "--list-scenarios" => list_scenarios = true,
             "--check-invariants" => check_invariants = true,
+            "--journal" => {
+                let Some(value) = args.next() else { usage() };
+                journal_path = Some(PathBuf::from(value));
+            }
+            "--replay" => {
+                let Some(value) = args.next() else { usage() };
+                replay_path = Some(PathBuf::from(value));
+            }
             "--sweep" => {
                 let Some(value) = args.next() else { usage() };
                 if value == "scenarios" {
@@ -204,10 +219,33 @@ fn main() {
         eprintln!("--check-invariants cannot be combined with --sweep");
         std::process::exit(2);
     }
+    if journal_path.is_some() && sweep.is_some() {
+        // A journal records exactly one session's observation stream.
+        eprintln!("--journal cannot be combined with --sweep");
+        std::process::exit(2);
+    }
+    if replay_path.is_some() {
+        if sweep.is_some() || journal_path.is_some() || check_invariants {
+            // Replay re-drives a recorded stream: there is no simulation to
+            // sweep or re-journal, and the invariant observer needs live
+            // tick-end state that journals do not record.
+            eprintln!("--replay cannot be combined with --sweep, --journal or --check-invariants");
+            std::process::exit(2);
+        }
+        if scenario.is_some() {
+            // The journal header carries the run's own scenario and seed;
+            // refuse instead of silently ignoring the flag.
+            eprintln!("--replay takes its configuration from the journal; drop --scenario");
+            std::process::exit(2);
+        }
+    }
 
     if let Some(dir) = &json_dir {
         if let Err(error) = std::fs::create_dir_all(dir) {
-            eprintln!("failed to create {}: {error}", dir.display());
+            eprintln!(
+                "create --json output dir {}: {error} (is the parent writable and the path not a file?)",
+                dir.display()
+            );
             std::process::exit(1);
         }
     }
@@ -291,59 +329,133 @@ fn main() {
         "fig9",
         "auction-stats",
         "stablecoins",
-    ]);
-    if !needs_simulation {
+    ]) || journal_path.is_some();
+    if !needs_simulation && replay_path.is_none() {
         return;
     }
 
-    let config = base_config;
-    eprintln!(
-        "running the {} window of scenario '{}' (seed {seed}, {} ticks){}…",
-        if smoke { "smoke" } else { "two-year study" },
-        config
-            .scenario
-            .as_deref()
-            .unwrap_or(ScenarioCatalog::DEFAULT_NAME),
-        config.tick_count(),
-        if check_invariants {
-            " with invariant checking"
-        } else {
-            ""
-        }
-    );
-    let started = std::time::Instant::now();
-    // One streaming pass: the study computes while the simulation runs, with
-    // the invariant observer auditing the same session when requested.
-    let mut invariants = InvariantObserver::new();
-    let engine = SimulationEngine::new(config);
-    let result = if check_invariants {
-        StudyAnalysis::stream_with(engine, &mut invariants)
-    } else {
-        StudyAnalysis::stream(engine)
-    };
-    let (analysis, report) = match result {
-        Ok(result) => result,
-        Err(error) => {
-            eprintln!("simulation failed: {error}");
-            std::process::exit(1);
-        }
-    };
-    eprintln!(
-        "simulation finished in {:.1}s ({} events); analytics computed in-stream",
-        started.elapsed().as_secs_f64(),
-        report.chain.events().len()
-    );
-    if check_invariants {
-        if invariants.is_clean() {
-            eprintln!("invariants: clean");
-        } else {
-            eprintln!("invariants: {} violation(s)", invariants.violations().len());
-            for violation in invariants.violations().iter().take(20) {
-                eprintln!("  {violation}");
+    let analysis = if let Some(path) = &replay_path {
+        // Offline pass: re-drive the StudyCollector with the recorded
+        // observation stream — no simulation, byte-identical artefacts.
+        let started = std::time::Instant::now();
+        let reader = match JournalReader::open(path) {
+            Ok(reader) => reader,
+            Err(error) => {
+                eprintln!("replay failed: {error}");
+                std::process::exit(1);
             }
-            std::process::exit(1);
+        };
+        eprintln!(
+            "replaying journal {} (scenario '{}', seed {}, {} frames)…",
+            path.display(),
+            reader
+                .header()
+                .config
+                .scenario
+                .as_deref()
+                .unwrap_or(ScenarioCatalog::DEFAULT_NAME),
+            reader.header().config.seed,
+            reader.frames().len()
+        );
+        let analysis = match StudyAnalysis::from_replay(|observer| reader.replay(observer)) {
+            Ok(Some(analysis)) => analysis,
+            Ok(None) => {
+                eprintln!(
+                    "replay failed: {}: stream ended before the run end",
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+            Err(error) => {
+                eprintln!("replay failed: {error}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!(
+            "replay finished in {:.1}s; analytics computed in-stream",
+            started.elapsed().as_secs_f64()
+        );
+        analysis
+    } else {
+        let config = base_config;
+        eprintln!(
+            "running the {} window of scenario '{}' (seed {seed}, {} ticks){}…",
+            if smoke { "smoke" } else { "two-year study" },
+            config
+                .scenario
+                .as_deref()
+                .unwrap_or(ScenarioCatalog::DEFAULT_NAME),
+            config.tick_count(),
+            if check_invariants {
+                " with invariant checking"
+            } else {
+                ""
+            }
+        );
+        let started = std::time::Instant::now();
+        // One streaming pass: the study computes while the simulation runs,
+        // with the invariant observer (and the journal writer, when
+        // recording) attached to the same session.
+        let mut invariants = InvariantObserver::new();
+        let mut journal = match &journal_path {
+            Some(path) => match JournalWriter::create(path) {
+                Ok(writer) => Some(writer),
+                Err(error) => {
+                    eprintln!("journal failed: {error}");
+                    std::process::exit(1);
+                }
+            },
+            None => None,
+        };
+        let engine = SimulationEngine::new(config);
+        let result = match (&mut journal, check_invariants) {
+            (Some(writer), true) => {
+                let mut extra = MultiObserver::new().with(writer).with(&mut invariants);
+                StudyAnalysis::stream_with(engine, &mut extra)
+            }
+            (Some(writer), false) => StudyAnalysis::stream_with(engine, writer),
+            (None, true) => StudyAnalysis::stream_with(engine, &mut invariants),
+            (None, false) => StudyAnalysis::stream(engine),
+        };
+        let (analysis, report) = match result {
+            Ok(result) => result,
+            Err(error) => {
+                eprintln!("simulation failed: {error}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!(
+            "simulation finished in {:.1}s ({} events); analytics computed in-stream",
+            started.elapsed().as_secs_f64(),
+            report.chain.events().len()
+        );
+        if let Some(writer) = journal {
+            let frames = writer.frames_written();
+            match writer.finish() {
+                Ok(()) => {
+                    if let Some(path) = &journal_path {
+                        eprintln!("journaled {frames} frames to {}", path.display());
+                    }
+                }
+                Err(error) => {
+                    eprintln!("journal failed: {error}");
+                    std::process::exit(1);
+                }
+            }
         }
-    }
+        if check_invariants {
+            if invariants.is_clean() {
+                eprintln!("invariants: clean");
+            } else {
+                eprintln!("invariants: {} violation(s)", invariants.violations().len());
+                for violation in invariants.violations().iter().take(20) {
+                    eprintln!("  {violation}");
+                }
+                std::process::exit(1);
+            }
+        }
+        analysis
+    };
 
     // Render (and JSON-encode) lazily: only the selected artefacts are built.
     macro_rules! emit {

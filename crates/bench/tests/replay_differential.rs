@@ -1,0 +1,73 @@
+//! Journal replay differential: for every catalog scenario, a live run
+//! recorded through `JournalWriter` and replayed through `JournalReader`
+//! must render every artefact byte-identically to the analysis the live run
+//! computed — the acceptance bar for `repro --replay`.
+
+use defi_analytics::StudyAnalysis;
+use defi_bench::render;
+use defi_journal::{JournalReader, JournalWriter};
+use defi_sim::{ScenarioCatalog, SimConfig, SimulationEngine};
+
+type Renderer = fn(&StudyAnalysis) -> String;
+const ARTEFACTS: [(&str, Renderer); 14] = [
+    ("headline", render::render_headline),
+    ("table1", render::render_table1),
+    ("fig4", render::render_figure4),
+    ("fig5", render::render_figure5),
+    ("fig6", render::render_figure6),
+    ("fig7", render::render_auctions),
+    ("table2", render::render_table2),
+    ("table3", render::render_table3),
+    ("table4", render::render_table4),
+    ("fig8", render::render_figure8),
+    ("stablecoins", render::render_stablecoins),
+    ("fig9", render::render_figure9),
+    ("table8", render::render_table8),
+    ("table7", render::render_table7),
+];
+
+fn assert_replay_parity(scenario_name: &str) {
+    let dir = std::env::temp_dir().join("djrn-replay-differential");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("{scenario_name}.jrn"));
+
+    // A short window keeps the six-scenario matrix fast; catalog entries
+    // never change start/end blocks, so shortening is scenario-safe.
+    let mut config = SimConfig::smoke_test(20_211_102);
+    config.end_block = config.start_block + 60 * config.tick_blocks;
+    config.scenario = Some(scenario_name.to_string());
+
+    let mut writer = JournalWriter::create(&path).expect("create journal");
+    let (live, _report) =
+        StudyAnalysis::stream_with(SimulationEngine::new(config), &mut writer).expect("live run");
+    writer.finish().expect("finish journal");
+
+    let reader = JournalReader::open(&path).expect("open journal");
+    assert_eq!(
+        reader.header().config.scenario.as_deref(),
+        Some(scenario_name),
+        "journal header must carry the scenario"
+    );
+    let replayed = StudyAnalysis::from_replay(|observer| reader.replay(observer))
+        .expect("replay")
+        .expect("replay reaches the run end");
+
+    for (name, renderer) in ARTEFACTS {
+        assert_eq!(
+            renderer(&live),
+            renderer(&replayed),
+            "{scenario_name}: artefact {name} diverged between live run and journal replay"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn replay_is_byte_identical_on_every_catalog_scenario() {
+    let catalog = ScenarioCatalog::standard();
+    let names = catalog.names();
+    assert_eq!(names.len(), 6, "catalog grew; extend this differential");
+    for name in names {
+        assert_replay_parity(name);
+    }
+}

@@ -133,6 +133,32 @@ impl Blockchain {
         }
     }
 
+    /// Reconstruct an archive-style chain from recorded headers and events —
+    /// the shape a journal replay needs: [`Blockchain::headers`] and
+    /// [`Blockchain::events`] answer exactly as they did at the end of the
+    /// live run, while the ledger, gas market and receipt buffer start empty
+    /// (no replayed consumer reads them).
+    pub fn from_archive(config: ChainConfig, headers: Vec<BlockHeader>, events: EventLog) -> Self {
+        let gas_market = GasMarket::new(config.gas.clone());
+        let current_block = headers
+            .last()
+            .map(|h| h.number)
+            .unwrap_or(config.start_block);
+        Blockchain {
+            config,
+            current_block,
+            gas_market,
+            ledger: Ledger::new(),
+            events,
+            headers,
+            tx_counter: 0,
+            current_block_tx_index: 0,
+            current_block_gas_used: 0,
+            receipts: Vec::new(),
+            max_receipts: 10_000,
+        }
+    }
+
     /// The chain configuration.
     pub fn config(&self) -> &ChainConfig {
         &self.config

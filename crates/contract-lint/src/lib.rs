@@ -199,6 +199,10 @@ fn is_hot_path(path: &str) -> bool {
         || path.starts_with("crates/chain/src/")
         || path == "crates/sim/src/engine.rs"
         || path == "crates/sim/src/session.rs"
+        // The risk service's concurrent read/publish paths and the journal
+        // reader (which parses untrusted file bytes) must not panic.
+        || path == "crates/journal/src/service.rs"
+        || path == "crates/journal/src/reader.rs"
 }
 
 /// Scope of the `fixed-raw-arith` rule: everywhere except the fixed-point

@@ -1,0 +1,473 @@
+//! Hand-rolled binary codec and CRC32 — the only serializer the journal
+//! format uses (no crates.io dependency).
+//!
+//! Primitives: `u8`/`u16`/`u32` fixed-width little-endian, `u64`/`u128` as
+//! LEB128 varints, `f64` via its exact 8-byte IEEE bit pattern, booleans as
+//! one byte, and length-prefixed byte strings. The [`Decoder`] never panics:
+//! every read is bounds-checked and reports [`CodecError::UnexpectedEnd`]
+//! instead of slicing out of range.
+
+use std::fmt;
+
+/// A decode failure inside one frame payload (mapped to
+/// [`JournalError::Corrupt`](crate::JournalError::Corrupt) with the frame
+/// offset by the reader).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before the value it promised.
+    UnexpectedEnd,
+    /// A value decoded to something the schema forbids.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd => write!(f, "payload ended mid-value"),
+            CodecError::Invalid(what) => write!(f, "invalid {what}"),
+        }
+    }
+}
+
+/// Append-only byte sink for one frame payload.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// A fresh, empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// An encoder that reuses `buf`'s capacity (cleared first) — the writer's
+    /// hot loop recycles one scratch buffer instead of allocating per frame.
+    pub fn with_buffer(mut buf: Vec<u8>) -> Encoder {
+        buf.clear();
+        Encoder { buf }
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64` as a LEB128 varint (1–10 bytes). Journal values are
+    /// overwhelmingly small — block numbers, counts, gas — so varints shrink
+    /// the file (and its write cost) by roughly half versus fixed width.
+    pub fn put_u64(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Append a `u128` as a LEB128 varint (1–19 bytes).
+    pub fn put_u128(&mut self, mut v: u128) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Append a boolean as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Append an `f64` as its exact IEEE-754 bit pattern (round-trips every
+    /// value, including NaN payloads — determinism over readability). Fixed
+    /// 8 bytes: bit patterns are high-entropy, so a varint would expand them.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Append a collection length (`usize` widened to `u64`).
+    pub fn put_len(&mut self, len: usize) {
+        self.put_u64(len as u64);
+    }
+
+    /// Append raw bytes with no length prefix (fixed-width fields).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_len(s.len());
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// Bounds-checked cursor over one frame payload.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Decode from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Whether every byte was consumed (frames must decode exactly).
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Take the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::UnexpectedEnd)?;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(CodecError::UnexpectedEnd)?;
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        let bytes = self.take(1)?;
+        bytes.first().copied().ok_or(CodecError::UnexpectedEnd)
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        let bytes = self.take(2)?;
+        let arr: [u8; 2] = bytes.try_into().map_err(|_| CodecError::UnexpectedEnd)?;
+        Ok(u16::from_le_bytes(arr))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let bytes = self.take(4)?;
+        let arr: [u8; 4] = bytes.try_into().map_err(|_| CodecError::UnexpectedEnd)?;
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    /// Read a LEB128 varint `u64`, rejecting encodings whose bits overflow
+    /// the width.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            let group = u64::from(byte & 0x7F);
+            if shift >= 64 || (shift > 57 && (group >> (64 - shift)) != 0) {
+                return Err(CodecError::Invalid("varint"));
+            }
+            value |= group << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read a LEB128 varint `u128`, rejecting encodings whose bits overflow
+    /// the width.
+    pub fn u128(&mut self) -> Result<u128, CodecError> {
+        let mut value = 0u128;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            let group = u128::from(byte & 0x7F);
+            if shift >= 128 || (shift > 121 && (group >> (128 - shift)) != 0) {
+                return Err(CodecError::Invalid("varint"));
+            }
+            value |= group << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read a boolean (strictly 0 or 1).
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid("boolean")),
+        }
+    }
+
+    /// Read an `f64` from its fixed 8-byte IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        let bytes = self.take(8)?;
+        let arr: [u8; 8] = bytes.try_into().map_err(|_| CodecError::UnexpectedEnd)?;
+        Ok(f64::from_bits(u64::from_le_bytes(arr)))
+    }
+
+    /// Read a collection length, rejecting anything longer than the bytes
+    /// that remain (cheap corruption guard before any allocation).
+    // `len` here is a decode operation (it consumes a varint), not a size
+    // accessor, so clippy's is_empty pairing doesn't apply.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&mut self) -> Result<usize, CodecError> {
+        let raw = self.u64()?;
+        let len = usize::try_from(raw).map_err(|_| CodecError::Invalid("length"))?;
+        if len > self.remaining() {
+            return Err(CodecError::Invalid("length"));
+        }
+        Ok(len)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let len = self.len()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Invalid("utf-8 string"))
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) lookup tables for
+/// slicing-by-8, built at compile time. `CRC_TABLES[0]` is the classic
+/// byte-at-a-time table; tables 1..8 advance a byte's contribution by one
+/// extra position, letting the hot loop fold eight bytes per step with
+/// independent lookups instead of a serial per-byte dependency chain.
+const CRC_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+};
+
+/// CRC-32 checksum of `bytes` (IEEE, as used by gzip/zip — the journal's
+/// per-frame integrity check).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_finish(crc32_update(crc32_init(), bytes))
+}
+
+/// Initial state for a streaming CRC-32 (feed chunks through
+/// [`crc32_update`], then [`crc32_finish`]). Streaming lets the writer
+/// checksum the frame envelope and payload without concatenating them.
+pub const fn crc32_init() -> u32 {
+    !0u32
+}
+
+/// Fold `bytes` into a streaming CRC-32 state (slicing-by-8: eight bytes per
+/// step in the bulk, byte-at-a-time for the tail).
+pub fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        // chunks_exact guarantees 8 bytes; to_le_bytes keeps this
+        // endian-independent.
+        let mut eight = [0u8; 8];
+        eight.copy_from_slice(chunk);
+        let lo = u32::from_le_bytes([eight[0], eight[1], eight[2], eight[3]]) ^ state;
+        state = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][eight[4] as usize]
+            ^ CRC_TABLES[2][eight[5] as usize]
+            ^ CRC_TABLES[1][eight[6] as usize]
+            ^ CRC_TABLES[0][eight[7] as usize];
+    }
+    for &byte in chunks.remainder() {
+        let idx = ((state ^ u32::from(byte)) & 0xFF) as usize;
+        state = (state >> 8) ^ CRC_TABLES[0][idx];
+    }
+    state
+}
+
+/// Finalize a streaming CRC-32 state into the checksum.
+pub const fn crc32_finish(state: u32) -> u32 {
+    !state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_crc32_matches_one_shot() {
+        let bytes = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..bytes.len() {
+            let state = crc32_update(crc32_init(), &bytes[..split]);
+            let state = crc32_update(state, &bytes[split..]);
+            assert_eq!(crc32_finish(state), crc32(bytes), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(0xAB);
+        enc.put_u16(0xBEEF);
+        enc.put_u32(0xDEAD_BEEF);
+        enc.put_u64(u64::MAX - 7);
+        enc.put_u128(u128::MAX / 3);
+        enc.put_bool(true);
+        enc.put_bool(false);
+        enc.put_f64(-0.125);
+        enc.put_f64(f64::NAN);
+        enc.put_str("journal");
+        let bytes = enc.into_bytes();
+
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.u8().unwrap(), 0xAB);
+        assert_eq!(dec.u16().unwrap(), 0xBEEF);
+        assert_eq!(dec.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(dec.u64().unwrap(), u64::MAX - 7);
+        assert_eq!(dec.u128().unwrap(), u128::MAX / 3);
+        assert!(dec.bool().unwrap());
+        assert!(!dec.bool().unwrap());
+        assert_eq!(dec.f64().unwrap(), -0.125);
+        assert!(dec.f64().unwrap().is_nan());
+        assert_eq!(dec.str().unwrap(), "journal");
+        assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn decoder_never_reads_past_end() {
+        let mut dec = Decoder::new(&[1, 2, 3]);
+        assert_eq!(dec.u32(), Err(CodecError::UnexpectedEnd));
+        // A failed read consumes nothing.
+        assert_eq!(dec.remaining(), 3);
+        assert_eq!(dec.u16().unwrap(), 0x0201);
+        assert_eq!(dec.u8().unwrap(), 3);
+        assert_eq!(dec.u8(), Err(CodecError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn length_longer_than_payload_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_len(1_000_000);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.len(), Err(CodecError::Invalid("length")));
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        let mut dec = Decoder::new(&[7]);
+        assert_eq!(dec.bool(), Err(CodecError::Invalid("boolean")));
+    }
+
+    #[test]
+    fn varint_boundaries_round_trip() {
+        for v in [
+            0u64,
+            1,
+            0x7F,
+            0x80,
+            0x3FFF,
+            0x4000,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut enc = Encoder::new();
+            enc.put_u64(v);
+            let bytes = enc.into_bytes();
+            let mut dec = Decoder::new(&bytes);
+            assert_eq!(dec.u64().unwrap(), v);
+            assert!(dec.is_exhausted());
+        }
+        for v in [
+            0u128,
+            0x7F,
+            0x80,
+            u128::from(u64::MAX),
+            u128::MAX - 1,
+            u128::MAX,
+        ] {
+            let mut enc = Encoder::new();
+            enc.put_u128(v);
+            let bytes = enc.into_bytes();
+            let mut dec = Decoder::new(&bytes);
+            assert_eq!(dec.u128().unwrap(), v);
+            assert!(dec.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn varint_small_values_are_one_byte() {
+        let mut enc = Encoder::new();
+        enc.put_u64(42);
+        enc.put_u128(99);
+        assert_eq!(enc.into_bytes().len(), 2);
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // Eleven continuation groups overflow a u64's 64 bits.
+        let mut dec = Decoder::new(&[0x80; 11]);
+        assert_eq!(dec.u64(), Err(CodecError::Invalid("varint")));
+        // Ten groups whose top group carries bits beyond bit 63 overflow too.
+        let mut dec = Decoder::new(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02]);
+        assert_eq!(dec.u64(), Err(CodecError::Invalid("varint")));
+        // Twenty continuation groups overflow a u128.
+        let mut dec = Decoder::new(&[0x80; 20]);
+        assert_eq!(dec.u128(), Err(CodecError::Invalid("varint")));
+        // An unterminated varint is an unexpected end.
+        let mut dec = Decoder::new(&[0x80, 0x80]);
+        assert_eq!(dec.u64(), Err(CodecError::UnexpectedEnd));
+    }
+}

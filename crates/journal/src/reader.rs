@@ -1,0 +1,280 @@
+//! The replay side: [`JournalReader`] validates a journal file and re-drives
+//! any [`SimObserver`] with the recorded observation stream.
+//!
+//! Opening is strict — magic, version, per-frame CRC, exact payload decode
+//! and the structural rules (header first, end state last, authenticated
+//! trailer) are all checked up front, so [`JournalReader::replay`] works from
+//! a known-good frame list and cannot fail on malformed input. Every failure
+//! is a typed [`JournalError`] carrying the path and byte offset; nothing in
+//! this module panics on untrusted file contents.
+//!
+//! Replay limitation: `on_tick_end` contexts (live engine internals) are not
+//! journaled, so observers whose `wants_tick_end` returns true — e.g. the
+//! invariant checker — cannot be driven from a journal. The analytics
+//! `StudyCollector` pipeline never uses tick-end hooks, which is what makes
+//! offline byte-identical artefact rendering possible.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use defi_chain::{Blockchain, ChainConfig, EventLog};
+use defi_oracle::{OracleConfig, PriceOracle};
+use defi_sim::{LiquidationObservation, RunEnd, RunStart, SimObserver, TickStart};
+
+use crate::codec::crc32;
+use crate::error::JournalError;
+use crate::frames::{decode_frame, Frame, HeaderFrame, MAGIC, VERSION};
+
+/// A validated, fully decoded journal, ready to replay any number of times.
+#[derive(Debug)]
+pub struct JournalReader {
+    path: PathBuf,
+    header: HeaderFrame,
+    /// Body frames after the header, in capture order; the `End` frame is
+    /// guaranteed (by `open`) to be last.
+    frames: Vec<Frame>,
+}
+
+impl JournalReader {
+    /// Read and validate the journal at `path`: magic, version, every
+    /// frame's CRC and decode, and the structural frame-order rules.
+    pub fn open(path: &Path) -> Result<JournalReader, JournalError> {
+        let bytes = fs::read(path).map_err(|source| JournalError::Io {
+            path: path.to_path_buf(),
+            context: "read journal",
+            source,
+        })?;
+        let magic = bytes.get(..4).ok_or_else(|| JournalError::Truncated {
+            path: path.to_path_buf(),
+            offset: bytes.len() as u64,
+        })?;
+        if magic != MAGIC {
+            return Err(JournalError::BadMagic {
+                path: path.to_path_buf(),
+            });
+        }
+        let version_bytes = bytes.get(4..6).ok_or_else(|| JournalError::Truncated {
+            path: path.to_path_buf(),
+            offset: bytes.len() as u64,
+        })?;
+        let version = u16::from_le_bytes([
+            version_bytes.first().copied().unwrap_or(0),
+            version_bytes.get(1).copied().unwrap_or(0),
+        ]);
+        if version > VERSION {
+            return Err(JournalError::UnsupportedVersion {
+                path: path.to_path_buf(),
+                found: version,
+                supported: VERSION,
+            });
+        }
+
+        let mut offset = 6usize;
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut header: Option<HeaderFrame> = None;
+        let mut saw_eof = false;
+        while offset < bytes.len() {
+            let truncated = || JournalError::Truncated {
+                path: path.to_path_buf(),
+                offset: offset as u64,
+            };
+            if saw_eof {
+                return Err(JournalError::Corrupt {
+                    path: path.to_path_buf(),
+                    offset: offset as u64,
+                    detail: "data after end-of-journal trailer".to_string(),
+                });
+            }
+            // tag u8 · len u32 · payload · crc u32
+            let envelope = bytes.get(offset..offset + 5).ok_or_else(truncated)?;
+            let tag = envelope.first().copied().ok_or_else(truncated)?;
+            let len_bytes: [u8; 4] = envelope
+                .get(1..5)
+                .and_then(|s| s.try_into().ok())
+                .ok_or_else(truncated)?;
+            let payload_len = u32::from_le_bytes(len_bytes) as usize;
+            let payload_start = offset + 5;
+            let payload_end = payload_start
+                .checked_add(payload_len)
+                .ok_or_else(truncated)?;
+            let payload = bytes
+                .get(payload_start..payload_end)
+                .ok_or_else(truncated)?;
+            let crc_bytes: [u8; 4] = bytes
+                .get(payload_end..payload_end + 4)
+                .and_then(|s| s.try_into().ok())
+                .ok_or_else(truncated)?;
+            let stored_crc = u32::from_le_bytes(crc_bytes);
+            let framed = bytes.get(offset..payload_end).ok_or_else(truncated)?;
+            if crc32(framed) != stored_crc {
+                return Err(JournalError::Corrupt {
+                    path: path.to_path_buf(),
+                    offset: offset as u64,
+                    detail: "CRC mismatch".to_string(),
+                });
+            }
+            let frame = decode_frame(tag, payload).map_err(|err| JournalError::Corrupt {
+                path: path.to_path_buf(),
+                offset: offset as u64,
+                detail: err.to_string(),
+            })?;
+            match frame {
+                Frame::Header(h) => {
+                    if header.is_some() || !frames.is_empty() {
+                        return Err(JournalError::Corrupt {
+                            path: path.to_path_buf(),
+                            offset: offset as u64,
+                            detail: "duplicate header frame".to_string(),
+                        });
+                    }
+                    header = Some(*h);
+                }
+                Frame::Eof { frame_count } => {
+                    // The trailer authenticates the body frame count
+                    // (header + the frames collected after it).
+                    let body = frames.len() as u64 + u64::from(header.is_some());
+                    if frame_count != body {
+                        return Err(JournalError::Corrupt {
+                            path: path.to_path_buf(),
+                            offset: offset as u64,
+                            detail: format!("trailer counts {frame_count} frames, file has {body}"),
+                        });
+                    }
+                    saw_eof = true;
+                }
+                other => {
+                    if header.is_none() {
+                        return Err(JournalError::Corrupt {
+                            path: path.to_path_buf(),
+                            offset: offset as u64,
+                            detail: "first frame is not the header".to_string(),
+                        });
+                    }
+                    frames.push(other);
+                }
+            }
+            offset = payload_end + 4;
+        }
+        if !saw_eof {
+            return Err(JournalError::Truncated {
+                path: path.to_path_buf(),
+                offset: offset as u64,
+            });
+        }
+        let header = header.ok_or_else(|| JournalError::Corrupt {
+            path: path.to_path_buf(),
+            offset: 6,
+            detail: "journal has no header frame".to_string(),
+        })?;
+        if !matches!(frames.last(), Some(Frame::End(_))) {
+            return Err(JournalError::Corrupt {
+                path: path.to_path_buf(),
+                offset: offset as u64,
+                detail: "journal has no end-state frame".to_string(),
+            });
+        }
+        Ok(JournalReader {
+            path: path.to_path_buf(),
+            header,
+            frames,
+        })
+    }
+
+    /// The recorded run context.
+    pub fn header(&self) -> &HeaderFrame {
+        &self.header
+    }
+
+    /// Body frames after the header (ticks, events, metadata, volumes, end).
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Re-drive `observer` with the recorded observation stream, ending with
+    /// a reconstructed [`RunEnd`] built from the journaled end state.
+    ///
+    /// Observers that request `on_tick_end` are rejected: tick-end contexts
+    /// reference live engine state that is not journaled.
+    pub fn replay(&self, observer: &mut dyn SimObserver) -> Result<(), JournalError> {
+        if observer.wants_tick_end() {
+            return Err(JournalError::Corrupt {
+                path: self.path.clone(),
+                offset: 0,
+                detail: "observer requires on_tick_end, which journals do not record".to_string(),
+            });
+        }
+        observer.on_run_start(&RunStart {
+            config: &self.header.config,
+            time_map: self.header.time_map,
+            market_spreads: self.header.market_spreads.clone(),
+        });
+
+        let mut frames = self.frames.iter().peekable();
+        while let Some(frame) = frames.next() {
+            match frame {
+                Frame::Tick(tick) => observer.on_tick_start(&TickStart {
+                    block: tick.block,
+                    tick_index: tick.tick_index,
+                }),
+                Frame::Event(logged) => {
+                    observer.on_event(logged);
+                    if let Some(Frame::LiquidationMeta(meta)) = frames.peek() {
+                        frames.next();
+                        observer.on_liquidation(&LiquidationObservation {
+                            logged,
+                            eth_price: meta.eth_price,
+                            health_factor_before: meta.health_factor_before,
+                        });
+                    }
+                }
+                Frame::LiquidationMeta(_) => {
+                    // `open` validated frame integrity, not adjacency; a
+                    // meta frame that doesn't follow its event is corrupt.
+                    return Err(JournalError::Corrupt {
+                        path: self.path.clone(),
+                        offset: 0,
+                        detail: "liquidation metadata without a preceding event".to_string(),
+                    });
+                }
+                Frame::Volume(sample) => observer.on_volume_sample(sample),
+                Frame::End(end) => {
+                    // Rebuild the chain and oracle the way `on_run_end`
+                    // consumers read them: headers, the event log, and the
+                    // full price history.
+                    let mut events = EventLog::new();
+                    for body in &self.frames {
+                        if let Frame::Event(logged) = body {
+                            events.push(logged.clone());
+                        }
+                    }
+                    let chain = Blockchain::from_archive(
+                        ChainConfig {
+                            start_block: self.header.config.start_block,
+                            time_map: self.header.time_map,
+                            ..ChainConfig::default()
+                        },
+                        end.headers.clone(),
+                        events,
+                    );
+                    let mut oracle = PriceOracle::new(OracleConfig::every_update());
+                    for (token, points) in &end.oracle_history {
+                        for point in points {
+                            oracle.set_price(point.block, *token, point.price);
+                        }
+                    }
+                    observer.on_run_end(&RunEnd {
+                        config: &self.header.config,
+                        snapshot_block: end.snapshot_block,
+                        final_positions: &end.final_positions,
+                        chain: &chain,
+                        market_oracle: &oracle,
+                    });
+                }
+                Frame::Header(_) | Frame::Eof { .. } => {
+                    // `open` never stores these in the body list.
+                }
+            }
+        }
+        Ok(())
+    }
+}

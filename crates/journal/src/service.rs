@@ -1,0 +1,249 @@
+//! The concurrent read frontend: a [`RiskService`] ticks a simulation
+//! [`Session`] on its write side and publishes immutable, epoch-stamped
+//! [`ServiceSnapshot`]s that any number of reader threads query through a
+//! cloned [`SnapshotHandle`].
+//!
+//! Publication is copy-on-write: each tick exports one [`BookSnapshot`] per
+//! platform (already priced, banded and index-carrying), freezes them into an
+//! `Arc<ServiceSnapshot>`, and swaps the shared slot under a write lock held
+//! only for the pointer swap. Readers take the read lock just long enough to
+//! clone the `Arc`, then run every query — point lookups, band listings,
+//! [`breach_under`](ServiceSnapshot::breach_under) stress scans — against
+//! their private frozen copy with no further synchronisation. Reads never
+//! block the simulation loop and never observe a half-updated book.
+//!
+//! Consistency contract: a published snapshot is a *transactionally
+//! consistent* view of one tick boundary — all platforms at the same block,
+//! totals equal to the fold of the entries, epochs strictly increasing.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use defi_lending::{BookSnapshot, BookTotals, BreachReport, SnapshotBand};
+use defi_sim::{Session, SessionStatus, SimConfig, SimError, SimObserver, SimulationEngine};
+use defi_types::{Address, BlockNumber, Platform, Token};
+
+/// One immutable, epoch-stamped view of every platform's position book.
+#[derive(Debug)]
+pub struct ServiceSnapshot {
+    epoch: u64,
+    block: BlockNumber,
+    books: BTreeMap<Platform, BookSnapshot>,
+}
+
+impl ServiceSnapshot {
+    /// Publication sequence number (strictly increasing; 0 is the empty
+    /// pre-first-tick snapshot).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Chain block the snapshot was taken at.
+    pub fn block(&self) -> BlockNumber {
+        self.block
+    }
+
+    /// The frozen book of one platform.
+    pub fn book(&self, platform: Platform) -> Option<&BookSnapshot> {
+        self.books.get(&platform)
+    }
+
+    /// Iterate every platform's frozen book.
+    pub fn books(&self) -> impl Iterator<Item = (&Platform, &BookSnapshot)> {
+        self.books.iter()
+    }
+
+    /// Total open positions across all platforms.
+    pub fn open_positions(&self) -> usize {
+        self.books.values().map(BookSnapshot::len).sum()
+    }
+
+    /// Aggregate totals across all platforms (saturating fold of the
+    /// per-book totals).
+    pub fn totals(&self) -> BookTotals {
+        let mut totals = BookTotals::default();
+        for book in self.books.values() {
+            let t = book.totals();
+            totals.collateral_usd = totals.collateral_usd.saturating_add(t.collateral_usd);
+            totals.debt_usd = totals.debt_usd.saturating_add(t.debt_usd);
+            totals.dai_eth_collateral_usd = totals
+                .dai_eth_collateral_usd
+                .saturating_add(t.dai_eth_collateral_usd);
+            totals.open_positions = totals.open_positions.saturating_add(t.open_positions);
+        }
+        totals
+    }
+
+    /// Point lookup: the first platform holding a position for `account`,
+    /// in platform order.
+    pub fn position(&self, account: Address) -> Option<(Platform, &defi_core::position::Position)> {
+        self.books
+            .iter()
+            .find_map(|(platform, book)| book.position(account).map(|p| (*platform, p)))
+    }
+
+    /// Accounts in `band` across all platforms, as `(platform, address)` in
+    /// platform-then-address order.
+    pub fn band(&self, band: SnapshotBand) -> Vec<(Platform, Address)> {
+        let mut out = Vec::new();
+        for (platform, book) in &self.books {
+            for address in book.band(band) {
+                out.push((*platform, address));
+            }
+        }
+        out
+    }
+
+    /// Accounts below HF 1 across all platforms.
+    pub fn liquidatable(&self) -> Vec<(Platform, Address)> {
+        self.band(SnapshotBand::Liquidatable)
+    }
+
+    /// Accounts in any at-risk band across all platforms.
+    pub fn at_risk(&self) -> Vec<(Platform, Address)> {
+        let mut out = Vec::new();
+        for (platform, book) in &self.books {
+            book.for_each_at_risk(&mut |address, _| out.push((*platform, *address)));
+        }
+        out
+    }
+
+    /// What-if stress query per platform: which accounts breach HF 1 if
+    /// `token` moves by `shock_bps` basis points (−800 = −8 %). Served off
+    /// each book's critical-price and envelope indexes; see
+    /// [`BookSnapshot::breach_under`].
+    pub fn breach_under(&self, token: Token, shock_bps: i32) -> Vec<(Platform, BreachReport)> {
+        self.books
+            .iter()
+            .map(|(platform, book)| (*platform, book.breach_under(token, shock_bps)))
+            .collect()
+    }
+}
+
+/// Cloneable, thread-safe handle onto the service's latest snapshot.
+#[derive(Debug, Clone)]
+pub struct SnapshotHandle {
+    slot: Arc<RwLock<Arc<ServiceSnapshot>>>,
+}
+
+impl SnapshotHandle {
+    fn new(initial: ServiceSnapshot) -> SnapshotHandle {
+        SnapshotHandle {
+            slot: Arc::new(RwLock::new(Arc::new(initial))),
+        }
+    }
+
+    /// The latest published snapshot. Lock-free after the `Arc` clone; a
+    /// poisoned lock (a reader panicked mid-clone) still yields the pointer,
+    /// since the snapshot itself is immutable.
+    pub fn load(&self) -> Arc<ServiceSnapshot> {
+        match self.slot.read() {
+            Ok(guard) => Arc::clone(&guard),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
+    fn publish(&self, snapshot: ServiceSnapshot) {
+        let next = Arc::new(snapshot);
+        match self.slot.write() {
+            Ok(mut guard) => *guard = next,
+            Err(poisoned) => *poisoned.into_inner() = next,
+        }
+    }
+}
+
+/// The write side: owns the simulation [`Session`], ticks it, and publishes
+/// one frozen [`ServiceSnapshot`] per tick.
+///
+/// `RiskService` is `Send` but not `Sync` by design — one writer thread ticks
+/// it while reader threads consume cloned [`SnapshotHandle`]s.
+pub struct RiskService {
+    session: Session,
+    handle: SnapshotHandle,
+    epoch: u64,
+}
+
+impl RiskService {
+    /// Build the engine for `config`, start a session, and publish the
+    /// epoch-0 (empty) snapshot.
+    pub fn new(config: SimConfig) -> RiskService {
+        let session = SimulationEngine::new(config).session();
+        let block = session.current_block();
+        let handle = SnapshotHandle::new(ServiceSnapshot {
+            epoch: 0,
+            block,
+            books: BTreeMap::new(),
+        });
+        RiskService {
+            session,
+            handle,
+            epoch: 0,
+        }
+    }
+
+    /// A new handle for a reader thread.
+    pub fn handle(&self) -> SnapshotHandle {
+        self.handle.clone()
+    }
+
+    /// Epoch of the most recently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the underlying session has run every tick.
+    pub fn is_complete(&self) -> bool {
+        self.session.is_complete()
+    }
+
+    /// Fraction of ticks completed.
+    pub fn progress(&self) -> f64 {
+        self.session.progress()
+    }
+
+    /// Run one simulation tick through `observer`, then publish a fresh
+    /// snapshot of every platform's book.
+    pub fn tick(&mut self, observer: &mut dyn SimObserver) -> Result<SessionStatus, SimError> {
+        let status = self.session.step(observer)?;
+        self.publish_snapshot();
+        Ok(status)
+    }
+
+    /// Finish the session (final snapshot, `on_run_end`) and return the
+    /// report, consuming the service. Readers keep their last snapshot.
+    pub fn finish(
+        self,
+        observer: &mut dyn SimObserver,
+    ) -> Result<defi_sim::SimulationReport, SimError> {
+        self.session.finish(observer)
+    }
+
+    fn publish_snapshot(&mut self) {
+        self.epoch = self.epoch.saturating_add(1);
+        let block = self.session.current_block();
+        let mut books = BTreeMap::new();
+        for platform in self.session.platforms() {
+            if let Some(book) = self
+                .session
+                .inspect_protocol(platform, |protocol, oracle| protocol.book_snapshot(oracle))
+            {
+                books.insert(platform, book);
+            }
+        }
+        self.handle.publish(ServiceSnapshot {
+            epoch: self.epoch,
+            block,
+            books,
+        });
+    }
+}
+
+impl std::fmt::Debug for RiskService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RiskService")
+            .field("epoch", &self.epoch)
+            .field("block", &self.session.current_block())
+            .field("complete", &self.session.is_complete())
+            .finish()
+    }
+}

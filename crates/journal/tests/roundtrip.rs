@@ -1,0 +1,406 @@
+//! Journal codec round-trip property test: random observation streams
+//! encode → decode → re-encode byte-identically, and a reader-validated file
+//! reproduces the exact frame sequence that was written.
+
+use std::collections::BTreeMap;
+
+use defi_chain::{AuctionPhase, BlockHeader, ChainEvent, LiquidationEvent, LoggedEvent};
+use defi_core::position::{CollateralHolding, DebtHolding, Position};
+use defi_journal::frames::{
+    decode_frame, encode_frame, EndFrame, Frame, HeaderFrame, LiquidationMetaFrame, TickFrame,
+};
+use defi_journal::{JournalReader, JournalWriter};
+use defi_oracle::PricePoint;
+use defi_sim::{LiquidationObservation, RunStart, SimConfig, SimObserver, TickStart, VolumeSample};
+use defi_types::{Address, Platform, TimeMap, Token, TxHash, Wad};
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+fn arb_token(rng: &mut StdRng) -> Token {
+    Token::ALL[rng.gen_range(0..Token::ALL.len())]
+}
+
+fn arb_platform(rng: &mut StdRng) -> Platform {
+    Platform::ALL[rng.gen_range(0..Platform::ALL.len())]
+}
+
+fn arb_wad(rng: &mut StdRng) -> Wad {
+    // Mix tiny, mid-range and extreme magnitudes.
+    match rng.gen_range(0..4u32) {
+        0 => Wad::ZERO,
+        1 => Wad::from_raw(rng.next_u64().into()),
+        2 => Wad::from_raw(u128::from(rng.next_u64()) << 64 | u128::from(rng.next_u64())),
+        _ => Wad::MAX,
+    }
+}
+
+fn arb_address(rng: &mut StdRng) -> Address {
+    Address::from_seed(rng.next_u64())
+}
+
+fn arb_phase(rng: &mut StdRng) -> AuctionPhase {
+    if rng.gen_bool(0.5) {
+        AuctionPhase::Tend
+    } else {
+        AuctionPhase::Dent
+    }
+}
+
+fn arb_event(rng: &mut StdRng) -> ChainEvent {
+    match rng.gen_range(0..9u32) {
+        0 => ChainEvent::Liquidation(LiquidationEvent {
+            platform: arb_platform(rng),
+            liquidator: arb_address(rng),
+            borrower: arb_address(rng),
+            debt_token: arb_token(rng),
+            debt_repaid: arb_wad(rng),
+            debt_repaid_usd: arb_wad(rng),
+            collateral_token: arb_token(rng),
+            collateral_seized: arb_wad(rng),
+            collateral_seized_usd: arb_wad(rng),
+            used_flash_loan: rng.gen_bool(0.3),
+        }),
+        1 => ChainEvent::AuctionStarted {
+            auction_id: rng.next_u64(),
+            borrower: arb_address(rng),
+            collateral_token: arb_token(rng),
+            collateral_amount: arb_wad(rng),
+            debt: arb_wad(rng),
+        },
+        2 => ChainEvent::AuctionBid {
+            auction_id: rng.next_u64(),
+            bidder: arb_address(rng),
+            phase: arb_phase(rng),
+            debt_bid: arb_wad(rng),
+            collateral_bid: arb_wad(rng),
+        },
+        3 => ChainEvent::AuctionFinalized {
+            auction_id: rng.next_u64(),
+            winner: arb_address(rng),
+            debt_repaid: arb_wad(rng),
+            debt_repaid_usd: arb_wad(rng),
+            collateral_token: arb_token(rng),
+            collateral_received: arb_wad(rng),
+            collateral_received_usd: arb_wad(rng),
+            borrower: arb_address(rng),
+            started_at: rng.next_u64(),
+            last_bid_at: rng.next_u64(),
+            tend_bids: rng.next_u64() as u32,
+            dent_bids: rng.next_u64() as u32,
+            final_phase: arb_phase(rng),
+        },
+        4 => ChainEvent::FlashLoan {
+            pool: arb_platform(rng),
+            borrower: arb_address(rng),
+            token: arb_token(rng),
+            amount: arb_wad(rng),
+            amount_usd: arb_wad(rng),
+            fee: arb_wad(rng),
+        },
+        5 => ChainEvent::OracleUpdate {
+            token: arb_token(rng),
+            price: arb_wad(rng),
+        },
+        6 => ChainEvent::Borrow {
+            platform: arb_platform(rng),
+            borrower: arb_address(rng),
+            token: arb_token(rng),
+            amount: arb_wad(rng),
+        },
+        7 => ChainEvent::Deposit {
+            platform: arb_platform(rng),
+            account: arb_address(rng),
+            token: arb_token(rng),
+            amount: arb_wad(rng),
+        },
+        _ => ChainEvent::Repay {
+            platform: arb_platform(rng),
+            borrower: arb_address(rng),
+            token: arb_token(rng),
+            amount: arb_wad(rng),
+        },
+    }
+}
+
+fn arb_logged(rng: &mut StdRng) -> LoggedEvent {
+    LoggedEvent {
+        block: rng.next_u64(),
+        tx_index: rng.next_u64() as u32,
+        tx_hash: TxHash::derive(rng.next_u64(), rng.next_u64(), rng.next_u64()),
+        sender: arb_address(rng),
+        gas_price: rng.next_u64(),
+        gas_used: rng.next_u64(),
+        event: arb_event(rng),
+    }
+}
+
+fn arb_position(rng: &mut StdRng) -> Position {
+    let mut position = Position::new(arb_address(rng));
+    if rng.gen_bool(0.7) {
+        position.platform = Some(arb_platform(rng));
+    }
+    for _ in 0..rng.gen_range(0..4usize) {
+        position.collateral.push(CollateralHolding {
+            token: arb_token(rng),
+            amount: arb_wad(rng),
+            value_usd: arb_wad(rng),
+            liquidation_threshold: arb_wad(rng),
+            liquidation_spread: arb_wad(rng),
+        });
+    }
+    for _ in 0..rng.gen_range(0..3usize) {
+        position.debt.push(DebtHolding {
+            token: arb_token(rng),
+            amount: arb_wad(rng),
+            value_usd: arb_wad(rng),
+        });
+    }
+    position
+}
+
+fn arb_header_frame(rng: &mut StdRng) -> HeaderFrame {
+    let mut config = SimConfig::smoke_test(rng.next_u64());
+    if rng.gen_bool(0.5) {
+        config.scenario = Some(format!("scenario-{}", rng.next_u64() % 100));
+    }
+    let mut market_spreads = BTreeMap::new();
+    for _ in 0..rng.gen_range(0..8usize) {
+        market_spreads.insert((arb_platform(rng), arb_token(rng)), arb_wad(rng));
+    }
+    HeaderFrame {
+        config,
+        time_map: TimeMap {
+            genesis_block: rng.next_u64(),
+            genesis_timestamp: rng.next_u64(),
+            seconds_per_block: rng.gen_range(1.0..30.0f64),
+        },
+        market_spreads,
+    }
+}
+
+fn arb_end_frame(rng: &mut StdRng) -> EndFrame {
+    let mut final_positions = BTreeMap::new();
+    for _ in 0..rng.gen_range(0..3usize) {
+        let platform = arb_platform(rng);
+        let positions = (0..rng.gen_range(0..5usize))
+            .map(|_| arb_position(rng))
+            .collect();
+        final_positions.insert(platform, positions);
+    }
+    let headers = (0..rng.gen_range(0..6usize))
+        .map(|_| BlockHeader {
+            number: rng.next_u64(),
+            timestamp: rng.next_u64(),
+            gas_used: rng.next_u64(),
+            gas_limit: rng.next_u64(),
+            median_gas_price: rng.next_u64(),
+            tx_count: rng.next_u64() as u32,
+            mempool_backlog: rng.next_u64() as u32,
+        })
+        .collect();
+    let oracle_history = (0..rng.gen_range(0..4usize))
+        .map(|_| {
+            let token = arb_token(rng);
+            let points = (0..rng.gen_range(0..5usize))
+                .map(|_| PricePoint {
+                    block: rng.next_u64(),
+                    price: arb_wad(rng),
+                })
+                .collect();
+            (token, points)
+        })
+        .collect();
+    EndFrame {
+        snapshot_block: rng.next_u64(),
+        final_positions,
+        headers,
+        oracle_history,
+    }
+}
+
+fn arb_frame(rng: &mut StdRng) -> Frame {
+    match rng.gen_range(0..7u32) {
+        0 => Frame::Header(Box::new(arb_header_frame(rng))),
+        1 => Frame::Tick(TickFrame {
+            block: rng.next_u64(),
+            tick_index: rng.next_u64(),
+        }),
+        2 => Frame::Event(arb_logged(rng)),
+        3 => Frame::LiquidationMeta(LiquidationMetaFrame {
+            eth_price: arb_wad(rng),
+            health_factor_before: if rng.gen_bool(0.5) {
+                Some(arb_wad(rng))
+            } else {
+                None
+            },
+        }),
+        4 => Frame::Volume(VolumeSample {
+            block: rng.next_u64(),
+            platform: arb_platform(rng),
+            total_collateral_usd: arb_wad(rng),
+            dai_eth_collateral_usd: arb_wad(rng),
+            open_positions: rng.next_u64() as u32,
+        }),
+        5 => Frame::End(Box::new(arb_end_frame(rng))),
+        _ => Frame::Eof {
+            frame_count: rng.next_u64(),
+        },
+    }
+}
+
+/// Random frames of every kind survive encode → decode → re-encode with the
+/// exact same bytes (the codec has no lossy field and no nondeterminism).
+#[test]
+fn random_frames_round_trip_byte_identically() {
+    let mut rng = StdRng::seed_from_u64(0xD7_4A11);
+    for case in 0..500 {
+        let frame = arb_frame(&mut rng);
+        let (tag, payload) = encode_frame(&frame);
+        let decoded = decode_frame(tag, &payload)
+            .unwrap_or_else(|err| panic!("case {case}: decode failed: {err} ({frame:?})"));
+        let (tag2, payload2) = encode_frame(&decoded);
+        assert_eq!(tag, tag2, "case {case}: tag changed across round-trip");
+        assert_eq!(
+            payload, payload2,
+            "case {case}: payload changed across round-trip ({frame:?})"
+        );
+    }
+}
+
+/// A random observation stream pushed through a real `JournalWriter` file
+/// reads back (via the validating `JournalReader`) as the same sequence,
+/// re-encoding byte-for-byte.
+#[test]
+fn random_observation_streams_survive_the_file_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0xA5_2026);
+    for case in 0..20 {
+        let dir = std::env::temp_dir().join(format!("djrn-roundtrip-{case}"));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("stream.jrn");
+
+        let header = arb_header_frame(&mut rng);
+        let mut writer = JournalWriter::create(&path).expect("create journal");
+        writer.on_run_start(&RunStart {
+            config: &header.config,
+            time_map: header.time_map,
+            market_spreads: header.market_spreads.clone(),
+        });
+        let mut written: Vec<Frame> = Vec::new();
+        for _ in 0..rng.gen_range(0..120usize) {
+            match rng.gen_range(0..4u32) {
+                0 => {
+                    let tick = TickFrame {
+                        block: rng.next_u64(),
+                        tick_index: rng.next_u64(),
+                    };
+                    writer.on_tick_start(&TickStart {
+                        block: tick.block,
+                        tick_index: tick.tick_index,
+                    });
+                    written.push(Frame::Tick(tick));
+                }
+                1 => {
+                    let logged = arb_logged(&mut rng);
+                    writer.on_event(&logged);
+                    written.push(Frame::Event(logged));
+                }
+                2 => {
+                    // A liquidation observation always rides behind its
+                    // settlement event, as the engine fires them.
+                    let logged = arb_logged(&mut rng);
+                    let meta = LiquidationMetaFrame {
+                        eth_price: arb_wad(&mut rng),
+                        health_factor_before: if rng.gen_bool(0.5) {
+                            Some(arb_wad(&mut rng))
+                        } else {
+                            None
+                        },
+                    };
+                    writer.on_event(&logged);
+                    writer.on_liquidation(&LiquidationObservation {
+                        logged: &logged,
+                        eth_price: meta.eth_price,
+                        health_factor_before: meta.health_factor_before,
+                    });
+                    written.push(Frame::Event(logged));
+                    written.push(Frame::LiquidationMeta(meta));
+                }
+                _ => {
+                    let sample = VolumeSample {
+                        block: rng.next_u64(),
+                        platform: arb_platform(&mut rng),
+                        total_collateral_usd: arb_wad(&mut rng),
+                        dai_eth_collateral_usd: arb_wad(&mut rng),
+                        open_positions: rng.next_u64() as u32,
+                    };
+                    writer.on_volume_sample(&sample);
+                    written.push(Frame::Volume(sample));
+                }
+            }
+        }
+        let end = arb_end_frame(&mut rng);
+        // The writer derives the end frame from a live RunEnd; exercise the
+        // frame layer directly here and cover the observer path in the
+        // replay differential test.
+        written.push(Frame::End(Box::new(end)));
+
+        // Compare the written body against what the reader hands back.
+        let reader_frames: Vec<Frame> = {
+            // Finish with the end frame appended through the same framing the
+            // writer uses: emit is private, so round-trip the End frame via
+            // a second journal is not needed — drive on_run_end is impossible
+            // without a live chain, so append by re-framing manually.
+            drop(writer);
+            let mut bytes = std::fs::read(&path).expect("read partial journal");
+            let last = written.last().cloned().expect("stream has an end frame");
+            let (tag, payload) = encode_frame(&last);
+            let mut framed = Vec::with_capacity(payload.len() + 9);
+            framed.push(tag);
+            framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            framed.extend_from_slice(&payload);
+            let crc = defi_journal::crc32(&framed);
+            framed.extend_from_slice(&crc.to_le_bytes());
+            bytes.extend_from_slice(&framed);
+            // Trailer: header + body frames.
+            let (eof_tag, eof_payload) = encode_frame(&Frame::Eof {
+                frame_count: written.len() as u64 + 1,
+            });
+            let mut eof_framed = Vec::with_capacity(eof_payload.len() + 9);
+            eof_framed.push(eof_tag);
+            eof_framed.extend_from_slice(&(eof_payload.len() as u32).to_le_bytes());
+            eof_framed.extend_from_slice(&eof_payload);
+            let eof_crc = defi_journal::crc32(&eof_framed);
+            eof_framed.extend_from_slice(&eof_crc.to_le_bytes());
+            bytes.extend_from_slice(&eof_framed);
+            std::fs::write(&path, bytes).expect("write completed journal");
+
+            let reader = JournalReader::open(&path).expect("reopen journal");
+            // Header round-trips too.
+            let (tag_a, bytes_a) = encode_frame(&Frame::Header(Box::new(header.clone())));
+            let (tag_b, bytes_b) = encode_frame(&Frame::Header(Box::new(reader.header().clone())));
+            assert_eq!(
+                (tag_a, bytes_a),
+                (tag_b, bytes_b),
+                "case {case}: header drifted"
+            );
+            reader.frames().to_vec()
+        };
+
+        assert_eq!(
+            reader_frames.len(),
+            written.len(),
+            "case {case}: frame count drifted"
+        );
+        for (i, (a, b)) in written.iter().zip(reader_frames.iter()).enumerate() {
+            let (tag_a, bytes_a) = encode_frame(a);
+            let (tag_b, bytes_b) = encode_frame(b);
+            assert_eq!(
+                (tag_a, &bytes_a),
+                (tag_b, &bytes_b),
+                "case {case}: frame {i} drifted"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,169 @@
+//! Threaded reader/writer smoke test for the [`RiskService`]: while the
+//! write side ticks a real simulation session, reader threads continuously
+//! assert that every published snapshot is internally consistent —
+//! totals equal the fold of the entries, epochs only move forward, and the
+//! envelope-powered what-if query agrees with a from-scratch re-valuation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use defi_journal::RiskService;
+use defi_lending::BookTotals;
+use defi_sim::{NullObserver, SimConfig};
+use defi_types::{Token, Wad};
+
+/// Re-fold one book's totals from its entries (the from-scratch shadow of
+/// the running sums the snapshot freezes).
+fn refold(book: &defi_lending::BookSnapshot) -> BookTotals {
+    let mut totals = BookTotals::default();
+    for (_, entry) in book.entries() {
+        totals.collateral_usd = totals
+            .collateral_usd
+            .saturating_add(entry.position.total_collateral_value());
+        totals.debt_usd = totals
+            .debt_usd
+            .saturating_add(entry.position.total_debt_value());
+        if entry.position.has_debt_in(Token::DAI) {
+            let dai_eth = entry
+                .position
+                .collateral_value_in(Token::ETH)
+                .saturating_add(entry.position.collateral_value_in(Token::WETH));
+            totals.dai_eth_collateral_usd = totals.dai_eth_collateral_usd.saturating_add(dai_eth);
+        }
+        totals.open_positions += 1;
+    }
+    totals
+}
+
+#[test]
+fn concurrent_readers_always_see_consistent_snapshots() {
+    let mut service = RiskService::new(SimConfig::smoke_test(42));
+    let handle = service.handle();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..4)
+        .map(|reader_id| {
+            let handle = handle.clone();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut checked = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snapshot = handle.load();
+                    assert!(
+                        snapshot.epoch() >= last_epoch,
+                        "reader {reader_id}: epoch went backwards"
+                    );
+                    last_epoch = snapshot.epoch();
+
+                    for (platform, book) in snapshot.books() {
+                        // Internal consistency: the frozen running totals
+                        // must equal the fold of the frozen entries.
+                        let expected = refold(book);
+                        assert_eq!(
+                            book.totals(),
+                            expected,
+                            "reader {reader_id}: {platform:?} snapshot totals diverge \
+                             from its entries at epoch {}",
+                            snapshot.epoch()
+                        );
+
+                        // What-if queries must match a from-scratch
+                        // re-valuation at the quoted price.
+                        for (token, shock_bps) in [
+                            (Token::ETH, -800),
+                            (Token::ETH, -4300),
+                            (Token::WBTC, -2500),
+                        ] {
+                            let fast = book.breach_under(token, shock_bps);
+                            let reference = book.breach_under_reference(token, shock_bps);
+                            assert_eq!(
+                                fast.breached,
+                                reference,
+                                "reader {reader_id}: {platform:?} breach_under({token:?}, \
+                                 {shock_bps}bps) disagrees with the reference re-valuation \
+                                 at epoch {}",
+                                snapshot.epoch()
+                            );
+                        }
+                    }
+                    checked += 1;
+                }
+                checked
+            })
+        })
+        .collect();
+
+    // Write side: tick a couple hundred times on this thread while the
+    // readers hammer the published snapshots.
+    let mut observer = NullObserver;
+    let mut epochs = Vec::new();
+    for _ in 0..200 {
+        if service.is_complete() {
+            break;
+        }
+        service.tick(&mut observer).expect("tick");
+        epochs.push(service.epoch());
+    }
+    assert!(
+        epochs.windows(2).all(|w| w[0] < w[1]),
+        "published epochs must be strictly increasing"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    let mut total_checked = 0;
+    for reader in readers {
+        total_checked += reader.join().expect("reader thread");
+    }
+    assert!(total_checked > 0, "readers never observed a snapshot");
+
+    // The final snapshot carries real content: the smoke scenario opens
+    // positions within the first few ticks.
+    let last = handle.load();
+    assert!(last.epoch() > 0);
+    assert!(
+        last.open_positions() > 0,
+        "200 smoke ticks must open positions"
+    );
+
+    // Point lookups agree with the entry listing.
+    let mut looked_up = 0;
+    for (platform, book) in last.books() {
+        for (address, entry) in book.entries() {
+            let (found_platform, position) =
+                last.position(*address).expect("listed account resolves");
+            if found_platform == *platform {
+                assert_eq!(position.owner, entry.position.owner);
+                looked_up += 1;
+            }
+        }
+    }
+    assert!(looked_up > 0, "no point lookup exercised");
+
+    // Shock sanity: a −100% shock floors the price at zero and a 0bps shock
+    // reproduces the liquidatable listing.
+    for (_, book) in last.books() {
+        assert_eq!(book.shocked_price(Token::ETH, -10_000), Wad::ZERO);
+        let noop = book.breach_under(Token::ETH, 0);
+        assert_eq!(noop.breached, book.liquidatable(), "0bps shock != current");
+    }
+}
+
+#[test]
+fn service_runs_to_completion_and_finishes() {
+    let mut config = SimConfig::smoke_test(7);
+    // Shorten: completeness is about lifecycle, not scale.
+    config.end_block = config.start_block + 40 * config.tick_blocks;
+    let mut service = RiskService::new(config);
+    let handle = service.handle();
+    let mut observer = NullObserver;
+    while !service.is_complete() {
+        service.tick(&mut observer).expect("tick");
+    }
+    assert!((service.progress() - 1.0).abs() < 1e-9);
+    let report = service.finish(&mut observer).expect("finish");
+    assert!(!report.chain.events().is_empty());
+    // Readers keep the last published snapshot after the service is gone.
+    assert!(handle.load().epoch() > 0);
+}

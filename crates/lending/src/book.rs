@@ -74,6 +74,8 @@ use defi_core::position::Position;
 use defi_oracle::PriceOracle;
 use defi_types::{Address, Token, Wad};
 
+use crate::snapshot::{BookSnapshot, SnapshotBand, SnapshotEntry};
+
 /// Health factor below which the engine's borrower-management pass considers
 /// a position a rescue-repay candidate, and the default lower edge of the
 /// quiet band the band index certifies accounts into.
@@ -733,6 +735,66 @@ impl PositionBook {
             debt_usd: self.totals.book_debt_usd,
             dai_eth_collateral_usd: self.totals.book_dai_eth_usd,
             open_positions: self.totals.book_count,
+        }
+    }
+
+    /// The (rescue, releverage) HF thresholds the bands are classified by.
+    pub fn band_thresholds(&self) -> (Wad, Wad) {
+        self.bands
+    }
+
+    /// Freeze the observable book into an immutable, index-carrying
+    /// [`BookSnapshot`] for concurrent readers: every valuation brought
+    /// exact at current prices, plus each entry's sensitivity list,
+    /// critical price and certified envelope bounds so snapshot-side
+    /// what-if queries can ride the same fast paths the live book uses.
+    pub fn snapshot<S: BookSource>(&mut self, source: &S, oracle: &PriceOracle) -> BookSnapshot {
+        self.flush(source, oracle, true);
+        let (rescue, releverage) = self.bands;
+        let mut entries = BTreeMap::new();
+        for (account, entry) in &self.entries {
+            if !entry.in_book {
+                continue;
+            }
+            let health_factor = entry.position.health_factor();
+            entries.insert(
+                *account,
+                SnapshotEntry {
+                    position: entry.position.clone(),
+                    collateral_usd: entry.collateral_usd,
+                    debt_usd: entry.debt_usd,
+                    health_factor,
+                    // Classify from the fresh HF rather than copying the
+                    // cached band: critical-indexed entries keep a Quiet
+                    // cached band by design.
+                    band: SnapshotBand::classify(health_factor, rescue, releverage),
+                    sensitive: entry.tokens.clone(),
+                    critical: entry.critical,
+                    envelope_bounds: entry
+                        .envelope
+                        .as_ref()
+                        .map(|e| e.price_bounds.clone())
+                        .unwrap_or_default(),
+                },
+            );
+        }
+        let totals = BookTotals {
+            collateral_usd: self.totals.book_collateral_usd,
+            debt_usd: self.totals.book_debt_usd,
+            dai_eth_collateral_usd: self.totals.book_dai_eth_usd,
+            open_positions: self.totals.book_count,
+        };
+        let prices = oracle
+            .tokens()
+            .into_iter()
+            .map(|token| (token, oracle.price_or_zero(token)))
+            .collect();
+        BookSnapshot {
+            entries,
+            totals,
+            prices,
+            rescue,
+            releverage,
         }
     }
 

@@ -872,6 +872,14 @@ impl FixedSpreadProtocol {
         book.totals(&view, oracle)
     }
 
+    /// Freeze the observable book into an immutable, index-carrying
+    /// [`BookSnapshot`](crate::snapshot::BookSnapshot) for concurrent
+    /// readers.
+    pub fn book_snapshot(&mut self, oracle: &PriceOracle) -> crate::snapshot::BookSnapshot {
+        let (book, view) = self.split_book();
+        book.snapshot(&view, oracle)
+    }
+
     /// The cached snapshot of one account (exact after any cached query).
     pub fn cached_position(&self, account: Address) -> Option<&Position> {
         self.book.cached_position(account)

@@ -41,6 +41,7 @@ pub mod interest;
 pub mod maker;
 pub mod platforms;
 pub mod protocol;
+pub mod snapshot;
 
 pub use book::{
     BookSource, BookStats, BookTotals, HfEnvelope, PositionBook, RELEVERAGE_BAND_HF, RESCUE_BAND_HF,
@@ -58,3 +59,4 @@ pub use protocol::{
     AuctionSnapshot, BidSnapshot, LendingProtocol, LiquidationExecution, LiquidationRequest,
     MechanismKind, Opportunity,
 };
+pub use snapshot::{BookSnapshot, BreachPaths, BreachReport, SnapshotBand, SnapshotEntry};

@@ -315,6 +315,23 @@ pub trait LendingProtocol {
         });
     }
 
+    /// Freeze the observable book into an immutable
+    /// [`BookSnapshot`](crate::snapshot::BookSnapshot) for concurrent
+    /// readers. The default materialises it from
+    /// [`book_positions`](LendingProtocol::book_positions) (every entry then
+    /// rides the snapshot's exact what-if path); cache-backed implementations
+    /// override this to carry their critical-price and envelope indexes into
+    /// the snapshot.
+    fn book_snapshot(&mut self, oracle: &PriceOracle) -> crate::snapshot::BookSnapshot {
+        let (rescue, releverage) = crate::book::PositionBook::new().band_thresholds();
+        crate::snapshot::BookSnapshot::from_positions(
+            self.book_positions(oracle),
+            oracle,
+            rescue,
+            releverage,
+        )
+    }
+
     /// The observable book rebuilt from scratch, bypassing every cache —
     /// the cache-less shadow the differential harness
     /// (`tests/band_differential.rs`) compares the banded/cached surfaces
@@ -481,6 +498,10 @@ impl LendingProtocol for FixedSpreadProtocol {
         FixedSpreadProtocol::book_totals(self, oracle)
     }
 
+    fn book_snapshot(&mut self, oracle: &PriceOracle) -> crate::snapshot::BookSnapshot {
+        FixedSpreadProtocol::book_snapshot(self, oracle)
+    }
+
     fn liquidatable(&mut self, oracle: &PriceOracle) -> Vec<Opportunity> {
         let platform = self.config().platform;
         self.cached_liquidatable_accounts(oracle)
@@ -628,6 +649,10 @@ impl LendingProtocol for MakerProtocol {
 
     fn book_totals(&mut self, oracle: &PriceOracle) -> BookTotals {
         MakerProtocol::book_totals(self, oracle)
+    }
+
+    fn book_snapshot(&mut self, oracle: &PriceOracle) -> crate::snapshot::BookSnapshot {
+        MakerProtocol::book_snapshot(self, oracle)
     }
 
     fn liquidatable(&mut self, oracle: &PriceOracle) -> Vec<Opportunity> {
