@@ -199,6 +199,10 @@ fn is_hot_path(path: &str) -> bool {
         || path.starts_with("crates/chain/src/")
         || path == "crates/sim/src/engine.rs"
         || path == "crates/sim/src/session.rs"
+        // The sweep runner's scoped-thread fan-out is the pattern the sharded
+        // book's tick-internal workers follow; a panic there tears down every
+        // in-flight run.
+        || path == "crates/sim/src/sweep.rs"
         // The risk service's concurrent read/publish paths and the journal
         // reader (which parses untrusted file bytes) must not panic.
         || path == "crates/journal/src/service.rs"

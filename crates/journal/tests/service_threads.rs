@@ -151,6 +151,49 @@ fn concurrent_readers_always_see_consistent_snapshots() {
 }
 
 #[test]
+fn unchanged_shards_are_pointer_equal_across_consecutive_snapshots() {
+    let mut service = RiskService::new(SimConfig::smoke_test(42));
+    let handle = service.handle();
+    let mut observer = NullObserver;
+
+    // Tick the sim and, between consecutive published snapshots, count the
+    // book shards the publisher reused (same `Arc`) versus re-froze. The
+    // sharded snapshot cache must reuse every shard no tick work touched —
+    // early ticks in particular leave most of the 16 address-range shards
+    // empty, so reuse must show up immediately and repeatedly.
+    let mut previous = handle.load();
+    let mut reused = 0usize;
+    let mut rebuilt = 0usize;
+    for _ in 0..60 {
+        if service.is_complete() {
+            break;
+        }
+        service.tick(&mut observer).expect("tick");
+        let current = handle.load();
+        for ((platform, before), (after_platform, after)) in previous.books().zip(current.books()) {
+            assert_eq!(platform, after_platform, "platform order is fixed");
+            assert_eq!(before.shards().len(), after.shards().len());
+            for (old, new) in before.shards().iter().zip(after.shards().iter()) {
+                if Arc::ptr_eq(old, new) {
+                    reused += 1;
+                } else {
+                    rebuilt += 1;
+                }
+            }
+        }
+        previous = current;
+    }
+    assert!(
+        reused > 0,
+        "no shard Arc was ever reused across consecutive snapshots"
+    );
+    assert!(
+        rebuilt > 0,
+        "no shard was ever re-frozen — the sim never touched the books?"
+    );
+}
+
+#[test]
 fn service_runs_to_completion_and_finishes() {
     let mut config = SimConfig::smoke_test(7);
     // Shorten: completeness is about lifecycle, not scale.

@@ -1,4 +1,4 @@
-//! Incremental, dirty-tracked position books.
+//! Incremental, dirty-tracked, sharded position books.
 //!
 //! The paper's measurement loop — like any real liquidation bot — has to know
 //! every platform's liquidatable positions *every block* (§4.4: monitoring
@@ -15,7 +15,7 @@
 //!   ([`PositionBook::note_index_change`]);
 //! * **oracle moves** — the [`PriceOracle`] write epoch identifies the tokens
 //!   whose on-chain price changed since the book last synced, and only the
-//!   holders of those tokens re-value.
+//!   accounts whose certified state the write actually breaks re-value.
 //!
 //! On top of the cache sits a **critical-price liquidation index**: for every
 //! account whose health factor depends on exactly one oracle price (Maker
@@ -24,41 +24,53 @@
 //! which HF crosses 1, and the book keeps those accounts in a per-token
 //! `BTreeMap<raw price, accounts>`. Discovery then becomes a range scan over
 //! each token's ordered map (`crit > current price` ⇔ liquidatable) instead
-//! of a full-book filter. A price move does not touch indexed accounts at
-//! all: their *status* is read off the ordered map, and their cached
-//! *valuation* carries the oracle epoch it was computed at, so it refreshes
-//! lazily — when discovery returns the account, or when a full book snapshot
-//! is taken. Accounts whose health factor is genuinely multivariate (every
-//! fixed-spread borrower: collateral *and* debt prices float, and the borrow
-//! index accrues per block) are tracked in an incrementally maintained `live`
-//! set instead — their status is refreshed exactly when one of their inputs
-//! changes, and when most of the book is invalidated at once (per-tick
-//! accrual) the flush switches from set marking to a single linear walk.
+//! of a full-book filter.
 //!
-//! Multivariate accounts additionally carry a **conservative health-factor
-//! band index**. Every account is classified into one of four HF bands —
-//! below 1 (liquidatable), `[1, rescue)` (rescue-repay candidates),
-//! `[rescue, releverage]` (quiet), above `releverage` (re-leverage
-//! candidates) — and the owning protocol derives a certified envelope
-//! ([`BookSource::hf_envelope`]): per-token raw price bounds plus per-market
-//! borrow-index ceilings within which the health factor *provably* stays in
-//! its current band. While every envelope condition holds, a price move or an
-//! interest accrual does **not** re-value the account — it is flagged lazily
-//! stale and its band verdict is read straight off the
-//! classification, so both [`liquidatable_accounts`](PositionBook::liquidatable_accounts)
-//! and the engine's borrower-management pass
-//! ([`for_each_at_risk`](PositionBook::for_each_at_risk)) skip the
-//! far-from-threshold bulk of the book. The conditions are *state*-based
-//! (current price within `[lo, hi]`, current index below its cap), so
-//! envelope checks compose across any interleaving of moves; the bounds are
-//! integer-rounded inward (never outward), a guard band absorbs fixed-point
-//! rounding in the HF evaluation itself, and accounts too close to a band
-//! edge get no envelope and ride the exact path. Exactness is enforced by a
-//! differential harness (`tests/band_differential.rs`): a shadow cache-less
-//! scan must agree with banded discovery every tick across every catalog
-//! scenario. Queries that need every valuation fresh (`book_positions`,
-//! `totals`) drain the lazy-stale set first, so snapshots and volume samples
-//! remain byte-identical to rebuilds.
+//! Multivariate accounts (every fixed-spread borrower: collateral *and* debt
+//! prices float, and the borrow index accrues per block) carry a
+//! **conservative health-factor band index**. Every account is classified
+//! into one of four HF bands — below 1 (liquidatable), `[1, rescue)`
+//! (rescue-repay candidates), `[rescue, releverage]` (quiet), above
+//! `releverage` (re-leverage candidates) — and the owning protocol derives a
+//! certified envelope ([`BookSource::hf_envelope`]): per-token raw price
+//! bounds plus per-market borrow-index ceilings within which the health
+//! factor *provably* stays in its current band. The bounds are additionally
+//! kept in a per-token **interval index** (`lo`-ordered and `hi`-ordered
+//! `BTreeMap`s over the envelope price bounds), so "which envelopes does
+//! this oracle write break?" is answered by two range scans — accounts whose
+//! envelope survives a price move are never even visited, and a flush costs
+//! proportional to the accounts it actually re-values. Survivors' cached
+//! valuations freshen lazily: discovery re-values exactly the members it
+//! returns, and full refreshes walk the holders of moved tokens comparing
+//! each valuation's oracle epoch against the token's write epoch. Where the
+//! certified envelope still covers the current prices and indexes, that
+//! freshening takes a cheap **light refresh** (rebuild the position, fold the
+//! valuation delta) instead of re-deriving the envelope — the band verdict,
+//! critical status and index memberships provably cannot have changed. The
+//! envelope conditions are *state*-based (current price within `[lo, hi]`,
+//! current index below its cap), so certification composes across any
+//! interleaving of moves; the bounds are integer-rounded inward (never
+//! outward), a guard band absorbs fixed-point rounding in the HF evaluation
+//! itself, and accounts too close to a band edge get no envelope and ride the
+//! exact path. Exactness is enforced by a differential harness
+//! (`tests/band_differential.rs`): a shadow cache-less scan must agree with
+//! banded discovery every tick across every catalog scenario.
+//!
+//! # Sharding
+//!
+//! The book is split into [`BOOK_SHARD_COUNT`] fixed **address-range shards**
+//! ([`shard_of`]: the top four bits of the address's first byte). Every
+//! per-account structure — entries, dirty set, critical-price index, interval
+//! index, band membership, running totals — lives in the owning shard, and
+//! shards share nothing, so a flush fans out across `std::thread::scope`
+//! workers with no locks. Determinism is by construction, not by scheduling:
+//! the partition is a function of the address alone, each shard's work is
+//! internally ordered, and queries merge shards in ascending address-range
+//! order — so `book_positions`, `book_totals` and `liquidatable_accounts`
+//! are byte-identical for *any* worker count (proven by the harness's
+//! workers=1 vs workers=N differential). [`PositionBook::snapshot`] freezes
+//! each shard behind its own `Arc` and caches it against a per-shard version
+//! counter, so an unchanged shard is never re-cloned between snapshots.
 //!
 //! The book is *exact by construction*: a cached entry is byte-identical to a
 //! from-scratch [`Position`] rebuild because the owning protocol's
@@ -69,12 +81,13 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Bound;
+use std::sync::Arc;
 
 use defi_core::position::Position;
 use defi_oracle::PriceOracle;
 use defi_types::{Address, Token, Wad};
 
-use crate::snapshot::{BookSnapshot, SnapshotBand, SnapshotEntry};
+use crate::snapshot::{BookSnapshot, ShardSnapshot, SnapshotBand, SnapshotEntry};
 
 /// Health factor below which the engine's borrower-management pass considers
 /// a position a rescue-repay candidate, and the default lower edge of the
@@ -85,6 +98,19 @@ pub const RESCUE_BAND_HF: f64 = 1.05;
 /// a position a re-leverage candidate, and the default upper edge of the
 /// quiet band.
 pub const RELEVERAGE_BAND_HF: f64 = 2.2;
+
+/// Number of fixed address-range shards a book is split into. Independent of
+/// the worker count: workers only decide how many shards flush concurrently,
+/// never how accounts partition, so results cannot depend on parallelism.
+pub const BOOK_SHARD_COUNT: usize = 16;
+
+/// The shard owning an address: its top four bits. [`Address`] orders
+/// lexicographically, so shard `i` owns a contiguous address range and
+/// concatenating shards in index order preserves global address order.
+#[inline]
+pub(crate) fn shard_of(address: &Address) -> usize {
+    (address.0[0] >> 4) as usize
+}
 
 /// A certified envelope within which an account's health factor provably
 /// stays in its current band (see the module docs).
@@ -185,12 +211,25 @@ pub struct BookStats {
     /// Re-valuations avoided because a band envelope held, since the book was
     /// created.
     pub envelope_skips: u64,
+    /// Times the always-on stale-flag invariant (every rewind and full drain
+    /// must leave zero lazily-stale valuations) was found violated — and
+    /// repaired. Must stay 0; the band-differential harness asserts it.
+    pub stale_violations: u64,
 }
 
 /// What a [`PositionBook`] needs from its owning protocol to re-value one
 /// account. Implemented on a cheap borrow-view of the protocol's state so the
 /// book (a sibling field) can be mutated while the view is read.
-pub trait BookSource {
+///
+/// # Shard-safety
+///
+/// Flushes fan out across threads, each holding `&Self` — so every
+/// implementation must be [`Sync`] and its methods must be **pure reads** of
+/// the protocol state captured by the view: no interior mutability, no
+/// account-order-dependent side effects, and the same inputs must produce the
+/// same outputs within one flush (see CONTRACTS.md, "The sharding
+/// contract").
+pub trait BookSource: Sync {
     /// Rebuild `slot` in place as the account's fresh valuation snapshot,
     /// reusing the slot's allocations. Returns `false` when the account has
     /// no observable state any more (it is then dropped from the book) —
@@ -213,7 +252,8 @@ pub trait BookSource {
     /// crit_raw))` means the account is below the liquidation threshold *iff*
     /// the raw oracle price of `token` is strictly less than `crit_raw`, and
     /// that no other oracle price affects its health factor. Return `None`
-    /// for multivariate positions; they are tracked by the live set instead.
+    /// for multivariate positions; they are tracked by the band index
+    /// instead.
     fn critical_price(&self, account: Address, position: &Position) -> Option<(Token, u128)>;
 
     /// Current raw borrow index ([`defi_types::Ray`] representation) of the
@@ -262,9 +302,11 @@ struct Entry {
     /// Certified envelope within which `band` provably holds (`None`: the
     /// account rides the exact path and re-values on every relevant change).
     envelope: Option<HfEnvelope>,
-    /// An input moved but the envelope held: the band verdict is certified,
-    /// the cached valuation is stale until a full refresh or a query that
-    /// hands this account out re-values it.
+    /// A borrow index moved but the envelope capped it: the band verdict is
+    /// certified, the cached valuation is stale until a full refresh or a
+    /// query that hands this account out re-values it. (Price-move staleness
+    /// is tracked epoch-wise instead: `valued_epoch` lags the token's write
+    /// epoch.)
     stale: bool,
     /// Oracle write epoch the valuation was computed at.
     valued_epoch: u64,
@@ -351,163 +393,92 @@ struct Totals {
     all_debt_usd: Wad,
 }
 
-/// The incremental cache each [`crate::LendingProtocol`] implementation owns.
-/// See the module docs for the invalidation contract.
-#[derive(Debug, Clone)]
-pub struct PositionBook {
+/// Per-flush global context, computed once and shared read-only by every
+/// shard worker.
+struct FlushCtx<'a> {
+    /// `(token, current raw price)` for every token whose price changed since
+    /// the last flush.
+    changed_prices: &'a [(Token, u128)],
+    /// `(token, current raw borrow index)` for every market whose index
+    /// advanced since the last flush.
+    index_moves: &'a [(Token, Option<u128>)],
+    /// `(token, write epoch)` for every token whose price changed since the
+    /// last *full* refresh — drives the lazy-valuation freshening pass.
+    full_changed: &'a [(Token, u64)],
+    /// The (rescue, releverage) band thresholds.
+    bands: (Wad, Wad),
+    /// Bring every cached valuation exact (drain lazy staleness).
+    full: bool,
+    /// The oracle epoch ran backwards: nothing can be trusted.
+    rewind: bool,
+}
+
+/// One address-range shard: every per-account structure of the book, owned
+/// whole so shard flushes share nothing and can run on independent threads.
+#[derive(Debug, Clone, Default)]
+struct BookShard {
     entries: BTreeMap<Address, Entry>,
     /// Accounts that must re-value before *any* query (mutated since the
     /// last flush).
     dirty: BTreeSet<Address>,
-    /// token → *multivariate* accounts whose valuation depends on its price
-    /// (indexed accounts are deliberately absent: price moves never touch
-    /// them eagerly).
-    multi_holders: HashMap<Token, BTreeSet<Address>>,
+    /// token → multivariate accounts with *no* certified envelope: they
+    /// re-value eagerly on every price move of the token (the exact path).
+    multi_unbanded: HashMap<Token, BTreeSet<Address>>,
     /// token → critical-price-indexed accounts exposed to it (walked only by
     /// full refreshes to freshen lazily staled valuations).
     indexed_holders: HashMap<Token, BTreeSet<Address>>,
     /// token → accounts owing index-accruing debt in it.
     debtors: HashMap<Token, BTreeSet<Address>>,
-    /// Markets whose borrow index changed since the last flush.
-    pending_index_tokens: Vec<Token>,
     /// token → (critical raw price → accounts); liquidatable ⇔ price < crit.
     critical: HashMap<Token, BTreeMap<u128, BTreeSet<Address>>>,
+    /// Interval index, lower edges: token → (envelope `lo` bound → banded
+    /// holders). A price write `p` breaks exactly the bounds with `lo > p`.
+    env_lo: HashMap<Token, BTreeMap<u128, BTreeSet<Address>>>,
+    /// Interval index, upper edges: token → (envelope `hi` bound → banded
+    /// holders). A price write `p` breaks exactly the bounds with `hi < p`.
+    env_hi: HashMap<Token, BTreeMap<u128, BTreeSet<Address>>>,
+    /// token → banded accounts sensitive to it whose envelope carries *no*
+    /// bound for it — conservatively re-valued on every move (a compliant
+    /// derivation leaves this empty).
+    env_uncovered: HashMap<Token, BTreeSet<Address>>,
+    /// token → number of envelope bounds currently in the interval index
+    /// (for the envelope-skip statistics without walking survivors).
+    env_bounded: HashMap<Token, usize>,
     /// Liquidatable accounts among the non-indexed population.
     live: BTreeSet<Address>,
     /// Non-indexed observable-book accounts in an at-risk band (below
     /// `rescue` or above `releverage`) — the banded borrower-management
     /// iteration set.
     at_risk: BTreeSet<Address>,
-    /// Number of entries whose `stale` flag is set (inputs moved, envelope
-    /// held). Full refreshes (`book_positions`, `totals`) drain them;
-    /// discovery and at-risk iteration freshen exactly the members they
-    /// return.
+    /// Number of entries whose `stale` flag is set (index moved, cap held).
     stale_count: usize,
-    /// The (rescue, releverage) HF thresholds the bands are classified by.
-    bands: (Wad, Wad),
-    /// Re-valuations avoided because an envelope held.
-    envelope_skips: u64,
-    /// Oracle epoch consumed by every flush (multivariate dirty marking).
-    synced_epoch: u64,
-    /// Oracle epoch up to which indexed valuations were freshened by a full
-    /// refresh.
-    full_synced_epoch: u64,
+    /// Always-on invariant failures (see [`BookStats::stale_violations`]).
+    stale_violations: u64,
     totals: Totals,
     revaluations: u64,
+    /// Re-valuations avoided because an envelope held.
+    envelope_skips: u64,
+    /// Bumped on every change that can alter this shard's frozen snapshot;
+    /// lets [`PositionBook::snapshot`] reuse the previous `Arc` when nothing
+    /// moved.
+    version: u64,
     scratch_tokens: Vec<Token>,
     scratch_debt_tokens: Vec<Token>,
-    scratch_changed: Vec<Token>,
     scratch_addresses: Vec<Address>,
     scratch_affected: Vec<Address>,
-    scratch_prices: Vec<(Token, u128)>,
-    scratch_index_moves: Vec<(Token, Option<u128>)>,
     scratch_envelope: HfEnvelope,
 }
 
-impl Default for PositionBook {
-    fn default() -> Self {
-        PositionBook {
-            entries: BTreeMap::new(),
-            dirty: BTreeSet::new(),
-            multi_holders: HashMap::new(),
-            indexed_holders: HashMap::new(),
-            debtors: HashMap::new(),
-            pending_index_tokens: Vec::new(),
-            critical: HashMap::new(),
-            live: BTreeSet::new(),
-            at_risk: BTreeSet::new(),
-            stale_count: 0,
-            bands: (
-                // lint:allow(fixed-float) band edges are config-space constants quantized once at construction, not per-valuation
-                Wad::from_f64(RESCUE_BAND_HF),
-                // lint:allow(fixed-float) band edges are config-space constants quantized once at construction, not per-valuation
-                Wad::from_f64(RELEVERAGE_BAND_HF),
-            ),
-            envelope_skips: 0,
-            synced_epoch: 0,
-            full_synced_epoch: 0,
-            totals: Totals::default(),
-            revaluations: 0,
-            scratch_tokens: Vec::new(),
-            scratch_debt_tokens: Vec::new(),
-            scratch_changed: Vec::new(),
-            scratch_addresses: Vec::new(),
-            scratch_affected: Vec::new(),
-            scratch_prices: Vec::new(),
-            scratch_index_moves: Vec::new(),
-            scratch_envelope: HfEnvelope::default(),
-        }
-    }
-}
-
-impl PositionBook {
-    /// An empty book with the default
-    /// ([`RESCUE_BAND_HF`], [`RELEVERAGE_BAND_HF`]) band thresholds.
-    pub fn new() -> Self {
-        PositionBook::default()
-    }
-
-    /// Mark one account for re-valuation (every protocol mutation that
-    /// touches the account must call this).
-    pub fn mark_dirty(&mut self, account: Address) {
-        self.dirty.insert(account);
-    }
-
-    /// Record that a market's borrow index advanced: every account owing
-    /// `token` re-values before the next query.
-    pub fn note_index_change(&mut self, token: Token) {
-        if !self.pending_index_tokens.contains(&token) {
-            self.pending_index_tokens.push(token);
-        }
-    }
-
-    /// Invalidate every cached account (risk-parameter changes: market or
-    /// ilk (re)listing can alter thresholds/spreads of existing positions).
-    pub fn invalidate_all(&mut self) {
-        self.dirty.extend(self.entries.keys().copied());
-    }
-
-    /// Cache-maintenance counters.
-    pub fn stats(&self) -> BookStats {
-        BookStats {
-            cached_accounts: self.entries.len(),
-            revaluations: self.revaluations,
-            indexed_accounts: self
-                .entries
-                .values()
-                .filter(|e| e.critical.is_some())
-                .count(),
-            live_accounts: self.live.len(),
-            banded_accounts: self
-                .entries
-                .values()
-                .filter(|e| e.envelope.is_some())
-                .count(),
-            at_risk_accounts: self.at_risk.len(),
-            envelope_skips: self.envelope_skips,
-        }
-    }
-
-    /// The cached snapshot of one account, if it is in the cache. Exact only
-    /// after a refreshing query ([`book_positions`](Self::book_positions),
-    /// [`liquidatable_accounts`](Self::liquidatable_accounts), …).
-    pub fn cached_position(&self, account: Address) -> Option<&Position> {
-        self.entries.get(&account).map(|e| &e.position)
-    }
-
+impl BookShard {
     // ------------------------------------------------------------------ flush
 
-    /// Fold every pending invalidation into re-valuations. With `full`, also
-    /// freshen lazily staled indexed valuations so every cached position is
-    /// exact at current prices.
-    fn flush<S: BookSource>(&mut self, source: &S, oracle: &PriceOracle, full: bool) {
-        let epoch = oracle.epoch();
-        if epoch < self.synced_epoch {
+    /// Fold this shard's share of the pending invalidations into
+    /// re-valuations. Runs on a worker thread; touches nothing outside the
+    /// shard.
+    fn flush<S: BookSource>(&mut self, source: &S, oracle: &PriceOracle, ctx: &FlushCtx<'_>) {
+        if ctx.rewind {
             // The book is being driven by a different (or rewound) oracle
             // instance: nothing can be trusted, re-value everything.
-            self.pending_index_tokens.clear();
-            self.synced_epoch = epoch;
-            self.full_synced_epoch = epoch;
             let mut batch = std::mem::take(&mut self.scratch_addresses);
             batch.clear();
             batch.extend(self.entries.keys().copied());
@@ -516,134 +487,92 @@ impl PositionBook {
             batch.sort_unstable();
             batch.dedup();
             for &address in &batch {
-                self.revalue(source, oracle, address);
+                self.revalue(source, oracle, address, ctx.bands);
             }
             self.scratch_addresses = batch;
-            debug_assert_eq!(self.stale_count, 0, "rewind left stale flags");
+            self.check_stale_invariant();
             return;
         }
 
-        let mut changed = std::mem::take(&mut self.scratch_changed);
-        changed.clear();
-        if epoch > self.synced_epoch {
-            oracle.collect_changed_since(self.synced_epoch, &mut changed);
-        }
-        self.synced_epoch = epoch;
-        let mut index_tokens = std::mem::take(&mut self.pending_index_tokens);
-
-        if !self.dirty.is_empty() || !changed.is_empty() || !index_tokens.is_empty() {
-            // The current values the envelope conditions are checked against.
-            let mut changed_prices = std::mem::take(&mut self.scratch_prices);
-            changed_prices.clear();
-            changed_prices.extend(
-                changed
-                    .iter()
-                    .map(|&token| (token, oracle.price(token).map_or(0, |p| p.raw()))),
-            );
-            let mut index_moves = std::mem::take(&mut self.scratch_index_moves);
-            index_moves.clear();
-            index_moves.extend(
-                index_tokens
-                    .iter()
-                    .map(|&token| (token, source.borrow_index(token))),
-            );
-
-            // Estimate how much of the book is affected: when it is most of
-            // it (per-tick interest accrual touches every borrower), a
-            // single linear walk beats building a dirty set address by
-            // address.
-            let mut estimate = self.dirty.len();
-            for token in &index_tokens {
-                estimate += self.debtors.get(token).map_or(0, |set| set.len());
-            }
-            for token in &changed {
-                estimate += self.multi_holders.get(token).map_or(0, |set| set.len());
-            }
-            let mut batch = std::mem::take(&mut self.scratch_addresses);
-            batch.clear();
-            if estimate * 4 >= self.entries.len() {
-                for (address, entry) in self.entries.iter_mut() {
-                    if self.dirty.contains(address) {
-                        batch.push(*address);
-                        continue;
-                    }
-                    let affected = entry
-                        .debt_tokens
-                        .iter()
-                        .any(|token| index_tokens.contains(token))
-                        || (entry.critical.is_none()
-                            && entry.tokens.iter().any(|token| changed.contains(token)));
-                    if !affected {
-                        continue;
-                    }
-                    if entry.envelope_holds(&changed_prices, &index_moves) {
-                        // The band verdict is certified; the valuation
-                        // freshens lazily.
-                        if !entry.stale {
-                            entry.stale = true;
-                            self.stale_count += 1;
-                        }
-                        self.envelope_skips += 1;
-                    } else {
-                        batch.push(*address);
-                    }
-                }
-                // Mutated accounts without an entry yet (first deposit).
-                for &address in &self.dirty {
-                    if !self.entries.contains_key(&address) {
-                        batch.push(address);
-                    }
-                }
-                self.dirty.clear();
-            } else {
-                batch.extend(self.dirty.iter().copied());
-                let mut affected = std::mem::take(&mut self.scratch_affected);
-                affected.clear();
-                for token in &index_tokens {
-                    if let Some(debtors) = self.debtors.get(token) {
-                        affected.extend(debtors.iter().copied());
-                    }
-                }
-                for token in &changed {
-                    if let Some(holders) = self.multi_holders.get(token) {
+        if !self.dirty.is_empty() || !ctx.changed_prices.is_empty() || !ctx.index_moves.is_empty() {
+            let mut affected = std::mem::take(&mut self.scratch_affected);
+            affected.clear();
+            // Price moves: the interval index turns "whose envelope does
+            // this write break?" into two range scans — survivors are never
+            // visited at all, their skip is accounted by subtraction.
+            for &(token, raw) in ctx.changed_prices {
+                let mut broken_bounded = 0usize;
+                if let Some(map) = self.env_lo.get(&token) {
+                    for holders in map
+                        .range((Bound::Excluded(raw), Bound::Unbounded))
+                        .map(|(_, holders)| holders)
+                    {
+                        broken_bounded += holders.len();
                         affected.extend(holders.iter().copied());
                     }
                 }
-                affected.sort_unstable();
-                affected.dedup();
-                for &address in &affected {
-                    if self.dirty.contains(&address) {
-                        continue;
-                    }
-                    let Some(entry) = self.entries.get_mut(&address) else {
-                        batch.push(address);
-                        continue;
-                    };
-                    if entry.envelope_holds(&changed_prices, &index_moves) {
-                        if !entry.stale {
-                            entry.stale = true;
-                            self.stale_count += 1;
-                        }
-                        self.envelope_skips += 1;
-                    } else {
-                        batch.push(address);
+                if let Some(map) = self.env_hi.get(&token) {
+                    for holders in map
+                        .range((Bound::Unbounded, Bound::Excluded(raw)))
+                        .map(|(_, holders)| holders)
+                    {
+                        broken_bounded += holders.len();
+                        affected.extend(holders.iter().copied());
                     }
                 }
-                self.dirty.clear();
-                self.scratch_affected = affected;
+                let bounded = self.env_bounded.get(&token).copied().unwrap_or(0);
+                self.envelope_skips += bounded.saturating_sub(broken_bounded) as u64;
+                if let Some(holders) = self.env_uncovered.get(&token) {
+                    affected.extend(holders.iter().copied());
+                }
+                if let Some(holders) = self.multi_unbanded.get(&token) {
+                    affected.extend(holders.iter().copied());
+                }
             }
+            // Index moves: walk the market's debtors, letting certified caps
+            // park survivors in the lazy-stale set.
+            for &(token, _) in ctx.index_moves {
+                if let Some(holders) = self.debtors.get(&token) {
+                    affected.extend(holders.iter().copied());
+                }
+            }
+            affected.sort_unstable();
+            affected.dedup();
+
+            let mut batch = std::mem::take(&mut self.scratch_addresses);
+            batch.clear();
+            batch.extend(self.dirty.iter().copied());
+            for &address in &affected {
+                if self.dirty.contains(&address) {
+                    continue;
+                }
+                let Some(entry) = self.entries.get_mut(&address) else {
+                    batch.push(address);
+                    continue;
+                };
+                if entry.envelope_holds(ctx.changed_prices, ctx.index_moves) {
+                    // The band verdict is certified; the valuation freshens
+                    // lazily.
+                    if !entry.stale {
+                        entry.stale = true;
+                        self.stale_count += 1;
+                    }
+                    self.envelope_skips += 1;
+                } else {
+                    batch.push(address);
+                }
+            }
+            self.dirty.clear();
+            batch.sort_unstable();
+            batch.dedup();
             for &address in &batch {
-                self.revalue(source, oracle, address);
+                self.revalue(source, oracle, address, ctx.bands);
             }
             self.scratch_addresses = batch;
-            self.scratch_prices = changed_prices;
-            self.scratch_index_moves = index_moves;
+            self.scratch_affected = affected;
         }
-        index_tokens.clear();
-        self.pending_index_tokens = index_tokens;
-        self.scratch_changed = changed;
 
-        if full && self.stale_count > 0 {
+        if ctx.full && self.stale_count > 0 {
             // Drain the lazily staled valuations so every cached position is
             // exact at current prices and indexes.
             let mut batch = std::mem::take(&mut self.scratch_addresses);
@@ -655,270 +584,220 @@ impl PositionBook {
                     .map(|(address, _)| *address),
             );
             for &address in &batch {
-                self.revalue(source, oracle, address);
+                self.refresh(source, oracle, address, ctx.bands);
             }
             self.scratch_addresses = batch;
-            debug_assert_eq!(self.stale_count, 0, "full drain left stale flags");
+            self.check_stale_invariant();
         }
 
-        if full && epoch > self.full_synced_epoch {
-            // Freshen indexed valuations whose token price moved since the
-            // last full refresh; their liquidatable status never went stale.
-            let mut changed = std::mem::take(&mut self.scratch_changed);
-            changed.clear();
-            oracle.collect_changed_since(self.full_synced_epoch, &mut changed);
+        if ctx.full && !ctx.full_changed.is_empty() {
+            // Freshen valuations the interval index left untouched: holders
+            // of moved tokens whose valuation epoch lags the token's write
+            // epoch. Their liquidatable status never went stale.
             let mut batch = std::mem::take(&mut self.scratch_addresses);
-            for token in &changed {
-                let token_epoch = oracle.token_epoch(*token);
-                if let Some(holders) = self.indexed_holders.get(token) {
-                    batch.clear();
-                    batch.extend(
-                        holders
-                            .iter()
-                            .filter(|address| {
-                                self.entries
-                                    .get(address)
-                                    .is_some_and(|e| e.valued_epoch < token_epoch)
-                            })
-                            .copied(),
-                    );
-                    for &address in &batch {
-                        self.revalue(source, oracle, address);
+            for &(token, token_epoch) in ctx.full_changed {
+                batch.clear();
+                {
+                    let entries = &self.entries;
+                    let lagging = |address: &&Address| {
+                        entries
+                            .get(address)
+                            .is_some_and(|e| e.valued_epoch < token_epoch)
+                    };
+                    if let Some(holders) = self.indexed_holders.get(&token) {
+                        batch.extend(holders.iter().filter(lagging).copied());
+                    }
+                    if let Some(map) = self.env_lo.get(&token) {
+                        for holders in map.values() {
+                            batch.extend(holders.iter().filter(lagging).copied());
+                        }
+                    }
+                    if let Some(holders) = self.env_uncovered.get(&token) {
+                        batch.extend(holders.iter().filter(lagging).copied());
+                    }
+                    if let Some(holders) = self.multi_unbanded.get(&token) {
+                        batch.extend(holders.iter().filter(lagging).copied());
                     }
                 }
+                batch.sort_unstable();
+                batch.dedup();
+                for &address in &batch {
+                    self.refresh(source, oracle, address, ctx.bands);
+                }
             }
             self.scratch_addresses = batch;
-            self.scratch_changed = changed;
-            self.full_synced_epoch = epoch;
         }
     }
 
-    // --------------------------------------------------------------- queries
-
-    /// Bring every cached valuation up to date and clone out the observable
-    /// book in address order — byte-identical to the legacy from-scratch
-    /// rebuild, without re-valuing untouched accounts.
-    pub fn book_positions<S: BookSource>(
-        &mut self,
-        source: &S,
-        oracle: &PriceOracle,
-    ) -> Vec<Position> {
-        self.flush(source, oracle, true);
-        self.entries
-            .values()
-            .filter(|e| e.in_book)
-            .map(|e| e.position.clone())
-            .collect()
-    }
-
-    /// Visit every observable book position in address order without
-    /// allocating a snapshot vector (the engine's borrower-management pass).
-    pub fn for_each_book_position<S: BookSource>(
-        &mut self,
-        source: &S,
-        oracle: &PriceOracle,
-        visit: &mut dyn FnMut(&Position),
-    ) {
-        self.flush(source, oracle, true);
-        for entry in self.entries.values() {
-            if entry.in_book {
-                visit(&entry.position);
+    /// Always-on replacement for the old debug-only stale-flag invariant:
+    /// after a rewind or a full drain every `stale` flag must be clear. In
+    /// release builds (where benches and `repro` run) a violation is counted
+    /// — the band-differential harness asserts the counter stays zero — and
+    /// the flags are repaired so the book cannot keep serving stale
+    /// valuations. The check itself is O(1) on the healthy path.
+    fn check_stale_invariant(&mut self) {
+        debug_assert_eq!(self.stale_count, 0, "flush left stale flags");
+        if self.stale_count != 0 {
+            self.stale_violations += 1;
+            for entry in self.entries.values_mut() {
+                entry.stale = false;
             }
+            self.stale_count = 0;
+            self.version += 1;
         }
-    }
-
-    /// Running totals over the observable book (volume sampling).
-    pub fn totals<S: BookSource>(&mut self, source: &S, oracle: &PriceOracle) -> BookTotals {
-        self.flush(source, oracle, true);
-        BookTotals {
-            collateral_usd: self.totals.book_collateral_usd,
-            debt_usd: self.totals.book_debt_usd,
-            dai_eth_collateral_usd: self.totals.book_dai_eth_usd,
-            open_positions: self.totals.book_count,
-        }
-    }
-
-    /// The (rescue, releverage) HF thresholds the bands are classified by.
-    pub fn band_thresholds(&self) -> (Wad, Wad) {
-        self.bands
-    }
-
-    /// Freeze the observable book into an immutable, index-carrying
-    /// [`BookSnapshot`] for concurrent readers: every valuation brought
-    /// exact at current prices, plus each entry's sensitivity list,
-    /// critical price and certified envelope bounds so snapshot-side
-    /// what-if queries can ride the same fast paths the live book uses.
-    pub fn snapshot<S: BookSource>(&mut self, source: &S, oracle: &PriceOracle) -> BookSnapshot {
-        self.flush(source, oracle, true);
-        let (rescue, releverage) = self.bands;
-        let mut entries = BTreeMap::new();
-        for (account, entry) in &self.entries {
-            if !entry.in_book {
-                continue;
-            }
-            let health_factor = entry.position.health_factor();
-            entries.insert(
-                *account,
-                SnapshotEntry {
-                    position: entry.position.clone(),
-                    collateral_usd: entry.collateral_usd,
-                    debt_usd: entry.debt_usd,
-                    health_factor,
-                    // Classify from the fresh HF rather than copying the
-                    // cached band: critical-indexed entries keep a Quiet
-                    // cached band by design.
-                    band: SnapshotBand::classify(health_factor, rescue, releverage),
-                    sensitive: entry.tokens.clone(),
-                    critical: entry.critical,
-                    envelope_bounds: entry
-                        .envelope
-                        .as_ref()
-                        .map(|e| e.price_bounds.clone())
-                        .unwrap_or_default(),
-                },
-            );
-        }
-        let totals = BookTotals {
-            collateral_usd: self.totals.book_collateral_usd,
-            debt_usd: self.totals.book_debt_usd,
-            dai_eth_collateral_usd: self.totals.book_dai_eth_usd,
-            open_positions: self.totals.book_count,
-        };
-        let prices = oracle
-            .tokens()
-            .into_iter()
-            .map(|token| (token, oracle.price_or_zero(token)))
-            .collect();
-        BookSnapshot {
-            entries,
-            totals,
-            prices,
-            rescue,
-            releverage,
-        }
-    }
-
-    /// Running totals over *every* cached account (the protocol-level
-    /// `total_collateral_value` / `total_debt_value` surface).
-    pub fn all_totals<S: BookSource>(&mut self, source: &S, oracle: &PriceOracle) -> (Wad, Wad) {
-        self.flush(source, oracle, true);
-        (self.totals.all_collateral_usd, self.totals.all_debt_usd)
-    }
-
-    /// Accounts currently below the liquidation threshold, in address order,
-    /// with their cached positions freshened: the union of the per-token
-    /// critical-price range scans and the incrementally maintained live set.
-    /// Does **not** re-value indexed accounts whose price merely moved — the
-    /// fast path a keeper loop takes every block.
-    pub fn liquidatable_accounts<S: BookSource>(
-        &mut self,
-        source: &S,
-        oracle: &PriceOracle,
-    ) -> Vec<Address> {
-        self.flush(source, oracle, false);
-        let mut found: BTreeSet<Address> = self.live.clone();
-        for (token, map) in &self.critical {
-            let Some(price) = oracle.price(*token) else {
-                continue;
-            };
-            for accounts in map
-                .range((Bound::Excluded(price.raw()), Bound::Unbounded))
-                .map(|(_, accounts)| accounts)
-            {
-                found.extend(accounts.iter().copied());
-            }
-        }
-        let found: Vec<Address> = found.into_iter().collect();
-        // Freshen the valuations discovery hands out; re-valuing cannot
-        // change the verdict (same state, same prices — and for accounts an
-        // envelope parked in the lazy-stale set, the band is certified).
-        for &address in &found {
-            let stale = self
-                .entries
-                .get(&address)
-                .is_some_and(|entry| entry.stale || entry.is_stale(oracle));
-            if stale {
-                self.revalue(source, oracle, address);
-            }
-        }
-        found
-    }
-
-    /// Visit every *at-risk* observable position — health factor below
-    /// `rescue` (including liquidatable ones) or above `releverage` — in
-    /// address order, with each visited valuation freshened to current
-    /// prices and indexes. Quiet-band accounts whose envelope holds are
-    /// skipped without re-valuation: this is the banded fast path of the
-    /// engine's borrower-management pass, exactly equivalent to filtering a
-    /// full book walk by health factor.
-    ///
-    /// Changing the thresholds re-classifies the whole book (one-off full
-    /// re-valuation). Books containing critical-price-indexed accounts fall
-    /// back to the exact full walk — indexed accounts keep no HF band.
-    pub fn for_each_at_risk<S: BookSource>(
-        &mut self,
-        source: &S,
-        oracle: &PriceOracle,
-        rescue: Wad,
-        releverage: Wad,
-        visit: &mut dyn FnMut(&Position),
-    ) {
-        if (rescue, releverage) != self.bands {
-            self.bands = (rescue, releverage);
-            self.invalidate_all();
-        }
-        self.flush(source, oracle, false);
-        if self.critical.values().any(|map| !map.is_empty()) {
-            // Indexed (single-price) accounts read their liquidation status
-            // off the critical-price maps and maintain no band — serve mixed
-            // books through the exact full walk instead.
-            self.flush(source, oracle, true);
-            for entry in self.entries.values() {
-                if !entry.in_book {
-                    continue;
-                }
-                let Some(hf) = entry.position.health_factor() else {
-                    continue;
-                };
-                if hf < rescue || hf > releverage {
-                    visit(&entry.position);
-                }
-            }
-            return;
-        }
-        let mut batch = std::mem::take(&mut self.scratch_addresses);
-        batch.clear();
-        batch.extend(self.at_risk.iter().copied());
-        for &address in &batch {
-            let stale = self
-                .entries
-                .get(&address)
-                .is_some_and(|entry| entry.stale || entry.is_stale(oracle));
-            if stale {
-                // Freshening cannot change the verdict: the account either
-                // re-valued in the flush above or its envelope certifies the
-                // band.
-                self.revalue(source, oracle, address);
-            }
-            if let Some(entry) = self.entries.get(&address) {
-                if entry.in_book {
-                    visit(&entry.position);
-                }
-            }
-        }
-        self.scratch_addresses = batch;
     }
 
     // ----------------------------------------------------------- revaluation
 
-    /// Re-value one account and fold the delta into every derived structure.
-    fn revalue<S: BookSource>(&mut self, source: &S, oracle: &PriceOracle, address: Address) {
-        self.revaluations += 1;
-        let mut new_tokens = std::mem::take(&mut self.scratch_tokens);
-        let mut new_debt_tokens = std::mem::take(&mut self.scratch_debt_tokens);
-        new_tokens.clear();
-        new_debt_tokens.clear();
+    /// Freshen one lazily stale valuation: a light refresh where the
+    /// certified envelope still covers the current state, the full revalue
+    /// path otherwise.
+    fn refresh<S: BookSource>(
+        &mut self,
+        source: &S,
+        oracle: &PriceOracle,
+        address: Address,
+        bands: (Wad, Wad),
+    ) {
+        if !self.light_refresh(source, oracle, address) {
+            self.revalue(source, oracle, address, bands);
+        }
+    }
 
+    /// Cheap freshening for an account whose certified envelope covers the
+    /// *current* oracle prices and borrow indexes: rebuild the position and
+    /// fold the valuation delta, keeping the band verdict, critical status,
+    /// envelope and every index membership — the envelope proves none of
+    /// them can have changed. Returns `false` (having made no bookkeeping
+    /// change) when any precondition fails; the caller then takes the full
+    /// revalue path.
+    fn light_refresh<S: BookSource>(
+        &mut self,
+        source: &S,
+        oracle: &PriceOracle,
+        address: Address,
+    ) -> bool {
+        let Some(entry) = self.entries.get_mut(&address) else {
+            return false;
+        };
+        if entry.critical.is_some() {
+            return false;
+        }
+        let holds_now = {
+            let Some(envelope) = &entry.envelope else {
+                return false;
+            };
+            envelope.price_bounds.iter().all(|&(token, lo, hi)| {
+                let raw = oracle.price(token).map_or(0, |p| p.raw());
+                raw >= lo && raw <= hi
+            }) && envelope.index_caps.iter().all(|&(token, cap)| {
+                source
+                    .borrow_index(token)
+                    .is_some_and(|current| current <= cap)
+            }) && entry.tokens.iter().all(|token| {
+                envelope
+                    .price_bounds
+                    .iter()
+                    .any(|(bounded, _, _)| bounded == token)
+            }) && entry.debt_tokens.iter().all(|token| {
+                envelope
+                    .index_caps
+                    .iter()
+                    .any(|(capped, _)| capped == token)
+            })
+        };
+        if !holds_now {
+            return false;
+        }
+        let old_in_book = entry.in_book;
+        let old_collateral = entry.collateral_usd;
+        let old_debt = entry.debt_usd;
+        let old_dai_eth = entry.dai_eth_usd;
+        // From here the slot is rebuilt in place; every bail-out path below
+        // hands over to `revalue`, which re-fills from scratch anyway.
+        if !source.fill_position(oracle, address, &mut entry.position) {
+            return false;
+        }
+        if source.in_book(&entry.position) != old_in_book {
+            return false;
+        }
+        // The membership indexes key off the exposure lists: any change
+        // there needs the full delta bookkeeping.
+        let mut new_tokens = std::mem::take(&mut self.scratch_tokens);
+        new_tokens.clear();
+        source.sensitive_tokens(&entry.position, &mut new_tokens);
+        let tokens_same = new_tokens == entry.tokens;
+        self.scratch_tokens = new_tokens;
+        let mut new_debt_tokens = std::mem::take(&mut self.scratch_debt_tokens);
+        new_debt_tokens.clear();
+        source.debt_tokens(&entry.position, &mut new_debt_tokens);
+        let debt_same = new_debt_tokens == entry.debt_tokens;
+        self.scratch_debt_tokens = new_debt_tokens;
+        if !tokens_same || !debt_same {
+            return false;
+        }
+
+        self.revaluations += 1;
+        self.version += 1;
+        if entry.stale {
+            entry.stale = false;
+            self.stale_count -= 1;
+        }
+        entry.collateral_usd = entry.position.total_collateral_value();
+        entry.debt_usd = entry.position.total_debt_value();
+        entry.dai_eth_usd = if entry.position.has_debt_in(Token::DAI) {
+            entry
+                .position
+                .collateral_value_in(Token::ETH)
+                .saturating_add(entry.position.collateral_value_in(Token::WETH))
+        } else {
+            Wad::ZERO
+        };
+        entry.valued_epoch = oracle.epoch();
+        let new_collateral = entry.collateral_usd;
+        let new_debt = entry.debt_usd;
+        let new_dai_eth = entry.dai_eth_usd;
+
+        if old_in_book {
+            self.totals.book_collateral_usd = self
+                .totals
+                .book_collateral_usd
+                .saturating_sub(old_collateral)
+                .saturating_add(new_collateral);
+            self.totals.book_debt_usd = self
+                .totals
+                .book_debt_usd
+                .saturating_sub(old_debt)
+                .saturating_add(new_debt);
+            self.totals.book_dai_eth_usd = self
+                .totals
+                .book_dai_eth_usd
+                .saturating_sub(old_dai_eth)
+                .saturating_add(new_dai_eth);
+        }
+        self.totals.all_collateral_usd = self
+            .totals
+            .all_collateral_usd
+            .saturating_sub(old_collateral)
+            .saturating_add(new_collateral);
+        self.totals.all_debt_usd = self
+            .totals
+            .all_debt_usd
+            .saturating_sub(old_debt)
+            .saturating_add(new_debt);
+        true
+    }
+
+    /// Re-value one account and fold the delta into every derived structure.
+    fn revalue<S: BookSource>(
+        &mut self,
+        source: &S,
+        oracle: &PriceOracle,
+        address: Address,
+        bands: (Wad, Wad),
+    ) {
+        self.revaluations += 1;
+        self.version += 1;
         let entry = self
             .entries
             .entry(address)
@@ -934,8 +813,67 @@ impl PositionBook {
         let old_critical = entry.critical;
         let old_tokens = std::mem::take(&mut entry.tokens);
         let old_debt_list = std::mem::take(&mut entry.debt_tokens);
+        let old_envelope = entry.envelope.take();
 
-        let mut envelope = match entry.envelope.take() {
+        // Drop the account's old membership from every exposure index; the
+        // fresh valuation re-inserts below. Membership is exclusive: indexed
+        // accounts live in `indexed_holders`, banded ones in the interval
+        // index, the rest in `multi_unbanded`.
+        let was_indexed = old_critical.is_some();
+        if was_indexed {
+            for token in &old_tokens {
+                if let Some(holders) = self.indexed_holders.get_mut(token) {
+                    holders.remove(&address);
+                }
+            }
+        } else if let Some(env) = &old_envelope {
+            for &(token, lo, hi) in &env.price_bounds {
+                if let Some(map) = self.env_lo.get_mut(&token) {
+                    if let Some(holders) = map.get_mut(&lo) {
+                        holders.remove(&address);
+                        if holders.is_empty() {
+                            map.remove(&lo);
+                        }
+                    }
+                }
+                if let Some(map) = self.env_hi.get_mut(&token) {
+                    if let Some(holders) = map.get_mut(&hi) {
+                        holders.remove(&address);
+                        if holders.is_empty() {
+                            map.remove(&hi);
+                        }
+                    }
+                }
+                if let Some(count) = self.env_bounded.get_mut(&token) {
+                    *count = count.saturating_sub(1);
+                }
+            }
+            for token in &old_tokens {
+                if !env.price_bounds.iter().any(|(t, _, _)| t == token) {
+                    if let Some(holders) = self.env_uncovered.get_mut(token) {
+                        holders.remove(&address);
+                    }
+                }
+            }
+        } else {
+            for token in &old_tokens {
+                if let Some(holders) = self.multi_unbanded.get_mut(token) {
+                    holders.remove(&address);
+                }
+            }
+        }
+        for token in &old_debt_list {
+            if let Some(debtors) = self.debtors.get_mut(token) {
+                debtors.remove(&address);
+            }
+        }
+
+        let mut new_tokens = std::mem::take(&mut self.scratch_tokens);
+        let mut new_debt_tokens = std::mem::take(&mut self.scratch_debt_tokens);
+        new_tokens.clear();
+        new_debt_tokens.clear();
+        // Recycle the previous envelope's buffers for the new derivation.
+        let mut envelope = match old_envelope {
             Some(env) => env,
             None => std::mem::take(&mut self.scratch_envelope),
         };
@@ -951,7 +889,7 @@ impl PositionBook {
             let critical = source.critical_price(address, &entry.position);
             liquidatable = critical.is_none() && entry.position.is_liquidatable();
             if critical.is_none() {
-                let (rescue, releverage) = self.bands;
+                let (rescue, releverage) = bands;
                 match entry.position.health_factor() {
                     None => {
                         // A debt-free account has no health factor at *any*
@@ -995,17 +933,63 @@ impl PositionBook {
             entry.valued_epoch = oracle.epoch();
         }
         entry.band = band;
-        if banded {
-            entry.envelope = Some(envelope);
-        } else {
-            // Recycle the condition buffers for the next derivation.
-            self.scratch_envelope = envelope;
-        }
         let new_in_book = exists && entry.in_book;
         let new_collateral = entry.collateral_usd;
         let new_debt = entry.debt_usd;
         let new_dai_eth = entry.dai_eth_usd;
         let new_critical = if exists { entry.critical } else { None };
+        let now_indexed = new_critical.is_some();
+        if banded {
+            entry.envelope = Some(envelope);
+        } else {
+            self.scratch_envelope = envelope;
+        }
+
+        // Re-insert the fresh membership into the exposure indexes.
+        if exists {
+            if now_indexed {
+                for token in &new_tokens {
+                    self.indexed_holders
+                        .entry(*token)
+                        .or_default()
+                        .insert(address);
+                }
+            } else if let Some(env) = &entry.envelope {
+                for &(token, lo, hi) in &env.price_bounds {
+                    self.env_lo
+                        .entry(token)
+                        .or_default()
+                        .entry(lo)
+                        .or_default()
+                        .insert(address);
+                    self.env_hi
+                        .entry(token)
+                        .or_default()
+                        .entry(hi)
+                        .or_default()
+                        .insert(address);
+                    *self.env_bounded.entry(token).or_default() += 1;
+                }
+                for token in &new_tokens {
+                    if !env.price_bounds.iter().any(|(t, _, _)| t == token) {
+                        self.env_uncovered
+                            .entry(*token)
+                            .or_default()
+                            .insert(address);
+                    }
+                }
+            } else {
+                for token in &new_tokens {
+                    self.multi_unbanded
+                        .entry(*token)
+                        .or_default()
+                        .insert(address);
+                }
+            }
+            for token in &new_debt_tokens {
+                self.debtors.entry(*token).or_default().insert(address);
+            }
+        }
 
         // Totals: subtract the old contribution, add the new one. The sums
         // never saturate at sane magnitudes, so the incremental totals equal
@@ -1039,51 +1023,6 @@ impl PositionBook {
                 .all_collateral_usd
                 .saturating_add(new_collateral);
             self.totals.all_debt_usd = self.totals.all_debt_usd.saturating_add(new_debt);
-        }
-
-        // Exposure maps. An account's holder map depends on whether it is
-        // critical-price-indexed, so membership moves when that changes.
-        let was_indexed = old_critical.is_some();
-        let now_indexed = new_critical.is_some();
-        for token in &old_tokens {
-            let keep = exists && was_indexed == now_indexed && new_tokens.contains(token);
-            if !keep {
-                let map = if was_indexed {
-                    &mut self.indexed_holders
-                } else {
-                    &mut self.multi_holders
-                };
-                if let Some(holders) = map.get_mut(token) {
-                    holders.remove(&address);
-                }
-            }
-        }
-        if exists {
-            let map = if now_indexed {
-                &mut self.indexed_holders
-            } else {
-                &mut self.multi_holders
-            };
-            for token in &new_tokens {
-                let already = was_indexed == now_indexed && old_tokens.contains(token);
-                if !already {
-                    map.entry(*token).or_default().insert(address);
-                }
-            }
-        }
-        for token in &old_debt_list {
-            if !(exists && new_debt_tokens.contains(token)) {
-                if let Some(debtors) = self.debtors.get_mut(token) {
-                    debtors.remove(&address);
-                }
-            }
-        }
-        if exists {
-            for token in &new_debt_tokens {
-                if !old_debt_list.contains(token) {
-                    self.debtors.entry(*token).or_default().insert(address);
-                }
-            }
         }
 
         // Critical-price index.
@@ -1140,6 +1079,604 @@ impl PositionBook {
             self.scratch_debt_tokens = new_debt_tokens;
         }
     }
+
+    // --------------------------------------------------------------- queries
+
+    /// This shard's liquidatable accounts (live set ∪ critical-price range
+    /// scans) appended to `out` in address order, with each returned
+    /// valuation freshened.
+    fn collect_liquidatable<S: BookSource>(
+        &mut self,
+        source: &S,
+        oracle: &PriceOracle,
+        bands: (Wad, Wad),
+        out: &mut Vec<Address>,
+    ) {
+        let mut found: BTreeSet<Address> = self.live.clone();
+        for (token, map) in &self.critical {
+            let Some(price) = oracle.price(*token) else {
+                continue;
+            };
+            for accounts in map
+                .range((Bound::Excluded(price.raw()), Bound::Unbounded))
+                .map(|(_, accounts)| accounts)
+            {
+                found.extend(accounts.iter().copied());
+            }
+        }
+        let start = out.len();
+        out.extend(found);
+        // Freshen the valuations discovery hands out; re-valuing cannot
+        // change the verdict (same state, same prices — and for accounts an
+        // envelope certified, the band is certified).
+        for slot in start..out.len() {
+            let Some(&address) = out.get(slot) else {
+                break;
+            };
+            let stale = self
+                .entries
+                .get(&address)
+                .is_some_and(|entry| entry.stale || entry.is_stale(oracle));
+            if stale {
+                self.refresh(source, oracle, address, bands);
+            }
+        }
+    }
+
+    /// Freshen every stale at-risk member of this shard without visiting —
+    /// the parallelisable half of [`visit_at_risk`](Self::visit_at_risk).
+    /// Re-valuing cannot change any verdict (same state, same prices), so
+    /// shards can freshen concurrently and the serial visit pass that
+    /// follows observes exactly what a serial freshen would have produced.
+    fn freshen_at_risk<S: BookSource>(
+        &mut self,
+        source: &S,
+        oracle: &PriceOracle,
+        bands: (Wad, Wad),
+    ) {
+        let mut batch = std::mem::take(&mut self.scratch_addresses);
+        batch.clear();
+        batch.extend(self.at_risk.iter().copied());
+        for &address in &batch {
+            let stale = self
+                .entries
+                .get(&address)
+                .is_some_and(|entry| entry.stale || entry.is_stale(oracle));
+            if stale {
+                self.refresh(source, oracle, address, bands);
+            }
+        }
+        self.scratch_addresses = batch;
+    }
+
+    /// Visit this shard's at-risk members in address order, freshening each
+    /// visited valuation.
+    fn visit_at_risk<S: BookSource>(
+        &mut self,
+        source: &S,
+        oracle: &PriceOracle,
+        bands: (Wad, Wad),
+        visit: &mut dyn FnMut(&Position),
+    ) {
+        let mut batch = std::mem::take(&mut self.scratch_addresses);
+        batch.clear();
+        batch.extend(self.at_risk.iter().copied());
+        for &address in &batch {
+            let stale = self
+                .entries
+                .get(&address)
+                .is_some_and(|entry| entry.stale || entry.is_stale(oracle));
+            if stale {
+                // Freshening cannot change the verdict: the account either
+                // re-valued in the flush above or its envelope certifies the
+                // band — so the light refresh applies whenever the envelope
+                // still covers current prices, and the full revalue otherwise.
+                self.refresh(source, oracle, address, bands);
+            }
+            if let Some(entry) = self.entries.get(&address) {
+                if entry.in_book {
+                    visit(&entry.position);
+                }
+            }
+        }
+        self.scratch_addresses = batch;
+    }
+
+    /// Freeze this shard's observable entries into an immutable
+    /// [`ShardSnapshot`].
+    fn freeze(&self, rescue: Wad, releverage: Wad) -> ShardSnapshot {
+        let mut entries = BTreeMap::new();
+        for (account, entry) in &self.entries {
+            if !entry.in_book {
+                continue;
+            }
+            let health_factor = entry.position.health_factor();
+            entries.insert(
+                *account,
+                SnapshotEntry {
+                    position: entry.position.clone(),
+                    collateral_usd: entry.collateral_usd,
+                    debt_usd: entry.debt_usd,
+                    health_factor,
+                    // Classify from the fresh HF rather than copying the
+                    // cached band: critical-indexed entries keep a Quiet
+                    // cached band by design.
+                    band: SnapshotBand::classify(health_factor, rescue, releverage),
+                    sensitive: entry.tokens.clone(),
+                    critical: entry.critical,
+                    envelope_bounds: entry
+                        .envelope
+                        .as_ref()
+                        .map(|e| e.price_bounds.clone())
+                        .unwrap_or_default(),
+                },
+            );
+        }
+        ShardSnapshot { entries }
+    }
+}
+
+/// The incremental cache each [`crate::LendingProtocol`] implementation owns.
+/// See the module docs for the invalidation contract and the sharding
+/// layout.
+#[derive(Debug, Clone)]
+pub struct PositionBook {
+    shards: Vec<BookShard>,
+    /// Markets whose borrow index changed since the last flush.
+    pending_index_tokens: Vec<Token>,
+    /// The (rescue, releverage) HF thresholds the bands are classified by.
+    bands: (Wad, Wad),
+    /// Oracle epoch consumed by every flush (multivariate dirty marking).
+    synced_epoch: u64,
+    /// Oracle epoch up to which lazily staled valuations were freshened by a
+    /// full refresh.
+    full_synced_epoch: u64,
+    /// How many `std::thread::scope` workers flushes fan shards across
+    /// (1 = serial; results are identical either way).
+    workers: usize,
+    /// Per-shard `(version, frozen snapshot)` from the last
+    /// [`snapshot`](Self::snapshot) call: an unchanged shard hands out the
+    /// same `Arc` instead of re-cloning its entries.
+    snapshot_cache: Vec<Option<(u64, Arc<ShardSnapshot>)>>,
+    scratch_changed: Vec<Token>,
+    scratch_prices: Vec<(Token, u128)>,
+    scratch_index_moves: Vec<(Token, Option<u128>)>,
+    scratch_full_changed: Vec<(Token, u64)>,
+}
+
+impl Default for PositionBook {
+    fn default() -> Self {
+        PositionBook {
+            shards: (0..BOOK_SHARD_COUNT)
+                .map(|_| BookShard::default())
+                .collect(),
+            pending_index_tokens: Vec::new(),
+            bands: (
+                // lint:allow(fixed-float) band edges are config-space constants quantized once at construction, not per-valuation
+                Wad::from_f64(RESCUE_BAND_HF),
+                // lint:allow(fixed-float) band edges are config-space constants quantized once at construction, not per-valuation
+                Wad::from_f64(RELEVERAGE_BAND_HF),
+            ),
+            synced_epoch: 0,
+            full_synced_epoch: 0,
+            workers: 1,
+            snapshot_cache: (0..BOOK_SHARD_COUNT).map(|_| None).collect(),
+            scratch_changed: Vec::new(),
+            scratch_prices: Vec::new(),
+            scratch_index_moves: Vec::new(),
+            scratch_full_changed: Vec::new(),
+        }
+    }
+}
+
+impl PositionBook {
+    /// An empty book with the default
+    /// ([`RESCUE_BAND_HF`], [`RELEVERAGE_BAND_HF`]) band thresholds.
+    pub fn new() -> Self {
+        PositionBook::default()
+    }
+
+    /// Set how many `std::thread::scope` workers flushes fan the shards
+    /// across (clamped to `1..=BOOK_SHARD_COUNT`). Purely a throughput knob:
+    /// the shard partition and merge order are fixed, so every query result
+    /// is byte-identical for any worker count.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.clamp(1, BOOK_SHARD_COUNT);
+    }
+
+    /// The configured flush worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn shard_mut(&mut self, account: &Address) -> Option<&mut BookShard> {
+        self.shards.get_mut(shard_of(account))
+    }
+
+    /// Mark one account for re-valuation (every protocol mutation that
+    /// touches the account must call this).
+    pub fn mark_dirty(&mut self, account: Address) {
+        if let Some(shard) = self.shard_mut(&account) {
+            shard.dirty.insert(account);
+        }
+    }
+
+    /// Record that a market's borrow index advanced: every account owing
+    /// `token` re-values (or proves its cap) before the next query.
+    pub fn note_index_change(&mut self, token: Token) {
+        if !self.pending_index_tokens.contains(&token) {
+            self.pending_index_tokens.push(token);
+        }
+    }
+
+    /// Invalidate every cached account (risk-parameter changes: market or
+    /// ilk (re)listing can alter thresholds/spreads of existing positions).
+    pub fn invalidate_all(&mut self) {
+        for shard in &mut self.shards {
+            let accounts: Vec<Address> = shard.entries.keys().copied().collect();
+            shard.dirty.extend(accounts);
+        }
+    }
+
+    /// Cache-maintenance counters, folded over the shards.
+    pub fn stats(&self) -> BookStats {
+        let mut stats = BookStats::default();
+        for shard in &self.shards {
+            stats.cached_accounts += shard.entries.len();
+            stats.revaluations += shard.revaluations;
+            stats.indexed_accounts += shard
+                .entries
+                .values()
+                .filter(|e| e.critical.is_some())
+                .count();
+            stats.live_accounts += shard.live.len();
+            stats.banded_accounts += shard
+                .entries
+                .values()
+                .filter(|e| e.envelope.is_some())
+                .count();
+            stats.at_risk_accounts += shard.at_risk.len();
+            stats.envelope_skips += shard.envelope_skips;
+            stats.stale_violations += shard.stale_violations;
+        }
+        stats
+    }
+
+    /// The cached snapshot of one account, if it is in the cache. Exact only
+    /// after a refreshing query ([`book_positions`](Self::book_positions),
+    /// [`liquidatable_accounts`](Self::liquidatable_accounts), …).
+    pub fn cached_position(&self, account: Address) -> Option<&Position> {
+        self.shards
+            .get(shard_of(&account))
+            .and_then(|shard| shard.entries.get(&account))
+            .map(|e| &e.position)
+    }
+
+    // ------------------------------------------------------------------ flush
+
+    /// Fold every pending invalidation into re-valuations, fanning the
+    /// shards across the configured worker count. With `full`, also freshen
+    /// lazily staled valuations so every cached position is exact at current
+    /// prices.
+    fn flush<S: BookSource>(&mut self, source: &S, oracle: &PriceOracle, full: bool) {
+        let epoch = oracle.epoch();
+        let rewind = epoch < self.synced_epoch;
+        let mut changed = std::mem::take(&mut self.scratch_changed);
+        changed.clear();
+        let mut changed_prices = std::mem::take(&mut self.scratch_prices);
+        changed_prices.clear();
+        let mut index_moves = std::mem::take(&mut self.scratch_index_moves);
+        index_moves.clear();
+        let mut full_changed = std::mem::take(&mut self.scratch_full_changed);
+        full_changed.clear();
+        let mut index_tokens = std::mem::take(&mut self.pending_index_tokens);
+
+        if rewind {
+            index_tokens.clear();
+            self.synced_epoch = epoch;
+            self.full_synced_epoch = epoch;
+        } else {
+            if epoch > self.synced_epoch {
+                oracle.collect_changed_since(self.synced_epoch, &mut changed);
+                changed_prices.extend(
+                    changed
+                        .iter()
+                        .map(|&token| (token, oracle.price(token).map_or(0, |p| p.raw()))),
+                );
+            }
+            self.synced_epoch = epoch;
+            index_moves.extend(
+                index_tokens
+                    .iter()
+                    .map(|&token| (token, source.borrow_index(token))),
+            );
+            if full && epoch > self.full_synced_epoch {
+                changed.clear();
+                oracle.collect_changed_since(self.full_synced_epoch, &mut changed);
+                full_changed.extend(
+                    changed
+                        .iter()
+                        .map(|&token| (token, oracle.token_epoch(token))),
+                );
+                self.full_synced_epoch = epoch;
+            }
+        }
+
+        let any_work = rewind
+            || !changed_prices.is_empty()
+            || !index_moves.is_empty()
+            || !full_changed.is_empty()
+            || self.shards.iter().any(|shard| !shard.dirty.is_empty())
+            || (full && self.shards.iter().any(|shard| shard.stale_count > 0));
+        if any_work {
+            let ctx = FlushCtx {
+                changed_prices: &changed_prices,
+                index_moves: &index_moves,
+                full_changed: &full_changed,
+                bands: self.bands,
+                full,
+                rewind,
+            };
+            let workers = self.workers.clamp(1, BOOK_SHARD_COUNT);
+            if workers == 1 {
+                for shard in &mut self.shards {
+                    shard.flush(source, oracle, &ctx);
+                }
+            } else {
+                // Fan the shards across scoped workers. Each shard is
+                // self-contained and internally ordered, so scheduling
+                // cannot influence any result — only wall-clock.
+                let chunk = BOOK_SHARD_COUNT.div_ceil(workers);
+                let ctx = &ctx;
+                std::thread::scope(|scope| {
+                    for shard_chunk in self.shards.chunks_mut(chunk) {
+                        scope.spawn(move || {
+                            for shard in shard_chunk {
+                                shard.flush(source, oracle, ctx);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+
+        index_tokens.clear();
+        self.pending_index_tokens = index_tokens;
+        self.scratch_changed = changed;
+        self.scratch_prices = changed_prices;
+        self.scratch_index_moves = index_moves;
+        self.scratch_full_changed = full_changed;
+    }
+
+    // --------------------------------------------------------------- queries
+
+    /// Bring every cached valuation up to date and clone out the observable
+    /// book in address order — byte-identical to the legacy from-scratch
+    /// rebuild, without re-valuing untouched accounts.
+    pub fn book_positions<S: BookSource>(
+        &mut self,
+        source: &S,
+        oracle: &PriceOracle,
+    ) -> Vec<Position> {
+        self.flush(source, oracle, true);
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(
+                shard
+                    .entries
+                    .values()
+                    .filter(|e| e.in_book)
+                    .map(|e| e.position.clone()),
+            );
+        }
+        out
+    }
+
+    /// Visit every observable book position in address order without
+    /// allocating a snapshot vector (the engine's borrower-management pass).
+    pub fn for_each_book_position<S: BookSource>(
+        &mut self,
+        source: &S,
+        oracle: &PriceOracle,
+        visit: &mut dyn FnMut(&Position),
+    ) {
+        self.flush(source, oracle, true);
+        for shard in &self.shards {
+            for entry in shard.entries.values() {
+                if entry.in_book {
+                    visit(&entry.position);
+                }
+            }
+        }
+    }
+
+    fn fold_totals(&self) -> Totals {
+        let mut totals = Totals::default();
+        for shard in &self.shards {
+            totals.book_collateral_usd = totals
+                .book_collateral_usd
+                .saturating_add(shard.totals.book_collateral_usd);
+            totals.book_debt_usd = totals
+                .book_debt_usd
+                .saturating_add(shard.totals.book_debt_usd);
+            totals.book_dai_eth_usd = totals
+                .book_dai_eth_usd
+                .saturating_add(shard.totals.book_dai_eth_usd);
+            totals.book_count += shard.totals.book_count;
+            totals.all_collateral_usd = totals
+                .all_collateral_usd
+                .saturating_add(shard.totals.all_collateral_usd);
+            totals.all_debt_usd = totals
+                .all_debt_usd
+                .saturating_add(shard.totals.all_debt_usd);
+        }
+        totals
+    }
+
+    /// Running totals over the observable book (volume sampling), merged in
+    /// fixed shard order.
+    pub fn totals<S: BookSource>(&mut self, source: &S, oracle: &PriceOracle) -> BookTotals {
+        self.flush(source, oracle, true);
+        let totals = self.fold_totals();
+        BookTotals {
+            collateral_usd: totals.book_collateral_usd,
+            debt_usd: totals.book_debt_usd,
+            dai_eth_collateral_usd: totals.book_dai_eth_usd,
+            open_positions: totals.book_count,
+        }
+    }
+
+    /// The (rescue, releverage) HF thresholds the bands are classified by.
+    pub fn band_thresholds(&self) -> (Wad, Wad) {
+        self.bands
+    }
+
+    /// Freeze the observable book into an immutable, index-carrying
+    /// [`BookSnapshot`] for concurrent readers: every valuation brought
+    /// exact at current prices, plus each entry's sensitivity list,
+    /// critical price and certified envelope bounds so snapshot-side
+    /// what-if queries can ride the same fast paths the live book uses.
+    ///
+    /// The snapshot is **per-shard**: each shard freezes behind its own
+    /// `Arc`, cached against the shard's version counter, so a shard nothing
+    /// touched since the previous call hands out the same allocation
+    /// (`Arc::ptr_eq`) instead of re-cloning its entries.
+    pub fn snapshot<S: BookSource>(&mut self, source: &S, oracle: &PriceOracle) -> BookSnapshot {
+        self.flush(source, oracle, true);
+        let (rescue, releverage) = self.bands;
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for (shard, cache) in self.shards.iter().zip(self.snapshot_cache.iter_mut()) {
+            match cache {
+                Some((version, frozen)) if *version == shard.version => {
+                    shards.push(Arc::clone(frozen));
+                }
+                _ => {
+                    let frozen = Arc::new(shard.freeze(rescue, releverage));
+                    *cache = Some((shard.version, Arc::clone(&frozen)));
+                    shards.push(frozen);
+                }
+            }
+        }
+        let totals = self.fold_totals();
+        let totals = BookTotals {
+            collateral_usd: totals.book_collateral_usd,
+            debt_usd: totals.book_debt_usd,
+            dai_eth_collateral_usd: totals.book_dai_eth_usd,
+            open_positions: totals.book_count,
+        };
+        let prices = oracle
+            .tokens()
+            .into_iter()
+            .map(|token| (token, oracle.price_or_zero(token)))
+            .collect();
+        BookSnapshot {
+            shards,
+            totals,
+            prices,
+            rescue,
+            releverage,
+        }
+    }
+
+    /// Running totals over *every* cached account (the protocol-level
+    /// `total_collateral_value` / `total_debt_value` surface).
+    pub fn all_totals<S: BookSource>(&mut self, source: &S, oracle: &PriceOracle) -> (Wad, Wad) {
+        self.flush(source, oracle, true);
+        let totals = self.fold_totals();
+        (totals.all_collateral_usd, totals.all_debt_usd)
+    }
+
+    /// Accounts currently below the liquidation threshold, in address order,
+    /// with their cached positions freshened: the union of the per-token
+    /// critical-price range scans and the incrementally maintained live set,
+    /// merged in fixed shard order. Does **not** re-value accounts whose
+    /// certified state a price move failed to break — the fast path a keeper
+    /// loop takes every block.
+    pub fn liquidatable_accounts<S: BookSource>(
+        &mut self,
+        source: &S,
+        oracle: &PriceOracle,
+    ) -> Vec<Address> {
+        self.flush(source, oracle, false);
+        let bands = self.bands;
+        let mut out = Vec::new();
+        for shard in &mut self.shards {
+            shard.collect_liquidatable(source, oracle, bands, &mut out);
+        }
+        out
+    }
+
+    /// Visit every *at-risk* observable position — health factor below
+    /// `rescue` (including liquidatable ones) or above `releverage` — in
+    /// address order, with each visited valuation freshened to current
+    /// prices and indexes. Quiet-band accounts whose envelope holds are
+    /// skipped without re-valuation: this is the banded fast path of the
+    /// engine's borrower-management pass, exactly equivalent to filtering a
+    /// full book walk by health factor.
+    ///
+    /// Changing the thresholds re-classifies the whole book (one-off full
+    /// re-valuation). Books containing critical-price-indexed accounts fall
+    /// back to the exact full walk — indexed accounts keep no HF band.
+    pub fn for_each_at_risk<S: BookSource>(
+        &mut self,
+        source: &S,
+        oracle: &PriceOracle,
+        rescue: Wad,
+        releverage: Wad,
+        visit: &mut dyn FnMut(&Position),
+    ) {
+        if (rescue, releverage) != self.bands {
+            self.bands = (rescue, releverage);
+            self.invalidate_all();
+        }
+        self.flush(source, oracle, false);
+        if self
+            .shards
+            .iter()
+            .any(|shard| shard.critical.values().any(|map| !map.is_empty()))
+        {
+            // Indexed (single-price) accounts read their liquidation status
+            // off the critical-price maps and maintain no band — serve mixed
+            // books through the exact full walk instead.
+            self.flush(source, oracle, true);
+            for shard in &self.shards {
+                for entry in shard.entries.values() {
+                    if !entry.in_book {
+                        continue;
+                    }
+                    let Some(hf) = entry.position.health_factor() else {
+                        continue;
+                    };
+                    if hf < rescue || hf > releverage {
+                        visit(&entry.position);
+                    }
+                }
+            }
+            return;
+        }
+        let bands = self.bands;
+        let workers = self.workers.clamp(1, BOOK_SHARD_COUNT);
+        if workers > 1 {
+            // Phase 1 (parallel): freshen each shard's stale at-risk members.
+            // Freshening is per-shard-local and verdict-preserving, so the
+            // fan only changes wall-clock, never results.
+            let chunk = BOOK_SHARD_COUNT.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for shard_chunk in self.shards.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for shard in shard_chunk {
+                            shard.freshen_at_risk(source, oracle, bands);
+                        }
+                    });
+                }
+            });
+        }
+        // Phase 2 (serial, shard order = address order): visit. After a
+        // parallel freshen this finds nothing stale and is pure iteration.
+        for shard in &mut self.shards {
+            shard.visit_at_risk(source, oracle, bands, visit);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1155,6 +1692,9 @@ mod tests {
     /// the book's bookkeeping in isolation.
     struct ToySource {
         accounts: BTreeMap<Address, (Wad, Wad)>, // collateral ETH, par debt
+        /// Suppress critical prices: accounts then ride the multivariate
+        /// (live-set) path, which is what the shard-parallel flush fans out.
+        multivariate: bool,
     }
 
     impl ToySource {
@@ -1181,7 +1721,10 @@ mod tests {
                 slot.collateral.push(CollateralHolding {
                     token: Token::ETH,
                     amount: collateral,
-                    value_usd: collateral.checked_mul(price).unwrap_or(Wad::ZERO),
+                    // Saturate *upward* on overflow: a valuation too large to
+                    // represent must never collapse to zero and spuriously
+                    // flag a healthy account liquidatable.
+                    value_usd: collateral.checked_mul(price).unwrap_or(Wad::MAX),
                     liquidation_threshold: Wad::ONE.checked_div(Self::ratio()).unwrap_or(Wad::ZERO),
                     liquidation_spread: Wad::from_f64(0.13),
                 });
@@ -1209,6 +1752,9 @@ mod tests {
         fn debt_tokens(&self, _position: &Position, _out: &mut Vec<Token>) {}
 
         fn critical_price(&self, account: Address, _position: &Position) -> Option<(Token, u128)> {
+            if self.multivariate {
+                return None;
+            }
             let &(collateral, debt) = self.accounts.get(&account)?;
             if collateral.is_zero() || debt.is_zero() {
                 return None;
@@ -1223,6 +1769,7 @@ mod tests {
     fn setup(n: u64) -> (ToySource, PositionBook, PriceOracle) {
         let mut source = ToySource {
             accounts: BTreeMap::new(),
+            multivariate: false,
         };
         let mut book = PositionBook::new();
         for i in 0..n {
@@ -1357,5 +1904,119 @@ mod tests {
         assert!(positions
             .iter()
             .all(|p| p.total_collateral_value() == Wad::from_int(2_500)));
+        // The always-on stale-flag invariant held through rewind + drain.
+        assert_eq!(book.stats().stale_violations, 0);
+    }
+
+    /// Satellite regression: a collateral valuation too large for the
+    /// fixed-point range must saturate *upward*, never collapse to zero — an
+    /// overflow previously zeroed the collateral value and could flag a
+    /// massively over-collateralized account as liquidatable.
+    #[test]
+    fn extreme_prices_saturate_collateral_value_upward() {
+        let mut source = ToySource {
+            accounts: BTreeMap::new(),
+            multivariate: true,
+        };
+        let mut book = PositionBook::new();
+        let whale = Address::from_seed(0);
+        // 10^15 ETH at 10^15 USD: the raw product overflows u128.
+        let collateral = Wad::from_int(1_000_000_000_000_000);
+        let debt = Wad::from_int(100);
+        source.accounts.insert(whale, (collateral, debt));
+        book.mark_dirty(whale);
+        let mut oracle = PriceOracle::new(OracleConfig::every_update());
+        oracle.set_price(0, Token::ETH, Wad::from_int(1_000_000_000_000_000));
+        let positions = book.book_positions(&source, &oracle);
+        assert_eq!(positions.len(), 1);
+        assert_eq!(
+            positions[0].total_collateral_value(),
+            Wad::MAX,
+            "overflowed collateral value must saturate upward"
+        );
+        assert!(
+            book.liquidatable_accounts(&source, &oracle).is_empty(),
+            "a saturated (astronomically healthy) account must not be flagged"
+        );
+        assert_eq!(book.stats().stale_violations, 0);
+    }
+
+    /// Tentpole invariant, small scale: every book surface is byte-identical
+    /// for any worker count, across mutations, price moves and removals.
+    #[test]
+    fn worker_counts_produce_identical_books() {
+        let run = |workers: usize| {
+            let (mut source, mut book, mut oracle) = setup(64);
+            source.multivariate = true;
+            book.set_workers(workers);
+            let mut log = Vec::new();
+            for step in 0u64..12 {
+                // Wiggle the price and mutate a few accounts each step.
+                let price = 100.0 - step as f64 * 2.5;
+                oracle.set_price(step + 1, Token::ETH, Wad::from_f64(price));
+                let touched = Address::from_seed(step % 64);
+                if let Some(slot) = source.accounts.get_mut(&touched) {
+                    slot.1 = slot.1.saturating_add(Wad::from_int(1));
+                }
+                book.mark_dirty(touched);
+                if step == 7 {
+                    let gone = Address::from_seed(11);
+                    source.accounts.remove(&gone);
+                    book.mark_dirty(gone);
+                }
+                log.push((
+                    book.liquidatable_accounts(&source, &oracle),
+                    book.totals(&source, &oracle),
+                    book.book_positions(&source, &oracle),
+                ));
+            }
+            log
+        };
+        let serial = run(1);
+        for workers in [2, 4, 16] {
+            assert_eq!(run(workers), serial, "workers={workers} diverged");
+        }
+    }
+
+    /// Tentpole invariant: an unchanged shard hands out the same `Arc` on
+    /// the next snapshot; touching one account rebuilds only its shard.
+    #[test]
+    fn snapshot_reuses_unchanged_shard_arcs() {
+        let (mut source, mut book, oracle) = setup(64);
+        let first = book.snapshot(&source, &oracle);
+        let second = book.snapshot(&source, &oracle);
+        assert_eq!(first.shards().len(), BOOK_SHARD_COUNT);
+        assert!(
+            first
+                .shards()
+                .iter()
+                .zip(second.shards())
+                .all(|(a, b)| Arc::ptr_eq(a, b)),
+            "an untouched book must reuse every shard snapshot"
+        );
+        // Mutate exactly one account: only its shard may rebuild.
+        let touched = Address::from_seed(7);
+        source.accounts.get_mut(&touched).unwrap().1 = Wad::from_int(1);
+        book.mark_dirty(touched);
+        let third = book.snapshot(&source, &oracle);
+        let rebuilt: Vec<usize> = second
+            .shards()
+            .iter()
+            .zip(third.shards())
+            .enumerate()
+            .filter(|(_, (a, b))| !Arc::ptr_eq(a, b))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(
+            rebuilt,
+            vec![shard_of(&touched)],
+            "exactly the touched shard must rebuild"
+        );
+        // The rebuilt snapshot still reads consistently.
+        assert_eq!(third.len(), 64);
+        assert_eq!(
+            third.entry(touched).unwrap().position.total_debt_value(),
+            Wad::from_int(1)
+        );
     }
 }

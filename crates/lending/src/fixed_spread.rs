@@ -387,7 +387,10 @@ fn fill_position_from(
         slot.collateral.push(CollateralHolding {
             token,
             amount,
-            value_usd: amount.checked_mul(price).unwrap_or(Wad::ZERO),
+            // Overflow saturates toward the true (huge) value: zeroing an
+            // overflowed collateral value would spuriously flag a healthy
+            // whale account as liquidatable.
+            value_usd: amount.checked_mul(price).unwrap_or(Wad::MAX),
             liquidation_threshold: market.liquidation_threshold,
             liquidation_spread: market.liquidation_spread,
         });
@@ -404,7 +407,10 @@ fn fill_position_from(
         slot.debt.push(DebtHolding {
             token,
             amount,
-            value_usd: amount.checked_mul(price).unwrap_or(Wad::ZERO),
+            // Same direction rule for debt: an overflowed debt value is
+            // astronomically large, so saturating up keeps the account
+            // (correctly) underwater instead of wiping its debt to zero.
+            value_usd: amount.checked_mul(price).unwrap_or(Wad::MAX),
         });
     }
     true
@@ -888,6 +894,12 @@ impl FixedSpreadProtocol {
     /// Cache-maintenance counters (scale benchmarks, no-op-tick tests).
     pub fn book_stats(&self) -> BookStats {
         self.book.stats()
+    }
+
+    /// Worker threads the book may fan re-valuation across (see
+    /// [`PositionBook::set_workers`]).
+    pub fn set_book_workers(&mut self, workers: usize) {
+        self.book.set_workers(workers);
     }
 
     /// Total USD value of collateral deposited in the pool (running total

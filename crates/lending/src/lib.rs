@@ -44,7 +44,8 @@ pub mod protocol;
 pub mod snapshot;
 
 pub use book::{
-    BookSource, BookStats, BookTotals, HfEnvelope, PositionBook, RELEVERAGE_BAND_HF, RESCUE_BAND_HF,
+    BookSource, BookStats, BookTotals, HfEnvelope, PositionBook, BOOK_SHARD_COUNT,
+    RELEVERAGE_BAND_HF, RESCUE_BAND_HF,
 };
 pub use error::ProtocolError;
 pub use fixed_spread::{
@@ -59,4 +60,6 @@ pub use protocol::{
     AuctionSnapshot, BidSnapshot, LendingProtocol, LiquidationExecution, LiquidationRequest,
     MechanismKind, Opportunity,
 };
-pub use snapshot::{BookSnapshot, BreachPaths, BreachReport, SnapshotBand, SnapshotEntry};
+pub use snapshot::{
+    BookSnapshot, BreachPaths, BreachReport, ShardSnapshot, SnapshotBand, SnapshotEntry,
+};

@@ -239,7 +239,9 @@ fn fill_cdp_position(
         slot.collateral.push(CollateralHolding {
             token: cdp.collateral_token,
             amount: cdp.collateral,
-            value_usd: cdp.collateral.checked_mul(price).unwrap_or(Wad::ZERO),
+            // Overflow saturates toward the true (huge) value so an
+            // over-collateralised CDP never looks empty and bitable.
+            value_usd: cdp.collateral.checked_mul(price).unwrap_or(Wad::MAX),
             liquidation_threshold: lt,
             liquidation_spread: ilk.liquidation_penalty,
         });
@@ -519,7 +521,9 @@ impl MakerProtocol {
         let Some(price) = oracle.price(cdp.collateral_token) else {
             return false;
         };
-        let collateral_value = cdp.collateral.checked_mul(price).unwrap_or(Wad::ZERO);
+        // Both sides saturate toward their true (huge) values on overflow:
+        // zeroing the collateral side would spuriously bite a giant CDP.
+        let collateral_value = cdp.collateral.checked_mul(price).unwrap_or(Wad::MAX);
         let required = cdp
             .debt
             .checked_mul(ilk.liquidation_ratio)
@@ -628,6 +632,12 @@ impl MakerProtocol {
     /// Cache-maintenance counters (scale benchmarks, no-op-tick tests).
     pub fn book_stats(&self) -> BookStats {
         self.book.stats()
+    }
+
+    /// Worker threads the book may fan re-valuation across (see
+    /// [`PositionBook::set_workers`]).
+    pub fn set_book_workers(&mut self, workers: usize) {
+        self.book.set_workers(workers);
     }
 
     /// Total USD value of locked collateral (running total maintained by the

@@ -332,6 +332,15 @@ pub trait LendingProtocol {
         )
     }
 
+    /// Set how many worker threads the protocol's incremental book may fan
+    /// re-valuation across within a tick (clamped to the shard count).
+    /// Results are byte-identical for every worker count — the shard
+    /// partition is a pure function of the account address and shards merge
+    /// in fixed index order — so this is purely a throughput knob. The
+    /// default is a no-op for cache-less implementations that have no book
+    /// to parallelise.
+    fn set_book_workers(&mut self, _workers: usize) {}
+
     /// The observable book rebuilt from scratch, bypassing every cache —
     /// the cache-less shadow the differential harness
     /// (`tests/band_differential.rs`) compares the banded/cached surfaces
@@ -502,6 +511,10 @@ impl LendingProtocol for FixedSpreadProtocol {
         FixedSpreadProtocol::book_snapshot(self, oracle)
     }
 
+    fn set_book_workers(&mut self, workers: usize) {
+        FixedSpreadProtocol::set_book_workers(self, workers);
+    }
+
     fn liquidatable(&mut self, oracle: &PriceOracle) -> Vec<Opportunity> {
         let platform = self.config().platform;
         self.cached_liquidatable_accounts(oracle)
@@ -653,6 +666,10 @@ impl LendingProtocol for MakerProtocol {
 
     fn book_snapshot(&mut self, oracle: &PriceOracle) -> crate::snapshot::BookSnapshot {
         MakerProtocol::book_snapshot(self, oracle)
+    }
+
+    fn set_book_workers(&mut self, workers: usize) {
+        MakerProtocol::set_book_workers(self, workers);
     }
 
     fn liquidatable(&mut self, oracle: &PriceOracle) -> Vec<Opportunity> {

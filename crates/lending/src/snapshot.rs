@@ -32,12 +32,13 @@
 //! [`PositionBook`]: crate::book::PositionBook
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use defi_core::position::Position;
 use defi_oracle::PriceOracle;
 use defi_types::{mul_div_floor, Address, Token, Wad};
 
-use crate::book::BookTotals;
+use crate::book::{shard_of, BookTotals, BOOK_SHARD_COUNT};
 
 /// Health-factor band of one snapshot entry, delimited by 1 and the book's
 /// (`rescue`, `releverage`) thresholds — the public mirror of the book's
@@ -153,15 +154,44 @@ pub struct BreachReport {
     pub paths: BreachPaths,
 }
 
+/// One address-range shard of a [`BookSnapshot`], frozen behind its own
+/// `Arc` so consecutive snapshots share the allocation whenever the live
+/// shard did not change (`Arc::ptr_eq` across snapshots ⇒ bit-identical
+/// contents).
+#[derive(Debug, Clone, Default)]
+pub struct ShardSnapshot {
+    pub(crate) entries: BTreeMap<Address, SnapshotEntry>,
+}
+
+impl ShardSnapshot {
+    /// Iterate this shard's entries in address order.
+    pub fn entries(&self) -> impl Iterator<Item = (&Address, &SnapshotEntry)> {
+        self.entries.iter()
+    }
+
+    /// Number of positions frozen in this shard.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether this shard holds no positions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// An immutable, self-contained snapshot of one protocol's observable book.
 ///
 /// Constructed by [`PositionBook::snapshot`](crate::book::PositionBook::snapshot)
-/// (index-carrying) or [`BookSnapshot::from_positions`] (index-less fallback);
-/// all queries take `&self` and allocate nothing shared, so any number of
-/// threads can read one snapshot concurrently.
+/// (index-carrying, per-shard `Arc`-cached) or
+/// [`BookSnapshot::from_positions`] (index-less fallback); all queries take
+/// `&self` and allocate nothing shared, so any number of threads can read one
+/// snapshot concurrently. Entries live in [`BOOK_SHARD_COUNT`] fixed
+/// address-range shards concatenated in ascending order, so iteration is
+/// still globally address-ordered.
 #[derive(Debug, Clone)]
 pub struct BookSnapshot {
-    pub(crate) entries: BTreeMap<Address, SnapshotEntry>,
+    pub(crate) shards: Vec<Arc<ShardSnapshot>>,
     pub(crate) totals: BookTotals,
     pub(crate) prices: BTreeMap<Token, Wad>,
     pub(crate) rescue: Wad,
@@ -180,7 +210,9 @@ impl BookSnapshot {
         rescue: Wad,
         releverage: Wad,
     ) -> BookSnapshot {
-        let mut entries = BTreeMap::new();
+        let mut shards: Vec<ShardSnapshot> = (0..BOOK_SHARD_COUNT)
+            .map(|_| ShardSnapshot::default())
+            .collect();
         let mut totals = BookTotals::default();
         for position in positions {
             let entry = SnapshotEntry::from_position(position, rescue, releverage);
@@ -195,7 +227,10 @@ impl BookSnapshot {
                     totals.dai_eth_collateral_usd.saturating_add(dai_eth);
             }
             totals.open_positions = totals.open_positions.saturating_add(1);
-            entries.insert(entry.position.owner, entry);
+            let owner = entry.position.owner;
+            if let Some(shard) = shards.get_mut(shard_of(&owner)) {
+                shard.entries.insert(owner, entry);
+            }
         }
         let prices = oracle
             .tokens()
@@ -203,7 +238,7 @@ impl BookSnapshot {
             .map(|token| (token, oracle.price_or_zero(token)))
             .collect();
         BookSnapshot {
-            entries,
+            shards: shards.into_iter().map(Arc::new).collect(),
             totals,
             prices,
             rescue,
@@ -211,14 +246,21 @@ impl BookSnapshot {
         }
     }
 
+    /// The frozen address-range shards in ascending order. Consecutive
+    /// snapshots return pointer-equal `Arc`s for shards nothing touched in
+    /// between — the reader-side contract the `RiskService` tests assert.
+    pub fn shards(&self) -> &[Arc<ShardSnapshot>] {
+        &self.shards
+    }
+
     /// Number of positions in the snapshot.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.shards.iter().map(|shard| shard.entries.len()).sum()
     }
 
     /// Whether the snapshot holds no positions.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.shards.iter().all(|shard| shard.entries.is_empty())
     }
 
     /// Aggregate totals over the snapshot (frozen copy of the book's running
@@ -238,25 +280,27 @@ impl BookSnapshot {
         self.prices.get(&token).copied().unwrap_or(Wad::ZERO)
     }
 
-    /// Iterate every entry in address order.
+    /// Iterate every entry in address order (shards are concatenated in
+    /// ascending address-range order).
     pub fn entries(&self) -> impl Iterator<Item = (&Address, &SnapshotEntry)> {
-        self.entries.iter()
+        self.shards.iter().flat_map(|shard| shard.entries.iter())
     }
 
-    /// Point lookup of one account.
+    /// Point lookup of one account (routed to its owning shard).
     pub fn entry(&self, account: Address) -> Option<&SnapshotEntry> {
-        self.entries.get(&account)
+        self.shards
+            .get(shard_of(&account))
+            .and_then(|shard| shard.entries.get(&account))
     }
 
     /// Point lookup of one account's position.
     pub fn position(&self, account: Address) -> Option<&Position> {
-        self.entries.get(&account).map(|e| &e.position)
+        self.entry(account).map(|e| &e.position)
     }
 
     /// Accounts in one band, in address order.
     pub fn band(&self, band: SnapshotBand) -> Vec<Address> {
-        self.entries
-            .iter()
+        self.entries()
             .filter(|(_, e)| e.band == band)
             .map(|(address, _)| *address)
             .collect()
@@ -270,7 +314,7 @@ impl BookSnapshot {
     /// Visit every at-risk entry (any band other than quiet) in address
     /// order.
     pub fn for_each_at_risk(&self, visit: &mut dyn FnMut(&Address, &SnapshotEntry)) {
-        for (address, entry) in &self.entries {
+        for (address, entry) in self.entries() {
             if entry.band.at_risk() {
                 visit(address, entry);
             }
@@ -278,13 +322,16 @@ impl BookSnapshot {
     }
 
     /// The snapshot price of `token` moved by `shock_bps` basis points
-    /// (−800 = −8 %), floored at zero. Integer-exact: `price · (10000 +
-    /// bps) / 10000` rounded down.
+    /// (−800 = −8 %), floored at the −100 % clamp: a shock at or below
+    /// −10000 bps yields exactly zero, never a negative (wrapped) scale.
+    /// Integer-exact above the clamp: `price · (10000 + bps) / 10000`
+    /// rounded down.
     pub fn shocked_price(&self, token: Token, shock_bps: i32) -> Wad {
         let base = self.price(token);
-        let scale = 10_000i64.saturating_add(i64::from(shock_bps));
+        // Clamp *before* any cast: `10_000 + shock_bps` is negative for
+        // shocks below −100 %, and a price cannot go negative.
+        let scale = 10_000i64.saturating_add(i64::from(shock_bps)).max(0);
         let Ok(scale) = u128::try_from(scale) else {
-            // Shock of −100 % or worse: the price floors at zero.
             return Wad::ZERO;
         };
         if scale == 0 {
@@ -302,7 +349,7 @@ impl BookSnapshot {
         let shocked = self.shocked_price(token, shock_bps);
         let mut paths = BreachPaths::default();
         let mut breached = Vec::new();
-        for (address, entry) in &self.entries {
+        for (address, entry) in self.entries() {
             if self.entry_breaches(entry, token, shocked, &mut paths) {
                 breached.push(*address);
             }
@@ -321,8 +368,7 @@ impl BookSnapshot {
     /// this is the from-scratch re-valuation the indexes must agree with.
     pub fn breach_under_reference(&self, token: Token, shock_bps: i32) -> Vec<Address> {
         let shocked = self.shocked_price(token, shock_bps);
-        self.entries
-            .iter()
+        self.entries()
             .filter(|(_, entry)| project_breach(entry, token, shocked))
             .map(|(address, _)| *address)
             .collect()
@@ -380,24 +426,29 @@ impl BookSnapshot {
 /// entry is price-sensitive to it, every other holding keeps its snapshot
 /// valuation — the same checked/saturating fold the live [`Position`]
 /// valuation uses. Returns whether the projected HF sits below 1.
+///
+/// Overflow saturates toward the true (astronomically large) value on both
+/// sides of the ratio: a collateral product too big for the range must not
+/// collapse to zero (spurious breach), and a debt product too big must not
+/// collapse to zero either (spuriously *healthy*).
 fn project_breach(entry: &SnapshotEntry, token: Token, shocked: Wad) -> bool {
     let reprice = entry.sensitive.contains(&token);
     let mut capacity = Wad::ZERO;
     let mut debt = Wad::ZERO;
     for holding in &entry.position.collateral {
         let value = if reprice && holding.token == token {
-            holding.amount.checked_mul(shocked).unwrap_or(Wad::ZERO)
+            holding.amount.checked_mul(shocked).unwrap_or(Wad::MAX)
         } else {
             holding.value_usd
         };
         let weighted = value
             .checked_mul(holding.liquidation_threshold)
-            .unwrap_or(Wad::ZERO);
+            .unwrap_or(Wad::MAX);
         capacity = capacity.saturating_add(weighted);
     }
     for holding in &entry.position.debt {
         let value = if reprice && holding.token == token {
-            holding.amount.checked_mul(shocked).unwrap_or(Wad::ZERO)
+            holding.amount.checked_mul(shocked).unwrap_or(Wad::MAX)
         } else {
             holding.value_usd
         };

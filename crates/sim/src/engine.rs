@@ -125,10 +125,15 @@ impl SimulationEngine {
     /// [`EngineBuilder::build`](crate::EngineBuilder::build)).
     pub(crate) fn from_parts(
         config: SimConfig,
-        protocols: ProtocolRegistry,
+        mut protocols: ProtocolRegistry,
         scenario: MarketScenario,
         dex_setup: DexSetup,
     ) -> Self {
+        // Fan each protocol's book re-valuation across the configured worker
+        // count (byte-identical results for every value — a throughput knob).
+        for protocol in protocols.values_mut() {
+            protocol.set_book_workers(config.book_workers);
+        }
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut chain_config = ChainConfig {
             start_block: config.start_block,

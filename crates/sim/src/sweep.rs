@@ -246,28 +246,36 @@ impl SweepRunner {
                 .map(|(index, config)| job(index, config.clone()))
                 .collect();
         }
+        // Workers pull indexes from a shared counter and push `(index, T)`
+        // pairs into one shared vector; sorting by index afterwards restores
+        // input order, so the output is identical for any worker count. A
+        // poisoned lock only means another worker panicked mid-push — the
+        // scope re-raises that panic once the threads join, so recovering the
+        // inner vector here is safe and keeps this path panic-free itself.
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(total));
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let index = next.fetch_add(1, Ordering::SeqCst);
-                    if index >= total {
+                    let Some(config) = configs.get(index) else {
                         break;
-                    }
-                    let result = job(index, configs[index].clone());
-                    *slots[index].lock().expect("result slot poisoned") = Some(result);
+                    };
+                    let result = job(index, config.clone());
+                    let mut guard = match results.lock() {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    guard.push((index, result));
                 });
             }
         });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every sweep slot is filled before the scope ends")
-            })
-            .collect()
+        let mut results = match results.into_inner() {
+            Ok(results) => results,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        results.sort_by_key(|&(index, _)| index);
+        results.into_iter().map(|(_, result)| result).collect()
     }
 }
 

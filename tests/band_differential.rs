@@ -160,6 +160,92 @@ fn banded_discovery_matches_shadow_scan_across_every_catalog_scenario() {
 }
 
 // ---------------------------------------------------------------------------
+// Worker-count differential: the sharded book must be byte-identical to the
+// serial book on every tick of every catalog scenario. The shard partition is
+// a pure function of the account address and shards merge in fixed index
+// order, so the worker count may only change scheduling — this test is the
+// proof. CI runs it under a BOOK_WORKERS matrix.
+// ---------------------------------------------------------------------------
+
+/// Worker count for the parallel side of the differential: the `BOOK_WORKERS`
+/// env var (the CI matrix axis), defaulting to 4.
+fn book_workers_under_test() -> usize {
+    std::env::var("BOOK_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+#[test]
+fn worker_counts_are_byte_identical_across_every_catalog_scenario() {
+    let workers = book_workers_under_test();
+    assert!(workers >= 2, "the differential needs a parallel side");
+    let catalog = ScenarioCatalog::standard();
+    assert!(catalog.names().len() >= 6);
+    for entry in catalog.entries() {
+        let mut serial_config = crash_window_config(2027);
+        serial_config.book_workers = 1;
+        let mut sharded_config = crash_window_config(2027);
+        sharded_config.book_workers = workers;
+        let mut serial = EngineBuilder::new(serial_config)
+            .with_named_scenario(entry.name)
+            .build()
+            .session();
+        let mut sharded = EngineBuilder::new(sharded_config)
+            .with_named_scenario(entry.name)
+            .build()
+            .session();
+        let mut observer = NullObserver;
+        let mut tick = 0u64;
+        loop {
+            let serial_status = serial
+                .step(&mut observer)
+                .unwrap_or_else(|e| panic!("{}: serial step failed: {e}", entry.name));
+            let sharded_status = sharded
+                .step(&mut observer)
+                .unwrap_or_else(|e| panic!("{}: sharded step failed: {e}", entry.name));
+            assert_eq!(
+                serial_status, sharded_status,
+                "{}: status diverged",
+                entry.name
+            );
+            tick += 1;
+            // Liquidatable set + running totals every tick, the whole cached
+            // book periodically (the expensive check).
+            let full = tick.is_multiple_of(5);
+            for platform in serial.platforms() {
+                let observe = |protocol: &mut dyn LendingProtocol, oracle: &PriceOracle| {
+                    (
+                        protocol
+                            .liquidatable(oracle)
+                            .into_iter()
+                            .map(|o| (o.borrower, o.position))
+                            .collect::<Vec<_>>(),
+                        protocol.book_totals(oracle),
+                        full.then(|| protocol.book_positions(oracle)),
+                    )
+                };
+                let lhs = serial
+                    .inspect_protocol(platform, observe)
+                    .expect("platform registered");
+                let rhs = sharded
+                    .inspect_protocol(platform, observe)
+                    .expect("platform registered");
+                assert_eq!(
+                    lhs, rhs,
+                    "{} tick {tick}: {platform} diverged between 1 and {workers} workers",
+                    entry.name
+                );
+            }
+            if serial_status == SessionStatus::TicksComplete {
+                break;
+            }
+        }
+        assert!(tick > 10, "{}: suspiciously short run", entry.name);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // A toy multivariate pool with an explicit borrow index, small enough to
 // sabotage: the differential checker below is the "harness" whose teeth the
 // omitted-hook tests prove.
@@ -353,6 +439,17 @@ fn toy_differential(
     if seen != expected_at_risk {
         return Err(format!(
             "at-risk diverged: banded {seen:?} vs exhaustive {expected_at_risk:?}"
+        ));
+    }
+
+    // The always-on stale-flag invariant (release builds repair and count
+    // instead of debug_assert-ing): any non-zero counter is a flush that left
+    // stale valuations behind, surfaced through the same error path as a
+    // divergence.
+    let violations = book.stats().stale_violations;
+    if violations != 0 {
+        return Err(format!(
+            "flush left {violations} stale-flag violation(s) — repaired, but the drain contract broke"
         ));
     }
     Ok(())
@@ -600,6 +697,45 @@ proptest! {
                     "corner HF {corner} rose through the certified ceiling {ceiling} (anchor {hf})"
                 );
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shock-projection edge: `breach_under` must agree with the from-scratch
+// reference at every `i32` shock, including at and beyond the −100% price
+// floor where the scale clamps to zero.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn breach_under_agrees_with_reference_across_the_full_shock_range(
+        raw in i32::MIN..i32::MAX,
+        near_clamp in -10_050i32..-9_950,
+        mode in 0u8..3,
+        eth in 100.0f64..10_000.0,
+    ) {
+        // Mix the full i32 range with a band dense around the −100% clamp and
+        // the realistic decline band, so every regime is exercised.
+        let shock = match mode {
+            0 => raw,
+            1 => near_clamp,
+            _ => raw.rem_euclid(10_001).saturating_neg(),
+        };
+        let (state, mut book, _) = toy_setup(40);
+        let oracle = toy_oracle(eth);
+        let snapshot = book.snapshot(&ToyView(&state), &oracle);
+        prop_assert!(!snapshot.is_empty());
+        for token in [Token::ETH, Token::USDC] {
+            if shock <= -10_000 {
+                // At and beyond −100% the scale clamps: the price floors at 0.
+                prop_assert_eq!(snapshot.shocked_price(token, shock), Wad::ZERO);
+            }
+            let fast = snapshot.breach_under(token, shock);
+            let reference = snapshot.breach_under_reference(token, shock);
+            prop_assert_eq!(fast.breached, reference);
         }
     }
 }
