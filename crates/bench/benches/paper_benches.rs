@@ -456,6 +456,13 @@ fn bench_positions_scale(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("positions_scale");
     group.sample_size(5);
+    // Machine-record the host's parallelism next to the numbers: every
+    // `BENCH_baseline.json` entry copies this into its "host" field as data
+    // instead of a prose caveat.
+    let cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!("bench host: {cpus} cpu(s)");
     for n in [1_000u64, 10_000, 100_000, 1_000_000] {
         let (mut protocol, _ledger, mut oracle) = scale_fixed_spread_pool(n);
         // The million-account row exercises the sharded parallel valuation
@@ -504,6 +511,31 @@ fn bench_positions_scale(c: &mut Criterion) {
             after - before
         );
 
+        // Allocation audit (runs in CI quick mode too): after one full
+        // wiggle cycle the reusable scratch buffers have reached their
+        // high-water capacities — further warm ticks must not grow any of
+        // them.
+        let mut warm_tick = |protocol: &mut defi_lending::FixedSpreadProtocol, block: &mut u64| {
+            *block += 1;
+            let wiggle = 3_450.0 + (*block % 7) as f64 * 2.0;
+            oracle.set_price(*block, Token::ETH, Wad::from_f64(wiggle));
+            fixed_spread_tick_work(protocol, &oracle, *block);
+        };
+        for _ in 0..7 {
+            warm_tick(&mut protocol, &mut block);
+        }
+        let grows_before = protocol.book_stats().scratch_grows;
+        for _ in 0..7 {
+            warm_tick(&mut protocol, &mut block);
+        }
+        let grows_after = protocol.book_stats().scratch_grows;
+        assert_eq!(
+            grows_before,
+            grows_after,
+            "warm ticks grew a scratch buffer {} time(s) — the tick hot loop is allocating",
+            grows_after - grows_before
+        );
+
         // The Maker CDP book stops at 100k: its range-scan discovery is the
         // same shape at every scale and the 1M row is about the fixed-spread
         // sharded flush path.
@@ -536,6 +568,28 @@ fn bench_positions_scale(c: &mut Criterion) {
             after,
             "a non-crossing price move re-valued {} CDPs instead of range-scanning",
             after - before
+        );
+
+        // Regression guard (quick mode too): a *crossing* move refreshes
+        // exactly the crossed CDPs, and every refresh is served by the
+        // term/light cache paths — full `fill_position` rebuilds inside
+        // Maker discovery are the regression this guards against.
+        let stats_before = maker.book_stats();
+        maker_oracle.set_price(maker_block + 2, Token::ETH, Wad::from_int(3_430));
+        let _ = LendingProtocol::liquidatable(&mut maker, &maker_oracle);
+        let stats_after = maker.book_stats();
+        let revalued = stats_after.revaluations - stats_before.revaluations;
+        let termed = stats_after.term_reprices - stats_before.term_reprices;
+        let lighted = stats_after.light_refreshes - stats_before.light_refreshes;
+        assert!(
+            revalued > 0,
+            "the crossing move should refresh crossed CDPs"
+        );
+        assert_eq!(
+            revalued,
+            termed + lighted,
+            "{} crossed CDPs took the full rebuild path instead of a cached refresh",
+            revalued - termed - lighted
         );
     }
     group.finish();

@@ -28,21 +28,21 @@
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-use defi_analytics::StudyAnalysis;
+use defi_analytics::{StudyAnalysis, StudyCollector};
 use defi_bench::case_study::{run_case_study, CaseStudyInput};
 use defi_bench::{json, render};
 use defi_core::config::is_sound_fixed_spread_config;
 use defi_core::params::RiskParams;
 use defi_journal::{JournalReader, JournalWriter};
 use defi_sim::{
-    InvariantObserver, MultiObserver, RunSummary, ScenarioCatalog, SimConfig, SimulationEngine,
-    SweepRunner,
+    InvariantObserver, MultiObserver, RunSummary, ScenarioCatalog, Session, SessionStatus,
+    SimConfig, SimError, SimObserver, SimulationEngine, SimulationReport, SweepRunner,
 };
 use defi_types::Platform;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--smoke] [--seed N] [--json DIR] [--scenario NAME] [--list-scenarios]\n             [--check-invariants] [--sweep seeds=N|scenarios] [--workers N]\n             [--journal FILE] [--replay FILE] <artefact>...\n       artefacts: all headline table1 table2 table3 table4 table5 table6 table7 table8\n                  fig4 fig5 fig6 fig7 fig8 fig9 auction-stats stablecoins mitigation configs case-study\n       --scenario NAME runs a named catalog scenario (see --list-scenarios)\n       --check-invariants attaches the InvariantObserver and fails on any violation\n       --sweep seeds=N runs N seeds through the SweepRunner and prints per-run summaries instead;\n       --sweep scenarios fans the whole scenario catalog across the workers\n       --journal FILE records the run's observation stream as a replayable journal\n       --replay FILE renders artefacts from a recorded journal instead of simulating"
+        "usage: repro [--smoke] [--seed N] [--json DIR] [--scenario NAME] [--list-scenarios]\n             [--check-invariants] [--sweep seeds=N|scenarios] [--workers N] [--timings]\n             [--journal FILE] [--replay FILE] <artefact>...\n       artefacts: all headline table1 table2 table3 table4 table5 table6 table7 table8\n                  fig4 fig5 fig6 fig7 fig8 fig9 auction-stats stablecoins mitigation configs case-study\n       --scenario NAME runs a named catalog scenario (see --list-scenarios)\n       --check-invariants attaches the InvariantObserver and fails on any violation\n       --sweep seeds=N runs N seeds through the SweepRunner and prints per-run summaries instead;\n       --sweep scenarios fans the whole scenario catalog across the workers\n       --timings prints each protocol book's per-phase tick-time breakdown after the run\n       --journal FILE records the run's observation stream as a replayable journal\n       --replay FILE renders artefacts from a recorded journal instead of simulating"
     );
     std::process::exit(2)
 }
@@ -152,6 +152,71 @@ fn run_sweep(base: SimConfig, kind: SweepKind, workers: Option<usize>, json_dir:
     }
 }
 
+/// Stream the study in a single pass (the `StudyCollector` observer computes
+/// artefacts while the simulation runs) — the manual-session equivalent of
+/// `StudyAnalysis::stream_with`, kept local so `--timings` can read each
+/// protocol book's phase counters after the last tick, while the session is
+/// still inspectable.
+fn stream_study(
+    engine: SimulationEngine,
+    extra: Option<&mut dyn SimObserver>,
+    timings: bool,
+) -> Result<(StudyAnalysis, SimulationReport), SimError> {
+    let mut collector = StudyCollector::new();
+    let mut session = Session::new(engine);
+    let report = {
+        let mut observers = MultiObserver::new().with(&mut collector);
+        if let Some(extra) = extra {
+            observers = observers.with(extra);
+        }
+        while session.step(&mut observers)? == SessionStatus::Running {}
+        if timings {
+            print_book_timings(&mut session);
+        }
+        session.finish(&mut observers)?
+    };
+    let analysis = collector
+        .into_analysis()
+        .expect("finish dispatched on_run_end");
+    Ok((analysis, report))
+}
+
+/// Per-phase tick-time breakdown of every protocol's incremental book: where
+/// the wall-clock went (flush, at-risk freshen, visit, envelope re-derive)
+/// and which cache path served the freshenings (term reprices vs light
+/// refreshes vs full revaluations) — wall-clock attribution for perf work
+/// without a profiler.
+fn print_book_timings(session: &mut Session) {
+    println!("== book per-phase timings ==");
+    for platform in session.platforms() {
+        let Some(stats) = session.inspect_protocol(platform, |protocol, _| protocol.book_stats())
+        else {
+            continue;
+        };
+        let ms = |nanos: u64| nanos as f64 / 1e6;
+        println!(
+            "  {:<10} flush {:>9.3} ms ({} flushes) | freshen {:>9.3} ms | visit {:>9.3} ms | envelope {:>9.3} ms ({} derives)",
+            platform.name(),
+            ms(stats.flush_nanos),
+            stats.flush_count,
+            ms(stats.freshen_nanos),
+            ms(stats.visit_nanos),
+            ms(stats.envelope_derive_nanos),
+            stats.envelope_derives,
+        );
+        println!(
+            "  {:<10} revaluations {} (term reprices {} | light refreshes {} | envelope skips {}) | scratch grows {}",
+            "",
+            stats.revaluations,
+            stats.term_reprices,
+            stats.light_refreshes,
+            stats.envelope_skips,
+            stats.scratch_grows,
+        );
+    }
+    println!();
+}
+
 fn main() {
     let mut smoke = false;
     let mut seed: u64 = 20_211_102; // the paper's publication date as a seed
@@ -163,6 +228,7 @@ fn main() {
     let mut check_invariants = false;
     let mut journal_path: Option<PathBuf> = None;
     let mut replay_path: Option<PathBuf> = None;
+    let mut timings = false;
     let mut artefacts: BTreeSet<String> = BTreeSet::new();
 
     let mut args = std::env::args().skip(1).peekable();
@@ -182,6 +248,7 @@ fn main() {
                 scenario = Some(value);
             }
             "--list-scenarios" => list_scenarios = true,
+            "--timings" => timings = true,
             "--check-invariants" => check_invariants = true,
             "--journal" => {
                 let Some(value) = args.next() else { usage() };
@@ -411,11 +478,11 @@ fn main() {
         let result = match (&mut journal, check_invariants) {
             (Some(writer), true) => {
                 let mut extra = MultiObserver::new().with(writer).with(&mut invariants);
-                StudyAnalysis::stream_with(engine, &mut extra)
+                stream_study(engine, Some(&mut extra), timings)
             }
-            (Some(writer), false) => StudyAnalysis::stream_with(engine, writer),
-            (None, true) => StudyAnalysis::stream_with(engine, &mut invariants),
-            (None, false) => StudyAnalysis::stream(engine),
+            (Some(writer), false) => stream_study(engine, Some(writer), timings),
+            (None, true) => stream_study(engine, Some(&mut invariants), timings),
+            (None, false) => stream_study(engine, None, timings),
         };
         let (analysis, report) = match result {
             Ok(result) => result,

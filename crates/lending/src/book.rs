@@ -46,7 +46,20 @@
 //! certified envelope still covers the current prices and indexes, that
 //! freshening takes a cheap **light refresh** (rebuild the position, fold the
 //! valuation delta) instead of re-deriving the envelope — the band verdict,
-//! critical status and index memberships provably cannot have changed. The
+//! critical status and index memberships provably cannot have changed. And
+//! when the *only* pending change is an oracle move (the account was not
+//! mutated and no borrow index it owes advanced), even the rebuild is
+//! avoided: the cached [`Position`] **is a term cache** — per token it holds
+//! the raw amount and the USD value term the last `fill_position` computed —
+//! so the owning protocol re-prices exactly the moved tokens' terms in place
+//! ([`BookSource::reprice_position`]), O(moved tokens) instead of O(account
+//! holdings), with arithmetic byte-identical by construction. Any account
+//! mutation (dirty mark) or index change drops the terms and falls back to
+//! the full `fill_position` path. Envelope re-derivation carries **re-anchor
+//! hysteresis**: when a bound breaks, the derivation learns the break
+//! direction ([`EnvelopeAnchor`]) and biases a widened — still proven —
+//! slack toward where the price came from, so an oscillating price stops
+//! re-deriving every tick. The
 //! envelope conditions are *state*-based (current price within `[lo, hi]`,
 //! current index below its cap), so certification composes across any
 //! interleaving of moves; the bounds are integer-rounded inward (never
@@ -141,6 +154,32 @@ impl HfEnvelope {
     }
 }
 
+/// How the previous certified envelope of an account failed before a
+/// re-derivation — the re-anchor hysteresis hint passed to
+/// [`BookSource::hf_envelope`].
+///
+/// A price oscillating across a bound would otherwise break the fresh
+/// envelope again on the very next tick: knowing *which side* broke lets the
+/// derivation bias its slack budget toward the direction the price came from
+/// (still inside the same interval-arithmetic proof), so the re-anchored
+/// envelope covers the oscillation. Purely a wall-clock hint: a wider (still
+/// sound) envelope changes how often accounts re-value, never any result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EnvelopeAnchor {
+    /// No previous envelope, or it covered the current prices (mutation- or
+    /// index-triggered re-valuation): anchor symmetrically.
+    #[default]
+    Fresh,
+    /// A price rose above its upper bound: the oscillation is expected to
+    /// return downward, so favour slack below the new anchor.
+    BrokeUp,
+    /// A price fell below its lower bound: favour slack above.
+    BrokeDown,
+    /// Bounds broke in both directions (multi-token moves): anchor
+    /// symmetrically but with the widened slack.
+    BrokeBoth,
+}
+
 /// The health-factor band an account was classified into at its last
 /// re-valuation, delimited by 1 and the book's configured
 /// (`rescue`, `releverage`) thresholds.
@@ -215,6 +254,33 @@ pub struct BookStats {
     /// must leave zero lazily-stale valuations) was found violated — and
     /// repaired. Must stay 0; the band-differential harness asserts it.
     pub stale_violations: u64,
+    /// Freshenings served by the O(moved-token) term path
+    /// ([`BookSource::reprice_position`]): only the moved tokens' USD value
+    /// terms were recomputed, the rest of the valuation was reused. Counted
+    /// inside `revaluations` as well.
+    pub term_reprices: u64,
+    /// Freshenings served by the light path's full `fill_position` rebuild
+    /// (envelope held but the term path was unavailable or declined).
+    pub light_refreshes: u64,
+    /// Envelope derivations requested from the source
+    /// ([`BookSource::hf_envelope`] calls), since the book was created.
+    pub envelope_derives: u64,
+    /// Wall-clock nanoseconds spent inside [`BookSource::hf_envelope`].
+    pub envelope_derive_nanos: u64,
+    /// Flushes that found work to do, since the book was created.
+    pub flush_count: u64,
+    /// Wall-clock nanoseconds spent in flushes that found work.
+    pub flush_nanos: u64,
+    /// Wall-clock nanoseconds spent in the parallel at-risk freshen phase
+    /// (zero in serial mode, where the visit pass fuses the freshening).
+    pub freshen_nanos: u64,
+    /// Wall-clock nanoseconds spent in the at-risk visit phase (in serial
+    /// mode this is the fused freshen + visit pass).
+    pub visit_nanos: u64,
+    /// Times a reusable scratch buffer had to grow its capacity. Stops
+    /// increasing once the tick hot loop is warm — the bench bodies assert
+    /// it stays flat across warm ticks (the allocation audit).
+    pub scratch_grows: u64,
 }
 
 /// What a [`PositionBook`] needs from its owning protocol to re-value one
@@ -272,16 +338,46 @@ pub trait BookSource: Sync {
     /// derivation's guard band (an open edge is `None`). The derivation must
     /// bound **every** price the valuation is sensitive to and cap **every**
     /// index-accruing debt market, and must round its integer bounds inward
-    /// so certification errs towards re-valuing. Return `false` (the
-    /// default) to ride the exact path — a new [`crate::LendingProtocol`]
-    /// implementation opts into banding by overriding this.
+    /// so certification errs towards re-valuing. `anchor` reports how the
+    /// account's previous envelope broke (re-anchor hysteresis; see
+    /// [`EnvelopeAnchor`]) — implementations may use it to bias a *sound*
+    /// slack budget, or ignore it. Return `false` (the default) to ride the
+    /// exact path — a new [`crate::LendingProtocol`] implementation opts
+    /// into banding by overriding this.
     fn hf_envelope(
         &self,
         _oracle: &PriceOracle,
         _position: &Position,
         _floor: Option<Wad>,
         _ceiling: Option<Wad>,
+        _anchor: EnvelopeAnchor,
         _out: &mut HfEnvelope,
+    ) -> bool {
+        false
+    }
+
+    /// Recompute **in place** exactly the USD value terms of `position` that
+    /// depend on the oracle prices of `moved` tokens, using arithmetic
+    /// byte-identical to what [`fill_position`](Self::fill_position) would
+    /// produce at the current oracle state — the O(moved-token) term path.
+    ///
+    /// The book only calls this when it can prove every *other* input is
+    /// unchanged since the position was last filled: the account was not
+    /// mutated (not dirty), no borrow index it owes moved (not
+    /// lazily-stale), and only oracle prices advanced — so token amounts,
+    /// thresholds, spreads and the holding sets themselves are still exact,
+    /// and repricing the moved tokens' `value_usd` terms reproduces
+    /// `fill_position` bit for bit (see CONTRACTS.md, "The term-cache
+    /// contract").
+    ///
+    /// Return `false` (the default) to decline; the caller then falls back
+    /// to the full `fill_position` path. An implementation that returns
+    /// `false` must leave `position` unmodified.
+    fn reprice_position(
+        &self,
+        _oracle: &PriceOracle,
+        _position: &mut Position,
+        _moved: &[Token],
     ) -> bool {
         false
     }
@@ -458,6 +554,16 @@ struct BookShard {
     revaluations: u64,
     /// Re-valuations avoided because an envelope held.
     envelope_skips: u64,
+    /// Freshenings served by the O(moved-token) term path.
+    term_reprices: u64,
+    /// Freshenings served by the light path's full position rebuild.
+    light_refreshes: u64,
+    /// Envelope derivations requested from the source.
+    envelope_derives: u64,
+    /// Nanoseconds spent inside [`BookSource::hf_envelope`].
+    envelope_derive_nanos: u64,
+    /// Times a scratch buffer grew its capacity (allocation audit).
+    scratch_grows: u64,
     /// Bumped on every change that can alter this shard's frozen snapshot;
     /// lets [`PositionBook::snapshot`] reuse the previous `Arc` when nothing
     /// moved.
@@ -466,6 +572,7 @@ struct BookShard {
     scratch_debt_tokens: Vec<Token>,
     scratch_addresses: Vec<Address>,
     scratch_affected: Vec<Address>,
+    scratch_moved: Vec<Token>,
     scratch_envelope: HfEnvelope,
 }
 
@@ -480,6 +587,7 @@ impl BookShard {
             // The book is being driven by a different (or rewound) oracle
             // instance: nothing can be trusted, re-value everything.
             let mut batch = std::mem::take(&mut self.scratch_addresses);
+            let batch_cap = batch.capacity();
             batch.clear();
             batch.extend(self.entries.keys().copied());
             batch.extend(self.dirty.iter().copied());
@@ -489,6 +597,7 @@ impl BookShard {
             for &address in &batch {
                 self.revalue(source, oracle, address, ctx.bands);
             }
+            self.scratch_grows += (batch.capacity() > batch_cap) as u64;
             self.scratch_addresses = batch;
             self.check_stale_invariant();
             return;
@@ -496,6 +605,7 @@ impl BookShard {
 
         if !self.dirty.is_empty() || !ctx.changed_prices.is_empty() || !ctx.index_moves.is_empty() {
             let mut affected = std::mem::take(&mut self.scratch_affected);
+            let affected_cap = affected.capacity();
             affected.clear();
             // Price moves: the interval index turns "whose envelope does
             // this write break?" into two range scans — survivors are never
@@ -540,6 +650,7 @@ impl BookShard {
             affected.dedup();
 
             let mut batch = std::mem::take(&mut self.scratch_addresses);
+            let batch_cap = batch.capacity();
             batch.clear();
             batch.extend(self.dirty.iter().copied());
             for &address in &affected {
@@ -568,6 +679,8 @@ impl BookShard {
             for &address in &batch {
                 self.revalue(source, oracle, address, ctx.bands);
             }
+            self.scratch_grows += (batch.capacity() > batch_cap) as u64;
+            self.scratch_grows += (affected.capacity() > affected_cap) as u64;
             self.scratch_addresses = batch;
             self.scratch_affected = affected;
         }
@@ -576,6 +689,7 @@ impl BookShard {
             // Drain the lazily staled valuations so every cached position is
             // exact at current prices and indexes.
             let mut batch = std::mem::take(&mut self.scratch_addresses);
+            let batch_cap = batch.capacity();
             batch.clear();
             batch.extend(
                 self.entries
@@ -586,6 +700,7 @@ impl BookShard {
             for &address in &batch {
                 self.refresh(source, oracle, address, ctx.bands);
             }
+            self.scratch_grows += (batch.capacity() > batch_cap) as u64;
             self.scratch_addresses = batch;
             self.check_stale_invariant();
         }
@@ -595,6 +710,7 @@ impl BookShard {
             // of moved tokens whose valuation epoch lags the token's write
             // epoch. Their liquidatable status never went stale.
             let mut batch = std::mem::take(&mut self.scratch_addresses);
+            let batch_cap = batch.capacity();
             for &(token, token_epoch) in ctx.full_changed {
                 batch.clear();
                 {
@@ -625,6 +741,7 @@ impl BookShard {
                     self.refresh(source, oracle, address, ctx.bands);
                 }
             }
+            self.scratch_grows += (batch.capacity() > batch_cap) as u64;
             self.scratch_addresses = batch;
         }
     }
@@ -664,13 +781,24 @@ impl BookShard {
         }
     }
 
-    /// Cheap freshening for an account whose certified envelope covers the
-    /// *current* oracle prices and borrow indexes: rebuild the position and
-    /// fold the valuation delta, keeping the band verdict, critical status,
-    /// envelope and every index membership — the envelope proves none of
-    /// them can have changed. Returns `false` (having made no bookkeeping
-    /// change) when any precondition fails; the caller then takes the full
-    /// revalue path.
+    /// Cheap freshening for an account whose verdict bookkeeping provably
+    /// cannot have changed, in two tiers:
+    ///
+    /// * **term path** — the entry is *price*-stale only (its `stale` flag
+    ///   is clear, so no borrow index moved under a cap and every cached
+    ///   amount/threshold is still exact) and either the critical-price
+    ///   index covers it (the critical price reads no oracle input) or its
+    ///   certified envelope covers the current state: ask the source to
+    ///   recompute exactly the moved tokens' USD value terms in place
+    ///   ([`BookSource::reprice_position`]) and fold the delta — O(moved
+    ///   tokens) instead of a full position rebuild;
+    /// * **light path** — the certified envelope covers the current prices
+    ///   and indexes: rebuild the position via `fill_position` and fold the
+    ///   delta, keeping the band verdict, critical status, envelope and
+    ///   every index membership.
+    ///
+    /// Returns `false` (having made no bookkeeping change) when every tier's
+    /// precondition fails; the caller then takes the full revalue path.
     fn light_refresh<S: BookSource>(
         &mut self,
         source: &S,
@@ -680,13 +808,15 @@ impl BookShard {
         let Some(entry) = self.entries.get_mut(&address) else {
             return false;
         };
-        if entry.critical.is_some() {
-            return false;
-        }
-        let holds_now = {
-            let Some(envelope) = &entry.envelope else {
-                return false;
-            };
+        let old_in_book = entry.in_book;
+        let old_collateral = entry.collateral_usd;
+        let old_debt = entry.debt_usd;
+        let old_dai_eth = entry.dai_eth_usd;
+        // Whether the certified envelope covers the *current* oracle prices
+        // and borrow indexes (vacuously false for critical-indexed entries:
+        // they carry no envelope — their verdict lives in the critical
+        // index).
+        let holds_now = entry.envelope.as_ref().is_some_and(|envelope| {
             envelope.price_bounds.iter().all(|&(token, lo, hi)| {
                 let raw = oracle.price(token).map_or(0, |p| p.raw());
                 raw >= lo && raw <= hi
@@ -705,40 +835,74 @@ impl BookShard {
                     .iter()
                     .any(|(capped, _)| capped == token)
             })
-        };
-        if !holds_now {
-            return false;
+        });
+
+        let mut termed = false;
+        if !entry.stale && (entry.critical.is_some() || holds_now) {
+            // Term path. The holding sets are invariant under pure price
+            // moves (amounts belong to the account state, which is not
+            // dirty), so the exposure lists and membership indexes need no
+            // comparison at all.
+            let mut moved = std::mem::take(&mut self.scratch_moved);
+            let moved_cap = moved.capacity();
+            moved.clear();
+            moved.extend(
+                entry
+                    .tokens
+                    .iter()
+                    .copied()
+                    .filter(|&token| oracle.token_epoch(token) > entry.valued_epoch),
+            );
+            if !moved.is_empty() {
+                termed = source.reprice_position(oracle, &mut entry.position, &moved);
+            }
+            self.scratch_grows += (moved.capacity() > moved_cap) as u64;
+            self.scratch_moved = moved;
+            if termed && source.in_book(&entry.position) != old_in_book {
+                // A reprice flipped observability (possible only for exotic
+                // `in_book` rules): hand over to `revalue`, which re-fills
+                // the slot from scratch anyway.
+                return false;
+            }
         }
-        let old_in_book = entry.in_book;
-        let old_collateral = entry.collateral_usd;
-        let old_debt = entry.debt_usd;
-        let old_dai_eth = entry.dai_eth_usd;
-        // From here the slot is rebuilt in place; every bail-out path below
-        // hands over to `revalue`, which re-fills from scratch anyway.
-        if !source.fill_position(oracle, address, &mut entry.position) {
-            return false;
-        }
-        if source.in_book(&entry.position) != old_in_book {
-            return false;
-        }
-        // The membership indexes key off the exposure lists: any change
-        // there needs the full delta bookkeeping.
-        let mut new_tokens = std::mem::take(&mut self.scratch_tokens);
-        new_tokens.clear();
-        source.sensitive_tokens(&entry.position, &mut new_tokens);
-        let tokens_same = new_tokens == entry.tokens;
-        self.scratch_tokens = new_tokens;
-        let mut new_debt_tokens = std::mem::take(&mut self.scratch_debt_tokens);
-        new_debt_tokens.clear();
-        source.debt_tokens(&entry.position, &mut new_debt_tokens);
-        let debt_same = new_debt_tokens == entry.debt_tokens;
-        self.scratch_debt_tokens = new_debt_tokens;
-        if !tokens_same || !debt_same {
-            return false;
+
+        if !termed {
+            if entry.critical.is_some() || !holds_now {
+                return false;
+            }
+            // From here the slot is rebuilt in place; every bail-out path
+            // below hands over to `revalue`, which re-fills from scratch
+            // anyway.
+            if !source.fill_position(oracle, address, &mut entry.position) {
+                return false;
+            }
+            if source.in_book(&entry.position) != old_in_book {
+                return false;
+            }
+            // The membership indexes key off the exposure lists: any change
+            // there needs the full delta bookkeeping.
+            let mut new_tokens = std::mem::take(&mut self.scratch_tokens);
+            new_tokens.clear();
+            source.sensitive_tokens(&entry.position, &mut new_tokens);
+            let tokens_same = new_tokens == entry.tokens;
+            self.scratch_tokens = new_tokens;
+            let mut new_debt_tokens = std::mem::take(&mut self.scratch_debt_tokens);
+            new_debt_tokens.clear();
+            source.debt_tokens(&entry.position, &mut new_debt_tokens);
+            let debt_same = new_debt_tokens == entry.debt_tokens;
+            self.scratch_debt_tokens = new_debt_tokens;
+            if !tokens_same || !debt_same {
+                return false;
+            }
         }
 
         self.revaluations += 1;
         self.version += 1;
+        if termed {
+            self.term_reprices += 1;
+        } else {
+            self.light_refreshes += 1;
+        }
         if entry.stale {
             entry.stale = false;
             self.stale_count -= 1;
@@ -814,6 +978,29 @@ impl BookShard {
         let old_tokens = std::mem::take(&mut entry.tokens);
         let old_debt_list = std::mem::take(&mut entry.debt_tokens);
         let old_envelope = entry.envelope.take();
+
+        // Re-anchor hysteresis hint: in which direction did the previous
+        // envelope's price bounds break? Passed to the derivation so an
+        // oscillating price doesn't re-derive every tick. A mutation- or
+        // index-triggered re-valuation (bounds all still covering) anchors
+        // fresh.
+        let anchor = match &old_envelope {
+            Some(env) => {
+                let (mut up, mut down) = (false, false);
+                for &(token, lo, hi) in &env.price_bounds {
+                    let raw = oracle.price(token).map_or(0, |p| p.raw());
+                    up |= raw > hi;
+                    down |= raw < lo;
+                }
+                match (up, down) {
+                    (true, true) => EnvelopeAnchor::BrokeBoth,
+                    (true, false) => EnvelopeAnchor::BrokeUp,
+                    (false, true) => EnvelopeAnchor::BrokeDown,
+                    (false, false) => EnvelopeAnchor::Fresh,
+                }
+            }
+            None => EnvelopeAnchor::Fresh,
+        };
 
         // Drop the account's old membership from every exposure index; the
         // fresh valuation re-inserts below. Membership is exclusive: indexed
@@ -908,13 +1095,17 @@ impl BookShard {
                             HfBand::Quiet => (Some(rescue), Some(releverage)),
                             HfBand::Releverage => (Some(releverage), None),
                         };
+                        let derive_start = std::time::Instant::now();
                         banded = source.hf_envelope(
                             oracle,
                             &entry.position,
                             floor,
                             ceiling,
+                            anchor,
                             &mut envelope,
                         );
+                        self.envelope_derives += 1;
+                        self.envelope_derive_nanos += derive_start.elapsed().as_nanos() as u64;
                     }
                 }
             }
@@ -1092,7 +1283,14 @@ impl BookShard {
         bands: (Wad, Wad),
         out: &mut Vec<Address>,
     ) {
-        let mut found: BTreeSet<Address> = self.live.clone();
+        // Reuse the shard's address scratch instead of cloning the live set
+        // into a fresh `BTreeSet` every call (the discovery loop runs every
+        // tick). Sorting + dedup reproduces the set-union order exactly:
+        // both inputs are iterated in ascending address order.
+        let mut found = std::mem::take(&mut self.scratch_addresses);
+        let found_cap = found.capacity();
+        found.clear();
+        found.extend(self.live.iter().copied());
         for (token, map) in &self.critical {
             let Some(price) = oracle.price(*token) else {
                 continue;
@@ -1104,8 +1302,12 @@ impl BookShard {
                 found.extend(accounts.iter().copied());
             }
         }
+        found.sort_unstable();
+        found.dedup();
         let start = out.len();
-        out.extend(found);
+        out.extend(found.iter().copied());
+        self.scratch_grows += (found.capacity() > found_cap) as u64;
+        self.scratch_addresses = found;
         // Freshen the valuations discovery hands out; re-valuing cannot
         // change the verdict (same state, same prices — and for accounts an
         // envelope certified, the band is certified).
@@ -1135,6 +1337,7 @@ impl BookShard {
         bands: (Wad, Wad),
     ) {
         let mut batch = std::mem::take(&mut self.scratch_addresses);
+        let batch_cap = batch.capacity();
         batch.clear();
         batch.extend(self.at_risk.iter().copied());
         for &address in &batch {
@@ -1146,6 +1349,7 @@ impl BookShard {
                 self.refresh(source, oracle, address, bands);
             }
         }
+        self.scratch_grows += (batch.capacity() > batch_cap) as u64;
         self.scratch_addresses = batch;
     }
 
@@ -1159,6 +1363,7 @@ impl BookShard {
         visit: &mut dyn FnMut(&Position),
     ) {
         let mut batch = std::mem::take(&mut self.scratch_addresses);
+        let batch_cap = batch.capacity();
         batch.clear();
         batch.extend(self.at_risk.iter().copied());
         for &address in &batch {
@@ -1179,6 +1384,7 @@ impl BookShard {
                 }
             }
         }
+        self.scratch_grows += (batch.capacity() > batch_cap) as u64;
         self.scratch_addresses = batch;
     }
 
@@ -1242,6 +1448,15 @@ pub struct PositionBook {
     scratch_prices: Vec<(Token, u128)>,
     scratch_index_moves: Vec<(Token, Option<u128>)>,
     scratch_full_changed: Vec<(Token, u64)>,
+    /// Flushes that found work, and nanoseconds spent doing it (phase
+    /// attribution for the tick breakdown; see [`BookStats`]).
+    flush_count: u64,
+    flush_nanos: u64,
+    /// Nanoseconds in the parallel at-risk freshen phase (workers > 1 only).
+    freshen_nanos: u64,
+    /// Nanoseconds in the at-risk visit pass (fused freshen + visit when
+    /// serial).
+    visit_nanos: u64,
 }
 
 impl Default for PositionBook {
@@ -1265,6 +1480,10 @@ impl Default for PositionBook {
             scratch_prices: Vec::new(),
             scratch_index_moves: Vec::new(),
             scratch_full_changed: Vec::new(),
+            flush_count: 0,
+            flush_nanos: 0,
+            freshen_nanos: 0,
+            visit_nanos: 0,
         }
     }
 }
@@ -1338,7 +1557,16 @@ impl PositionBook {
             stats.at_risk_accounts += shard.at_risk.len();
             stats.envelope_skips += shard.envelope_skips;
             stats.stale_violations += shard.stale_violations;
+            stats.term_reprices += shard.term_reprices;
+            stats.light_refreshes += shard.light_refreshes;
+            stats.envelope_derives += shard.envelope_derives;
+            stats.envelope_derive_nanos += shard.envelope_derive_nanos;
+            stats.scratch_grows += shard.scratch_grows;
         }
+        stats.flush_count = self.flush_count;
+        stats.flush_nanos = self.flush_nanos;
+        stats.freshen_nanos = self.freshen_nanos;
+        stats.visit_nanos = self.visit_nanos;
         stats
     }
 
@@ -1409,6 +1637,7 @@ impl PositionBook {
             || self.shards.iter().any(|shard| !shard.dirty.is_empty())
             || (full && self.shards.iter().any(|shard| shard.stale_count > 0));
         if any_work {
+            let flush_start = std::time::Instant::now();
             let ctx = FlushCtx {
                 changed_prices: &changed_prices,
                 index_moves: &index_moves,
@@ -1438,6 +1667,8 @@ impl PositionBook {
                     }
                 });
             }
+            self.flush_count += 1;
+            self.flush_nanos += flush_start.elapsed().as_nanos() as u64;
         }
 
         index_tokens.clear();
@@ -1575,6 +1806,7 @@ impl PositionBook {
             prices,
             rescue,
             releverage,
+            stats: self.stats(),
         }
     }
 
@@ -1639,6 +1871,7 @@ impl PositionBook {
             // off the critical-price maps and maintain no band — serve mixed
             // books through the exact full walk instead.
             self.flush(source, oracle, true);
+            let visit_start = std::time::Instant::now();
             for shard in &self.shards {
                 for entry in shard.entries.values() {
                     if !entry.in_book {
@@ -1652,6 +1885,7 @@ impl PositionBook {
                     }
                 }
             }
+            self.visit_nanos += visit_start.elapsed().as_nanos() as u64;
             return;
         }
         let bands = self.bands;
@@ -1660,6 +1894,7 @@ impl PositionBook {
             // Phase 1 (parallel): freshen each shard's stale at-risk members.
             // Freshening is per-shard-local and verdict-preserving, so the
             // fan only changes wall-clock, never results.
+            let freshen_start = std::time::Instant::now();
             let chunk = BOOK_SHARD_COUNT.div_ceil(workers);
             std::thread::scope(|scope| {
                 for shard_chunk in self.shards.chunks_mut(chunk) {
@@ -1670,12 +1905,17 @@ impl PositionBook {
                     });
                 }
             });
+            self.freshen_nanos += freshen_start.elapsed().as_nanos() as u64;
         }
         // Phase 2 (serial, shard order = address order): visit. After a
-        // parallel freshen this finds nothing stale and is pure iteration.
+        // parallel freshen this finds nothing stale and is pure iteration;
+        // in serial mode this fused pass does the freshening too, so the
+        // phase attribution lands in `visit_nanos`.
+        let visit_start = std::time::Instant::now();
         for shard in &mut self.shards {
             shard.visit_at_risk(source, oracle, bands, visit);
         }
+        self.visit_nanos += visit_start.elapsed().as_nanos() as u64;
     }
 }
 

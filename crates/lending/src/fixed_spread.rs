@@ -17,7 +17,7 @@ use defi_core::position::{CollateralHolding, DebtHolding, Position};
 use defi_oracle::PriceOracle;
 use defi_types::{mul_div_floor, Address, BlockNumber, Platform, Token, Wad, WAD};
 
-use crate::book::{BookSource, BookStats, BookTotals, HfEnvelope, PositionBook};
+use crate::book::{BookSource, BookStats, BookTotals, EnvelopeAnchor, HfEnvelope, PositionBook};
 use crate::error::ProtocolError;
 use crate::interest::{utilization, BorrowIndex, InterestRateModel};
 
@@ -227,9 +227,37 @@ impl BookSource for FixedSpreadView<'_> {
         position: &Position,
         floor: Option<Wad>,
         ceiling: Option<Wad>,
+        anchor: EnvelopeAnchor,
         out: &mut HfEnvelope,
     ) -> bool {
-        derive_hf_envelope(self.markets, oracle, position, floor, ceiling, out)
+        derive_hf_envelope(self.markets, oracle, position, floor, ceiling, anchor, out)
+    }
+
+    fn reprice_position(
+        &self,
+        oracle: &PriceOracle,
+        position: &mut Position,
+        moved: &[Token],
+    ) -> bool {
+        // The term path: recompute exactly the moved tokens' USD value
+        // terms, with the same arithmetic `fill_position_from` uses on the
+        // same cached inputs (amounts, thresholds and spreads are unchanged
+        // — the book only calls this when the account is not dirty and no
+        // borrow index it owes moved), so the result is byte-identical to a
+        // full rebuild at the current oracle state.
+        for holding in &mut position.collateral {
+            if moved.contains(&holding.token) {
+                let price = oracle.price_or_zero(holding.token);
+                holding.value_usd = holding.amount.checked_mul(price).unwrap_or(Wad::MAX);
+            }
+        }
+        for holding in &mut position.debt {
+            if moved.contains(&holding.token) {
+                let price = oracle.price_or_zero(holding.token);
+                holding.value_usd = holding.amount.checked_mul(price).unwrap_or(Wad::MAX);
+            }
+        }
+        true
     }
 }
 
@@ -273,12 +301,32 @@ const ENVELOPE_VALUE_FLOOR: u128 = 1_000_000_000_000;
 /// caps at all: accrual only pushes the health factor down. Returns `false`
 /// (exact path) when the position is too close to a band edge, too small, or
 /// holds a token without a listed market.
+///
+/// # Re-anchor hysteresis
+///
+/// `anchor` records how the previous envelope broke. On a non-[`Fresh`]
+/// anchor the halved slack is refined *upward* by binary search (the
+/// inequalities above are monotone in `s`, so any `s` that passes is still
+/// certified by the same proof), and the refined budget is split
+/// asymmetrically: an envelope that broke upward puts more slack *below* the
+/// new, higher anchor price — exactly where an oscillating price will
+/// return — and vice versa. The asymmetric split is verified against the
+/// directional inequalities `(1+s_up)/(1−s_dn) ≤ margin_up` and
+/// `(1+s_up)²/(1−s_dn) ≤ margin_down` (collateral prices rising and debt
+/// prices falling drive HF up by at most `(1+s_up)/(1−s_dn)`; the converse
+/// plus the index budget drives it down by at most `(1+s_up)·(1+s_up)/(1−s_dn)`
+/// — the index budget reuses `s_up`), falling back to the symmetric refined
+/// slack when the split fails. Soundness never depends on the anchor: every
+/// emitted bound satisfies the same interval-arithmetic proof.
+///
+/// [`Fresh`]: EnvelopeAnchor::Fresh
 pub fn derive_hf_envelope(
     markets: &BTreeMap<Token, Market>,
     oracle: &PriceOracle,
     position: &Position,
     floor: Option<Wad>,
     ceiling: Option<Wad>,
+    anchor: EnvelopeAnchor,
     out: &mut HfEnvelope,
 ) -> bool {
     out.clear();
@@ -307,22 +355,63 @@ pub fn derive_hf_envelope(
         Some(f) if !f.is_zero() => (hf / f.to_f64()) * (1.0 - ENVELOPE_GUARD),
         _ => f64::INFINITY,
     };
+    let symmetric_ok = |s: f64| {
+        let up_ok = !margin_up.is_finite() || (1.0 + s) / (1.0 - s) <= margin_up;
+        let down_ok = !margin_down.is_finite() || (1.0 + s) * (1.0 + s) / (1.0 - s) <= margin_down;
+        up_ok && down_ok
+    };
     let mut slack = 0.25;
-    loop {
-        let up_ok = !margin_up.is_finite() || (1.0 + slack) / (1.0 - slack) <= margin_up;
-        let down_ok = !margin_down.is_finite()
-            || (1.0 + slack) * (1.0 + slack) / (1.0 - slack) <= margin_down;
-        if up_ok && down_ok {
-            break;
-        }
+    while !symmetric_ok(slack) {
         slack *= 0.5;
         if slack < MIN_ENVELOPE_SLACK {
             return false;
         }
     }
-    // Shave the raw slack below the f64 value the inequalities were verified
-    // with, so representation rounding cannot widen the envelope.
-    let slack_raw = Wad::from_f64(slack * (1.0 - 1e-12)).raw();
+    let (slack_dn, slack_up) = if anchor == EnvelopeAnchor::Fresh {
+        (slack, slack)
+    } else {
+        // Hysteresis: the halving loop undershoots the certifiable slack by
+        // up to 2×. A broken envelope is the one place the extra width pays
+        // for the derivation it avoids, so binary-search the largest
+        // certified symmetric slack in [slack, min(2·slack, 0.45)] — every
+        // probe is checked by the same inequalities, so the proof is intact.
+        let mut lo = slack;
+        let mut hi = (2.0 * slack).min(0.45);
+        for _ in 0..6 {
+            let mid = 0.5 * (lo + hi);
+            if symmetric_ok(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let refined = lo;
+        // Skew the certified budget toward the side the price just came
+        // from; verified against the directional forms of the same bounds
+        // (prices may rise by s_up and fall by s_dn independently; the
+        // index budget reuses s_up). Falls back to the symmetric refined
+        // slack when the skewed pair is not certifiable.
+        let asymmetric_ok = |s_dn: f64, s_up: f64| {
+            s_dn < 0.5
+                && s_up < 0.5
+                && (!margin_up.is_finite() || (1.0 + s_up) / (1.0 - s_dn) <= margin_up)
+                && (!margin_down.is_finite()
+                    || (1.0 + s_up) * (1.0 + s_up) / (1.0 - s_dn) <= margin_down)
+        };
+        let split = match anchor {
+            EnvelopeAnchor::BrokeUp => Some((1.5 * refined, 0.5 * refined)),
+            EnvelopeAnchor::BrokeDown => Some((0.5 * refined, 1.5 * refined)),
+            EnvelopeAnchor::Fresh | EnvelopeAnchor::BrokeBoth => None,
+        };
+        match split {
+            Some((dn, up)) if asymmetric_ok(dn, up) => (dn, up),
+            _ => (refined, refined),
+        }
+    };
+    // Shave the raw slacks below the f64 values the inequalities were
+    // verified with, so representation rounding cannot widen the envelope.
+    let slack_dn_raw = Wad::from_f64(slack_dn * (1.0 - 1e-12)).raw();
+    let slack_up_raw = Wad::from_f64(slack_up * (1.0 - 1e-12)).raw();
 
     for holding in position
         .collateral
@@ -334,9 +423,10 @@ pub fn derive_hf_envelope(
             continue;
         }
         let price = oracle.price_or_zero(holding).raw();
-        let delta = mul_div_floor(price, slack_raw, WAD).unwrap_or(0);
+        let delta_dn = mul_div_floor(price, slack_dn_raw, WAD).unwrap_or(0);
+        let delta_up = mul_div_floor(price, slack_up_raw, WAD).unwrap_or(0);
         out.price_bounds
-            .push((holding, price - delta, price.saturating_add(delta)));
+            .push((holding, price - delta_dn, price.saturating_add(delta_up)));
     }
     for d in &position.debt {
         let cap = if floor.is_none() {
@@ -349,7 +439,7 @@ pub fn derive_hf_envelope(
                 return false;
             };
             let index = market.index.index.raw();
-            index.saturating_add(mul_div_floor(index, slack_raw, WAD).unwrap_or(0))
+            index.saturating_add(mul_div_floor(index, slack_up_raw, WAD).unwrap_or(0))
         };
         if out.index_caps.iter().any(|(t, _)| *t == d.token) {
             continue;

@@ -30,7 +30,7 @@ use defi_core::position::Position;
 use defi_oracle::PriceOracle;
 use defi_types::{Address, BlockNumber, Platform, Token, Wad};
 
-use crate::book::BookTotals;
+use crate::book::{BookStats, BookTotals};
 use crate::error::ProtocolError;
 use crate::fixed_spread::{FixedSpreadProtocol, LiquidationReceipt};
 use crate::maker::{AuctionOutcome, MakerProtocol};
@@ -341,6 +341,17 @@ pub trait LendingProtocol {
     /// to parallelise.
     fn set_book_workers(&mut self, _workers: usize) {}
 
+    /// Cache-maintenance and per-phase timing counters of the protocol's
+    /// incremental book ([`BookStats`]). Counters are monotone within a run,
+    /// so the difference between two reads attributes wall-clock
+    /// (flush / at-risk freshen / visit / envelope re-derive) and cache-path
+    /// traffic (term reprices, light refreshes, full revaluations) to the
+    /// interval between them. The default returns zeroed stats for
+    /// cache-less implementations.
+    fn book_stats(&self) -> BookStats {
+        BookStats::default()
+    }
+
     /// The observable book rebuilt from scratch, bypassing every cache —
     /// the cache-less shadow the differential harness
     /// (`tests/band_differential.rs`) compares the banded/cached surfaces
@@ -364,6 +375,16 @@ pub trait LendingProtocol {
     /// critical-price index / incrementally maintained liquidatable set
     /// instead of filtering a freshly built book.
     fn liquidatable(&mut self, oracle: &PriceOracle) -> Vec<Opportunity>;
+
+    /// Like [`liquidatable`](LendingProtocol::liquidatable), but filling a
+    /// caller-owned buffer so a hot discovery loop can reuse one allocation
+    /// across ticks (the engine holds the scratch vector and `mem::take`s it
+    /// around each call). `out` is cleared first; the results and their order
+    /// are identical to `liquidatable`.
+    fn liquidatable_into(&mut self, oracle: &PriceOracle, out: &mut Vec<Opportunity>) {
+        out.clear();
+        out.append(&mut self.liquidatable(oracle));
+    }
 
     /// Execute one mechanism-specific liquidation step. Implementations must
     /// reject request variants that do not belong to their mechanism with
@@ -515,19 +536,29 @@ impl LendingProtocol for FixedSpreadProtocol {
         FixedSpreadProtocol::set_book_workers(self, workers);
     }
 
+    fn book_stats(&self) -> BookStats {
+        FixedSpreadProtocol::book_stats(self)
+    }
+
     fn liquidatable(&mut self, oracle: &PriceOracle) -> Vec<Opportunity> {
+        let mut out = Vec::new();
+        LendingProtocol::liquidatable_into(self, oracle, &mut out);
+        out
+    }
+
+    fn liquidatable_into(&mut self, oracle: &PriceOracle, out: &mut Vec<Opportunity>) {
+        out.clear();
         let platform = self.config().platform;
-        self.cached_liquidatable_accounts(oracle)
-            .into_iter()
-            .filter_map(|borrower| {
-                self.cached_position(borrower).map(|position| Opportunity {
+        for borrower in self.cached_liquidatable_accounts(oracle) {
+            if let Some(position) = self.cached_position(borrower) {
+                out.push(Opportunity {
                     platform,
                     borrower,
                     position: position.clone(),
                     mechanism: MechanismKind::FixedSpread,
-                })
-            })
-            .collect()
+                });
+            }
+        }
     }
 
     fn execute_liquidation(
@@ -672,18 +703,28 @@ impl LendingProtocol for MakerProtocol {
         MakerProtocol::set_book_workers(self, workers);
     }
 
+    fn book_stats(&self) -> BookStats {
+        MakerProtocol::book_stats(self)
+    }
+
     fn liquidatable(&mut self, oracle: &PriceOracle) -> Vec<Opportunity> {
-        self.cached_liquidatable_cdps(oracle)
-            .into_iter()
-            .filter_map(|owner| {
-                self.cached_position(owner).map(|position| Opportunity {
+        let mut out = Vec::new();
+        LendingProtocol::liquidatable_into(self, oracle, &mut out);
+        out
+    }
+
+    fn liquidatable_into(&mut self, oracle: &PriceOracle, out: &mut Vec<Opportunity>) {
+        out.clear();
+        for owner in self.cached_liquidatable_cdps(oracle) {
+            if let Some(position) = self.cached_position(owner) {
+                out.push(Opportunity {
                     platform: Platform::MakerDao,
                     borrower: owner,
                     position: position.clone(),
                     mechanism: MechanismKind::Auction,
-                })
-            })
-            .collect()
+                });
+            }
+        }
     }
 
     fn execute_liquidation(

@@ -38,7 +38,7 @@ use defi_core::position::Position;
 use defi_oracle::PriceOracle;
 use defi_types::{mul_div_floor, Address, Token, Wad};
 
-use crate::book::{shard_of, BookTotals, BOOK_SHARD_COUNT};
+use crate::book::{shard_of, BookStats, BookTotals, BOOK_SHARD_COUNT};
 
 /// Health-factor band of one snapshot entry, delimited by 1 and the book's
 /// (`rescue`, `releverage`) thresholds — the public mirror of the book's
@@ -196,6 +196,13 @@ pub struct BookSnapshot {
     pub(crate) prices: BTreeMap<Token, Wad>,
     pub(crate) rescue: Wad,
     pub(crate) releverage: Wad,
+    /// Cache-maintenance and phase-timing counters of the producing book at
+    /// freeze time (zeroed for index-less [`from_positions`] snapshots) —
+    /// lets read-side observers report tick-phase breakdowns without a
+    /// handle on the live book.
+    ///
+    /// [`from_positions`]: BookSnapshot::from_positions
+    pub stats: BookStats,
 }
 
 impl BookSnapshot {
@@ -243,6 +250,7 @@ impl BookSnapshot {
             prices,
             rescue,
             releverage,
+            stats: BookStats::default(),
         }
     }
 

@@ -111,6 +111,10 @@ pub struct SimulationEngine {
     pending_sell_pressure: Vec<(Token, Wad)>,
     /// Account through which the spiral pass unwinds seized collateral.
     spiral_trader: Address,
+    /// Reusable buffer for liquidation-opportunity discovery
+    /// ([`LendingProtocol::liquidatable_into`]): one allocation serves every
+    /// platform on every tick instead of a fresh vector per discovery call.
+    opportunity_scratch: Vec<Opportunity>,
 }
 
 impl SimulationEngine {
@@ -211,6 +215,7 @@ impl SimulationEngine {
             auction_bite_hf: HashMap::new(),
             pending_sell_pressure: Vec::new(),
             spiral_trader: Address::from_label("spiral-unwind"),
+            opportunity_scratch: Vec::new(),
             config,
         }
     }
@@ -535,10 +540,13 @@ impl SimulationEngine {
                     ) else {
                         continue;
                     };
-                    let opportunities = protocol.liquidatable(oracle);
-                    for opportunity in opportunities {
-                        self.attempt_liquidation(&opportunity, block, congested, eth_price);
+                    let mut opportunities = std::mem::take(&mut self.opportunity_scratch);
+                    protocol.liquidatable_into(oracle, &mut opportunities);
+                    for opportunity in &opportunities {
+                        self.attempt_liquidation(opportunity, block, congested, eth_price);
                     }
+                    opportunities.clear();
+                    self.opportunity_scratch = opportunities;
                 }
                 MechanismKind::Auction => {
                     self.run_auction_keepers(platform, block, congested);
@@ -938,16 +946,17 @@ impl SimulationEngine {
 
         // 1. Start auctions on liquidatable positions — a critical-price
         // range scan on the cached book, not a full CDP rebuild.
-        let opportunities = {
+        let mut opportunities = std::mem::take(&mut self.opportunity_scratch);
+        {
             let (Some(oracle), Some(protocol)) = (
                 self.oracles.get(&platform),
                 self.protocols.get_mut(&platform),
             ) else {
                 return;
             };
-            protocol.liquidatable(oracle)
-        };
-        for opportunity in opportunities {
+            protocol.liquidatable_into(oracle, &mut opportunities);
+        }
+        for opportunity in &opportunities {
             let keeper = self.keepers[self.rng.gen_range(0..self.keepers.len())].clone(); // lint:allow(hot-index) gen_range(0..len) is in bounds, and keepers is checked non-empty at fn entry
             if congested && keeper.stale_under_congestion && self.rng.gen_bool(0.8) {
                 continue; // overdue liquidation
@@ -998,6 +1007,8 @@ impl SimulationEngine {
                 }
             }
         }
+        opportunities.clear();
+        self.opportunity_scratch = opportunities;
 
         // 2. Bid on / finalise open auctions.
         let Some(params) = self

@@ -37,7 +37,9 @@ use std::collections::BTreeMap;
 
 use defi_liquidations_suite::chain::Ledger;
 use defi_liquidations_suite::core::position::Position;
-use defi_liquidations_suite::lending::book::{BookSource, HfEnvelope, PositionBook};
+use defi_liquidations_suite::lending::book::{
+    BookSource, EnvelopeAnchor, HfEnvelope, PositionBook,
+};
 use defi_liquidations_suite::lending::interest::InterestRateModel;
 use defi_liquidations_suite::lending::{
     compound, derive_hf_envelope, LendingProtocol, Market, RELEVERAGE_BAND_HF, RESCUE_BAND_HF,
@@ -299,7 +301,17 @@ impl ToyState {
     }
 }
 
-struct ToyView<'a>(&'a ToyState);
+/// How the toy view answers the book's term-reprice hook. `Sabotaged`
+/// deliberately violates the hook contract (claims success without
+/// recomputing the moved terms) so the differential harness can prove it has
+/// teeth against a dishonest `reprice_position` implementation.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ToyReprice {
+    Honest,
+    Sabotaged,
+}
+
+struct ToyView<'a>(&'a ToyState, ToyReprice);
 
 impl BookSource for ToyView<'_> {
     fn fill_position(&self, oracle: &PriceOracle, account: Address, slot: &mut Position) -> bool {
@@ -381,9 +393,46 @@ impl BookSource for ToyView<'_> {
         position: &Position,
         floor: Option<Wad>,
         ceiling: Option<Wad>,
+        anchor: EnvelopeAnchor,
         out: &mut HfEnvelope,
     ) -> bool {
-        derive_hf_envelope(&self.0.markets(), oracle, position, floor, ceiling, out)
+        derive_hf_envelope(
+            &self.0.markets(),
+            oracle,
+            position,
+            floor,
+            ceiling,
+            anchor,
+            out,
+        )
+    }
+
+    fn reprice_position(
+        &self,
+        oracle: &PriceOracle,
+        position: &mut Position,
+        moved: &[Token],
+    ) -> bool {
+        if self.1 == ToyReprice::Sabotaged {
+            // Contract violation on purpose: claim the terms were updated
+            // while leaving the stale bytes in place.
+            return true;
+        }
+        // Honest term path: same arithmetic as `fill_position` on the same
+        // cached amounts, restricted to the moved tokens.
+        for holding in &mut position.collateral {
+            if moved.contains(&holding.token) {
+                let price = oracle.price_or_zero(holding.token);
+                holding.value_usd = holding.amount.checked_mul(price).unwrap_or(Wad::ZERO);
+            }
+        }
+        for holding in &mut position.debt {
+            if moved.contains(&holding.token) {
+                let price = oracle.price_or_zero(holding.token);
+                holding.value_usd = holding.amount.checked_mul(price).unwrap_or(Wad::ZERO);
+            }
+        }
+        true
     }
 }
 
@@ -402,7 +451,18 @@ fn toy_differential(
     book: &mut PositionBook,
     oracle: &PriceOracle,
 ) -> Result<(), String> {
-    let view = ToyView(state);
+    toy_differential_with(state, book, oracle, ToyReprice::Honest)
+}
+
+/// Like [`toy_differential`] but with an explicit [`ToyReprice`] mode, so the
+/// teeth tests can run the same harness against a dishonest term path.
+fn toy_differential_with(
+    state: &ToyState,
+    book: &mut PositionBook,
+    oracle: &PriceOracle,
+    reprice: ToyReprice,
+) -> Result<(), String> {
+    let view = ToyView(state, reprice);
     let mut shadow: Vec<Position> = Vec::new();
     for &address in state.accounts.keys() {
         let mut slot = Position::new(address);
@@ -423,22 +483,29 @@ fn toy_differential(
         ));
     }
 
-    let expected_at_risk: Vec<Address> = shadow
+    // Byte-level comparison of the visited valuations, not just the visited
+    // owners: a freshening path that leaves stale value terms behind (e.g. a
+    // dishonest `reprice_position`) diverges here even when the membership
+    // sets happen to agree.
+    let expected_at_risk: Vec<Position> = shadow
         .iter()
         .filter(|p| !p.total_debt_value().is_zero())
         .filter(|p| {
             p.health_factor()
                 .is_some_and(|hf| hf < rescue() || hf > releverage())
         })
-        .map(|p| p.owner)
+        .cloned()
         .collect();
-    let mut seen: Vec<Address> = Vec::new();
+    let mut seen: Vec<Position> = Vec::new();
     book.for_each_at_risk(&view, oracle, rescue(), releverage(), &mut |position| {
-        seen.push(position.owner);
+        seen.push(position.clone());
     });
     if seen != expected_at_risk {
+        let seen_owners: Vec<Address> = seen.iter().map(|p| p.owner).collect();
+        let expected_owners: Vec<Address> = expected_at_risk.iter().map(|p| p.owner).collect();
         return Err(format!(
-            "at-risk diverged: banded {seen:?} vs exhaustive {expected_at_risk:?}"
+            "at-risk diverged: banded {seen_owners:?} vs exhaustive {expected_owners:?}\
+             (or their valuation bytes differ)"
         ));
     }
 
@@ -609,6 +676,75 @@ fn envelopes_absorb_accrual_until_their_caps_and_rewiden() {
     assert!(book.stats().envelope_skips > baseline.envelope_skips);
 }
 
+/// A `reprice_position` that claims success without recomputing the moved
+/// terms must be caught: after an in-envelope wobble the at-risk byte
+/// comparison sees the stale valuation terms even though every membership set
+/// still agrees. The honest twin stays clean — and proves the wobble really
+/// was served by the term path, so the sabotage was exercised.
+#[test]
+fn harness_catches_a_sabotaged_term_reprice() {
+    // Sabotaged book: the dishonest hook is inert at the anchor (nothing has
+    // moved yet), then leaves stale bytes behind on the wobble.
+    let (state, mut book, mut oracle) = toy_setup(30);
+    toy_differential_with(&state, &mut book, &oracle, ToyReprice::Sabotaged)
+        .expect("nothing to reprice at the anchor prices");
+    // +0.33 %: inside the envelopes of mid-rescue-band members (which freshen
+    // through the term path), outside the tightest ones (which re-anchor).
+    oracle.set_price(1, Token::ETH, Wad::from_f64(3_010.0));
+    let err = toy_differential_with(&state, &mut book, &oracle, ToyReprice::Sabotaged)
+        .expect_err("stale term bytes must not survive the differential");
+    assert!(err.contains("diverged"), "{err}");
+
+    // The honest twin of the same wobble.
+    let (state, mut book, mut oracle) = toy_setup(30);
+    toy_differential(&state, &mut book, &oracle).expect("clean at anchor");
+    oracle.set_price(1, Token::ETH, Wad::from_f64(3_010.0));
+    toy_differential(&state, &mut book, &oracle).expect("honest term path is byte-identical");
+    assert!(
+        book.stats().term_reprices >= 1,
+        "the wobble was never served by the term path — the sabotage test has no teeth"
+    );
+}
+
+/// An oscillating price whose swing exceeds the freshly-centred slack would
+/// re-derive an envelope on every swing forever. Re-anchor hysteresis widens
+/// the slack away from the broken edge, so after the first break the envelope
+/// covers both poles of the oscillation and derivations stop.
+#[test]
+fn reanchor_hysteresis_absorbs_a_price_oscillation() {
+    let mut state = ToyState::new();
+    let mut book = PositionBook::new();
+    let address = Address::from_seed(77);
+    // HF 1.35 at 3000: mid-Quiet, fresh halving slack 6.25 %, hysteresis
+    // coverage ~8-16 % depending on the anchor.
+    let collateral = Wad::from_int(10);
+    let debt = Wad::from_f64(10.0 * 3_000.0 * 0.8 / 1.35);
+    state.accounts.insert(address, (collateral, debt));
+    book.mark_dirty(address);
+    let oracle = toy_oracle(3_000.0);
+    toy_differential(&state, &mut book, &oracle).expect("clean at anchor");
+
+    // ±7 % swings: both poles break a freshly-centred 6.25 % envelope, both
+    // fit inside the widened re-anchor.
+    let mut oracle = oracle;
+    let mut derives_per_tick = Vec::new();
+    for tick in 0..12u64 {
+        let price = if tick % 2 == 0 { 3_210.0 } else { 3_000.0 };
+        oracle.set_price(tick + 1, Token::ETH, Wad::from_f64(price));
+        let before = book.stats().envelope_derives;
+        toy_differential(&state, &mut book, &oracle).unwrap_or_else(|e| panic!("tick {tick}: {e}"));
+        derives_per_tick.push(book.stats().envelope_derives - before);
+    }
+    assert!(
+        derives_per_tick[0] > 0,
+        "the first swing never broke the fresh envelope — the oscillation tests nothing"
+    );
+    assert!(
+        derives_per_tick[1..].iter().all(|&d| d == 0),
+        "steady-state oscillation still re-derives: {derives_per_tick:?}"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Conservative bounds: evaluate every certified envelope at its own corner
 // prices through the real valuation path — the health factor must still be
@@ -635,7 +771,7 @@ proptest! {
         oracle.set_price(0, Token::ETH, Wad::from_f64(price));
         oracle.set_price(0, Token::USDC, Wad::from_f64(usdc_wobble));
 
-        let view = ToyView(&state);
+        let view = ToyView(&state, ToyReprice::Honest);
         let mut position = Position::new(address);
         prop_assume!(view.fill_position(&oracle, address, &mut position));
         let Some(hf) = position.health_factor() else { return Ok(()); };
@@ -651,7 +787,14 @@ proptest! {
             (Some(rescue()), Some(releverage()))
         };
         let mut envelope = HfEnvelope::default();
-        if !view.hf_envelope(&oracle, &position, floor, ceiling, &mut envelope) {
+        if !view.hf_envelope(
+            &oracle,
+            &position,
+            floor,
+            ceiling,
+            EnvelopeAnchor::Fresh,
+            &mut envelope,
+        ) {
             return Ok(()); // too close to an edge: rides the exact path
         }
 
@@ -663,7 +806,7 @@ proptest! {
             corner.set_price(0, Token::ETH, Wad::from_raw(eth_raw));
             corner.set_price(0, Token::USDC, Wad::from_raw(usdc_raw));
             let mut slot = Position::new(address);
-            if !ToyView(&state).fill_position(&corner, address, &mut slot) {
+            if !ToyView(&state, ToyReprice::Honest).fill_position(&corner, address, &mut slot) {
                 return None;
             }
             slot.health_factor()
@@ -726,7 +869,7 @@ proptest! {
         };
         let (state, mut book, _) = toy_setup(40);
         let oracle = toy_oracle(eth);
-        let snapshot = book.snapshot(&ToyView(&state), &oracle);
+        let snapshot = book.snapshot(&ToyView(&state, ToyReprice::Honest), &oracle);
         prop_assert!(!snapshot.is_empty());
         for token in [Token::ETH, Token::USDC] {
             if shock <= -10_000 {
