@@ -35,14 +35,15 @@ use defi_core::config::is_sound_fixed_spread_config;
 use defi_core::params::RiskParams;
 use defi_journal::{JournalReader, JournalWriter};
 use defi_sim::{
-    InvariantObserver, MultiObserver, RunSummary, ScenarioCatalog, Session, SessionStatus,
-    SimConfig, SimError, SimObserver, SimulationEngine, SimulationReport, SweepRunner,
+    EngineBuilder, InvariantObserver, MultiObserver, RunSummary, ScenarioCatalog, Session,
+    SessionStatus, SimConfig, SimError, SimObserver, SimulationEngine, SimulationReport,
+    SweepRunner,
 };
 use defi_types::Platform;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--smoke] [--seed N] [--json DIR] [--scenario NAME] [--list-scenarios]\n             [--check-invariants] [--sweep seeds=N|scenarios] [--workers N] [--timings]\n             [--journal FILE] [--replay FILE] <artefact>...\n       artefacts: all headline table1 table2 table3 table4 table5 table6 table7 table8\n                  fig4 fig5 fig6 fig7 fig8 fig9 auction-stats stablecoins mitigation configs case-study\n       --scenario NAME runs a named catalog scenario (see --list-scenarios)\n       --check-invariants attaches the InvariantObserver and fails on any violation\n       --sweep seeds=N runs N seeds through the SweepRunner and prints per-run summaries instead;\n       --sweep scenarios fans the whole scenario catalog across the workers\n       --timings prints each protocol book's per-phase tick-time breakdown after the run\n       --journal FILE records the run's observation stream as a replayable journal\n       --replay FILE renders artefacts from a recorded journal instead of simulating"
+        "usage: repro [--smoke] [--seed N] [--json DIR] [--scenario NAME] [--scenario-file PATH]\n             [--list-scenarios] [--check-invariants] [--sweep seeds=N|scenarios] [--workers N]\n             [--timings] [--journal FILE] [--replay FILE] <artefact>...\n       artefacts: all headline table1 table2 table3 table4 table5 table6 table7 table8\n                  fig4 fig5 fig6 fig7 fig8 fig9 auction-stats stablecoins mitigation configs case-study\n       --scenario NAME runs a named catalog scenario (see --list-scenarios); names compose\n                  with '+', e.g. --scenario liquidation-spiral+stablecoin-depeg\n       --scenario-file PATH loads user-defined scenario entries into the catalog\n       --check-invariants attaches the InvariantObserver and fails on any violation\n       --sweep seeds=N runs N seeds through the SweepRunner and prints per-run summaries instead;\n       --sweep scenarios fans the whole scenario catalog across the workers\n       --timings prints each protocol book's per-phase tick-time breakdown after the run\n       --journal FILE records the run's observation stream as a replayable journal\n       --replay FILE renders artefacts from a recorded journal instead of simulating"
     );
     std::process::exit(2)
 }
@@ -67,15 +68,19 @@ enum SweepKind {
     Scenarios,
 }
 
-fn run_sweep(base: SimConfig, kind: SweepKind, workers: Option<usize>, json_dir: Option<&Path>) {
+fn run_sweep(
+    base: SimConfig,
+    kind: SweepKind,
+    workers: Option<usize>,
+    json_dir: Option<&Path>,
+    catalog: &ScenarioCatalog,
+) {
     let runner = workers
         .map(SweepRunner::new)
         .unwrap_or_else(SweepRunner::auto);
     let grid = match &kind {
         SweepKind::Seeds(seeds) => SweepRunner::seed_grid(&base, *seeds),
-        SweepKind::Scenarios => {
-            SweepRunner::scenario_grid(&base, &ScenarioCatalog::standard().names())
-        }
+        SweepKind::Scenarios => SweepRunner::scenario_grid(&base, &catalog.names()),
     };
     eprintln!(
         "sweeping {} runs ({} ticks each) across {} workers…",
@@ -84,7 +89,7 @@ fn run_sweep(base: SimConfig, kind: SweepKind, workers: Option<usize>, json_dir:
         runner.workers()
     );
     let started = std::time::Instant::now();
-    let summaries: Vec<RunSummary> = match runner.run(&grid) {
+    let summaries: Vec<RunSummary> = match runner.run_with_catalog(&grid, catalog) {
         Ok(summaries) => summaries,
         Err(error) => {
             eprintln!("sweep failed: {error}");
@@ -224,6 +229,7 @@ fn main() {
     let mut sweep: Option<SweepKind> = None;
     let mut workers: Option<usize> = None;
     let mut scenario: Option<String> = None;
+    let mut scenario_file: Option<PathBuf> = None;
     let mut list_scenarios = false;
     let mut check_invariants = false;
     let mut journal_path: Option<PathBuf> = None;
@@ -246,6 +252,10 @@ fn main() {
             "--scenario" => {
                 let Some(value) = args.next() else { usage() };
                 scenario = Some(value);
+            }
+            "--scenario-file" => {
+                let Some(value) = args.next() else { usage() };
+                scenario_file = Some(PathBuf::from(value));
             }
             "--list-scenarios" => list_scenarios = true,
             "--timings" => timings = true,
@@ -317,7 +327,27 @@ fn main() {
         }
     }
 
-    let catalog = ScenarioCatalog::standard();
+    let mut catalog = ScenarioCatalog::standard();
+    if let Some(path) = &scenario_file {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("read --scenario-file {}: {error}", path.display());
+                std::process::exit(2);
+            }
+        };
+        match catalog.add_user_entries(&text) {
+            Ok(added) => eprintln!(
+                "loaded {added} user scenario entr{} from {}",
+                if added == 1 { "y" } else { "ies" },
+                path.display()
+            ),
+            Err(error) => {
+                eprintln!("{}: {error}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
     if list_scenarios {
         println!("== scenario catalog ==");
         for entry in catalog.entries() {
@@ -329,9 +359,9 @@ fn main() {
         return;
     }
     if let Some(name) = &scenario {
-        if catalog.get(name).is_none() {
+        if catalog.resolve(name).is_none() {
             eprintln!(
-                "unknown scenario '{name}'; valid names: {}",
+                "unknown scenario '{name}'; valid names (composable with '+'): {}",
                 catalog.names().join(", ")
             );
             std::process::exit(2);
@@ -346,7 +376,7 @@ fn main() {
     base_config.scenario = scenario;
 
     if let Some(kind) = sweep {
-        run_sweep(base_config, kind, workers, json_dir.as_deref());
+        run_sweep(base_config, kind, workers, json_dir.as_deref(), &catalog);
         return;
     }
 
@@ -474,7 +504,9 @@ fn main() {
             },
             None => None,
         };
-        let engine = SimulationEngine::new(config);
+        let engine = EngineBuilder::new(config)
+            .with_catalog(catalog.clone())
+            .build();
         let result = match (&mut journal, check_invariants) {
             (Some(writer), true) => {
                 let mut extra = MultiObserver::new().with(writer).with(&mut invariants);
@@ -496,6 +528,47 @@ fn main() {
             started.elapsed().as_secs_f64(),
             report.chain.events().len()
         );
+        if let Some(behavior) = &report.behavior {
+            eprintln!(
+                "behavior: {} opportunities queued, {} executed after latency, {} dropped stale, \
+                 {} inventory exhaustions, {} panic exits (${:.0} sold)",
+                behavior.stats.opportunities_queued,
+                behavior.stats.executed_delayed,
+                behavior.stats.stale_dropped,
+                behavior.stats.inventory_exhaustions,
+                behavior.stats.panic_exits,
+                behavior.stats.panic_sell_usd,
+            );
+        }
+        if !report.feedback_skipped.is_empty() {
+            // No silent caps: collateral without a DEX route never reached the
+            // feedback loop, so say how much sell pressure went unmodelled.
+            let total: f64 = report
+                .feedback_skipped
+                .values()
+                .map(|skipped| skipped.usd.to_f64())
+                .sum();
+            eprintln!(
+                "feedback: ${total:.0} of sell pressure across {} token(s) had no DEX route and \
+                 was skipped{}",
+                report.feedback_skipped.len(),
+                if timings {
+                    ":"
+                } else {
+                    " (--timings for the per-token breakdown)"
+                }
+            );
+            if timings {
+                for (token, skipped) in &report.feedback_skipped {
+                    eprintln!(
+                        "  {token:<6} {} lot(s), {:.4} units, ${:.0}",
+                        skipped.lots,
+                        skipped.amount.to_f64(),
+                        skipped.usd.to_f64()
+                    );
+                }
+            }
+        }
         if let Some(writer) = journal {
             let frames = writer.frames_written();
             match writer.finish() {

@@ -669,6 +669,7 @@ pub fn sweep_json(summaries: &[RunSummary], workers: usize) -> Json {
                     "eth_decline_43_liquidatable_usd",
                     usd(summary.eth_decline_43_liquidatable),
                 ),
+                ("feedback_skipped_usd", usd(summary.feedback_skipped_usd)),
             ])
         })
         .collect();
@@ -705,8 +706,8 @@ pub fn scenario_catalog_json(catalog: &ScenarioCatalog) -> Json {
         .iter()
         .map(|entry| {
             Json::obj([
-                ("name", Json::str(entry.name)),
-                ("summary", Json::str(entry.summary)),
+                ("name", Json::str(entry.name.clone())),
+                ("summary", Json::str(entry.summary.clone())),
             ])
         })
         .collect();
@@ -752,6 +753,7 @@ mod tests {
             collateral_sold: Wad::from_int(5),
             open_positions: 7,
             eth_decline_43_liquidatable: Wad::from_int(1_000),
+            feedback_skipped_usd: Wad::ZERO,
         };
         let summaries = vec![
             summary(1, "paper-two-year", 10),

@@ -66,7 +66,7 @@ fn assert_replay_parity(scenario_name: &str) {
 fn replay_is_byte_identical_on_every_catalog_scenario() {
     let catalog = ScenarioCatalog::standard();
     let names = catalog.names();
-    assert_eq!(names.len(), 6, "catalog grew; extend this differential");
+    assert_eq!(names.len(), 7, "catalog grew; extend this differential");
     for name in names {
         assert_replay_parity(name);
     }

@@ -199,6 +199,9 @@ fn is_hot_path(path: &str) -> bool {
         || path.starts_with("crates/chain/src/")
         || path == "crates/sim/src/engine.rs"
         || path == "crates/sim/src/session.rs"
+        // The behavioural layer runs inside the tick loop (inventory checks,
+        // latency queues, panic draws) — a panic there kills the run.
+        || path == "crates/sim/src/behavior.rs"
         // The sweep runner's scoped-thread fan-out is the pattern the sharded
         // book's tick-internal workers follow; a panic there tears down every
         // in-flight run.

@@ -569,6 +569,11 @@ fn get_config(dec: &mut Decoder<'_>) -> Result<SimConfig, CodecError> {
         // frozen, and replay must not depend on the recording host's core
         // count). Replays run serially unless the replaying caller re-tunes.
         book_workers: 1,
+        // Also deliberately not journaled: journals carry the *observed*
+        // event stream, and behavioural agent state is reconstructed from
+        // the config on a live re-run, not replayed (see CONTRACTS.md).
+        // Journals written before the layer existed replay unchanged.
+        behavior: defi_sim::BehaviorConfig::default(),
     })
 }
 

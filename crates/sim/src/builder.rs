@@ -49,6 +49,7 @@ pub struct EngineBuilder {
     protocols: ProtocolRegistry,
     scenario: Option<MarketScenario>,
     dex_setup: Option<DexSetup>,
+    catalog: ScenarioCatalog,
 }
 
 impl EngineBuilder {
@@ -60,7 +61,17 @@ impl EngineBuilder {
             protocols: paper_protocols(),
             scenario: None,
             dex_setup: None,
+            catalog: ScenarioCatalog::standard(),
         }
+    }
+
+    /// Replace the scenario catalog that resolves named scenarios (default:
+    /// [`ScenarioCatalog::standard`]). Use this to make user-defined entries
+    /// loaded via [`ScenarioCatalog::add_user_entries`] addressable from
+    /// [`with_named_scenario`](EngineBuilder::with_named_scenario).
+    pub fn with_catalog(mut self, catalog: ScenarioCatalog) -> Self {
+        self.catalog = catalog;
+        self
     }
 
     /// Add a protocol, or replace the default implementation of its platform.
@@ -88,19 +99,21 @@ impl EngineBuilder {
         self
     }
 
-    /// Use a named [`ScenarioCatalog`] entry as the price scenario. The
-    /// entry's configuration adjustments (extra congestion episodes, bot
-    /// behaviour, flash-loan availability) are applied when the engine is
-    /// built. Overrides any previously set explicit scenario.
+    /// Use a named [`ScenarioCatalog`] entry — or a `+`-composed combination
+    /// of entries such as `"liquidation-spiral+stablecoin-depeg"` — as the
+    /// price scenario. Each component's configuration adjustments (extra
+    /// congestion episodes, bot behaviour, flash-loan availability) are
+    /// applied left-to-right when the engine is built. Overrides any
+    /// previously set explicit scenario.
     ///
     /// # Panics
     ///
-    /// Panics if `name` is not in [`ScenarioCatalog::standard`].
+    /// Panics if any component of `name` is not in the builder's catalog.
     pub fn with_named_scenario(mut self, name: &str) -> Self {
         assert!(
-            ScenarioCatalog::standard().get(name).is_some(),
+            self.catalog.resolve(name).is_some(),
             "unknown scenario '{name}'; valid names: {:?}",
-            ScenarioCatalog::standard().names()
+            self.catalog.names()
         );
         self.config.scenario = Some(name.to_string());
         self.scenario = None;
@@ -125,18 +138,17 @@ impl EngineBuilder {
             protocols,
             scenario,
             dex_setup,
+            catalog,
         } = self;
         let scenario = match scenario {
             Some(scenario) => scenario,
             None => match config.scenario.clone() {
-                Some(name) => ScenarioCatalog::standard()
-                    .build(&name, &mut config)
-                    .unwrap_or_else(|| {
-                        panic!(
-                            "unknown scenario '{name}'; valid names: {:?}",
-                            ScenarioCatalog::standard().names()
-                        )
-                    }),
+                Some(name) => catalog.build(&name, &mut config).unwrap_or_else(|| {
+                    panic!(
+                        "unknown scenario '{name}'; valid names: {:?}",
+                        catalog.names()
+                    )
+                }),
                 None => MarketScenario::paper_two_year(config.seed ^ 0xfeed),
             },
         };

@@ -5,6 +5,8 @@ use serde::{Deserialize, Serialize};
 use defi_chain::CongestionEpisode;
 use defi_types::{BlockNumber, Platform};
 
+use crate::behavior::BehaviorConfig;
+
 /// Population and behaviour parameters for one platform.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct PlatformPopulation {
@@ -104,6 +106,11 @@ pub struct SimConfig {
     /// journals written before the knob existed replay unchanged.
     #[serde(default = "default_book_workers")]
     pub book_workers: usize,
+    /// Behavioural agent layer: capital-constrained liquidators, latency
+    /// staggering and borrower panic exits. Disabled by default, in which
+    /// case the engine behaves exactly as the baseline model.
+    #[serde(default)]
+    pub behavior: BehaviorConfig,
 }
 
 fn default_book_workers() -> usize {
@@ -165,6 +172,7 @@ impl SimConfig {
             scenario_applied: false,
             extra_congestion_episodes: Vec::new(),
             book_workers: default_book_workers(),
+            behavior: BehaviorConfig::default(),
         }
     }
 

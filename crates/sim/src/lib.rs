@@ -11,6 +11,9 @@
 //! * [`config`] — scenario configuration, with a [`SimConfig::paper_default`]
 //!   matching the study window and a [`SimConfig::smoke_test`] for fast tests.
 //! * [`agents`] — borrower, fixed-spread liquidator and auction keeper agents.
+//! * [`behavior`] — the behavioural layer: capital-constrained liquidators
+//!   with per-token inventory, latency-staggered reactions and borrower
+//!   panic exits ([`BehaviorConfig`]).
 //! * [`builder`] — the [`EngineBuilder`] fluent API: the documented way to
 //!   assemble engines, with pluggable protocols (any
 //!   [`LendingProtocol`](defi_lending::LendingProtocol) implementation),
@@ -21,7 +24,9 @@
 //! * [`scenarios`] — the named [`ScenarioCatalog`] of stress scenarios
 //!   (Black Thursday replay, stablecoin depeg, oracle-lag cascades, gas
 //!   spikes, endogenous liquidation spirals), addressable from the builder,
-//!   the `repro` harness and sweep grids.
+//!   the `repro` harness and sweep grids. Entries compose with `+`
+//!   (`"liquidation-spiral+stablecoin-depeg"` is one run), and user-defined
+//!   entries can be loaded from a scenario file ([`UserScenarioSpec`]).
 //! * [`observer`] — the [`SimObserver`] hook trait streaming a run's events,
 //!   liquidations and samples to consumers as they are produced.
 //! * [`invariant`] — the [`InvariantObserver`]: per-tick conservation and
@@ -36,6 +41,7 @@
 #![forbid(unsafe_code)]
 
 pub mod agents;
+pub mod behavior;
 pub mod builder;
 pub mod config;
 pub mod engine;
@@ -46,14 +52,15 @@ pub mod session;
 pub mod sweep;
 
 pub use agents::{BorrowerAgent, KeeperAgent, LiquidatorAgent};
+pub use behavior::{AgentCapital, BehaviorConfig, BehaviorReport, BehaviorStats};
 pub use builder::{EngineBuilder, ProtocolRegistry};
 pub use config::{PlatformPopulation, SimConfig};
-pub use engine::{SimulationEngine, SimulationReport, VolumeSample};
+pub use engine::{SimulationEngine, SimulationReport, SkippedVolume, VolumeSample};
 pub use invariant::{InvariantObserver, InvariantViolation};
 pub use observer::{
     LiquidationObservation, MultiObserver, NullObserver, RunEnd, RunStart, SimObserver, TickEnd,
     TickStart,
 };
-pub use scenarios::{ScenarioCatalog, ScenarioEntry};
+pub use scenarios::{ScenarioCatalog, ScenarioEntry, ScenarioParseError, UserScenarioSpec};
 pub use session::{Session, SessionStatus, SimError};
 pub use sweep::{group_by_scenario, RunSummary, SweepRunner};

@@ -275,6 +275,8 @@ impl Session {
             volume_samples: engine.volume_samples,
             final_positions,
             snapshot_block,
+            feedback_skipped: engine.feedback_skipped,
+            behavior: engine.behavior.map(|behavior| behavior.into_report()),
         })
     }
 

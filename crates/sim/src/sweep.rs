@@ -30,7 +30,6 @@ use defi_core::sensitivity::liquidatable_collateral;
 use defi_types::{SignedWad, Token, Wad};
 
 use crate::config::SimConfig;
-use crate::engine::SimulationEngine;
 use crate::observer::{LiquidationObservation, RunEnd, SimObserver};
 use crate::session::SimError;
 
@@ -61,6 +60,11 @@ pub struct RunSummary {
     /// crash magnitude — would make liquidatable at the snapshot (Figure 8's
     /// reference point).
     pub eth_decline_43_liquidatable: Wad,
+    /// USD of sell-pressure volume the feedback loop could not route through
+    /// the DEX (no pool route for the seized token). Zero outside feedback
+    /// scenarios; non-zero values mean the spiral understates sell pressure
+    /// for those tokens (surfaced rather than silently dropped).
+    pub feedback_skipped_usd: Wad,
 }
 
 /// Streaming observer that accumulates a [`RunSummary`] in a single pass.
@@ -86,7 +90,14 @@ impl SummaryObserver {
         }
     }
 
-    fn into_summary(self, seed: u64, scenario: String, ticks: u64, events: usize) -> RunSummary {
+    fn into_summary(
+        self,
+        seed: u64,
+        scenario: String,
+        ticks: u64,
+        events: usize,
+        feedback_skipped_usd: Wad,
+    ) -> RunSummary {
         RunSummary {
             seed,
             scenario,
@@ -98,6 +109,7 @@ impl SummaryObserver {
             collateral_sold: self.collateral_sold,
             open_positions: self.open_positions,
             eth_decline_43_liquidatable: self.eth_decline_43_liquidatable,
+            feedback_skipped_usd,
         }
     }
 }
@@ -207,8 +219,21 @@ impl SweepRunner {
     }
 
     /// Run every configuration through a fresh engine + [`SummaryObserver`]
-    /// session and return the per-run summaries in input order.
+    /// session and return the per-run summaries in input order. Named
+    /// scenarios resolve against [`crate::ScenarioCatalog::standard`]; use
+    /// [`run_with_catalog`](SweepRunner::run_with_catalog) for user-defined
+    /// entries.
     pub fn run(&self, configs: &[SimConfig]) -> Result<Vec<RunSummary>, SimError> {
+        self.run_with_catalog(configs, &crate::ScenarioCatalog::standard())
+    }
+
+    /// [`run`](SweepRunner::run), but resolving named scenarios against the
+    /// given catalog (which may carry user-defined entries).
+    pub fn run_with_catalog(
+        &self,
+        configs: &[SimConfig],
+        catalog: &crate::ScenarioCatalog,
+    ) -> Result<Vec<RunSummary>, SimError> {
         self.map(configs, |_, config| {
             let seed = config.seed;
             let scenario = config
@@ -217,10 +242,22 @@ impl SweepRunner {
                 .unwrap_or_else(|| crate::ScenarioCatalog::DEFAULT_NAME.to_string());
             let ticks = config.tick_count();
             let mut observer = SummaryObserver::new();
-            let report = SimulationEngine::new(config)
+            let report = crate::EngineBuilder::new(config)
+                .with_catalog(catalog.clone())
+                .build()
                 .session()
                 .run_to_end(&mut observer)?;
-            Ok(observer.into_summary(seed, scenario, ticks, report.chain.events().len()))
+            let feedback_skipped_usd = report
+                .feedback_skipped
+                .values()
+                .fold(Wad::ZERO, |acc, skipped| acc.saturating_add(skipped.usd));
+            Ok(observer.into_summary(
+                seed,
+                scenario,
+                ticks,
+                report.chain.events().len(),
+                feedback_skipped_usd,
+            ))
         })
         .into_iter()
         .collect()

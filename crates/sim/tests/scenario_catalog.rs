@@ -36,7 +36,7 @@ fn every_catalog_entry_runs_clean_under_the_invariant_observer() {
     for entry in catalog.entries() {
         let mut observer = InvariantObserver::new();
         let report = EngineBuilder::new(crash_window_config(2021))
-            .with_named_scenario(entry.name)
+            .with_named_scenario(&entry.name)
             .build()
             .session()
             .run_to_end(&mut observer)

@@ -31,7 +31,8 @@ fn scenario_grid_is_worker_count_independent() {
     // The catalog sweep mirrors the seed-grid guarantee: results are indexed
     // by input position, so a serial and a parallel sweep of the same
     // scenario grid must be identical, in catalog order.
-    let names = ScenarioCatalog::standard().names();
+    let catalog = ScenarioCatalog::standard();
+    let names = catalog.names();
     let grid = SweepRunner::scenario_grid(&shortened_smoke(17, 30), &names);
     assert_eq!(grid.len(), names.len());
 

@@ -135,7 +135,7 @@ fn banded_discovery_matches_shadow_scan_across_every_catalog_scenario() {
     assert!(catalog.names().len() >= 6);
     for entry in catalog.entries() {
         let mut session = EngineBuilder::new(crash_window_config(2026))
-            .with_named_scenario(entry.name)
+            .with_named_scenario(&entry.name)
             .build()
             .session();
         let mut observer = NullObserver;
@@ -149,7 +149,7 @@ fn banded_discovery_matches_shadow_scan_across_every_catalog_scenario() {
             for platform in session.platforms() {
                 session
                     .inspect_protocol(platform, |protocol, oracle| {
-                        audit_platform(entry.name, tick, platform, protocol, oracle, full);
+                        audit_platform(&entry.name, tick, platform, protocol, oracle, full);
                     })
                     .expect("platform registered");
             }
@@ -190,11 +190,11 @@ fn worker_counts_are_byte_identical_across_every_catalog_scenario() {
         let mut sharded_config = crash_window_config(2027);
         sharded_config.book_workers = workers;
         let mut serial = EngineBuilder::new(serial_config)
-            .with_named_scenario(entry.name)
+            .with_named_scenario(&entry.name)
             .build()
             .session();
         let mut sharded = EngineBuilder::new(sharded_config)
-            .with_named_scenario(entry.name)
+            .with_named_scenario(&entry.name)
             .build()
             .session();
         let mut observer = NullObserver;
